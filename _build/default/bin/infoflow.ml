@@ -1,0 +1,477 @@
+(* infoflow — command-line interface to the information-flow library.
+
+   Subcommands mirror the pipeline of the paper:
+     generate-model    synthesise a betaICM
+     generate-corpus   synthesise a raw tweet corpus
+     train             tweets -> inferred graph + trained betaICM
+     estimate          flow probability queries (incl. conditional)
+     impact            impact (dispersion) distribution of a source
+     calibrate         self-test a model with the bucket experiment *)
+open Cmdliner
+module Rng = Iflow_stats.Rng
+module Digraph = Iflow_graph.Digraph
+module Gen = Iflow_graph.Gen
+module Icm = Iflow_core.Icm
+module Beta_icm = Iflow_core.Beta_icm
+module Generator = Iflow_core.Generator
+module Cascade = Iflow_core.Cascade
+module Pseudo_state = Iflow_core.Pseudo_state
+module Estimator = Iflow_mcmc.Estimator
+module Conditions = Iflow_mcmc.Conditions
+module Nested = Iflow_mcmc.Nested
+module Measures = Iflow_stats.Measures
+module Bucket = Iflow_bucket.Bucket
+module Model_io = Iflow_io.Model_io
+open Iflow_twitter
+
+(* ----- shared options ----- *)
+
+let seed_term =
+  let doc = "Random seed (experiments are reproducible per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let mcmc_term =
+  let burn =
+    Arg.(value & opt int 1000 & info [ "burn-in" ] ~doc:"Burn-in steps.")
+  in
+  let thin =
+    Arg.(value & opt int 10 & info [ "thin" ] ~doc:"Steps between samples.")
+  in
+  let samples =
+    Arg.(value & opt int 2000 & info [ "samples" ] ~doc:"Retained samples.")
+  in
+  let make burn_in thin samples = { Estimator.burn_in; thin; samples } in
+  Term.(const make $ burn $ thin $ samples)
+
+(* ----- generate-model ----- *)
+
+let generate_model seed nodes edges output =
+  let rng = Rng.create seed in
+  let model = Generator.default_beta_icm rng ~nodes ~edges in
+  Model_io.save_beta_icm output model;
+  Printf.printf "wrote %s: betaICM with %d nodes, %d edges\n" output nodes edges
+
+let generate_model_cmd =
+  let nodes =
+    Arg.(value & opt int 50 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+  in
+  let edges =
+    Arg.(value & opt int 200 & info [ "m"; "edges" ] ~doc:"Number of edges.")
+  in
+  let output =
+    Arg.(
+      value & opt string "model.bicm"
+      & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate-model"
+       ~doc:"Synthesise a random betaICM (paper Section IV-A).")
+    Term.(const generate_model $ seed_term $ nodes $ edges $ output)
+
+(* ----- generate-corpus ----- *)
+
+let generate_corpus seed users originals output =
+  let rng = Rng.create seed in
+  let g = Gen.preferential_attachment rng ~nodes:users ~mean_out_degree:4 in
+  let truth = Generator.retweet_ground_truth rng g in
+  let corpus =
+    Corpus.generate ~params:{ Corpus.default_params with originals } rng truth
+  in
+  Model_io.save_tweets output corpus.Corpus.tweets;
+  Model_io.save_icm (output ^ ".truth.icm") corpus.Corpus.truth;
+  Printf.printf
+    "wrote %s: %d tweets from %d users (%d dropped for sparsity)\n" output
+    (List.length corpus.Corpus.tweets)
+    users corpus.Corpus.dropped;
+  Printf.printf "wrote %s.truth.icm: the generating ground truth\n" output
+
+let generate_corpus_cmd =
+  let users =
+    Arg.(value & opt int 200 & info [ "users" ] ~doc:"Number of users.")
+  in
+  let originals =
+    Arg.(
+      value & opt int 2000 & info [ "originals" ] ~doc:"Original tweet count.")
+  in
+  let output =
+    Arg.(
+      value & opt string "tweets.tsv"
+      & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate-corpus"
+       ~doc:"Synthesise a raw tweet corpus with ground truth.")
+    Term.(const generate_corpus $ seed_term $ users $ originals $ output)
+
+(* ----- train ----- *)
+
+let train tweets_path output names_path =
+  let tweets = Model_io.load_tweets tweets_path in
+  let g, names, index = Preprocess.infer_graph tweets in
+  let cascades = Preprocess.cascades tweets in
+  let objects =
+    Preprocess.to_attributed ~graph:g
+      ~node_of_name:(fun n -> Hashtbl.find_opt index n)
+      cascades
+  in
+  let model = Beta_icm.train_attributed g objects in
+  Model_io.save_beta_icm output model;
+  Model_io.save_names names_path names;
+  Printf.printf
+    "parsed %d tweets into %d cascades over %d users / %d inferred edges\n"
+    (List.length tweets) (List.length cascades) (Digraph.n_nodes g)
+    (Digraph.n_edges g);
+  Printf.printf "wrote %s (betaICM) and %s (node id -> user name)\n" output
+    names_path
+
+let train_cmd =
+  let tweets =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tweets" ] ~doc:"Tweet corpus (TSV: id author time text).")
+  in
+  let output =
+    Arg.(
+      value & opt string "trained.bicm"
+      & info [ "o"; "output" ] ~doc:"Output betaICM file.")
+  in
+  let names =
+    Arg.(
+      value & opt string "trained.names"
+      & info [ "names" ] ~doc:"Output user-name table.")
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "Parse a tweet corpus, infer the graph from '@' references, and \
+          train a betaICM from the attributed retweet evidence.")
+    Term.(const train $ tweets $ output $ names)
+
+(* ----- estimate ----- *)
+
+let condition_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ u; v; a ] -> (
+      match (int_of_string_opt u, int_of_string_opt v, a) with
+      | Some u, Some v, "+" -> Ok (u, v, true)
+      | Some u, Some v, "-" -> Ok (u, v, false)
+      | _ -> Error (`Msg "expected SRC:DST:+ or SRC:DST:-"))
+    | _ -> Error (`Msg "expected SRC:DST:+ or SRC:DST:-")
+  in
+  let print ppf (u, v, a) =
+    Format.fprintf ppf "%d:%d:%s" u v (if a then "+" else "-")
+  in
+  Arg.conv (parse, print)
+
+let estimate seed model_path src dst conditions config nested deadline
+    delay_mean =
+  let rng = Rng.create seed in
+  let model = Model_io.load_beta_icm model_path in
+  let icm = Beta_icm.expected_icm model in
+  let conditions = Conditions.v conditions in
+  (match
+     Estimator.flow_probability ~conditions rng icm config ~src ~dst
+   with
+  | p -> Printf.printf "Pr(%d ~> %d%s) = %.5f\n" src dst
+           (if Conditions.is_empty conditions then ""
+            else Format.asprintf " | %a" Conditions.pp conditions)
+           p
+  | exception Failure msg -> (
+    Printf.eprintf "error: %s\n" msg;
+    exit 1));
+  if nested > 0 then begin
+    let samples =
+      Nested.flow_samples ~conditions rng model config ~reps:nested ~src ~dst
+    in
+    let mean, (lo, hi) = Nested.mean_and_interval samples in
+    Printf.printf
+      "uncertainty (%d sampled ICMs): mean %.5f, central 95%% [%.5f, %.5f]\n"
+      nested mean lo hi
+  end;
+  match deadline with
+  | None -> ()
+  | Some deadline ->
+    let latency =
+      Iflow_mcmc.Delay.uniform_delay icm
+        (Iflow_mcmc.Delay.Exponential delay_mean)
+    in
+    let p =
+      Iflow_mcmc.Delay.probability_within ~conditions rng latency config ~src
+        ~dst ~deadline
+    in
+    Printf.printf
+      "Pr(%d ~> %d within %.3g time units; mean edge delay %.3g) = %.5f\n" src
+      dst deadline delay_mean p
+
+let estimate_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~doc:"betaICM file.")
+  in
+  let src =
+    Arg.(required & opt (some int) None & info [ "src" ] ~doc:"Source node.")
+  in
+  let dst =
+    Arg.(required & opt (some int) None & info [ "dst" ] ~doc:"Sink node.")
+  in
+  let conditions =
+    Arg.(
+      value & opt_all condition_conv []
+      & info [ "c"; "condition" ]
+          ~doc:
+            "Flow condition SRC:DST:+ (flow known present) or SRC:DST:- \
+             (known absent); repeatable.")
+  in
+  let nested =
+    Arg.(
+      value & opt int 0
+      & info [ "nested" ]
+          ~doc:"Also report uncertainty from this many sampled ICMs.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ]
+          ~doc:
+            "Also report the probability of flow arriving within this many \
+             time units, with exponential per-edge latency.")
+  in
+  let delay_mean =
+    Arg.(
+      value & opt float 1.0
+      & info [ "delay-mean" ]
+          ~doc:"Mean per-edge latency used with --deadline.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Estimate a (conditional) flow probability with \
+          Metropolis-Hastings sampling.")
+    Term.(
+      const estimate $ seed_term $ model $ src $ dst $ conditions $ mcmc_term
+      $ nested $ deadline $ delay_mean)
+
+(* ----- impact ----- *)
+
+let impact seed model_path src config =
+  let rng = Rng.create seed in
+  let model = Model_io.load_beta_icm model_path in
+  let icm = Beta_icm.expected_icm model in
+  let samples = Estimator.impact_samples rng icm config ~src in
+  let floats = Array.map float_of_int samples in
+  let module D = Iflow_stats.Descriptive in
+  Printf.printf "impact of node %d over %d samples:\n" src
+    (Array.length samples);
+  Printf.printf "  mean %.2f, median %.0f, p90 %.0f, max %.0f\n"
+    (D.mean floats) (D.median floats) (D.quantile floats 0.9)
+    (snd (D.min_max floats));
+  let hi = Float.max 1.0 (snd (D.min_max floats)) in
+  Format.printf "%a@." D.pp_histogram
+    (D.histogram ~lo:0.0 ~hi ~bins:(min 15 (int_of_float hi + 1)) floats)
+
+let impact_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~doc:"betaICM file.")
+  in
+  let src =
+    Arg.(required & opt (some int) None & info [ "src" ] ~doc:"Source node.")
+  in
+  Cmd.v
+    (Cmd.info "impact"
+       ~doc:"Sample the impact (number of reached nodes) distribution.")
+    Term.(const impact $ seed_term $ model $ src $ mcmc_term)
+
+(* ----- train-unattributed ----- *)
+
+let train_unattributed tweets_path kind output names_path =
+  let tweets = Model_io.load_tweets tweets_path in
+  let g, names, index = Preprocess.infer_graph tweets in
+  let aug, omni = Unattributed.augment_with_omnipotent g in
+  let kind =
+    match kind with
+    | "url" -> Unattributed.Url
+    | "hashtag" -> Unattributed.Hashtag
+    | other ->
+      Printf.eprintf "error: unknown item kind %S (use url or hashtag)\n" other;
+      exit 1
+  in
+  let traces =
+    Unattributed.item_traces ~kind
+      ~node_of_name:(fun n -> Hashtbl.find_opt index n)
+      ~n_nodes:(Iflow_graph.Digraph.n_nodes aug)
+      ~omni tweets
+  in
+  let trace_list = List.map snd traces in
+  Printf.printf "found %d items over %d users (+ omnipotent user %d)\n"
+    (List.length traces)
+    (Iflow_graph.Digraph.n_nodes g)
+    omni;
+  let rng = Rng.create 42 in
+  let options =
+    {
+      Iflow_learn.Joint_bayes.default_options with
+      burn_in = 200;
+      samples = 300;
+      thin = 2;
+    }
+  in
+  let estimates = ref [] in
+  for sink = 0 to Iflow_graph.Digraph.n_nodes g - 1 do
+    let summary = Iflow_core.Summary.build aug trace_list ~sink in
+    if Iflow_core.Summary.n_entries summary > 0 then
+      estimates :=
+        Iflow_learn.Joint_bayes.train ~options rng summary :: !estimates
+  done;
+  Printf.printf "trained %d sinks with the joint Bayes method\n"
+    (List.length !estimates);
+  let mean, std =
+    Iflow_learn.Trainer.mean_std_arrays aug ~default_mean:0.0 ~default_std:0.0
+      !estimates
+  in
+  (* persist posterior means as Beta pseudo-counts matching mean/std *)
+  let betas =
+    Array.mapi
+      (fun e m ->
+        match
+          Iflow_stats.Dist.Beta.fit_moments ~mean:m
+            ~variance:(std.(e) *. std.(e))
+        with
+        | Some b -> b
+        | None ->
+          (* point-like posterior: encode with strong pseudo-counts *)
+          let m = Float.max 1e-4 (Float.min (1.0 -. 1e-4) m) in
+          Iflow_stats.Dist.Beta.v (1.0 +. (1000.0 *. m))
+            (1.0 +. (1000.0 *. (1.0 -. m))))
+      mean
+  in
+  Model_io.save_beta_icm output (Beta_icm.create aug betas);
+  Model_io.save_names names_path (Array.append names [| "<omnipotent>" |]);
+  Printf.printf "wrote %s and %s (node %d is the omnipotent user)\n" output
+    names_path omni
+
+let train_unattributed_cmd =
+  let tweets =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tweets" ] ~doc:"Tweet corpus (TSV).")
+  in
+  let kind =
+    Arg.(
+      value & opt string "url"
+      & info [ "kind" ] ~doc:"Item kind to track: url or hashtag.")
+  in
+  let output =
+    Arg.(
+      value & opt string "unattributed.bicm"
+      & info [ "o"; "output" ] ~doc:"Output betaICM (omnipotent-augmented).")
+  in
+  let names =
+    Arg.(
+      value & opt string "unattributed.names"
+      & info [ "names" ] ~doc:"Output user-name table.")
+  in
+  Cmd.v
+    (Cmd.info "train-unattributed"
+       ~doc:
+         "Learn edge probabilities from hashtag or URL adoption times \
+          (unattributed evidence, joint Bayes method).")
+    Term.(const train_unattributed $ tweets $ kind $ output $ names)
+
+(* ----- seeds (influence maximisation) ----- *)
+
+let seeds seed model_path k runs =
+  let rng = Rng.create seed in
+  let model = Model_io.load_beta_icm model_path in
+  let icm = Beta_icm.expected_icm model in
+  let chosen, spread = Iflow_mcmc.Influence.greedy_seeds ~runs rng icm ~k in
+  Printf.printf "greedy %d-seed set: [%s]\n" k
+    (String.concat "; " (List.map string_of_int chosen));
+  Printf.printf "estimated expected spread: %.2f of %d nodes\n" spread
+    (Beta_icm.n_nodes model)
+
+let seeds_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~doc:"betaICM file.")
+  in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Seed-set size.") in
+  let runs =
+    Arg.(
+      value & opt int 300
+      & info [ "runs" ] ~doc:"Simulations per spread evaluation.")
+  in
+  Cmd.v
+    (Cmd.info "seeds"
+       ~doc:
+         "Pick a seed set maximising expected spread (lazy greedy / CELF).")
+    Term.(const seeds $ seed_term $ model $ k $ runs)
+
+(* ----- calibrate ----- *)
+
+let calibrate seed model_path trials config =
+  let rng = Rng.create seed in
+  let model = Model_io.load_beta_icm model_path in
+  let icm = Beta_icm.expected_icm model in
+  let n = Beta_icm.n_nodes model in
+  if n < 2 then (
+    Printf.eprintf "error: model needs at least 2 nodes\n";
+    exit 1);
+  let predictions =
+    List.init trials (fun _ ->
+        let sampled = Beta_icm.sample_icm rng model in
+        let state = Pseudo_state.sample rng sampled in
+        let src = Rng.int rng n in
+        let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+        {
+          Measures.estimate =
+            Estimator.flow_probability rng icm config ~src ~dst;
+          outcome = Pseudo_state.flow sampled state ~src ~dst;
+        })
+  in
+  let bucket = Bucket.run ~bins:30 ~label:model_path predictions in
+  Format.printf "%a@.%a@." Bucket.pp bucket Bucket.pp_summary bucket
+
+let calibrate_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~doc:"betaICM file.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 300
+      & info [ "trials" ] ~doc:"Number of bucket-experiment trials.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Self-test a betaICM with the paper's bucket experiment: sample \
+          outcomes from the model itself and check the estimator's \
+          calibration.")
+    Term.(const calibrate $ seed_term $ model $ trials $ mcmc_term)
+
+let () =
+  let info =
+    Cmd.info "infoflow" ~version:"1.0.0"
+      ~doc:"Learning stochastic models of information flow (ICDE 2012)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_model_cmd; generate_corpus_cmd; train_cmd;
+            train_unattributed_cmd; estimate_cmd; impact_cmd; seeds_cmd;
+            calibrate_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/leak_risk.ml: Array Iflow_core Iflow_graph Iflow_mcmc Iflow_stats List Printf

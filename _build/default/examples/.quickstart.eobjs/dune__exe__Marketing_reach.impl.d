@@ -1,0 +1,1 @@
+examples/marketing_reach.ml: Array Iflow_core Iflow_graph Iflow_mcmc Iflow_stats List Printf String

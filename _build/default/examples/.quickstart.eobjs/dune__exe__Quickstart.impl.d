@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Iflow_core Iflow_graph Iflow_mcmc Iflow_stats List Printf

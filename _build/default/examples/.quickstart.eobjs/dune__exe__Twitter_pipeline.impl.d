@@ -1,0 +1,1 @@
+examples/twitter_pipeline.ml: Array Corpus Format Hashtbl Iflow_bucket Iflow_core Iflow_graph Iflow_mcmc Iflow_stats Iflow_twitter List Preprocess Printf Tweet

@@ -1,0 +1,1 @@
+examples/twitter_pipeline.mli:

@@ -1,0 +1,1 @@
+lib/bucket/bucket.ml: Array Float Format Iflow_stats List

@@ -1,0 +1,1 @@
+lib/bucket/bucket.mli: Format Iflow_stats

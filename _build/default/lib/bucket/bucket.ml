@@ -1,0 +1,92 @@
+module Measures = Iflow_stats.Measures
+module Beta = Iflow_stats.Dist.Beta
+
+type bin = {
+  lo : float;
+  hi : float;
+  count : int;
+  positives : int;
+  mean_estimate : float;
+  empirical : Beta.t;
+  interval : float * float;
+  inside : bool;
+}
+
+type t = {
+  bins : bin array;
+  total : int;
+  coverage : float;
+  measures : Measures.row;
+}
+
+let run ?(bins = 30) ~label predictions =
+  if bins <= 0 then invalid_arg "Bucket.run: bins <= 0";
+  if predictions = [] then invalid_arg "Bucket.run: no predictions";
+  let counts = Array.make bins 0 in
+  let positives = Array.make bins 0 in
+  let estimate_sum = Array.make bins 0.0 in
+  List.iter
+    (fun { Measures.estimate; outcome } ->
+      if estimate < 0.0 || estimate > 1.0 then
+        invalid_arg "Bucket.run: estimate outside [0,1]";
+      let j =
+        let j = int_of_float (estimate *. float_of_int bins) in
+        if j >= bins then bins - 1 else j
+      in
+      counts.(j) <- counts.(j) + 1;
+      if outcome then positives.(j) <- positives.(j) + 1;
+      estimate_sum.(j) <- estimate_sum.(j) +. estimate)
+    predictions;
+  let make_bin j =
+    let lo = float_of_int j /. float_of_int bins in
+    let hi = float_of_int (j + 1) /. float_of_int bins in
+    let count = counts.(j) and pos = positives.(j) in
+    (* Paper's empirical distribution: alpha = 1 + sum z,
+       beta = |bin| - alpha + 2 = (count - pos) + 1. *)
+    let empirical = Beta.of_counts ~successes:pos ~failures:(count - pos) in
+    let interval = Beta.interval empirical 0.95 in
+    let mean_estimate =
+      if count = 0 then Float.nan
+      else estimate_sum.(j) /. float_of_int count
+    in
+    let inside =
+      count > 0
+      && fst interval <= mean_estimate
+      && mean_estimate <= snd interval
+    in
+    { lo; hi; count; positives = pos; mean_estimate; empirical; interval;
+      inside }
+  in
+  let bins_arr = Array.init bins make_bin in
+  let occupied = Array.to_list bins_arr |> List.filter (fun b -> b.count > 0) in
+  let covered = List.length (List.filter (fun b -> b.inside) occupied) in
+  {
+    bins = bins_arr;
+    total = List.length predictions;
+    coverage =
+      (match occupied with
+      | [] -> 0.0
+      | _ -> float_of_int covered /. float_of_int (List.length occupied));
+    measures = Measures.table_row ~label predictions;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%-13s %8s %8s %10s %10s %19s %s@." "bin" "volume"
+    "positive" "mean est" "emp mean" "95% interval" "";
+  Array.iter
+    (fun b ->
+      if b.count > 0 then begin
+        let lo_ci, hi_ci = b.interval in
+        Format.fprintf ppf "[%4.2f, %4.2f) %8d %8d %10.4f %10.4f [%6.4f, %6.4f]  %s@."
+          b.lo b.hi b.count b.positives b.mean_estimate
+          (Beta.mean b.empirical) lo_ci hi_ci
+          (if b.inside then "in" else "OUT")
+      end)
+    t.bins;
+  Format.fprintf ppf "coverage: %.3f over %d predictions@." t.coverage t.total
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "%s: coverage %.3f, NL %.4f, Brier %.4f (%d predictions)"
+    t.measures.Measures.label t.coverage t.measures.Measures.nl_all
+    t.measures.Measures.brier_all t.total

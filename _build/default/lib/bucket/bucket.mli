@@ -1,0 +1,44 @@
+(** The paper's "bucket experiment" (Section IV-C, adapted from Troncoso
+    & Danezis): a calibration test for probabilistic flow predictions.
+
+    Pairs [(estimate, outcome)] are binned by estimate into [bins]
+    equal-width buckets over [0, 1]. Within bucket [j] we form the mean
+    estimate and an empirical Beta over the outcome frequency
+    ([alpha = 1 + positives], [beta = count - positives + 1]); a
+    well-calibrated estimator has its mean estimate inside the Beta's
+    95% interval in about 95% of buckets. *)
+
+type bin = {
+  lo : float;
+  hi : float;
+  count : int; (** volume of estimates landing here *)
+  positives : int; (** how many outcomes were true *)
+  mean_estimate : float; (** p-bar_j; NaN when the bin is empty *)
+  empirical : Iflow_stats.Dist.Beta.t; (** posterior over the true rate *)
+  interval : float * float; (** central 95% of [empirical] *)
+  inside : bool; (** mean estimate within the interval *)
+}
+
+type t = {
+  bins : bin array;
+  total : int;
+  coverage : float;
+      (** fraction of non-empty bins whose mean estimate is inside the
+          95% interval — should be near 0.95 for a calibrated model *)
+  measures : Iflow_stats.Measures.row;
+      (** Table III row (normalised likelihood and Brier) for the same
+          predictions *)
+}
+
+val run :
+  ?bins:int -> label:string -> Iflow_stats.Measures.prediction list -> t
+(** [bins] defaults to the paper's 30. Raises [Invalid_argument] on an
+    empty prediction list or estimates outside [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Per-bin table: bin range, volume, positive volume, mean estimate,
+    empirical mean, 95% interval, and an in/out marker — the data behind
+    the paper's calibration plots (Figs 1, 2, 5, 8, 9, 10). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line: coverage, normalised likelihood, Brier. *)

@@ -1,0 +1,1 @@
+lib/core/beta_icm.ml: Array Evidence Float Format Hashtbl Icm Iflow_graph Iflow_stats List

@@ -1,0 +1,1 @@
+lib/core/beta_icm.mli: Evidence Format Icm Iflow_graph Iflow_stats

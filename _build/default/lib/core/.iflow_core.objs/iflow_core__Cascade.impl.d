@@ -1,0 +1,1 @@
+lib/core/cascade.ml: Array Evidence Icm Iflow_graph Iflow_stats List Queue

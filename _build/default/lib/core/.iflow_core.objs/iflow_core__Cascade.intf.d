@@ -1,0 +1,1 @@
+lib/core/cascade.mli: Evidence Icm Iflow_stats

@@ -1,0 +1,1 @@
+lib/core/evidence.ml: Array Iflow_graph List Queue

@@ -1,0 +1,1 @@
+lib/core/evidence.mli: Iflow_graph

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Hashtbl Icm Iflow_graph List Pseudo_state

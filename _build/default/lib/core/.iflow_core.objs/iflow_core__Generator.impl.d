@@ -1,0 +1,1 @@
+lib/core/generator.ml: Array Beta_icm Icm Iflow_graph Iflow_stats List

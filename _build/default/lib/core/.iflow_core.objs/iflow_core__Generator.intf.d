@@ -1,0 +1,1 @@
+lib/core/generator.mli: Beta_icm Icm Iflow_graph Iflow_stats

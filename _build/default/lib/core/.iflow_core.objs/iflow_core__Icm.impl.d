@@ -1,0 +1,1 @@
+lib/core/icm.ml: Array Format Iflow_graph Printf

@@ -1,0 +1,1 @@
+lib/core/icm.mli: Format Iflow_graph

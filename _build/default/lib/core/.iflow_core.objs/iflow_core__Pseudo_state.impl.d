@@ -1,0 +1,1 @@
+lib/core/pseudo_state.ml: Array Bytes Float Format Icm Iflow_graph Iflow_stats

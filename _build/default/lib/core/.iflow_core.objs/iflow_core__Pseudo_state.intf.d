@@ -1,0 +1,1 @@
+lib/core/pseudo_state.mli: Format Icm Iflow_stats

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Array Evidence Float Format Hashtbl Iflow_graph Iflow_stats Int List Set String

@@ -1,0 +1,95 @@
+module Digraph = Iflow_graph.Digraph
+module Beta = Iflow_stats.Dist.Beta
+module Dist = Iflow_stats.Dist
+module Rng = Iflow_stats.Rng
+
+type t = { graph : Digraph.t; betas : Beta.t array }
+
+let create graph betas =
+  if Array.length betas <> Digraph.n_edges graph then
+    invalid_arg "Beta_icm.create: size mismatch";
+  { graph; betas = Array.copy betas }
+
+let uninformed graph =
+  { graph; betas = Array.make (Digraph.n_edges graph) Beta.uniform }
+
+let graph t = t.graph
+let edge_beta t e = t.betas.(e)
+let n_nodes t = Digraph.n_nodes t.graph
+let n_edges t = Digraph.n_edges t.graph
+
+let train_attributed g objects =
+  let m = Digraph.n_edges g in
+  let alpha = Array.make m 1.0 and beta = Array.make m 1.0 in
+  List.iter
+    (fun (o : Evidence.attributed_object) ->
+      if not (Evidence.attributed_object_is_consistent g o) then
+        invalid_arg "Beta_icm.train_attributed: inconsistent object";
+      for e = 0 to m - 1 do
+        if o.active_edges.(e) then alpha.(e) <- alpha.(e) +. 1.0
+        else if o.active_nodes.(Digraph.edge_src g e) then
+          beta.(e) <- beta.(e) +. 1.0
+      done)
+    objects;
+  { graph = g; betas = Array.init m (fun e -> Beta.v alpha.(e) beta.(e)) }
+
+let observe t ~edge ~fired =
+  let b = t.betas.(edge) in
+  let b' =
+    if fired then Beta.v (b.Beta.alpha +. 1.0) b.Beta.beta
+    else Beta.v b.Beta.alpha (b.Beta.beta +. 1.0)
+  in
+  let betas = Array.copy t.betas in
+  betas.(edge) <- b';
+  { t with betas }
+
+let grow t ~new_nodes ~new_edges =
+  if new_nodes < 0 then invalid_arg "Beta_icm.grow: negative node count";
+  let nodes = Digraph.n_nodes t.graph + new_nodes in
+  let pairs =
+    Digraph.edges t.graph @ List.map (fun (s, d, _) -> (s, d)) new_edges
+  in
+  let betas =
+    Array.append t.betas (Array.of_list (List.map (fun (_, _, b) -> b) new_edges))
+  in
+  { graph = Digraph.of_edges ~nodes pairs; betas }
+
+let remove_edges t pairs =
+  let doomed = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace doomed p ()) pairs;
+  let kept =
+    List.filteri
+      (fun _ pair -> not (Hashtbl.mem doomed pair))
+      (Digraph.edges t.graph)
+  in
+  let kept_betas =
+    List.filteri
+      (fun e _ ->
+        let pair = (Digraph.edge_src t.graph e, Digraph.edge_dst t.graph e) in
+        not (Hashtbl.mem doomed pair))
+      (Array.to_list t.betas)
+  in
+  {
+    graph = Digraph.of_edges ~nodes:(Digraph.n_nodes t.graph) kept;
+    betas = Array.of_list kept_betas;
+  }
+
+let expected_icm t = Icm.create t.graph (Array.map Beta.mean t.betas)
+let mode_icm t = Icm.create t.graph (Array.map Beta.mode t.betas)
+
+let sample_icm rng t =
+  Icm.create t.graph (Array.map (fun b -> Beta.sample rng b) t.betas)
+
+let mean_std_icm rng ~mean ~std g =
+  let m = Digraph.n_edges g in
+  if Array.length mean <> m || Array.length std <> m then
+    invalid_arg "Beta_icm.mean_std_icm: size mismatch";
+  let probs =
+    Array.init m (fun e ->
+        let p = Dist.gaussian rng ~mean:mean.(e) ~std:std.(e) in
+        Float.max 0.0 (Float.min 1.0 p))
+  in
+  Icm.create g probs
+
+let pp ppf t =
+  Format.fprintf ppf "beta_icm(%d nodes, %d edges)" (n_nodes t) (n_edges t)

@@ -1,0 +1,60 @@
+(** betaICMs: ICMs whose edge activation probabilities are uncertain and
+    carried as independent Beta distributions (paper Section II-A).
+
+    A betaICM is a distribution over point-probability ICMs; flow queries
+    either collapse it to the expected ICM or sample ICMs from it (nested
+    Metropolis-Hastings, Section III-E). *)
+
+type t
+
+val create : Iflow_graph.Digraph.t -> Iflow_stats.Dist.Beta.t array -> t
+(** One beta per edge; length must match the edge count. *)
+
+val uninformed : Iflow_graph.Digraph.t -> t
+(** Beta(1, 1) everywhere — the untrained prior. *)
+
+val graph : t -> Iflow_graph.Digraph.t
+val edge_beta : t -> int -> Iflow_stats.Dist.Beta.t
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val train_attributed : Iflow_graph.Digraph.t -> Evidence.attributed -> t
+(** The paper's attributed training rule: start every edge at
+    Beta(1, 1); for each object, increment an edge's alpha when the
+    object traversed it, and its beta when the edge's parent was active
+    but the edge was not traversed. *)
+
+val observe : t -> edge:int -> fired:bool -> t
+(** Single-edge Bayesian update (functional); exposed for incremental /
+    streaming training. *)
+
+val grow :
+  t -> new_nodes:int -> new_edges:(int * int * Iflow_stats.Dist.Beta.t) list -> t
+(** Absorb a network change (paper intro: models "should be able to
+    absorb network changes efficiently"): append [new_nodes] fresh
+    nodes, then add the listed edges with their priors. Existing node
+    ids and edge ids are preserved; new edges get the next ids in list
+    order. *)
+
+val remove_edges : t -> (int * int) list -> t
+(** Drop the listed (src, dst) edges, keeping everything else (including
+    accumulated evidence) intact. Unknown pairs are ignored. Edge ids
+    above a removed edge shift down. *)
+
+val expected_icm : t -> Icm.t
+(** Point ICM with each activation probability set to its posterior
+    mean [alpha / (alpha + beta)]. *)
+
+val mode_icm : t -> Icm.t
+
+val sample_icm : Iflow_stats.Rng.t -> t -> Icm.t
+(** Draw a point ICM: each edge probability sampled from its beta. *)
+
+val mean_std_icm :
+  Iflow_stats.Rng.t -> mean:float array -> std:float array ->
+  Iflow_graph.Digraph.t -> Icm.t
+(** Draw a point ICM from a per-edge Gaussian approximation (mean, std),
+    clipped to [0, 1] — the paper's Fig 10 smoothing device for posteriors
+    stored as summary statistics. *)
+
+val pp : Format.formatter -> t -> unit

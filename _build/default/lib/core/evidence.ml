@@ -1,0 +1,98 @@
+module Digraph = Iflow_graph.Digraph
+
+type attributed_object = {
+  sources : int list;
+  active_nodes : bool array;
+  active_edges : bool array;
+}
+
+type attributed = attributed_object list
+
+let attributed_object_is_consistent g o =
+  let n = Digraph.n_nodes g and m = Digraph.n_edges g in
+  Array.length o.active_nodes = n
+  && Array.length o.active_edges = m
+  && List.for_all (fun v -> v >= 0 && v < n && o.active_nodes.(v)) o.sources
+  && begin
+       let edges_ok = ref true in
+       Array.iteri
+         (fun e active ->
+           if active then begin
+             let { Digraph.src; dst } = Digraph.edge g e in
+             if not (o.active_nodes.(src) && o.active_nodes.(dst)) then
+               edges_ok := false
+           end)
+         o.active_edges;
+       !edges_ok
+     end
+  && begin
+       let is_source = Array.make n false in
+       List.iter (fun v -> is_source.(v) <- true) o.sources;
+       let nodes_ok = ref true in
+       Array.iteri
+         (fun v active ->
+           if active && not is_source.(v) then begin
+             let has_active_in =
+               Digraph.fold_in g v ~init:false ~f:(fun acc e ->
+                   acc || o.active_edges.(e))
+             in
+             if not has_active_in then nodes_ok := false
+           end)
+         o.active_nodes;
+       !nodes_ok
+     end
+
+type trace = { trace_sources : int list; times : int array }
+type unattributed = trace list
+
+let trace_of_active ~sources ~times ~n =
+  let arr = Array.make n (-1) in
+  List.iter
+    (fun (v, t) ->
+      if v < 0 || v >= n || t < 0 then invalid_arg "Evidence.trace_of_active";
+      arr.(v) <- t)
+    times;
+  List.iter (fun v -> arr.(v) <- 0) sources;
+  { trace_sources = sources; times = arr }
+
+let trace_is_consistent g tr =
+  let n = Digraph.n_nodes g in
+  Array.length tr.times = n
+  && List.for_all (fun v -> v >= 0 && v < n && tr.times.(v) = 0) tr.trace_sources
+  && begin
+       let is_source = Array.make n false in
+       List.iter (fun v -> is_source.(v) <- true) tr.trace_sources;
+       let ok = ref true in
+       Array.iteri
+         (fun v t ->
+           if t < -1 then ok := false
+           else if t >= 0 && not is_source.(v) then begin
+             let has_earlier_parent =
+               List.exists
+                 (fun u -> tr.times.(u) >= 0 && tr.times.(u) < t)
+                 (Digraph.in_neighbours g v)
+             in
+             if not has_earlier_parent then ok := false
+           end)
+         tr.times;
+       !ok
+     end
+
+let forget_attribution g o =
+  let n = Digraph.n_nodes g in
+  let times = Array.make n (-1) in
+  List.iter (fun v -> times.(v) <- 0) o.sources;
+  let queue = Queue.create () in
+  List.iter (fun v -> Queue.add v queue) o.sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Digraph.iter_out g v (fun e ->
+        if o.active_edges.(e) then begin
+          let w = Digraph.edge_dst g e in
+          if times.(w) < 0 then begin
+            times.(w) <- times.(v) + 1;
+            Queue.add w queue
+          end
+        end)
+  done;
+  { trace_sources = o.sources; times }

@@ -1,0 +1,46 @@
+(** Evidence about past information flows (paper Sections II-A and V).
+
+    {b Attributed} evidence records, per information object, the full
+    cascade: source nodes, the nodes the object reached, and the edges it
+    traversed — "we can directly attribute an incident node as cause".
+
+    {b Unattributed} evidence records only {i activation times}: who held
+    the object and in what order, not which neighbour passed it on. *)
+
+type attributed_object = {
+  sources : int list; (** [V_i^+]: where the object originated *)
+  active_nodes : bool array; (** [V_i]: everyone who held it (incl. sources) *)
+  active_edges : bool array; (** [E_i]: edges it traversed *)
+}
+
+type attributed = attributed_object list
+
+val attributed_object_is_consistent :
+  Iflow_graph.Digraph.t -> attributed_object -> bool
+(** Sanity check used by tests and by the Twitter preprocessing: array
+    sizes match the graph, sources are active, every active edge has
+    active endpoints, and every non-source active node has an active
+    incoming edge. *)
+
+type trace = {
+  trace_sources : int list;
+  times : int array;
+      (** [times.(v)] is the activation step of node [v], or [-1] when the
+          object never reached [v]. Sources activate at step 0. *)
+}
+
+type unattributed = trace list
+
+val trace_of_active : sources:int list -> times:(int * int) list -> n:int -> trace
+(** Build a trace over [n] nodes from an association list of
+    (node, activation time) pairs; sources get time 0 automatically. *)
+
+val trace_is_consistent : Iflow_graph.Digraph.t -> trace -> bool
+(** Times are [>= -1], sources have time 0, and every activated
+    non-source node has an in-neighbour that activated strictly
+    earlier. *)
+
+val forget_attribution : Iflow_graph.Digraph.t -> attributed_object -> trace
+(** Project an attributed cascade down to its activation times (BFS
+    depth through the active edges) — how unattributed evidence is
+    generated from ground-truth cascades in the synthetic experiments. *)

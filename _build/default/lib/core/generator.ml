@@ -1,0 +1,43 @@
+module Rng = Iflow_stats.Rng
+module Beta = Iflow_stats.Dist.Beta
+module Gen = Iflow_graph.Gen
+
+let beta_icm rng ~nodes ~edges ~a_range ~b_range =
+  let la, ua = a_range and lb, ub = b_range in
+  if la < 1.0 || lb < 1.0 || ua < la || ub < lb then
+    invalid_arg "Generator.beta_icm: bad parameter ranges";
+  let g = Gen.gnm rng ~nodes ~edges in
+  let betas =
+    Array.init edges (fun _ ->
+        Beta.v (Rng.uniform_in rng la ua) (Rng.uniform_in rng lb ub))
+  in
+  Beta_icm.create g betas
+
+let default_beta_icm rng ~nodes ~edges =
+  beta_icm rng ~nodes ~edges ~a_range:(1.0, 20.0) ~b_range:(1.0, 20.0)
+
+let skewed_ground_truth rng g =
+  let high = Beta.v 16.0 4.0 and low = Beta.v 2.0 8.0 in
+  let probs =
+    Array.init (Iflow_graph.Digraph.n_edges g) (fun _ ->
+        let component = if Rng.uniform rng < 0.9 then high else low in
+        Beta.sample rng component)
+  in
+  Icm.create g probs
+
+let retweet_ground_truth rng g =
+  let weak = Beta.v 2.0 12.0 and strong = Beta.v 4.0 6.0 in
+  let probs =
+    Array.init (Iflow_graph.Digraph.n_edges g) (fun _ ->
+        let component = if Rng.uniform rng < 0.9 then weak else strong in
+        Beta.sample rng component)
+  in
+  Icm.create g probs
+
+let in_star_icm ~probs =
+  let d = Array.length probs in
+  if d = 0 then invalid_arg "Generator.in_star_icm: no parents";
+  let sink = d in
+  let pairs = List.init d (fun i -> (i, sink)) in
+  let g = Iflow_graph.Digraph.of_edges ~nodes:(d + 1) pairs in
+  (g, Icm.create g probs, sink)

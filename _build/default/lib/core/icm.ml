@@ -1,0 +1,25 @@
+module Digraph = Iflow_graph.Digraph
+
+type t = { graph : Digraph.t; probs : float array }
+
+let create graph probs =
+  if Array.length probs <> Digraph.n_edges graph then
+    invalid_arg
+      (Printf.sprintf "Icm.create: %d probabilities for %d edges"
+         (Array.length probs) (Digraph.n_edges graph));
+  Array.iteri
+    (fun e p ->
+      if not (p >= 0.0 && p <= 1.0) then
+        invalid_arg (Printf.sprintf "Icm.create: p(%d) = %g outside [0,1]" e p))
+    probs;
+  { graph; probs = Array.copy probs }
+
+let const graph p = create graph (Array.make (Digraph.n_edges graph) p)
+let graph t = t.graph
+let prob t e = t.probs.(e)
+let probs t = Array.copy t.probs
+let n_nodes t = Digraph.n_nodes t.graph
+let n_edges t = Digraph.n_edges t.graph
+
+let pp ppf t =
+  Format.fprintf ppf "icm(%d nodes, %d edges)" (n_nodes t) (n_edges t)

@@ -1,0 +1,29 @@
+(** Point-probability Independent Cascade Models.
+
+    An ICM is a directed graph together with an activation probability
+    per edge: when the edge's source node holds an information object,
+    the object crosses the edge with that probability, independently of
+    everything else (paper Section II). *)
+
+type t
+
+val create : Iflow_graph.Digraph.t -> float array -> t
+(** [create g probs] pairs graph [g] with [probs.(e)] as the activation
+    probability of edge [e]. Raises [Invalid_argument] when the array
+    length differs from the edge count or any probability is outside
+    [[0, 1]]. *)
+
+val const : Iflow_graph.Digraph.t -> float -> t
+(** Every edge gets the same activation probability. *)
+
+val graph : t -> Iflow_graph.Digraph.t
+val prob : t -> int -> float
+(** Activation probability of an edge id. *)
+
+val probs : t -> float array
+(** A copy of the probability vector. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val pp : Format.formatter -> t -> unit

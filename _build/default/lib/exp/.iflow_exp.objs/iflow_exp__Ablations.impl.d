@@ -1,0 +1,1 @@
+lib/exp/ablations.ml: Array Beta_icm Cascade Evidence Exact Float Format Generator Icm Iflow_bucket Iflow_core Iflow_graph Iflow_mcmc Iflow_stats List Pseudo_state Scale Summary Sys

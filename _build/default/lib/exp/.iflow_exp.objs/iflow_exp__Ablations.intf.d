@@ -1,0 +1,1 @@
+lib/exp/ablations.mli: Format Iflow_stats Scale

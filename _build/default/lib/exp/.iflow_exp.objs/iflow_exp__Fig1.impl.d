@@ -1,0 +1,1 @@
+lib/exp/fig1.ml: Format Iflow_bucket Scale Synthetic_bucket

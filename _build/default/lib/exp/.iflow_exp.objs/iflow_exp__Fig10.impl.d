@@ -1,0 +1,1 @@
+lib/exp/fig10.ml: Fig8_9 Format Iflow_bucket Iflow_twitter Scale

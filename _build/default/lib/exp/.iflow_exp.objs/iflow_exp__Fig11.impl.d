@@ -1,0 +1,1 @@
+lib/exp/fig11.ml: Array Format Iflow_core Iflow_learn Iflow_stats Joint_bayes List Saito Scale Summary Trainer

@@ -1,0 +1,1 @@
+lib/exp/fig11.mli: Format Iflow_core Iflow_stats Scale

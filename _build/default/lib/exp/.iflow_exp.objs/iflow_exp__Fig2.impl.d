@@ -1,0 +1,1 @@
+lib/exp/fig2.ml: Array Beta_icm Format Iflow_bucket Iflow_core Iflow_graph Iflow_mcmc Iflow_stats List Printf Scale Twitter_lab

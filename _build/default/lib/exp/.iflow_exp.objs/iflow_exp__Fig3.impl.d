@@ -1,0 +1,1 @@
+lib/exp/fig3.ml: Array Evidence Format Iflow_core Iflow_graph Iflow_mcmc Iflow_stats List Scale Twitter_lab

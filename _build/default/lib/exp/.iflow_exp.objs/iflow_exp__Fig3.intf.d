@@ -1,0 +1,1 @@
+lib/exp/fig3.mli: Format Iflow_stats Scale Twitter_lab

@@ -1,0 +1,1 @@
+lib/exp/fig4.ml: Array Beta_icm Float Format Iflow_core Iflow_mcmc Iflow_stats List Scale Twitter_lab

@@ -1,0 +1,1 @@
+lib/exp/fig4.mli: Format Iflow_stats Scale Twitter_lab

@@ -1,0 +1,1 @@
+lib/exp/fig5.ml: Format Iflow_bucket Scale Synthetic_bucket

@@ -1,0 +1,1 @@
+lib/exp/fig6.ml: Array Cascade Format Generator Goyal Iflow_core Iflow_learn Iflow_stats Joint_bayes List Scale Summary Sys

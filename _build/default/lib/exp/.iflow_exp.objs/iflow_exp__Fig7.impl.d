@@ -1,0 +1,1 @@
+lib/exp/fig7.ml: Array Cascade Float Format Generator Iflow_core Iflow_learn Iflow_stats Joint_bayes List Scale Summary Trainer

@@ -1,0 +1,1 @@
+lib/exp/fig7.mli: Format Iflow_stats Scale

@@ -1,0 +1,1 @@
+lib/exp/fig8_9.mli: Format Iflow_bucket Iflow_stats Iflow_twitter Scale Twitter_lab

@@ -1,0 +1,1 @@
+lib/exp/scale.ml: Format Iflow_mcmc Sys

@@ -1,0 +1,1 @@
+lib/exp/scale.mli: Format Iflow_mcmc

@@ -1,0 +1,1 @@
+lib/exp/synthetic_bucket.ml: Beta_icm Generator Iflow_bucket Iflow_core Iflow_mcmc Iflow_rwr Iflow_stats Pseudo_state

@@ -1,0 +1,1 @@
+lib/exp/synthetic_bucket.mli: Iflow_bucket Iflow_mcmc Iflow_stats

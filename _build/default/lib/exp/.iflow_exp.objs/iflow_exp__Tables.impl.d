@@ -1,0 +1,1 @@
+lib/exp/tables.ml: Evidence Format Iflow_bucket Iflow_core Iflow_graph Iflow_stats List Summary

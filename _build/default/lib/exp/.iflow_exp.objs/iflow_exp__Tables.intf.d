@@ -1,0 +1,1 @@
+lib/exp/tables.mli: Format Iflow_bucket Iflow_core

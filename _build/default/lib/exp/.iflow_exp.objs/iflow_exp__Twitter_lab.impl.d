@@ -1,0 +1,1 @@
+lib/exp/twitter_lab.ml: Array Beta_icm Corpus Evidence Generator Iflow_core Iflow_graph Iflow_stats Iflow_twitter List Preprocess Scale Tweet

@@ -1,0 +1,1 @@
+lib/exp/twitter_lab.mli: Iflow_core Iflow_graph Iflow_stats Iflow_twitter Scale

@@ -1,0 +1,25 @@
+(** Ablation studies for the design choices DESIGN.md calls out. *)
+
+val report_proposal_tree : Iflow_stats.Rng.t -> Format.formatter -> unit
+(** Fenwick-tree O(log m) proposal vs a naive O(m) scan, as
+    steps/second over growing edge counts — the claim behind the
+    paper's "O(log |E|) by constructing a search tree". *)
+
+val report_thinning : Iflow_stats.Rng.t -> Format.formatter -> unit
+(** Estimation error vs brute force at a fixed budget of retained
+    samples, across thinning intervals: unthinned chains autocorrelate
+    and converge slower per retained sample. *)
+
+val report_summarisation : Iflow_stats.Rng.t -> Format.formatter -> unit
+(** Likelihood-evaluation cost, per-event Bernoulli vs summarised
+    Binomial — the paper's Bernoulli-to-Binomial reduction. *)
+
+val report_conditional_strategies : Iflow_stats.Rng.t -> Format.formatter -> unit
+(** Constrained-chain conditional sampling vs the paper's footnote-2
+    alternative (unconstrained chain, joint/condition sample ratio):
+    accuracy and cost on the same query. *)
+
+val report_point_vs_nested :
+  Scale.t -> Iflow_stats.Rng.t -> Format.formatter -> unit
+(** Calibration of expected-ICM point estimates vs nested-MH means on
+    the synthetic bucket experiment. *)

@@ -1,0 +1,15 @@
+let run scale rng =
+  let models = Scale.pick scale ~quick:250 ~full:2000 in
+  Synthetic_bucket.run rng ~models ~nodes:50 ~edges:200
+    ~estimator:(Synthetic_bucket.Metropolis_hastings (Scale.mcmc scale))
+    ~label:"Fig 1 (MH on synthetic betaICMs)"
+
+let report scale rng ppf =
+  let bucket = run scale rng in
+  Format.fprintf ppf
+    "@[<v>== Fig 1: Metropolis-Hastings bucket experiment (synthetic) ==@,%a%a@,@]"
+    Iflow_bucket.Bucket.pp bucket
+    (fun ppf b ->
+      Format.fprintf ppf "summary: %a" Iflow_bucket.Bucket.pp_summary b)
+    bucket;
+  bucket

@@ -1,0 +1,6 @@
+(** Fig 1: accuracy of Metropolis-Hastings flow estimates on synthetic
+    betaICMs. The paper: 2000 models, 50 nodes, 200 edges, 30 buckets;
+    estimates predominantly inside the empirical 95% intervals. *)
+
+val run : Scale.t -> Iflow_stats.Rng.t -> Iflow_bucket.Bucket.t
+val report : Scale.t -> Iflow_stats.Rng.t -> Format.formatter -> Iflow_bucket.Bucket.t

@@ -1,0 +1,15 @@
+let run scale rng lab =
+  let reps = Scale.pick scale ~quick:10 ~full:30 in
+  match
+    Fig8_9.run scale rng lab ~kind:Iflow_twitter.Unattributed.Url ~radii:[ 4 ]
+      ~methods:[ Fig8_9.Ours_gaussian reps ]
+  with
+  | [ r ] -> r.Fig8_9.bucket
+  | _ -> assert false
+
+let report scale rng lab ppf =
+  let bucket = run scale rng lab in
+  Format.fprintf ppf
+    "@[<v>== Fig 10: gaussian-approximation edge sampling (URLs, radius 4) ==@,%a@]"
+    Iflow_bucket.Bucket.pp bucket;
+  bucket

@@ -1,0 +1,12 @@
+(** Fig 10: the Fig 8 URL experiment repeated with edge probabilities
+    drawn from a per-edge Gaussian approximation of the joint Bayes
+    posterior (mean, std), instead of the posterior-mean point estimate.
+    The paper observes a smoothing effect on flow probabilities, at the
+    cost of fewer points per bucket. Thin wrapper over {!Fig8_9} with
+    the [Ours_gaussian] method at radius 4. *)
+
+val run : Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> Iflow_bucket.Bucket.t
+
+val report :
+  Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> Format.formatter ->
+  Iflow_bucket.Bucket.t

@@ -1,0 +1,22 @@
+(** Fig 11 (and Table II): EM finds isolated local maxima; the joint
+    Bayes posterior exposes the full (multimodal) uncertainty.
+
+    On the Table II evidence we run Saito's EM from many random
+    restarts, and our MCMC once, then render the (A, B) and (A, C)
+    probability scatters as density grids. *)
+
+type result = {
+  em_points : (float * float * float) list; (** (A, B, C) per restart *)
+  mcmc_points : (float * float * float) list; (** (A, B, C) per sample *)
+}
+
+val table_two : unit -> Iflow_core.Summary.t
+
+val run : Scale.t -> Iflow_stats.Rng.t -> result
+
+val density_grid :
+  cells:int -> lo:float -> hi:float -> (float * float) list -> int array array
+(** [density_grid ~cells ~lo ~hi points] counts points per cell; row 0
+    is the lowest y band. *)
+
+val report : Scale.t -> Iflow_stats.Rng.t -> Format.formatter -> result

@@ -1,0 +1,20 @@
+(** Fig 2: bucket experiments on attributed Twitter evidence.
+
+    Four configurations: subgraph radius 1 and 2 around each focus user,
+    each with zero or up to five known flows supplied as conditions to
+    the Metropolis-Hastings sampler. Outcomes come from held-out
+    cascades; estimates from the betaICM trained on the training split. *)
+
+type result = {
+  radius : int;
+  known_flows : int;
+  bucket : Iflow_bucket.Bucket.t;
+}
+
+val run : Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> result list
+(** The four (radius, known-flows) configurations of the paper:
+    (1, 0), (2, 0), (1, 5), (2, 5). *)
+
+val report :
+  Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> Format.formatter ->
+  result list

@@ -1,0 +1,93 @@
+open Iflow_core
+module Digraph = Iflow_graph.Digraph
+module Rng = Iflow_stats.Rng
+module Beta = Iflow_stats.Dist.Beta
+module Descriptive = Iflow_stats.Descriptive
+module Nested = Iflow_mcmc.Nested
+
+type pair_result = {
+  source : int;
+  sink : int;
+  empirical : Beta.t;
+  samples : float array;
+  implied : Beta.t option;
+}
+
+(* Empirical flow evidence: over training cascades from [source], how
+   often did [sink] end up active? *)
+let empirical_beta (lab : Twitter_lab.t) ~source ~sink =
+  let hits = ref 0 and total = ref 0 in
+  List.iter
+    (fun (o : Evidence.attributed_object) ->
+      if o.Evidence.sources = [ source ] then begin
+        incr total;
+        if o.Evidence.active_nodes.(sink) then incr hits
+      end)
+    lab.Twitter_lab.train_objects;
+  (!total, Beta.of_counts ~successes:!hits ~failures:(!total - !hits))
+
+(* Pick pairs with plenty of evidence and a sink the source actually
+   reaches sometimes (the paper's "tweets fairly frequently" sources and
+   "nearby" sinks). *)
+let candidate_pairs (lab : Twitter_lab.t) rng ~count =
+  let sources = Twitter_lab.interesting_users lab ~count:10 in
+  let pairs = ref [] in
+  List.iter
+    (fun source ->
+      Digraph.iter_out lab.Twitter_lab.graph source (fun e ->
+          let sink = Digraph.edge_dst lab.Twitter_lab.graph e in
+          let total, _ = empirical_beta lab ~source ~sink in
+          if total >= 10 then pairs := (source, sink) :: !pairs))
+    sources;
+  let arr = Array.of_list !pairs in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min count (Array.length arr)))
+
+let run scale rng lab =
+  let reps = Scale.pick scale ~quick:40 ~full:100 in
+  let config = Scale.mcmc scale in
+  let pairs = candidate_pairs lab rng ~count:2 in
+  List.map
+    (fun (source, sink) ->
+      let _, empirical = empirical_beta lab ~source ~sink in
+      let sub_model, node_of_sub, sub_focus =
+        Twitter_lab.subgraph_around lab ~centre:source ~radius:2
+      in
+      let sub_sink = ref (-1) in
+      Array.iteri (fun v' v -> if v = sink then sub_sink := v') node_of_sub;
+      let samples =
+        if !sub_sink < 0 then [||]
+        else
+          Nested.flow_samples rng sub_model config ~reps ~src:sub_focus
+            ~dst:!sub_sink
+      in
+      let implied = if Array.length samples >= 2 then Nested.fit_beta samples else None in
+      { source; sink; empirical; samples; implied })
+    pairs
+
+let report scale rng lab ppf =
+  let results = run scale rng lab in
+  Format.fprintf ppf
+    "@[<v>== Fig 3: uncertainty of modelled vs empirical flow ==@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "-- pair %d ~> %d --@,empirical: %a (mean %.3f, std %.3f)@," r.source
+        r.sink Beta.pp r.empirical (Beta.mean r.empirical)
+        (Beta.std r.empirical);
+      if Array.length r.samples > 0 then begin
+        Format.fprintf ppf "nested-MH samples: mean %.3f, std %.3f@."
+          (Descriptive.mean r.samples)
+          (Descriptive.std r.samples);
+        (match r.implied with
+        | Some b -> Format.fprintf ppf "implied beta: %a@." Beta.pp b
+        | None -> Format.fprintf ppf "implied beta: (degenerate)@.");
+        let h =
+          Descriptive.histogram ~lo:0.0 ~hi:1.0 ~bins:20 r.samples
+        in
+        Format.fprintf ppf "%a" Descriptive.pp_histogram h
+      end
+      else Format.fprintf ppf "(sink outside radius-2 subgraph)@.")
+    results;
+  Format.fprintf ppf "@]";
+  results

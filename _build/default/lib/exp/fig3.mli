@@ -1,0 +1,23 @@
+(** Fig 3: does the betaICM carry the uncertainty of the evidence?
+
+    For a source/sink pair: (a) the {e empirical} Beta over the
+    source-to-sink retweet rate, counted directly from the training
+    cascades; (b) the distribution of flow probabilities obtained by
+    nested Metropolis-Hastings (~100 point ICMs sampled from the
+    trained betaICM); (c) the Beta implied by the nested samples'
+    moments. The paper shows (b)/(c) mirroring (a). *)
+
+type pair_result = {
+  source : int;
+  sink : int;
+  empirical : Iflow_stats.Dist.Beta.t;
+  samples : float array; (** nested-MH flow probability samples *)
+  implied : Iflow_stats.Dist.Beta.t option; (** moment fit to [samples] *)
+}
+
+val run : Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> pair_result list
+(** Two source/sink pairs, like the paper's two panels. *)
+
+val report :
+  Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> Format.formatter ->
+  pair_result list

@@ -1,0 +1,62 @@
+open Iflow_core
+module Descriptive = Iflow_stats.Descriptive
+module Estimator = Iflow_mcmc.Estimator
+
+type result = {
+  focus : int;
+  predicted : int array;
+  actual : int array;
+}
+
+let run scale rng lab =
+  let config = Scale.mcmc scale in
+  (* pick the most retweeted user that also has held-out cascades *)
+  let focuses = Twitter_lab.interesting_users lab ~count:10 in
+  let focus =
+    List.find
+      (fun f -> Twitter_lab.cascade_outcomes lab ~source:f <> [])
+      focuses
+  in
+  let sub_model, _, sub_focus =
+    Twitter_lab.subgraph_around lab ~centre:focus ~radius:2
+  in
+  let icm = Beta_icm.expected_icm sub_model in
+  let predicted = Estimator.impact_samples rng icm config ~src:sub_focus in
+  let actual =
+    Twitter_lab.cascade_outcomes lab ~source:focus
+    |> List.map (fun (_, active) ->
+           Array.fold_left (fun c a -> if a then c + 1 else c) (-1) active)
+    |> Array.of_list
+  in
+  { focus; predicted; actual }
+
+let mean_of_ints xs =
+  if Array.length xs = 0 then Float.nan
+  else Descriptive.mean (Array.map float_of_int xs)
+
+let report scale rng lab ppf =
+  let r = run scale rng lab in
+  let hi =
+    float_of_int
+      (max
+         (Array.fold_left max 1 r.predicted)
+         (Array.fold_left max 1 r.actual))
+  in
+  Format.fprintf ppf
+    "@[<v>== Fig 4: impact of a tweet (retweeting users) for user %d ==@,"
+    r.focus;
+  Format.fprintf ppf "predicted: mean %.2f over %d samples@," (mean_of_ints r.predicted)
+    (Array.length r.predicted);
+  Format.fprintf ppf "%a"
+    Descriptive.pp_histogram
+    (Descriptive.histogram ~lo:0.0 ~hi ~bins:12
+       (Array.map float_of_int r.predicted));
+  Format.fprintf ppf "actual: mean %.2f over %d cascades@," (mean_of_ints r.actual)
+    (Array.length r.actual);
+  if Array.length r.actual > 0 then
+    Format.fprintf ppf "%a"
+      Descriptive.pp_histogram
+      (Descriptive.histogram ~lo:0.0 ~hi ~bins:12
+         (Array.map float_of_int r.actual));
+  Format.fprintf ppf "@]";
+  r

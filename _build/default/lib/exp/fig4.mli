@@ -1,0 +1,16 @@
+(** Fig 4: predicted vs actual impact (number of retweeting users).
+
+    The trained betaICM's impact distribution for a focus user (sampled
+    with Metropolis-Hastings) against the retweet counts of that user's
+    held-out cascades. The paper found a similar range with the mean
+    somewhat overestimated. *)
+
+type result = {
+  focus : int;
+  predicted : int array; (** sampled impact per retained MH state *)
+  actual : int array; (** retweeters per held-out cascade *)
+}
+
+val run : Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> result
+val report :
+  Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t -> Format.formatter -> result

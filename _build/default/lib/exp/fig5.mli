@@ -1,0 +1,6 @@
+(** Fig 5: the same bucket experiment with random walk with restart as
+    the estimator. The paper's point: RWR is a similarity score, not a
+    probability — calibration collapses compared to Fig 1. *)
+
+val run : Scale.t -> Iflow_stats.Rng.t -> Iflow_bucket.Bucket.t
+val report : Scale.t -> Iflow_stats.Rng.t -> Format.formatter -> Iflow_bucket.Bucket.t

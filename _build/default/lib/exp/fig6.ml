@@ -1,0 +1,93 @@
+open Iflow_core
+open Iflow_learn
+module Rng = Iflow_stats.Rng
+module Beta = Iflow_stats.Dist.Beta
+
+type row = {
+  parents : int;
+  objects : int;
+  unique_characteristics : int;
+  goyal_seconds : float;
+  ours_core_seconds : float;
+  ours_with_summary_seconds : float;
+  ours_amortised_seconds : float;
+}
+
+(* CPU-time a thunk, repeating until the measurement is long enough to
+   trust, and return seconds per call. *)
+let time_per_call f =
+  let rec run reps =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt < 0.05 && reps < 1_000_000 then run (reps * 4)
+    else dt /. float_of_int reps
+  in
+  run 1
+
+let generate_setting rng ~parents ~objects =
+  let probs = Array.init parents (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)) in
+  let g, icm, sink = Generator.in_star_icm ~probs in
+  let traces =
+    List.init objects (fun _ ->
+        let sources =
+          List.filter (fun _ -> Rng.bool rng) (List.init parents (fun j -> j))
+        in
+        let sources =
+          if sources = [] then [ Rng.int rng parents ] else sources
+        in
+        Cascade.run_trace rng icm ~sources)
+  in
+  (g, traces, sink)
+
+let measure rng ~parents ~objects =
+  let g, traces, sink = generate_setting rng ~parents ~objects in
+  let summary = Summary.build g traces ~sink in
+  let d = Array.length (Summary.parents_union summary) in
+  let kappa = Array.make (max d 1) 0.5 in
+  let goyal_seconds = time_per_call (fun () -> ignore (Goyal.train summary)) in
+  let ours_core_seconds =
+    time_per_call (fun () ->
+        ignore
+          (Joint_bayes.log_posterior
+             ~prior:(fun _ -> Beta.uniform)
+             ~ambiguous_only:false summary kappa))
+  in
+  let summarise_seconds =
+    time_per_call (fun () -> ignore (Summary.build g traces ~sink))
+  in
+  let k = 1000.0 in
+  {
+    parents;
+    objects;
+    unique_characteristics = Summary.n_entries summary;
+    goyal_seconds;
+    ours_core_seconds;
+    ours_with_summary_seconds = summarise_seconds +. ours_core_seconds;
+    ours_amortised_seconds = (summarise_seconds /. k) +. ours_core_seconds;
+  }
+
+let run scale rng =
+  let settings =
+    Scale.pick scale
+      ~quick:[ (3, 200); (5, 1000); (8, 5000); (10, 20000) ]
+      ~full:[ (3, 1000); (5, 10000); (8, 50000); (10, 200000); (12, 500000) ]
+  in
+  List.map (fun (parents, objects) -> measure rng ~parents ~objects) settings
+
+let report scale rng ppf =
+  let rows = run scale rng in
+  Format.fprintf ppf
+    "@[<v>== Fig 6: per-sample cost, ours vs Goyal (seconds) ==@,";
+  Format.fprintf ppf "%8s %8s %6s %12s %12s %14s %14s@." "parents" "objects"
+    "omega" "goyal" "ours-core" "ours+summary" "ours-amortised";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8d %8d %6d %12.3e %12.3e %14.3e %14.3e@." r.parents
+        r.objects r.unique_characteristics r.goyal_seconds r.ours_core_seconds
+        r.ours_with_summary_seconds r.ours_amortised_seconds)
+    rows;
+  Format.fprintf ppf "@]";
+  rows

@@ -1,0 +1,21 @@
+(** Fig 6: cost of drawing one sample, our joint Bayes vs Goyal.
+
+    Goyal's whole computation is one pass over the evidence (m + n
+    divisions, mn additions); our method's per-sample core is one
+    evaluation of the summarised posterior (n Beta and omega Binomial
+    log-densities). Panel (a) compares those core computations; panel
+    (b) adds the one-off summarisation cost, both as a single sample and
+    amortised over many samples. *)
+
+type row = {
+  parents : int;
+  objects : int;
+  unique_characteristics : int;
+  goyal_seconds : float; (** one full Goyal pass *)
+  ours_core_seconds : float; (** one posterior evaluation *)
+  ours_with_summary_seconds : float; (** summarise + one evaluation *)
+  ours_amortised_seconds : float; (** (summarise + k evals) / k *)
+}
+
+val run : Scale.t -> Iflow_stats.Rng.t -> row list
+val report : Scale.t -> Iflow_stats.Rng.t -> Format.formatter -> row list

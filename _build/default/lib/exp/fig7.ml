@@ -1,0 +1,150 @@
+open Iflow_core
+open Iflow_learn
+module Rng = Iflow_stats.Rng
+module Descriptive = Iflow_stats.Descriptive
+
+type method_name = Ours | Goyal | Filtered | Saito
+
+let all_methods = [ Ours; Goyal; Filtered; Saito ]
+
+let method_label = function
+  | Ours -> "ours"
+  | Goyal -> "goyal"
+  | Filtered -> "filtered"
+  | Saito -> "saito"
+
+type point = {
+  objects : int;
+  rmse : (method_name * float) list;
+  ours_posterior_std : float;
+}
+
+type panel = {
+  panel_label : string;
+  probs : float array;
+  points : point list;
+}
+
+(* One synthetic object on the in-star: a random non-empty subset of
+   parents holds the information; the cascade decides whether the sink
+   activates. *)
+let generate_traces rng icm ~parents ~objects =
+  List.init objects (fun _ ->
+      let sources =
+        List.filter (fun _ -> Rng.bool rng) (List.init parents (fun j -> j))
+      in
+      let sources = if sources = [] then [ Rng.int rng parents ] else sources in
+      Cascade.run_trace rng icm ~sources)
+
+let jb_options scale =
+  Scale.pick scale
+    ~quick:
+      { Joint_bayes.default_options with burn_in = 200; samples = 300; thin = 2 }
+    ~full:
+      { Joint_bayes.default_options with burn_in = 500; samples = 800; thin = 4 }
+
+let evaluate scale rng ~probs ~objects =
+  let d = Array.length probs in
+  let g, icm, sink = Generator.in_star_icm ~probs in
+  let traces = generate_traces rng icm ~parents:d ~objects in
+  let summary = Summary.build g traces ~sink in
+  let safe_rmse (est : Trainer.estimate) =
+    if Array.length est.Trainer.parents = 0 then
+      (* no usable evidence: score the prior-mean guess on every edge *)
+      Iflow_stats.Measures.rmse ~expected:probs
+        ~actual:(Array.make d 0.5)
+    else begin
+      (* parents that never appeared get the uniform-prior guess *)
+      let full =
+        Array.init d (fun j ->
+            match Trainer.mean_for est j with Some m -> m | None -> 0.5)
+      in
+      Iflow_stats.Measures.rmse ~expected:probs ~actual:full
+    end
+  in
+  if Summary.n_entries summary = 0 then None
+  else begin
+    let ours = Joint_bayes.train ~options:(jb_options scale) rng summary in
+    let results =
+      [
+        (Ours, safe_rmse ours);
+        (Goyal, safe_rmse (Iflow_learn.Goyal.train summary));
+        (Filtered, safe_rmse (Iflow_learn.Filtered.train summary));
+        (Saito, safe_rmse (Iflow_learn.Saito.train summary));
+      ]
+    in
+    let std =
+      if Array.length ours.Trainer.std = 0 then Float.nan
+      else Descriptive.mean ours.Trainer.std
+    in
+    Some (results, std)
+  end
+
+let panels =
+  [
+    ("(a) {0.68, 0.73, 0.85}", [| 0.68; 0.73; 0.85 |]);
+    ("(b) {0.15, 0.68, 0.83}", [| 0.15; 0.68; 0.83 |]);
+    ("(c) {0.82, 0.83, 0.92, 0.92}", [| 0.82; 0.83; 0.92; 0.92 |]);
+    ("(d) {0.06, 0.69, 0.74, 0.76}", [| 0.06; 0.69; 0.74; 0.76 |]);
+  ]
+
+let run scale rng =
+  let object_counts =
+    Scale.pick scale
+      ~quick:[ 10; 30; 100; 300; 1000 ]
+      ~full:[ 1; 10; 30; 100; 300; 1000; 3000; 10000 ]
+  in
+  let reps = Scale.pick scale ~quick:3 ~full:10 in
+  List.map
+    (fun (panel_label, probs) ->
+      let points =
+        List.map
+          (fun objects ->
+            let collected =
+              List.filter_map
+                (fun _ -> evaluate scale rng ~probs ~objects)
+                (List.init reps (fun i -> i))
+            in
+            match collected with
+            | [] ->
+              { objects; rmse = List.map (fun m -> (m, Float.nan)) all_methods;
+                ours_posterior_std = Float.nan }
+            | _ ->
+              let mean_for m =
+                let vals =
+                  List.map (fun (results, _) -> List.assoc m results) collected
+                in
+                Descriptive.mean (Array.of_list vals)
+              in
+              {
+                objects;
+                rmse = List.map (fun m -> (m, mean_for m)) all_methods;
+                ours_posterior_std =
+                  Descriptive.mean
+                    (Array.of_list (List.map snd collected));
+              })
+          object_counts
+      in
+      { panel_label; probs; points })
+    panels
+
+let report scale rng ppf =
+  let results = run scale rng in
+  Format.fprintf ppf
+    "@[<v>== Fig 7: RMSE of unattributed trainers vs #objects ==@,";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "-- panel %s --@," p.panel_label;
+      Format.fprintf ppf "%8s %10s %10s %10s %10s %12s@." "objects" "ours"
+        "goyal" "filtered" "saito" "ours-std";
+      List.iter
+        (fun pt ->
+          Format.fprintf ppf "%8d" pt.objects;
+          List.iter
+            (fun m -> Format.fprintf ppf " %10.4f" (List.assoc m pt.rmse))
+            all_methods;
+          Format.fprintf ppf " %12.4f@." pt.ours_posterior_std)
+        p.points)
+    results;
+  Format.fprintf ppf "@]";
+  results

@@ -1,0 +1,31 @@
+(** Fig 7: accuracy of the unattributed trainers vs evidence volume.
+
+    Four ground-truth in-star fragments (the paper's activation
+    probability sets, two without skew and two with a skewed low edge);
+    for growing object counts, train Ours (joint Bayes), Goyal, Filtered
+    and Saito on the same synthetic traces and report RMSE against the
+    ground truth, averaged over repetitions. The paper's shape: Ours
+    converges, Saito is marginally worse, Goyal plateaus and is
+    sometimes beaten by Filtered — most visibly under skew. *)
+
+type method_name = Ours | Goyal | Filtered | Saito
+
+val all_methods : method_name list
+val method_label : method_name -> string
+
+type point = {
+  objects : int;
+  rmse : (method_name * float) list; (** mean over repetitions *)
+  ours_posterior_std : float;
+      (** mean posterior std of the joint Bayes estimates — the paper's
+          dashed uncertainty band *)
+}
+
+type panel = {
+  panel_label : string;
+  probs : float array; (** ground-truth activation probabilities *)
+  points : point list;
+}
+
+val run : Scale.t -> Iflow_stats.Rng.t -> panel list
+val report : Scale.t -> Iflow_stats.Rng.t -> Format.formatter -> panel list

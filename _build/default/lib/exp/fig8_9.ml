@@ -1,0 +1,201 @@
+open Iflow_core
+open Iflow_twitter
+open Iflow_learn
+module Digraph = Iflow_graph.Digraph
+module Traverse = Iflow_graph.Traverse
+module Rng = Iflow_stats.Rng
+module Measures = Iflow_stats.Measures
+module Estimator = Iflow_mcmc.Estimator
+module Bucket = Iflow_bucket.Bucket
+
+type method_name = Ours | Goyal | Ours_gaussian of int
+
+let method_label = function
+  | Ours -> "ours"
+  | Goyal -> "goyal"
+  | Ours_gaussian reps -> Printf.sprintf "ours-gaussian(%d reps)" reps
+
+type result = {
+  kind : Unattributed.item_kind;
+  radius : int;
+  trainer : method_name;
+  bucket : Bucket.t;
+}
+
+(* First real (non-omnipotent) user of each item, by activation time. *)
+let originator (tr : Evidence.trace) ~omni =
+  let best = ref None in
+  Array.iteri
+    (fun v t ->
+      if v <> omni && t >= 0 then begin
+        match !best with
+        | Some (_, t0) when t0 <= t -> ()
+        | _ -> best := Some (v, t)
+      end)
+    tr.Evidence.times;
+  Option.map fst !best
+
+let split_items rng items =
+  let arr = Array.of_list items in
+  Rng.shuffle rng arr;
+  let cut = 4 * Array.length arr / 5 in
+  ( Array.to_list (Array.sub arr 0 cut),
+    Array.to_list (Array.sub arr cut (Array.length arr - cut)) )
+
+(* Focus users: top originators of training items that also originate at
+   least one test item (otherwise there is nothing to predict). *)
+let choose_focuses ~count ~nodes ~omni ~train_traces ~test_traces =
+  let train_counts = Array.make nodes 0 in
+  List.iter
+    (fun tr ->
+      match originator tr ~omni with
+      | Some v -> train_counts.(v) <- train_counts.(v) + 1
+      | None -> ())
+    train_traces;
+  let has_test = Array.make nodes false in
+  List.iter
+    (fun tr ->
+      match originator tr ~omni with
+      | Some v -> has_test.(v) <- true
+      | None -> ())
+    test_traces;
+  let ranked =
+    List.init nodes (fun v -> (train_counts.(v), v))
+    |> List.filter (fun (c, v) -> c > 0 && has_test.(v))
+    |> List.sort (fun a b -> compare b a)
+  in
+  List.filteri (fun i _ -> i < count) (List.map snd ranked)
+
+let jb_options scale =
+  Scale.pick scale
+    ~quick:
+      { Joint_bayes.default_options with burn_in = 120; samples = 150; thin = 2 }
+    ~full:
+      { Joint_bayes.default_options with burn_in = 300; samples = 400; thin = 3 }
+
+(* Train every sink inside [keep] with the joint Bayes or Goyal method;
+   returns the per-sink estimates. *)
+let train_estimates scale rng method_ aug train_traces ~keep ~omni =
+  let estimates = ref [] in
+  Array.iteri
+    (fun sink inside ->
+      if inside && sink <> omni then begin
+        let summary = Summary.build aug train_traces ~sink in
+        if Summary.n_entries summary > 0 then begin
+          let est =
+            match method_ with
+            | Ours | Ours_gaussian _ ->
+              Joint_bayes.train ~options:(jb_options scale) rng summary
+            | Goyal -> Iflow_learn.Goyal.train summary
+          in
+          estimates := est :: !estimates
+        end
+      end)
+    keep;
+  !estimates
+
+(* Flow estimates from one focus to every kept node, according to the
+   method: a single source_to_all on the point ICM, or one per Gaussian
+   resample. Returns a list of per-node probability arrays (one per
+   repetition; singleton for point methods). *)
+let flow_tables rng method_ aug estimates config ~focus =
+  match method_ with
+  | Ours | Goyal ->
+    let icm = Trainer.apply_to_icm (Icm.const aug 0.0) estimates in
+    [ Estimator.source_to_all rng icm config ~src:focus ]
+  | Ours_gaussian reps ->
+    let mean, std =
+      Trainer.mean_std_arrays aug ~default_mean:0.0 ~default_std:0.0 estimates
+    in
+    List.init reps (fun _ ->
+        let icm = Beta_icm.mean_std_icm rng ~mean ~std aug in
+        Estimator.source_to_all rng icm config ~src:focus)
+
+let run scale rng (lab : Twitter_lab.t) ~kind ~radii ~methods =
+  let g = lab.Twitter_lab.graph in
+  let aug, omni = Unattributed.augment_with_omnipotent g in
+  let node_of_name = Corpus.node_of_name lab.Twitter_lab.corpus in
+  let traces =
+    Unattributed.item_traces ~kind ~node_of_name
+      ~n_nodes:(Digraph.n_nodes aug) ~omni lab.Twitter_lab.corpus.Corpus.tweets
+  in
+  let traces = List.map snd traces in
+  let train_traces, test_traces = split_items rng traces in
+  let focus_count = Scale.pick scale ~quick:5 ~full:10 in
+  let focuses =
+    choose_focuses ~count:focus_count ~nodes:(Digraph.n_nodes g) ~omni
+      ~train_traces ~test_traces
+  in
+  let config = Scale.mcmc scale in
+  List.concat_map
+    (fun radius ->
+      List.map
+        (fun trainer ->
+          let predictions = ref [] in
+          List.iter
+            (fun focus ->
+              let keep_users =
+                Traverse.within_radius ~direction:Traverse.Both g
+                  ~centre:focus ~radius
+              in
+              (* omnipotent user always kept: it feeds every in-star *)
+              let keep = Array.append keep_users [| true |] in
+              let estimates =
+                train_estimates scale rng trainer aug train_traces ~keep ~omni
+              in
+              let tables =
+                flow_tables rng trainer aug estimates config ~focus
+              in
+              List.iter
+                (fun (tr : Evidence.trace) ->
+                  match originator tr ~omni with
+                  | Some origin when origin = focus ->
+                    List.iter
+                      (fun flow ->
+                        Array.iteri
+                          (fun v inside ->
+                            if inside && v <> focus && v <> omni then
+                              predictions :=
+                                {
+                                  Measures.estimate = flow.(v);
+                                  outcome = tr.Evidence.times.(v) >= 0;
+                                }
+                                :: !predictions)
+                          keep)
+                      tables
+                  | Some _ | None -> ())
+                test_traces)
+            focuses;
+          let label =
+            Printf.sprintf "%s radius %d (%s)"
+              (match kind with
+              | Unattributed.Url -> "URLs"
+              | Unattributed.Hashtag -> "hashtags")
+              radius (method_label trainer)
+          in
+          let bucket =
+            match !predictions with
+            | [] ->
+              Bucket.run ~bins:30 ~label
+                [ { Measures.estimate = 0.0; outcome = false } ]
+            | preds -> Bucket.run ~bins:30 ~label preds
+          in
+          { kind; radius; trainer; bucket })
+        methods)
+    radii
+
+let report scale rng lab ~kind ppf =
+  let results = run scale rng lab ~kind ~radii:[ 4; 5 ] ~methods:[ Ours; Goyal ] in
+  let title =
+    match kind with
+    | Unattributed.Url -> "Fig 8: flow of URLs"
+    | Unattributed.Hashtag -> "Fig 9: flow of hashtags"
+  in
+  Format.fprintf ppf "@[<v>== %s (unattributed training) ==@," title;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "-- radius %d, %s --@,%a" r.radius
+        (method_label r.trainer) Bucket.pp r.bucket)
+    results;
+  Format.fprintf ppf "@]";
+  results

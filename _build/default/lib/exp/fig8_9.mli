@@ -1,0 +1,37 @@
+(** Figs 8, 9 and 10: predicting the flow of URLs (Fig 8) and hashtags
+    (Fig 9) with edge probabilities learned from unattributed evidence,
+    on radius-limited social graphs around "interesting" users (the top
+    originators), with the omnipotent user standing in for the outside
+    world. Fig 10 is the same URL experiment with edge probabilities
+    redrawn from a per-edge Gaussian posterior approximation on each of
+    several repetitions.
+
+    Expected shapes: our method calibrates better than Goyal on URLs
+    (which only spread in-network); both degrade markedly on hashtags,
+    whose offline adoption violates the cascade assumption. *)
+
+type method_name =
+  | Ours (** joint Bayes posterior means *)
+  | Goyal (** credit heuristic *)
+  | Ours_gaussian of int
+      (** joint Bayes mean/std, edges resampled from a clipped Gaussian
+          on each of the given number of repetitions (Fig 10) *)
+
+val method_label : method_name -> string
+
+type result = {
+  kind : Iflow_twitter.Unattributed.item_kind;
+  radius : int;
+  trainer : method_name;
+  bucket : Iflow_bucket.Bucket.t;
+}
+
+val run :
+  Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t ->
+  kind:Iflow_twitter.Unattributed.item_kind ->
+  radii:int list -> methods:method_name list -> result list
+
+val report :
+  Scale.t -> Iflow_stats.Rng.t -> Twitter_lab.t ->
+  kind:Iflow_twitter.Unattributed.item_kind -> Format.formatter -> result list
+(** The paper's four panels: radii [4; 5] x [Ours; Goyal]. *)

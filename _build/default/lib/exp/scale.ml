@@ -1,0 +1,16 @@
+type t = Quick | Full
+
+let from_env () =
+  match Sys.getenv_opt "IFLOW_FULL" with
+  | None | Some "" | Some "0" -> Quick
+  | Some _ -> Full
+
+let pick t ~quick ~full = match t with Quick -> quick | Full -> full
+
+let mcmc t =
+  pick t
+    ~quick:{ Iflow_mcmc.Estimator.burn_in = 400; thin = 5; samples = 400 }
+    ~full:{ Iflow_mcmc.Estimator.burn_in = 2000; thin = 20; samples = 2000 }
+
+let pp ppf t =
+  Format.pp_print_string ppf (match t with Quick -> "quick" | Full -> "full")

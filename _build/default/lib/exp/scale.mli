@@ -1,0 +1,20 @@
+(** Experiment sizing.
+
+    Every experiment accepts a {!t} so the bench binary can run a
+    fast-but-representative version by default and the paper-scale
+    version under [IFLOW_FULL=1]. The {i shapes} the paper reports
+    (who wins, calibration coverage, crossovers) are stable across
+    scales; only the error bars shrink. *)
+
+type t = Quick | Full
+
+val from_env : unit -> t
+(** [Full] when the environment variable [IFLOW_FULL] is set to a
+    non-empty value other than ["0"], else [Quick]. *)
+
+val pick : t -> quick:'a -> full:'a -> 'a
+
+val mcmc : t -> Iflow_mcmc.Estimator.config
+(** A sampling budget appropriate for the scale. *)
+
+val pp : Format.formatter -> t -> unit

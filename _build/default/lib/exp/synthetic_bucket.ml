@@ -1,0 +1,31 @@
+open Iflow_core
+module Rng = Iflow_stats.Rng
+module Measures = Iflow_stats.Measures
+module Estimator = Iflow_mcmc.Estimator
+module Bucket = Iflow_bucket.Bucket
+
+type estimator =
+  | Metropolis_hastings of Estimator.config
+  | Random_walk_restart of float
+
+let run rng ~models ~nodes ~edges ~estimator ~label =
+  if models <= 0 then invalid_arg "Synthetic_bucket.run: models <= 0";
+  let predictions = ref [] in
+  for _ = 1 to models do
+    let model = Generator.default_beta_icm rng ~nodes ~edges in
+    let sampled = Beta_icm.sample_icm rng model in
+    let test_state = Pseudo_state.sample rng sampled in
+    let src = Rng.int rng nodes in
+    let dst = (src + 1 + Rng.int rng (nodes - 1)) mod nodes in
+    let outcome = Pseudo_state.flow sampled test_state ~src ~dst in
+    let expected = Beta_icm.expected_icm model in
+    let estimate =
+      match estimator with
+      | Metropolis_hastings config ->
+        Estimator.flow_probability rng expected config ~src ~dst
+      | Random_walk_restart restart ->
+        Iflow_rwr.Rwr.flow_estimate ~restart expected ~src ~dst
+    in
+    predictions := { Measures.estimate; outcome } :: !predictions
+  done;
+  Bucket.run ~bins:30 ~label !predictions

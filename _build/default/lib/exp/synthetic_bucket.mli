@@ -1,0 +1,23 @@
+(** Shared machinery for Figs 1 and 5: the bucket experiment on synthetic
+    betaICMs (paper Section IV-C).
+
+    Per repetition: generate a synthetic betaICM; sample a point ICM
+    from it; sample a pseudo-state (the "active test state"); pick a
+    random source/sink pair; the boolean outcome is whether an active
+    path connects them; the estimate comes from the estimator under
+    test, reading the betaICM. *)
+
+type estimator =
+  | Metropolis_hastings of Iflow_mcmc.Estimator.config
+      (** MH flow sampling on the betaICM's expected ICM (Fig 1) *)
+  | Random_walk_restart of float (** restart probability (Fig 5) *)
+
+val run :
+  Iflow_stats.Rng.t ->
+  models:int ->
+  nodes:int ->
+  edges:int ->
+  estimator:estimator ->
+  label:string ->
+  Iflow_bucket.Bucket.t
+(** The paper runs 2000 models of 50 nodes / 200 edges with 30 bins. *)

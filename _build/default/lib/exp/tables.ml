@@ -1,0 +1,39 @@
+open Iflow_core
+module Measures = Iflow_stats.Measures
+module Bucket = Iflow_bucket.Bucket
+
+let table_one () =
+  Summary.of_table ~sink:3
+    [ ([| 0; 1 |], 5, 1); ([| 1; 2 |], 50, 15); ([| 0; 2 |], 10, 2) ]
+
+let report_table_one ppf =
+  Format.fprintf ppf
+    "@[<v>== Table I: example evidence summary (A=0, B=1, C=2, sink k=3) ==@,%a@,"
+    Summary.pp (table_one ());
+  (* the same summary arises from raw traces *)
+  let g =
+    Iflow_graph.Digraph.of_edges ~nodes:4 [ (0, 3); (1, 3); (2, 3) ]
+  in
+  let trace sources leaked =
+    Evidence.trace_of_active ~sources
+      ~times:(if leaked then [ (3, 1) ] else [])
+      ~n:4
+  in
+  let replicate n x = List.init n (fun _ -> x) in
+  let traces =
+    replicate 1 (trace [ 0; 1 ] true)
+    @ replicate 4 (trace [ 0; 1 ] false)
+    @ replicate 15 (trace [ 1; 2 ] true)
+    @ replicate 35 (trace [ 1; 2 ] false)
+    @ replicate 2 (trace [ 0; 2 ] true)
+    @ replicate 8 (trace [ 0; 2 ] false)
+  in
+  let rebuilt = Summary.build g traces ~sink:3 in
+  Format.fprintf ppf "rebuilt from %d raw traces:@,%a@]" (List.length traces)
+    Summary.pp rebuilt
+
+let report_table_three ppf buckets =
+  Format.fprintf ppf
+    "@[<v>== Table III: accuracy measures across experiments ==@,%a@]"
+    Measures.pp_table
+    (List.map (fun b -> b.Bucket.measures) buckets)

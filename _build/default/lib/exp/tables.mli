@@ -1,0 +1,14 @@
+(** Table I (example evidence summary) and Table III (accuracy measures
+    across experiments). *)
+
+val table_one : unit -> Iflow_core.Summary.t
+(** The paper's Table I rows. *)
+
+val report_table_one : Format.formatter -> unit
+(** Prints the Table I summary, plus the same summary rebuilt from raw
+    traces — demonstrating that summarisation reproduces the table. *)
+
+val report_table_three :
+  Format.formatter -> Iflow_bucket.Bucket.t list -> unit
+(** The paper's appendix table: normalised likelihood and Brier score
+    (all values and middle values) for each supplied experiment. *)

@@ -1,0 +1,91 @@
+open Iflow_core
+open Iflow_twitter
+module Digraph = Iflow_graph.Digraph
+module Traverse = Iflow_graph.Traverse
+module Gen = Iflow_graph.Gen
+module Rng = Iflow_stats.Rng
+
+type t = {
+  corpus : Corpus.t;
+  graph : Digraph.t;
+  train_objects : Evidence.attributed;
+  test_cascades : Preprocess.cascade list;
+  model : Beta_icm.t;
+}
+
+let make scale rng =
+  let users = Scale.pick scale ~quick:150 ~full:600 in
+  let originals = Scale.pick scale ~quick:1500 ~full:8000 in
+  let g = Gen.preferential_attachment rng ~nodes:users ~mean_out_degree:4 in
+  let truth = Generator.retweet_ground_truth rng g in
+  let corpus =
+    Corpus.generate
+      ~params:{ Corpus.default_params with originals }
+      rng truth
+  in
+  (* split tweets by time: first 80% train, rest test; cascades are
+     reconstructed within each part so test outcomes never leak into
+     training *)
+  let tweets = corpus.Corpus.tweets in
+  let cutoff =
+    let times = List.map (fun (t : Tweet.t) -> t.Tweet.time) tweets in
+    let sorted = List.sort compare times in
+    List.nth sorted (4 * List.length sorted / 5)
+  in
+  let train_tweets, test_tweets =
+    List.partition (fun (t : Tweet.t) -> t.Tweet.time <= cutoff) tweets
+  in
+  let node_of_name = Corpus.node_of_name corpus in
+  let train_objects =
+    Preprocess.to_attributed ~graph:g ~node_of_name
+      (Preprocess.cascades train_tweets)
+  in
+  let test_cascades = Preprocess.cascades test_tweets in
+  let model = Beta_icm.train_attributed g train_objects in
+  { corpus; graph = g; train_objects; test_cascades; model }
+
+let interesting_users t ~count =
+  let n = Digraph.n_nodes t.graph in
+  let retweets = Array.make n 0 in
+  List.iter
+    (fun (o : Evidence.attributed_object) ->
+      match o.Evidence.sources with
+      | [ src ] ->
+        let reach = Iflow_core.Cascade.reached_count o in
+        retweets.(src) <- retweets.(src) + reach
+      | _ -> ())
+    t.train_objects;
+  let ranked = List.init n (fun v -> (retweets.(v), v)) in
+  let ranked = List.sort (fun a b -> compare b a) ranked in
+  List.filteri (fun i _ -> i < count) (List.map snd ranked)
+
+let subgraph_around t ~centre ~radius =
+  let keep =
+    Traverse.within_radius ~direction:Traverse.Both t.graph ~centre ~radius
+  in
+  let sub, node_of_sub, edge_of_sub = Digraph.induced t.graph ~keep in
+  let betas =
+    Array.map (fun e -> Beta_icm.edge_beta t.model e) edge_of_sub
+  in
+  let sub_model = Beta_icm.create sub betas in
+  let focus = ref (-1) in
+  Array.iteri (fun v' v -> if v = centre then focus := v') node_of_sub;
+  (sub_model, node_of_sub, !focus)
+
+let cascade_outcomes t ~source =
+  let node_of_name = Corpus.node_of_name t.corpus in
+  let n = Digraph.n_nodes t.graph in
+  List.mapi (fun i c -> (i, c)) t.test_cascades
+  |> List.filter_map (fun (i, (c : Preprocess.cascade)) ->
+         match node_of_name c.Preprocess.root_author with
+         | Some src when src = source ->
+           let active = Array.make n false in
+           active.(src) <- true;
+           List.iter
+             (fun (child, _, _) ->
+               match node_of_name child with
+               | Some v -> active.(v) <- true
+               | None -> ())
+             c.Preprocess.activations;
+           Some (i, active)
+         | Some _ | None -> None)

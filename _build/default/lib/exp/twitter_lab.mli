@@ -1,0 +1,34 @@
+(** Shared setup for the Twitter experiments (Figs 2, 3, 4, 8, 9, 10):
+    one synthetic corpus standing in for the Choudhury et al. crawl,
+    split into a training prefix and a testing suffix by cascade. *)
+
+type t = {
+  corpus : Iflow_twitter.Corpus.t;
+  graph : Iflow_graph.Digraph.t; (** the ground-truth follow graph *)
+  train_objects : Iflow_core.Evidence.attributed;
+      (** attributed retweet evidence parsed from the training tweets *)
+  test_cascades : Iflow_twitter.Preprocess.cascade list;
+      (** held-out cascades, for outcomes *)
+  model : Iflow_core.Beta_icm.t; (** betaICM trained on [train_objects] *)
+}
+
+val make : Scale.t -> Iflow_stats.Rng.t -> t
+(** Build the standard corpus (preferential-attachment graph, skewed
+    ground-truth retweet probabilities), parse it, split cascades
+    80/20 by time, and train the betaICM. *)
+
+val interesting_users : t -> count:int -> int list
+(** The paper focuses on users "who tweet frequently and whose tweets
+    are retweeted often": rank source users by total retweets of their
+    cascades in the training data. *)
+
+val subgraph_around :
+  t -> centre:int -> radius:int ->
+  Iflow_core.Beta_icm.t * int array * int
+(** Radius-limited trained sub-model around a focus user. Returns
+    (sub-betaICM, original node id per sub-node, the focus's sub-id). *)
+
+val cascade_outcomes :
+  t -> source:int -> (int * bool array) list
+(** For each held-out cascade originating at [source]: (cascade index,
+    per-node activation) — the empirical flow outcomes. *)

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Digraph Hashtbl Iflow_stats List Printf

@@ -1,0 +1,93 @@
+module Rng = Iflow_stats.Rng
+
+let gnm rng ~nodes ~edges =
+  if nodes < 0 || edges < 0 then invalid_arg "Gen.gnm: negative size";
+  let capacity = nodes * (nodes - 1) in
+  if edges > capacity then
+    invalid_arg
+      (Printf.sprintf "Gen.gnm: %d edges > %d possible" edges capacity);
+  let chosen = Hashtbl.create (2 * edges) in
+  let pairs = ref [] in
+  (* Rejection sampling is fine while edges is well below capacity; fall
+     back to dense enumeration when the graph is nearly complete. *)
+  if edges * 2 <= capacity then begin
+    let count = ref 0 in
+    while !count < edges do
+      let s = Rng.int rng nodes in
+      let d = Rng.int rng nodes in
+      if s <> d && not (Hashtbl.mem chosen (s, d)) then begin
+        Hashtbl.add chosen (s, d) ();
+        pairs := (s, d) :: !pairs;
+        incr count
+      end
+    done
+  end
+  else begin
+    let all = Array.make capacity (0, 0) in
+    let i = ref 0 in
+    for s = 0 to nodes - 1 do
+      for d = 0 to nodes - 1 do
+        if s <> d then begin
+          all.(!i) <- (s, d);
+          incr i
+        end
+      done
+    done;
+    Rng.shuffle rng all;
+    for j = 0 to edges - 1 do
+      pairs := all.(j) :: !pairs
+    done
+  end;
+  Digraph.of_edges ~nodes !pairs
+
+let preferential_attachment rng ~nodes ~mean_out_degree =
+  if nodes <= 0 then invalid_arg "Gen.preferential_attachment: nodes <= 0";
+  if mean_out_degree <= 0 then
+    invalid_arg "Gen.preferential_attachment: degree <= 0";
+  (* weight of node v as a source of followed content: 1 + #followers *)
+  let weight = Array.make nodes 1.0 in
+  let tree = Iflow_stats.Fenwick.of_array (Array.make nodes 0.0) in
+  Iflow_stats.Fenwick.set tree 0 weight.(0);
+  let pairs = ref [] in
+  let seen = Hashtbl.create (4 * nodes) in
+  for v = 1 to nodes - 1 do
+    let links = min v mean_out_degree in
+    let made = ref 0 in
+    let attempts = ref 0 in
+    while !made < links && !attempts < 20 * links do
+      incr attempts;
+      let u = Iflow_stats.Fenwick.sample rng tree in
+      if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.add seen (u, v) ();
+        (* v follows u: information flows u -> v *)
+        pairs := (u, v) :: !pairs;
+        weight.(u) <- weight.(u) +. 1.0;
+        Iflow_stats.Fenwick.set tree u weight.(u);
+        incr made
+      end
+    done;
+    Iflow_stats.Fenwick.set tree v weight.(v)
+  done;
+  Digraph.of_edges ~nodes !pairs
+
+let star ~centre_to_leaves ~leaves =
+  if leaves < 0 then invalid_arg "Gen.star: negative leaves";
+  let pairs =
+    List.init leaves (fun i ->
+        if centre_to_leaves then (0, i + 1) else (i + 1, 0))
+  in
+  Digraph.of_edges ~nodes:(leaves + 1) pairs
+
+let path n =
+  if n <= 0 then invalid_arg "Gen.path: n <= 0";
+  Digraph.of_edges ~nodes:n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  if n < 0 then invalid_arg "Gen.complete: negative n";
+  let pairs = ref [] in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then pairs := (s, d) :: !pairs
+    done
+  done;
+  Digraph.of_edges ~nodes:n !pairs

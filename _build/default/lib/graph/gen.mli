@@ -1,0 +1,27 @@
+(** Random graph generators for synthetic experiments. *)
+
+val gnm : Iflow_stats.Rng.t -> nodes:int -> edges:int -> Digraph.t
+(** Uniform directed G(n, m): [edges] distinct ordered pairs without
+    self loops — the topology behind the paper's synthetic betaICMs
+    (e.g. 50 nodes, 200 edges). Raises [Invalid_argument] when
+    [edges > nodes * (nodes - 1)]. *)
+
+val preferential_attachment :
+  Iflow_stats.Rng.t -> nodes:int -> mean_out_degree:int -> Digraph.t
+(** Scale-free "follower"-style digraph: nodes arrive in sequence and
+    each attaches edges from earlier nodes chosen with probability
+    proportional to (1 + out-degree), giving the heavy-tailed audience
+    sizes typical of Twitter. Edge direction is the direction of
+    information flow: an edge u -> v means v sees (and may forward)
+    u's posts, i.e. v follows u. *)
+
+val star : centre_to_leaves:bool -> leaves:int -> Digraph.t
+(** Node 0 plus [leaves] leaf nodes; edges point away from or into the
+    centre. Handy for unattributed-learning tests (an in-star is the
+    paper's per-sink model fragment). *)
+
+val path : int -> Digraph.t
+(** Directed path 0 -> 1 -> ... -> n-1. *)
+
+val complete : int -> Digraph.t
+(** All ordered pairs — worst case for the exact evaluator. *)

@@ -1,0 +1,92 @@
+type direction = Out | In | Both
+
+let always_active _ = true
+
+let reachable_from ?(active = always_active) g sources =
+  let n = Digraph.n_nodes g in
+  let marked = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Traverse.reachable_from: bad source";
+      if not marked.(v) then begin
+        marked.(v) <- true;
+        Queue.add v queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Digraph.iter_out g v (fun e ->
+        if active e then begin
+          let w = Digraph.edge_dst g e in
+          if not marked.(w) then begin
+            marked.(w) <- true;
+            Queue.add w queue
+          end
+        end)
+  done;
+  marked
+
+let reaches ?active g ~src ~dst = (reachable_from ?active g [ src ]).(dst)
+
+let within_radius ?(direction = Both) g ~centre ~radius =
+  let n = Digraph.n_nodes g in
+  if centre < 0 || centre >= n then invalid_arg "Traverse.within_radius";
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(centre) <- 0;
+  Queue.add centre queue;
+  let visit v w =
+    if dist.(w) < 0 && dist.(v) < radius then begin
+      dist.(w) <- dist.(v) + 1;
+      Queue.add w queue
+    end
+  in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    (match direction with
+    | Out -> Digraph.iter_out g v (fun e -> visit v (Digraph.edge_dst g e))
+    | In -> Digraph.iter_in g v (fun e -> visit v (Digraph.edge_src g e))
+    | Both ->
+      Digraph.iter_out g v (fun e -> visit v (Digraph.edge_dst g e));
+      Digraph.iter_in g v (fun e -> visit v (Digraph.edge_src g e)))
+  done;
+  Array.map (fun d -> d >= 0) dist
+
+let shortest_path ?(active = always_active) g ~src ~dst =
+  let n = Digraph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Traverse.shortest_path";
+  if src = dst then Some []
+  else begin
+    (* parent_edge.(v) is the edge that first discovered v. *)
+    let parent_edge = Array.make n (-1) in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Digraph.iter_out g v (fun e ->
+          if active e then begin
+            let w = Digraph.edge_dst g e in
+            if not visited.(w) then begin
+              visited.(w) <- true;
+              parent_edge.(w) <- e;
+              if w = dst then found := true else Queue.add w queue
+            end
+          end)
+    done;
+    if not !found then None
+    else begin
+      let rec unwind v acc =
+        if v = src then acc
+        else begin
+          let e = parent_edge.(v) in
+          unwind (Digraph.edge_src g e) (e :: acc)
+        end
+      in
+      Some (unwind dst [])
+    end
+  end

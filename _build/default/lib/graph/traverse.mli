@@ -1,0 +1,25 @@
+(** Breadth-first traversal: reachability, radius-limited neighbourhoods,
+    and shortest paths, optionally restricted to "active" edges.
+
+    The [active] predicate (on edge ids) lets callers reuse these
+    routines on a pseudo-state of an ICM: flow [u ~> v] exists in a
+    pseudo-state iff [v] is reachable from [u] through active edges. *)
+
+type direction = Out | In | Both
+
+val reachable_from :
+  ?active:(int -> bool) -> Digraph.t -> int list -> bool array
+(** [reachable_from g sources] marks every node reachable from any
+    source through (active) out-edges; sources themselves are marked. *)
+
+val reaches : ?active:(int -> bool) -> Digraph.t -> src:int -> dst:int -> bool
+
+val within_radius :
+  ?direction:direction -> Digraph.t -> centre:int -> radius:int -> bool array
+(** Nodes at hop distance [<= radius] from [centre], following edges in
+    the given [direction] ([Both] treats the graph as undirected — used
+    to carve the paper's radius-n Twitter subgraphs). *)
+
+val shortest_path :
+  ?active:(int -> bool) -> Digraph.t -> src:int -> dst:int -> int list option
+(** Edge ids of a BFS shortest path from [src] to [dst], or [None]. *)

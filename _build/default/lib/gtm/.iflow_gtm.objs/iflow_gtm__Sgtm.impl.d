@@ -1,0 +1,1 @@
+lib/gtm/sgtm.ml: Array Iflow_core Iflow_graph Iflow_stats List

@@ -1,0 +1,1 @@
+lib/gtm/sgtm.mli: Iflow_core Iflow_stats

@@ -1,0 +1,47 @@
+module Icm = Iflow_core.Icm
+module Digraph = Iflow_graph.Digraph
+module Rng = Iflow_stats.Rng
+
+let influence icm ~node ~active =
+  let g = Icm.graph icm in
+  let survive =
+    Digraph.fold_in g node ~init:1.0 ~f:(fun acc e ->
+        if active.(Digraph.edge_src g e) then acc *. (1.0 -. Icm.prob icm e)
+        else acc)
+  in
+  1.0 -. survive
+
+let run rng icm ~sources =
+  let n = Icm.n_nodes icm in
+  let active = Array.make n false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Sgtm.run: source out of range";
+      active.(v) <- true)
+    sources;
+  let threshold = Array.init n (fun _ -> Rng.uniform rng) in
+  (* The active parent set only grows, so iterate to a fixpoint; each
+     sweep activates any node whose current influence has crossed its
+     threshold. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      if (not active.(v)) && influence icm ~node:v ~active > threshold.(v)
+      then begin
+        active.(v) <- true;
+        changed := true
+      end
+    done
+  done;
+  active
+
+let activation_frequency rng icm ~sources ~runs =
+  if runs <= 0 then invalid_arg "Sgtm.activation_frequency: runs <= 0";
+  let n = Icm.n_nodes icm in
+  let counts = Array.make n 0 in
+  for _ = 1 to runs do
+    let active = run rng icm ~sources in
+    Array.iteri (fun v a -> if a then counts.(v) <- counts.(v) + 1) active
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int runs) counts

@@ -1,0 +1,21 @@
+(** Simplified General Threshold Model (paper Section V-A, Theorem 1).
+
+    Each node draws a uniform threshold per object; with active parent
+    set [S], the joint influence on [v] is
+    [p_v(S) = 1 - prod_{u in S} (1 - p_uv)], and [v] activates at the
+    first step where the influence exceeds its threshold. Theorem 1
+    states this process is distributionally identical to the ICM with
+    the same edge weights — the property tests exercise exactly that. *)
+
+val run :
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> sources:int list -> bool array
+(** One SGTM cascade; returns the final active-node set. *)
+
+val influence : Iflow_core.Icm.t -> node:int -> active:bool array -> float
+(** [p_v(S)]: joint influence of the currently active in-neighbours. *)
+
+val activation_frequency :
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> sources:int list -> runs:int ->
+  float array
+(** Per-node frequency of ending active over [runs] simulations —
+    comparable against the same statistic from ICM cascades. *)

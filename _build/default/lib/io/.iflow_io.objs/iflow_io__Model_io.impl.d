@@ -1,0 +1,1 @@
+lib/io/model_io.ml: Array Fun Iflow_core Iflow_graph Iflow_stats Iflow_twitter List Printf String

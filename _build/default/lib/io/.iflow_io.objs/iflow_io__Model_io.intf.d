@@ -1,0 +1,1 @@
+lib/io/model_io.mli: Iflow_core Iflow_twitter

@@ -1,0 +1,138 @@
+module Digraph = Iflow_graph.Digraph
+module Beta = Iflow_stats.Dist.Beta
+module Beta_icm = Iflow_core.Beta_icm
+module Icm = Iflow_core.Icm
+module Tweet = Iflow_twitter.Tweet
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let fold_lines ic f init =
+  let rec loop lineno acc =
+    match input_line ic with
+    | line -> loop (lineno + 1) (f lineno acc line)
+    | exception End_of_file -> acc
+  in
+  loop 1 init
+
+let malformed path lineno what =
+  failwith (Printf.sprintf "%s:%d: malformed %s" path lineno what)
+
+(* ----- graph-with-edge-payload formats ----- *)
+
+let save_edges path ~magic ~nodes ~n_edges ~edge_line =
+  with_out path (fun oc ->
+      Printf.fprintf oc "%s %d\n" magic nodes;
+      for e = 0 to n_edges - 1 do
+        output_string oc (edge_line e);
+        output_char oc '\n'
+      done)
+
+let load_edges path ~magic ~parse_payload =
+  with_in path (fun ic ->
+      let header = try input_line ic with End_of_file -> "" in
+      let nodes =
+        match String.split_on_char ' ' header with
+        | [ m; n ] when m = magic -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> n
+          | Some _ | None -> malformed path 1 "header")
+        | _ -> malformed path 1 (Printf.sprintf "header (expected '%s <n>')" magic)
+      in
+      let rows =
+        fold_lines ic
+          (fun lineno acc line ->
+            if String.trim line = "" then acc
+            else begin
+              match String.split_on_char ' ' line with
+              | src :: dst :: payload -> (
+                match (int_of_string_opt src, int_of_string_opt dst) with
+                | Some s, Some d -> (s, d, parse_payload path (lineno + 1) payload) :: acc
+                | _ -> malformed path (lineno + 1) "edge endpoints")
+              | _ -> malformed path (lineno + 1) "edge line"
+            end)
+          []
+      in
+      (nodes, List.rev rows))
+
+let save_beta_icm path model =
+  let g = Beta_icm.graph model in
+  save_edges path ~magic:"bicm" ~nodes:(Digraph.n_nodes g)
+    ~n_edges:(Digraph.n_edges g) ~edge_line:(fun e ->
+      let { Digraph.src; dst } = Digraph.edge g e in
+      let b = Beta_icm.edge_beta model e in
+      Printf.sprintf "%d %d %.17g %.17g" src dst b.Beta.alpha b.Beta.beta)
+
+let load_beta_icm path =
+  let parse path lineno = function
+    | [ a; b ] -> (
+      match (float_of_string_opt a, float_of_string_opt b) with
+      | Some a, Some b when a > 0.0 && b > 0.0 -> Beta.v a b
+      | _ -> malformed path lineno "beta parameters")
+    | _ -> malformed path lineno "beta parameters"
+  in
+  let nodes, rows = load_edges path ~magic:"bicm" ~parse_payload:parse in
+  let g = Digraph.of_edges ~nodes (List.map (fun (s, d, _) -> (s, d)) rows) in
+  Beta_icm.create g (Array.of_list (List.map (fun (_, _, b) -> b) rows))
+
+let save_icm path icm =
+  let g = Icm.graph icm in
+  save_edges path ~magic:"icm" ~nodes:(Digraph.n_nodes g)
+    ~n_edges:(Digraph.n_edges g) ~edge_line:(fun e ->
+      let { Digraph.src; dst } = Digraph.edge g e in
+      Printf.sprintf "%d %d %.17g" src dst (Icm.prob icm e))
+
+let load_icm path =
+  let parse path lineno = function
+    | [ p ] -> (
+      match float_of_string_opt p with
+      | Some p when p >= 0.0 && p <= 1.0 -> p
+      | _ -> malformed path lineno "probability")
+    | _ -> malformed path lineno "probability"
+  in
+  let nodes, rows = load_edges path ~magic:"icm" ~parse_payload:parse in
+  let g = Digraph.of_edges ~nodes (List.map (fun (s, d, _) -> (s, d)) rows) in
+  Icm.create g (Array.of_list (List.map (fun (_, _, p) -> p) rows))
+
+(* ----- tweets ----- *)
+
+let sanitise text =
+  String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) text
+
+let save_tweets path tweets =
+  with_out path (fun oc ->
+      List.iter
+        (fun (t : Tweet.t) ->
+          Printf.fprintf oc "%d\t%s\t%d\t%s\n" t.Tweet.id t.Tweet.author
+            t.Tweet.time (sanitise t.Tweet.text))
+        tweets)
+
+let load_tweets path =
+  with_in path (fun ic ->
+      List.rev
+        (fold_lines ic
+           (fun lineno acc line ->
+             if String.trim line = "" then acc
+             else begin
+               match String.split_on_char '\t' line with
+               | [ id; author; time; text ] -> (
+                 match (int_of_string_opt id, int_of_string_opt time) with
+                 | Some id, Some time ->
+                   Tweet.make ~id ~author ~time ~text :: acc
+                 | _ -> malformed path lineno "tweet ids")
+               | _ -> malformed path lineno "tweet line"
+             end)
+           []))
+
+let save_names path names =
+  with_out path (fun oc ->
+      Array.iter (fun n -> Printf.fprintf oc "%s\n" n) names)
+
+let load_names path =
+  with_in path (fun ic ->
+      Array.of_list (List.rev (fold_lines ic (fun _ acc line -> line :: acc) [])))

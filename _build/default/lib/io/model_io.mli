@@ -1,0 +1,30 @@
+(** Plain-text serialisation of models and corpora, so the CLI can pass
+    artifacts between subcommands.
+
+    betaICM format ([.bicm]):
+    {v
+    bicm <n_nodes>
+    <src> <dst> <alpha> <beta>      (one line per edge)
+    v}
+
+    ICM format ([.icm]): same with a single probability column.
+
+    Tweets are tab-separated [id author time text] lines, one per tweet
+    (tweet text never contains tabs or newlines).
+
+    All loaders raise [Failure] with a line-numbered message on
+    malformed input. *)
+
+val save_beta_icm : string -> Iflow_core.Beta_icm.t -> unit
+val load_beta_icm : string -> Iflow_core.Beta_icm.t
+
+val save_icm : string -> Iflow_core.Icm.t -> unit
+val load_icm : string -> Iflow_core.Icm.t
+
+val save_tweets : string -> Iflow_twitter.Tweet.t list -> unit
+val load_tweets : string -> Iflow_twitter.Tweet.t list
+
+val save_names : string -> string array -> unit
+(** One name per line; line number = node id. *)
+
+val load_names : string -> string array

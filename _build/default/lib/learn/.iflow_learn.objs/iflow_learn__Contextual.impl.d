@@ -1,0 +1,1 @@
+lib/learn/contextual.ml: Array Iflow_core Iflow_graph Iflow_stats List

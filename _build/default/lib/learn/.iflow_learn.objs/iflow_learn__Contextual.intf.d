@@ -1,0 +1,1 @@
+lib/learn/contextual.mli: Iflow_core Iflow_graph Iflow_stats

@@ -1,0 +1,1 @@
+lib/learn/filtered.ml: Array Iflow_core Iflow_stats List Trainer

@@ -1,0 +1,1 @@
+lib/learn/filtered.mli: Iflow_core Iflow_stats Trainer

@@ -1,0 +1,1 @@
+lib/learn/goyal.ml: Array Float Hashtbl Iflow_core List Trainer

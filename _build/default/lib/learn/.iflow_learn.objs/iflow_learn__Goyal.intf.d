@@ -1,0 +1,1 @@
+lib/learn/goyal.mli: Iflow_core Trainer

@@ -1,0 +1,1 @@
+lib/learn/joint_bayes.ml: Array Float Hashtbl Iflow_core Iflow_stats List Trainer

@@ -1,0 +1,1 @@
+lib/learn/joint_bayes.mli: Iflow_core Iflow_stats Trainer

@@ -1,0 +1,1 @@
+lib/learn/saito.ml: Array Float Hashtbl Iflow_core Iflow_graph Iflow_stats List Option Trainer

@@ -1,0 +1,1 @@
+lib/learn/saito.mli: Iflow_core Iflow_graph Iflow_stats Trainer

@@ -1,0 +1,1 @@
+lib/learn/trainer.ml: Array Float Iflow_core Iflow_graph Iflow_stats List Option

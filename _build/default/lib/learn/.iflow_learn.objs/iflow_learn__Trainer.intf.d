@@ -1,0 +1,1 @@
+lib/learn/trainer.mli: Iflow_core Iflow_graph

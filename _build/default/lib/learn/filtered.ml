@@ -1,0 +1,22 @@
+module Summary = Iflow_core.Summary
+module Beta = Iflow_stats.Dist.Beta
+
+let beta_for summary ~parent =
+  let leaks, count =
+    List.fold_left
+      (fun (l, c) (p, leaks, count) ->
+        if p = parent then (l + leaks, c + count) else (l, c))
+      (0, 0)
+      (Summary.unambiguous summary)
+  in
+  Beta.of_counts ~successes:leaks ~failures:(count - leaks)
+
+let train (summary : Summary.t) =
+  let parents = Summary.parents_union summary in
+  let betas = Array.map (fun p -> beta_for summary ~parent:p) parents in
+  {
+    Trainer.sink = summary.sink;
+    parents;
+    mean = Array.map Beta.mean betas;
+    std = Array.map Beta.std betas;
+  }

@@ -1,0 +1,11 @@
+(** The "filtered" baseline (paper Section V-C): apply the attributed
+    Beta-counting rule to the unambiguous characteristics only (exactly
+    one candidate parent) and discard all ambiguous evidence. *)
+
+val train : Iflow_core.Summary.t -> Trainer.estimate
+(** Mean and std of the per-parent Beta(1 + leaks, 1 + count - leaks)
+    posterior. Parents that only ever appear in ambiguous
+    characteristics fall back on the uniform prior (mean 0.5). *)
+
+val beta_for : Iflow_core.Summary.t -> parent:int -> Iflow_stats.Dist.Beta.t
+(** The posterior Beta for one parent under the filtered rule. *)

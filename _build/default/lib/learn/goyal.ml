@@ -1,0 +1,29 @@
+module Summary = Iflow_core.Summary
+
+let train (summary : Summary.t) =
+  let parents = Summary.parents_union summary in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i p -> Hashtbl.add index p i) parents;
+  let credit = Array.make (Array.length parents) 0.0 in
+  let exposure = Array.make (Array.length parents) 0 in
+  List.iter
+    (fun (e : Summary.entry) ->
+      let share = float_of_int e.leaks /. float_of_int (Array.length e.parents) in
+      Array.iter
+        (fun p ->
+          let i = Hashtbl.find index p in
+          credit.(i) <- credit.(i) +. share;
+          exposure.(i) <- exposure.(i) + e.count)
+        e.parents)
+    summary.entries;
+  let mean =
+    Array.init (Array.length parents) (fun i ->
+        if exposure.(i) = 0 then 0.0
+        else Float.min 1.0 (credit.(i) /. float_of_int exposure.(i)))
+  in
+  {
+    Trainer.sink = summary.sink;
+    parents;
+    mean;
+    std = Array.make (Array.length parents) 0.0;
+  }

@@ -1,0 +1,9 @@
+(** The credit heuristic of Goyal, Bonchi & Lakshmanan (WSDM 2010), as
+    described in paper Section V-B: when sink [k] activates with
+    candidate parents [J], every [j] in [J] receives credit [1 / |J|];
+    an edge's probability is its accumulated credit divided by the
+    number of objects in which its parent was a candidate. *)
+
+val train : Iflow_core.Summary.t -> Trainer.estimate
+(** Point estimates; std is all zeros. Parents that never appear in a
+    leaking characteristic get probability 0. *)

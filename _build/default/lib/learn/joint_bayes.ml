@@ -1,0 +1,144 @@
+module Summary = Iflow_core.Summary
+module Beta = Iflow_stats.Dist.Beta
+module Rng = Iflow_stats.Rng
+module Descriptive = Iflow_stats.Descriptive
+
+type options = {
+  burn_in : int;
+  thin : int;
+  samples : int;
+  step_std : float;
+  prior : [ `Uniform | `Informed | `Custom of int -> Beta.t ];
+}
+
+let default_options =
+  { burn_in = 500; thin = 5; samples = 1000; step_std = 0.08; prior = `Uniform }
+
+let epsilon = 1e-9
+let clamp p = Float.max epsilon (Float.min (1.0 -. epsilon) p)
+
+(* Reflect a random-walk proposal back into (0, 1); symmetric, so the
+   Metropolis acceptance needs no proposal correction. *)
+let reflect x =
+  let rec fix x =
+    if x < 0.0 then fix (-.x) else if x > 1.0 then fix (2.0 -. x) else x
+  in
+  clamp (fix x)
+
+let informed_prior summary j =
+  let leaks, count =
+    List.fold_left
+      (fun (l, c) (p, leaks, count) ->
+        if p = j then (l + leaks, c + count) else (l, c))
+      (0, 0)
+      (Summary.unambiguous summary)
+  in
+  Beta.of_counts ~successes:leaks ~failures:(count - leaks)
+
+let resolve_prior options summary =
+  match options.prior with
+  | `Uniform -> ((fun _ -> Beta.uniform), false)
+  | `Informed -> ((fun j -> informed_prior summary j), true)
+  | `Custom f -> (f, false)
+
+let entry_term ambiguous_only (e : Summary.entry) kappa index =
+  if ambiguous_only && Array.length e.parents = 1 then 0.0
+  else begin
+    let survive =
+      Array.fold_left
+        (fun acc p -> acc *. (1.0 -. kappa.(Hashtbl.find index p)))
+        1.0 e.parents
+    in
+    let p_j = clamp (1.0 -. survive) in
+    (float_of_int e.leaks *. Float.log p_j)
+    +. (float_of_int (e.count - e.leaks) *. Float.log (1.0 -. p_j))
+  end
+
+let log_posterior ~prior ~ambiguous_only (summary : Summary.t) kappa =
+  let parents = Summary.parents_union summary in
+  if Array.length kappa <> Array.length parents then
+    invalid_arg "Joint_bayes.log_posterior: dimension mismatch";
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i p -> Hashtbl.add index p i) parents;
+  let prior_term =
+    ref 0.0
+  in
+  Array.iteri
+    (fun i j -> prior_term := !prior_term +. Beta.log_pdf (prior j) kappa.(i))
+    parents;
+  List.fold_left
+    (fun acc e -> acc +. entry_term ambiguous_only e kappa index)
+    !prior_term summary.entries
+
+type result = {
+  estimate : Trainer.estimate;
+  samples : float array array;
+  acceptance : float;
+}
+
+let run ?(options = default_options) rng (summary : Summary.t) =
+  if options.burn_in < 0 || options.thin < 1 || options.samples < 1 then
+    invalid_arg "Joint_bayes.run: bad options";
+  let parents = Summary.parents_union summary in
+  let d = Array.length parents in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i p -> Hashtbl.add index p i) parents;
+  let prior, ambiguous_only = resolve_prior options summary in
+  let priors = Array.map prior parents in
+  (* entries_of.(i): the summary entries whose characteristic contains
+     parent i — the only likelihood terms a coordinate move touches. *)
+  let entries_of = Array.make d [] in
+  List.iter
+    (fun (e : Summary.entry) ->
+      Array.iter
+        (fun p ->
+          let i = Hashtbl.find index p in
+          entries_of.(i) <- e :: entries_of.(i))
+        e.parents)
+    summary.entries;
+  let kappa = Array.map Beta.mean priors in
+  Array.iteri (fun i k -> kappa.(i) <- clamp k) kappa;
+  let local_log_density i =
+    Beta.log_pdf priors.(i) kappa.(i)
+    +. List.fold_left
+         (fun acc e -> acc +. entry_term ambiguous_only e kappa index)
+         0.0 entries_of.(i)
+  in
+  let proposed = ref 0 and accepted = ref 0 in
+  let sweep () =
+    for i = 0 to d - 1 do
+      incr proposed;
+      let current = kappa.(i) in
+      let before = local_log_density i in
+      kappa.(i) <-
+        reflect
+          (current
+          +. Iflow_stats.Dist.gaussian rng ~mean:0.0 ~std:options.step_std);
+      let after = local_log_density i in
+      if Float.log (Float.max (Rng.uniform rng) 1e-300) <= after -. before then
+        incr accepted
+      else kappa.(i) <- current
+    done
+  in
+  for _ = 1 to options.burn_in do
+    sweep ()
+  done;
+  let samples =
+    Array.init options.samples (fun _ ->
+        for _ = 1 to options.thin do
+          sweep ()
+        done;
+        Array.copy kappa)
+  in
+  let column i = Array.map (fun s -> s.(i)) samples in
+  let mean = Array.init d (fun i -> Descriptive.mean (column i)) in
+  let std = Array.init d (fun i -> Descriptive.std (column i)) in
+  {
+    estimate = { Trainer.sink = summary.sink; parents; mean; std };
+    samples;
+    acceptance =
+      (if !proposed = 0 then 0.0
+       else float_of_int !accepted /. float_of_int !proposed);
+  }
+
+let train ?options rng summary = (run ?options rng summary).estimate

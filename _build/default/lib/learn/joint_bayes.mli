@@ -1,0 +1,53 @@
+(** The paper's generative unattributed trainer (Section V-B): a joint
+    Bayesian posterior over the activation probabilities of all edges
+    into one sink, sampled with Metropolis-Hastings.
+
+    Model, per sink [k] with candidate parents [j] and evidence summary
+    [D_k]: each characteristic [J] with [n_J] observations and [L_J]
+    leaks contributes a Binomial([n_J], [p_J]) likelihood where
+    [p_J = 1 - prod_{j in J} (1 - p_jk)]; each edge probability has a
+    Beta prior.
+
+    On priors: the paper sets the prior from the unambiguous
+    characteristics and (reading [D_k] as the remaining evidence) the
+    likelihood over the rest. Because Beta priors are conjugate to the
+    unambiguous (singleton) rows, that construction is {i exactly
+    equivalent} to a uniform Beta(1,1) prior with the likelihood over
+    all characteristics — which is what [`Uniform] computes. [`Informed]
+    computes the paper's formulation literally; the two posteriors agree
+    and a test checks it. *)
+
+type options = {
+  burn_in : int; (** full coordinate sweeps discarded *)
+  thin : int; (** sweeps between retained samples *)
+  samples : int;
+  step_std : float; (** reflected random-walk proposal width *)
+  prior : [ `Uniform | `Informed | `Custom of int -> Iflow_stats.Dist.Beta.t ];
+      (** [`Custom f] gives the prior for parent node [f j]. *)
+}
+
+val default_options : options
+
+type result = {
+  estimate : Trainer.estimate;
+  samples : float array array;
+      (** retained posterior samples; [samples.(s).(i)] is parent [i]'s
+          probability in sample [s] — the Fig 11 scatter data *)
+  acceptance : float;
+}
+
+val run :
+  ?options:options -> Iflow_stats.Rng.t -> Iflow_core.Summary.t -> result
+
+val train :
+  ?options:options -> Iflow_stats.Rng.t -> Iflow_core.Summary.t ->
+  Trainer.estimate
+(** Posterior mean and std per candidate parent. *)
+
+val log_posterior :
+  prior:(int -> Iflow_stats.Dist.Beta.t) ->
+  ambiguous_only:bool ->
+  Iflow_core.Summary.t -> float array -> float
+(** Unnormalised log posterior density at a probability vector (indexed
+    like [Summary.parents_union]); exposed for tests and for the timing
+    benches of Fig 6. *)

@@ -1,0 +1,150 @@
+module Summary = Iflow_core.Summary
+module Evidence = Iflow_core.Evidence
+module Digraph = Iflow_graph.Digraph
+module Rng = Iflow_stats.Rng
+
+type options = {
+  max_iterations : int;
+  tolerance : float;
+  init : [ `Half | `Random of Rng.t ];
+}
+
+let default_options = { max_iterations = 200; tolerance = 1e-10; init = `Half }
+
+(* Keep estimates strictly inside (0, 1) so the E step never divides by
+   a vanishing characteristic probability. *)
+let clamp p = Float.max 1e-9 (Float.min (1.0 -. 1e-9) p)
+
+let em_on_summary options (summary : Summary.t) =
+  let parents = Summary.parents_union summary in
+  let d = Array.length parents in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i p -> Hashtbl.add index p i) parents;
+  let kappa =
+    Array.init d (fun _ ->
+        match options.init with
+        | `Half -> 0.5
+        | `Random rng -> clamp (Rng.uniform rng))
+  in
+  (* Denominator sum_{J ∋ v} n_J is iteration-independent. *)
+  let exposure = Array.make d 0.0 in
+  List.iter
+    (fun (e : Summary.entry) ->
+      Array.iter
+        (fun p ->
+          let i = Hashtbl.find index p in
+          exposure.(i) <- exposure.(i) +. float_of_int e.count)
+        e.parents)
+    summary.entries;
+  let numerator = Array.make d 0.0 in
+  let iteration () =
+    Array.fill numerator 0 d 0.0;
+    List.iter
+      (fun (e : Summary.entry) ->
+        if e.leaks > 0 then begin
+          (* E step for this characteristic: P_J under current kappa. *)
+          let p_j =
+            1.0
+            -. Array.fold_left
+                 (fun acc p ->
+                   acc *. (1.0 -. kappa.(Hashtbl.find index p)))
+                 1.0 e.parents
+          in
+          let p_j = Float.max p_j 1e-12 in
+          Array.iter
+            (fun p ->
+              let i = Hashtbl.find index p in
+              numerator.(i) <-
+                numerator.(i) +. (float_of_int e.leaks *. kappa.(i) /. p_j))
+            e.parents
+        end)
+      summary.entries;
+    let delta = ref 0.0 in
+    for i = 0 to d - 1 do
+      if exposure.(i) > 0.0 then begin
+        let updated = clamp (numerator.(i) /. exposure.(i)) in
+        delta := Float.max !delta (Float.abs (updated -. kappa.(i)));
+        kappa.(i) <- updated
+      end
+    done;
+    !delta
+  in
+  let rec run i =
+    if i < options.max_iterations then begin
+      let delta = iteration () in
+      if delta > options.tolerance then run (i + 1)
+    end
+  in
+  run 0;
+  {
+    Trainer.sink = summary.sink;
+    parents;
+    mean = Array.copy kappa;
+    std = Array.make d 0.0;
+  }
+
+let train ?(options = default_options) summary = em_on_summary options summary
+
+let discrete_summary g traces ~sink =
+  let rows = Hashtbl.create 64 in
+  let observe parents leaked =
+    let key = Array.to_list parents in
+    let count, leaks =
+      match Hashtbl.find_opt rows key with
+      | Some row -> row
+      | None ->
+        let row = (ref 0, ref 0) in
+        Hashtbl.add rows key row;
+        row
+    in
+    incr count;
+    if leaked then incr leaks
+  in
+  List.iter
+    (fun (tr : Evidence.trace) ->
+      if not (List.mem sink tr.trace_sources) then begin
+        let t_sink = tr.times.(sink) in
+        let parent_times =
+          List.filter_map
+            (fun u ->
+              if tr.times.(u) >= 0 then Some (u, tr.times.(u)) else None)
+            (Digraph.in_neighbours g sink)
+        in
+        (* One observation per step t at which some in-neighbour
+           activated at t - 1, while the sink was not yet active. *)
+        let steps =
+          List.sort_uniq compare (List.map (fun (_, t) -> t + 1) parent_times)
+        in
+        List.iter
+          (fun t ->
+            if t_sink < 0 || t <= t_sink then begin
+              let at_step =
+                List.filter_map
+                  (fun (u, tu) -> if tu = t - 1 then Some u else None)
+                  parent_times
+              in
+              match at_step with
+              | [] -> ()
+              | ps ->
+                observe
+                  (Array.of_list (List.sort_uniq compare ps))
+                  (t_sink = t)
+            end)
+          steps
+      end)
+    traces;
+  let table =
+    Hashtbl.fold
+      (fun key (count, leaks) acc ->
+        (Array.of_list key, !count, !leaks) :: acc)
+      rows []
+  in
+  Summary.of_table ~sink table
+
+let train_discrete ?(options = default_options) g traces ~sink =
+  em_on_summary options (discrete_summary g traces ~sink)
+
+let restarts ?options rng ~n summary =
+  let base = Option.value options ~default:default_options in
+  List.init n (fun _ ->
+      em_on_summary { base with init = `Random (Rng.split rng) } summary)

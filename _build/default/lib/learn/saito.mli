@@ -1,0 +1,50 @@
+(** Expectation-maximisation estimation of ICM diffusion probabilities,
+    after Saito, Nakano & Kimura (KES 2008), in two flavours:
+
+    - {!train_discrete}: the original method, which assumes a parent
+      active at step [t] can only cause activation at step [t + 1]. Its
+      sufficient statistic groups, per time step, the set of parents
+      that activated at the previous step.
+    - {!train}: the paper's modified EM (Appendix), which only assumes
+      the responsible parent was active {i earlier}, and runs on the
+      same characteristic summaries as the joint Bayes method —
+      per-characteristic E step [P_J = 1 - prod (1 - k_v)] and M step
+      [k_v <- (sum_{J ∋ v} L_J k_v / P_J) / (sum_{J ∋ v} n_J)].
+
+    EM converges to a local maximum of the likelihood; {!restarts}
+    exposes the multimodality the paper demonstrates in Fig 11. *)
+
+type options = {
+  max_iterations : int;
+  tolerance : float; (** stop when no estimate moves more than this *)
+  init : [ `Half | `Random of Iflow_stats.Rng.t ];
+}
+
+val default_options : options
+
+val em_on_summary : options -> Iflow_core.Summary.t -> Trainer.estimate
+(** Run the (modified, summarised) EM directly on a summary. *)
+
+val train : ?options:options -> Iflow_core.Summary.t -> Trainer.estimate
+(** The paper's modified EM with defaults. *)
+
+val discrete_summary :
+  Iflow_graph.Digraph.t -> Iflow_core.Evidence.unattributed -> sink:int ->
+  Iflow_core.Summary.t
+(** The discrete-time sufficient statistic: one observation per (object,
+    step) with in-neighbours that activated at the immediately preceding
+    step, leaking iff the sink activated at that step. *)
+
+val train_discrete :
+  ?options:options ->
+  Iflow_graph.Digraph.t -> Iflow_core.Evidence.unattributed -> sink:int ->
+  Trainer.estimate
+(** Original Saito: EM on the discrete-time statistic. *)
+
+val restarts :
+  ?options:options ->
+  Iflow_stats.Rng.t -> n:int -> Iflow_core.Summary.t -> Trainer.estimate list
+(** [n] independent EM runs from uniform-random initialisations — the
+    Fig 11 local-maxima scatter. The paper fixes EM at 200 iterations
+    with no early stopping for that figure; pass
+    [{ default_options with tolerance = 0.0 }] to match. *)

@@ -1,0 +1,58 @@
+module Digraph = Iflow_graph.Digraph
+module Measures = Iflow_stats.Measures
+
+type estimate = {
+  sink : int;
+  parents : int array;
+  mean : float array;
+  std : float array;
+}
+
+let parent_index e node =
+  let n = Array.length e.parents in
+  let rec search lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      if e.parents.(mid) = node then Some mid
+      else if e.parents.(mid) < node then search (mid + 1) hi
+      else search lo mid
+    end
+  in
+  search 0 n
+
+let mean_for e node = Option.map (fun i -> e.mean.(i)) (parent_index e node)
+
+let rmse_vs_truth e ~truth =
+  let expected = Array.map truth e.parents in
+  Measures.rmse ~expected ~actual:e.mean
+
+let apply_to_icm icm estimates =
+  let g = Iflow_core.Icm.graph icm in
+  let probs = Iflow_core.Icm.probs icm in
+  List.iter
+    (fun e ->
+      Array.iteri
+        (fun i parent ->
+          match Digraph.find_edge g ~src:parent ~dst:e.sink with
+          | Some edge -> probs.(edge) <- Float.max 0.0 (Float.min 1.0 e.mean.(i))
+          | None -> ())
+        e.parents)
+    estimates;
+  Iflow_core.Icm.create g probs
+
+let mean_std_arrays g ~default_mean ~default_std estimates =
+  let m = Digraph.n_edges g in
+  let mean = Array.make m default_mean and std = Array.make m default_std in
+  List.iter
+    (fun e ->
+      Array.iteri
+        (fun i parent ->
+          match Digraph.find_edge g ~src:parent ~dst:e.sink with
+          | Some edge ->
+            mean.(edge) <- e.mean.(i);
+            std.(edge) <- e.std.(i)
+          | None -> ())
+        e.parents)
+    estimates;
+  (mean, std)

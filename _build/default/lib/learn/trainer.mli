@@ -1,0 +1,35 @@
+(** Common shape of the unattributed trainers (paper Section V).
+
+    Every method estimates, for one sink node [k], the activation
+    probability of each candidate in-edge [(j, k)] from an evidence
+    {!Iflow_core.Summary.t}. Point methods report zero uncertainty;
+    the joint Bayes method reports posterior standard deviations. *)
+
+type estimate = {
+  sink : int;
+  parents : int array; (** candidate parent node ids, sorted ascending *)
+  mean : float array; (** estimated activation probability per parent *)
+  std : float array; (** posterior std per parent; zeros for point methods *)
+}
+
+val parent_index : estimate -> int -> int option
+(** Position of a parent node in [parents], if present. *)
+
+val mean_for : estimate -> int -> float option
+(** Estimated probability for a given parent node. *)
+
+val rmse_vs_truth : estimate -> truth:(int -> float) -> float
+(** Root mean squared error between [mean] and the ground-truth
+    activation probability per parent (Fig 7's metric). *)
+
+val apply_to_icm : Iflow_core.Icm.t -> estimate list -> Iflow_core.Icm.t
+(** Produce a new ICM over the same graph with the estimated
+    probabilities written onto the corresponding edges (edges not
+    covered by any estimate keep their old value). The input ICM
+    typically carries a default (e.g. 0 or the prior mean). *)
+
+val mean_std_arrays :
+  Iflow_graph.Digraph.t -> default_mean:float -> default_std:float ->
+  estimate list -> float array * float array
+(** Per-edge mean/std arrays over the whole graph, for the Gaussian
+    approximation experiments (Fig 10). *)

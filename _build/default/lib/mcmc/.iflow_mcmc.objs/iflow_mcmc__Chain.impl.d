@@ -1,0 +1,1 @@
+lib/mcmc/chain.ml: Array Conditions Iflow_core Iflow_stats

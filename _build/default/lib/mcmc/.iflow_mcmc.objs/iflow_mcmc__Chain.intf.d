@@ -1,0 +1,1 @@
+lib/mcmc/chain.mli: Conditions Iflow_core Iflow_stats

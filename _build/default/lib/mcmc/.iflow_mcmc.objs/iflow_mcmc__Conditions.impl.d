@@ -1,0 +1,1 @@
+lib/mcmc/conditions.ml: Array Format Hashtbl Iflow_core Iflow_graph Iflow_stats List Printf

@@ -1,0 +1,1 @@
+lib/mcmc/conditions.mli: Format Iflow_core Iflow_stats

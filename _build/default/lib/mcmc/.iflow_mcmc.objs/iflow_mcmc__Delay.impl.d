@@ -1,0 +1,1 @@
+lib/mcmc/delay.ml: Array Estimator Float Iflow_core Iflow_graph Iflow_stats Set

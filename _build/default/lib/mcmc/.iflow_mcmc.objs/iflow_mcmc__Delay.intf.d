@@ -1,0 +1,1 @@
+lib/mcmc/delay.mli: Conditions Estimator Iflow_core Iflow_stats

@@ -1,0 +1,1 @@
+lib/mcmc/estimator.ml: Array Chain Conditions Iflow_core List

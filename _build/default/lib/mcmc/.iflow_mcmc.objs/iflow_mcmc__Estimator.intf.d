@@ -1,0 +1,1 @@
+lib/mcmc/estimator.mli: Conditions Iflow_core Iflow_stats

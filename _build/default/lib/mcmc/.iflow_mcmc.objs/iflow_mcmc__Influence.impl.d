@@ -1,0 +1,1 @@
+lib/mcmc/influence.ml: Array Float Iflow_core Iflow_stats List

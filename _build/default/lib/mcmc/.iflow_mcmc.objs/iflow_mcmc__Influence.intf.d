@@ -1,0 +1,1 @@
+lib/mcmc/influence.mli: Iflow_core Iflow_stats

@@ -1,0 +1,1 @@
+lib/mcmc/nested.ml: Array Estimator Iflow_core Iflow_stats

@@ -1,0 +1,1 @@
+lib/mcmc/nested.mli: Conditions Estimator Iflow_core Iflow_graph Iflow_stats

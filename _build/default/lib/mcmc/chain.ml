@@ -1,0 +1,98 @@
+module Icm = Iflow_core.Icm
+module Pseudo_state = Iflow_core.Pseudo_state
+module Fenwick = Iflow_stats.Fenwick
+module Rng = Iflow_stats.Rng
+
+type t = {
+  icm : Icm.t;
+  conditions : Conditions.t;
+  state : Pseudo_state.t;
+  weights : Fenwick.t;
+  mutable z : float; (* cached total proposal weight *)
+  mutable steps : int;
+  mutable accepted : int;
+  mutable since_rebuild : int;
+}
+
+(* Weight of proposing a flip of edge e: probability of the activity the
+   edge would take after the flip. *)
+let proposal_weight icm state e =
+  let p = Icm.prob icm e in
+  if Pseudo_state.get state e then 1.0 -. p else p
+
+let rebuild_every = 1 lsl 16
+
+let create ?(conditions = Conditions.empty) ?init rng icm =
+  let state =
+    match init with
+    | Some s ->
+      if Pseudo_state.n_edges s <> Icm.n_edges icm then
+        invalid_arg "Chain.create: init size mismatch";
+      if Pseudo_state.log_prob icm s = neg_infinity then
+        invalid_arg "Chain.create: init has zero probability";
+      if not (Conditions.satisfied icm s conditions) then
+        invalid_arg "Chain.create: init violates conditions";
+      Pseudo_state.copy s
+    | None ->
+      (match Conditions.initial_state rng icm conditions with
+      | Some s -> s
+      | None ->
+        failwith "Chain.create: could not satisfy flow conditions")
+  in
+  let weights =
+    Fenwick.of_array
+      (Array.init (Icm.n_edges icm) (proposal_weight icm state))
+  in
+  {
+    icm;
+    conditions;
+    state;
+    weights;
+    z = Fenwick.total weights;
+    steps = 0;
+    accepted = 0;
+    since_rebuild = 0;
+  }
+
+let icm t = t.icm
+let conditions t = t.conditions
+let state t = t.state
+
+let step rng t =
+  t.steps <- t.steps + 1;
+  if t.z > 0.0 then begin
+    let e = Fenwick.sample rng t.weights in
+    let w = Fenwick.get t.weights e in
+    (* Flipping e replaces its weight w by 1 - w (the two weights are p
+       and 1-p), so Z' = Z + 1 - 2w; acceptance is min(Z/Z', 1). *)
+    let z' = t.z +. 1.0 -. (2.0 *. w) in
+    let a = if t.z < z' then t.z /. z' else 1.0 in
+    if Rng.uniform rng <= a then begin
+      Pseudo_state.flip t.state e;
+      if Conditions.satisfied t.icm t.state t.conditions then begin
+        t.accepted <- t.accepted + 1;
+        Fenwick.set t.weights e (1.0 -. w);
+        t.since_rebuild <- t.since_rebuild + 1;
+        if t.since_rebuild >= rebuild_every then begin
+          Fenwick.rebuild t.weights;
+          t.since_rebuild <- 0
+        end;
+        t.z <- Fenwick.total t.weights
+      end
+      else
+        (* Candidate violates the conditions: indicator 0, reject. *)
+        Pseudo_state.flip t.state e
+    end
+  end
+
+let advance rng t k =
+  for _ = 1 to k do
+    step rng t
+  done
+
+let steps_taken t = t.steps
+
+let acceptance_rate t =
+  if t.steps = 0 then 0.0 else float_of_int t.accepted /. float_of_int t.steps
+
+let normaliser t = t.z

@@ -1,0 +1,45 @@
+(** The paper's Metropolis-Hastings sampler over pseudo-states
+    (Section III, Algorithm 1).
+
+    The proposal flips exactly one edge, drawn from a multinomial whose
+    weight for edge [e] is the probability of the activity it would have
+    {i after} the flip — [p_e] when currently inactive, [1 - p_e] when
+    active. The weights live in a Fenwick tree, so drawing the proposal
+    and maintaining its normaliser [Z] take O(log m) per step. With this
+    proposal the acceptance probability collapses to
+
+      [A(x, x') = I(x', C) * min (Z / Z', 1)]
+
+    where [Z'] differs from [Z] only by the flipped edge's weight. *)
+
+type t
+
+val create :
+  ?conditions:Conditions.t ->
+  ?init:Iflow_core.Pseudo_state.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> t
+(** Fresh chain. Without [init], the initial state is drawn from the
+    marginal (or repaired to satisfy [conditions]). Raises [Failure]
+    when no state satisfying the conditions could be constructed, and
+    [Invalid_argument] when [init] itself violates them or has zero
+    probability. *)
+
+val icm : t -> Iflow_core.Icm.t
+val conditions : t -> Conditions.t
+
+val state : t -> Iflow_core.Pseudo_state.t
+(** The live current state — not a copy; do not mutate. *)
+
+val step : Iflow_stats.Rng.t -> t -> unit
+(** One Metropolis-Hastings transition (propose, accept or reject). *)
+
+val advance : Iflow_stats.Rng.t -> t -> int -> unit
+(** [advance rng t k] performs [k] steps — used for burn-in and
+    thinning. *)
+
+val steps_taken : t -> int
+val acceptance_rate : t -> float
+
+val normaliser : t -> float
+(** Current proposal normaliser Z (exposed for tests of the O(log m)
+    bookkeeping). *)

@@ -1,0 +1,153 @@
+module Icm = Iflow_core.Icm
+module Pseudo_state = Iflow_core.Pseudo_state
+module Traverse = Iflow_graph.Traverse
+module Rng = Iflow_stats.Rng
+
+type constrained_flow = { cond_src : int; cond_dst : int; required : bool }
+type t = constrained_flow list
+
+let empty = []
+
+let v list =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (u, v, required) ->
+      (match Hashtbl.find_opt seen (u, v) with
+      | Some prev when prev <> required ->
+        invalid_arg
+          (Printf.sprintf "Conditions.v: contradictory conditions on %d ~> %d"
+             u v)
+      | _ -> Hashtbl.replace seen (u, v) required);
+      { cond_src = u; cond_dst = v; required })
+    list
+
+let is_empty t = t = []
+let to_list t = List.map (fun c -> (c.cond_src, c.cond_dst, c.required)) t
+let length = List.length
+
+let sources t = List.sort_uniq compare (List.map (fun c -> c.cond_src) t)
+
+let satisfied icm state t =
+  match t with
+  | [] -> true
+  | _ ->
+    let reach = Hashtbl.create 4 in
+    let reach_from u =
+      match Hashtbl.find_opt reach u with
+      | Some r -> r
+      | None ->
+        let r = Pseudo_state.reachable icm state ~sources:[ u ] in
+        Hashtbl.add reach u r;
+        r
+    in
+    List.for_all
+      (fun { cond_src; cond_dst; required } ->
+        (reach_from cond_src).(cond_dst) = required)
+      t
+
+(* A state with positive model probability: edges with p = 1 must be
+   active, edges with p = 0 must be inactive; others free. *)
+let clamp_determined icm state =
+  for e = 0 to Icm.n_edges icm - 1 do
+    let p = Icm.prob icm e in
+    if p >= 1.0 then Pseudo_state.set state e true
+    else if p <= 0.0 then Pseudo_state.set state e false
+  done
+
+let repair_positive rng icm state { cond_src; cond_dst; _ } =
+  (* Activate a shortest path through edges that are allowed to be
+     active (p > 0), preferring already-active edges so we perturb the
+     state as little as possible. *)
+  let g = Icm.graph icm in
+  let usable e = Icm.prob icm e > 0.0 in
+  ignore rng;
+  match Traverse.shortest_path ~active:usable g ~src:cond_src ~dst:cond_dst with
+  | None -> false
+  | Some edges ->
+    List.iter (fun e -> Pseudo_state.set state e true) edges;
+    true
+
+let repair_negative rng icm state { cond_src; cond_dst; _ } =
+  (* While an active path exists, cut a random deactivatable edge on it. *)
+  let g = Icm.graph icm in
+  let rec loop budget =
+    if budget = 0 then false
+    else begin
+      match
+        Traverse.shortest_path ~active:(Pseudo_state.get state) g
+          ~src:cond_src ~dst:cond_dst
+      with
+      | None -> true
+      | Some edges ->
+        let cuttable =
+          List.filter (fun e -> Icm.prob icm e < 1.0) edges
+        in
+        (match cuttable with
+        | [] -> false
+        | _ ->
+          let e = Rng.choose rng (Array.of_list cuttable) in
+          Pseudo_state.set state e false;
+          loop (budget - 1))
+    end
+  in
+  loop (Icm.n_edges icm + 1)
+
+let initial_state rng icm t =
+  let m = Icm.n_edges icm in
+  if is_empty t then begin
+    let s = Pseudo_state.sample rng icm in
+    Some s
+  end
+  else begin
+    (* Phase 1: rejection sampling from the marginal. *)
+    let rec reject tries =
+      if tries = 0 then None
+      else begin
+        let s = Pseudo_state.sample rng icm in
+        if satisfied icm s t then Some s else reject (tries - 1)
+      end
+    in
+    match reject 50 with
+    | Some s -> Some s
+    | None ->
+      (* Phase 2: greedy repair from a fresh sample. Positive conditions
+         first (adding edges), then negative (cutting), then re-check:
+         cutting can break a positive condition, so iterate a few
+         times. *)
+      let rec attempt tries =
+        if tries = 0 then None
+        else begin
+          let s = Pseudo_state.sample rng icm in
+          clamp_determined icm s;
+          let rec rounds k =
+            if k = 0 then false
+            else if satisfied icm s t then true
+            else begin
+              let ok =
+                List.for_all
+                  (fun c ->
+                    if c.required then repair_positive rng icm s c
+                    else repair_negative rng icm s c)
+                  t
+              in
+              if not ok then false else rounds (k - 1)
+            end
+          in
+          if rounds (2 + length t) && satisfied icm s t then Some s
+          else attempt (tries - 1)
+        end
+      in
+      ignore m;
+      attempt 20
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i { cond_src; cond_dst; required } ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d %s %d" cond_src
+        (if required then "~>" else "!~>")
+        cond_dst)
+    t;
+  Format.fprintf ppf "}"

@@ -1,0 +1,39 @@
+(** Flow conditions: constraints on which end-to-end flows exist
+    (paper Section III, "constrained flow" tuples (u, v, a)).
+
+    Conditioning the Metropolis-Hastings chain on a set of conditions
+    samples pseudo-states from [Pr (x | M, C)] (Equation 6); the chain
+    only ever moves between states whose combined indicator
+    [I(x, C) = 1] (Equation 7). *)
+
+type t
+
+val empty : t
+
+val v : (int * int * bool) list -> t
+(** [(u, v, required)] — when [required], flow [u ~> v] must exist;
+    otherwise it must not. Raises [Invalid_argument] on a directly
+    contradictory pair. *)
+
+val is_empty : t -> bool
+val to_list : t -> (int * int * bool) list
+val length : t -> int
+
+val sources : t -> int list
+(** Distinct condition sources (reachability is computed once per
+    source when checking the indicator). *)
+
+val satisfied : Iflow_core.Icm.t -> Iflow_core.Pseudo_state.t -> t -> bool
+(** The combined indicator I(x, C). *)
+
+val initial_state :
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> t ->
+  Iflow_core.Pseudo_state.t option
+(** A pseudo-state with positive probability under the model that
+    satisfies the conditions: first rejection-sample from the marginal,
+    then fall back on greedy repair (activate shortest paths for unmet
+    positive conditions, cut paths for violated negative ones).
+    [None] when no satisfying state was found — e.g. a positive
+    condition between disconnected nodes. *)
+
+val pp : Format.formatter -> t -> unit

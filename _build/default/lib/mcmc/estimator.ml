@@ -1,0 +1,85 @@
+module Icm = Iflow_core.Icm
+module Pseudo_state = Iflow_core.Pseudo_state
+
+type config = { burn_in : int; thin : int; samples : int }
+
+let default_config = { burn_in = 1000; thin = 20; samples = 1000 }
+let quick_config = { burn_in = 300; thin = 5; samples = 400 }
+
+let validate { burn_in; thin; samples } =
+  if burn_in < 0 || thin < 1 || samples < 1 then
+    invalid_arg "Estimator: bad config"
+
+let fold_samples ?conditions rng icm config ~init ~f =
+  validate config;
+  let chain = Chain.create ?conditions rng icm in
+  Chain.advance rng chain config.burn_in;
+  let acc = ref init in
+  for _ = 1 to config.samples do
+    Chain.advance rng chain config.thin;
+    acc := f !acc (Chain.state chain)
+  done;
+  !acc
+
+let flow_probability ?conditions rng icm config ~src ~dst =
+  let hits =
+    fold_samples ?conditions rng icm config ~init:0 ~f:(fun acc state ->
+        if Pseudo_state.flow icm state ~src ~dst then acc + 1 else acc)
+  in
+  float_of_int hits /. float_of_int config.samples
+
+let conditional_flow_by_ratio rng icm config ~conditions ~src ~dst =
+  let joint, satisfied =
+    fold_samples rng icm config ~init:(0, 0) ~f:(fun (joint, satisfied) state ->
+        if Conditions.satisfied icm state conditions then begin
+          let satisfied = satisfied + 1 in
+          if Pseudo_state.flow icm state ~src ~dst then (joint + 1, satisfied)
+          else (joint, satisfied)
+        end
+        else (joint, satisfied))
+  in
+  if satisfied = 0 then
+    failwith "Estimator.conditional_flow_by_ratio: no sample satisfied C";
+  float_of_int joint /. float_of_int satisfied
+
+let source_to_all ?conditions rng icm config ~src =
+  let counts = Array.make (Icm.n_nodes icm) 0 in
+  let () =
+    fold_samples ?conditions rng icm config ~init:() ~f:(fun () state ->
+        let reached = Pseudo_state.reachable icm state ~sources:[ src ] in
+        Array.iteri (fun v r -> if r then counts.(v) <- counts.(v) + 1) reached)
+  in
+  Array.map (fun c -> float_of_int c /. float_of_int config.samples) counts
+
+let community_flow ?conditions rng icm config ~src ~sinks =
+  let hits =
+    fold_samples ?conditions rng icm config ~init:0 ~f:(fun acc state ->
+        let reached = Pseudo_state.reachable icm state ~sources:[ src ] in
+        if List.for_all (fun v -> reached.(v)) sinks then acc + 1 else acc)
+  in
+  float_of_int hits /. float_of_int config.samples
+
+let joint_flow ?conditions rng icm config ~flows =
+  let hits =
+    fold_samples ?conditions rng icm config ~init:0 ~f:(fun acc state ->
+        let all =
+          List.for_all
+            (fun (u, v) -> Pseudo_state.flow icm state ~src:u ~dst:v)
+            flows
+        in
+        if all then acc + 1 else acc)
+  in
+  float_of_int hits /. float_of_int config.samples
+
+let impact_samples ?conditions rng icm config ~src =
+  let out = Array.make config.samples 0 in
+  let i = ref 0 in
+  let () =
+    fold_samples ?conditions rng icm config ~init:() ~f:(fun () state ->
+        let reached = Pseudo_state.reachable icm state ~sources:[ src ] in
+        let count = ref 0 in
+        Array.iteri (fun v r -> if r && v <> src then incr count) reached;
+        out.(!i) <- !count;
+        incr i)
+  in
+  out

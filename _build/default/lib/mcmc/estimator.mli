@@ -1,0 +1,66 @@
+(** Flow-probability estimation by Metropolis-Hastings sampling
+    (paper Equations 5–8).
+
+    Every estimator runs one chain: burn in, then take [samples] states
+    spaced [thin] steps apart and average an indicator (or collect a
+    statistic) over them. *)
+
+type config = { burn_in : int; thin : int; samples : int }
+
+val default_config : config
+(** burn_in 1000, thin 20, samples 1000 — comfortable for the paper's
+    50-node / 200-edge synthetic models. *)
+
+val quick_config : config
+(** A cheaper setting for large experiment sweeps. *)
+
+val fold_samples :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config ->
+  init:'a -> f:('a -> Iflow_core.Pseudo_state.t -> 'a) -> 'a
+(** The shared sampling loop; [f] must not retain or mutate the state it
+    is handed. *)
+
+val flow_probability :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config ->
+  src:int -> dst:int -> float
+(** Estimate of [Pr (src ~> dst | M, C)]. *)
+
+val source_to_all :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config -> src:int -> float array
+(** [Pr (src ~> v)] for every node [v] from a single chain (one
+    reachability sweep per retained sample covers all sinks). The entry
+    for [src] itself is 1. *)
+
+val conditional_flow_by_ratio :
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config ->
+  conditions:Conditions.t -> src:int -> dst:int -> float
+(** The paper's footnote-2 alternative to the constrained chain: sample
+    the {i unconstrained} marginal chain and estimate
+    [Pr (src ~> dst | C) = #(flow and C) / #C] — "trading off the number
+    of samples with time per sample". Cheaper per step (no indicator
+    check inside the transition), but wasteful when [Pr C] is small.
+    Raises [Failure] when no retained sample satisfied the
+    conditions. *)
+
+val community_flow :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config ->
+  src:int -> sinks:int list -> float
+(** Probability that the object reaches every sink (source-to-community
+    flow). *)
+
+val joint_flow :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config ->
+  flows:(int * int) list -> float
+(** Probability that all the listed end-to-end flows co-occur. *)
+
+val impact_samples :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config -> src:int -> int array
+(** Per retained sample, the number of non-source nodes reached from
+    [src] — the dispersion / "number of retweeting users" statistic of
+    Fig 4. *)

@@ -1,0 +1,52 @@
+module Icm = Iflow_core.Icm
+module Cascade = Iflow_core.Cascade
+module Rng = Iflow_stats.Rng
+
+let expected_spread rng icm ~seeds ~runs =
+  if runs <= 0 then invalid_arg "Influence.expected_spread: runs <= 0";
+  let total = ref 0 in
+  for _ = 1 to runs do
+    let o = Cascade.run rng icm ~sources:seeds in
+    Array.iter (fun a -> if a then incr total) o.Iflow_core.Evidence.active_nodes
+  done;
+  float_of_int !total /. float_of_int runs
+
+(* Lazy greedy (CELF): keep an upper bound on each node's marginal gain
+   (its gain when last evaluated); submodularity means bounds only
+   shrink, so we re-evaluate the top candidate until it stays on top. *)
+let greedy_seeds ?(runs = 300) rng icm ~k =
+  let n = Icm.n_nodes icm in
+  if k < 0 || k > n then invalid_arg "Influence.greedy_seeds: bad k";
+  let seeds = ref [] in
+  let current_spread = ref 0.0 in
+  (* (bound, node, round last evaluated) max-heap via sorted list *)
+  let bounds = Array.init n (fun v -> (Float.infinity, v, -1)) in
+  let better (b1, _, _) (b2, _, _) = compare b2 b1 in
+  for round = 0 to k - 1 do
+    Array.sort better bounds;
+    let chosen = ref None in
+    while !chosen = None do
+      Array.sort better bounds;
+      let bound, v, evaluated = bounds.(0) in
+      ignore bound;
+      if List.mem v !seeds then
+        (* already selected: retire it *)
+        bounds.(0) <- (neg_infinity, v, round)
+      else if evaluated = round then begin
+        (* freshest bound is on top: it wins this round *)
+        chosen := Some v
+      end
+      else begin
+        let gain =
+          expected_spread rng icm ~seeds:(v :: !seeds) ~runs -. !current_spread
+        in
+        bounds.(0) <- (gain, v, round)
+      end
+    done;
+    match !chosen with
+    | Some v ->
+      seeds := v :: !seeds;
+      current_spread := expected_spread rng icm ~seeds:!seeds ~runs
+    | None -> assert false
+  done;
+  (List.rev !seeds, !current_spread)

@@ -1,0 +1,26 @@
+module Beta_icm = Iflow_core.Beta_icm
+module Descriptive = Iflow_stats.Descriptive
+module Beta = Iflow_stats.Dist.Beta
+
+let flow_samples ?conditions rng model config ~reps ~src ~dst =
+  if reps <= 0 then invalid_arg "Nested.flow_samples: reps <= 0";
+  Array.init reps (fun _ ->
+      let icm = Beta_icm.sample_icm rng model in
+      Estimator.flow_probability ?conditions rng icm config ~src ~dst)
+
+let gaussian_flow_samples ?conditions rng graph ~mean ~std config ~reps ~src
+    ~dst =
+  if reps <= 0 then invalid_arg "Nested.gaussian_flow_samples: reps <= 0";
+  Array.init reps (fun _ ->
+      let icm = Beta_icm.mean_std_icm rng ~mean ~std graph in
+      Estimator.flow_probability ?conditions rng icm config ~src ~dst)
+
+let fit_beta samples =
+  if Array.length samples < 2 then None
+  else
+    Beta.fit_moments ~mean:(Descriptive.mean samples)
+      ~variance:(Descriptive.variance samples)
+
+let mean_and_interval samples =
+  ( Descriptive.mean samples,
+    (Descriptive.quantile samples 0.025, Descriptive.quantile samples 0.975) )

@@ -1,0 +1,30 @@
+(** Nested Metropolis-Hastings: uncertainty over flow probabilities
+    (paper Section III-E, Figs 3 and 10).
+
+    A betaICM is a distribution over ICMs, so a flow probability under a
+    betaICM is itself a random variable. We sample point ICMs from the
+    betaICM, estimate the flow probability of each with the inner MH
+    chain, and return the sample of flow probabilities. *)
+
+val flow_samples :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Beta_icm.t -> Estimator.config ->
+  reps:int -> src:int -> dst:int -> float array
+(** [reps] outer draws; each entry is the MH flow estimate of one
+    sampled ICM. *)
+
+val gaussian_flow_samples :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_graph.Digraph.t ->
+  mean:float array -> std:float array -> Estimator.config ->
+  reps:int -> src:int -> dst:int -> float array
+(** Fig 10 variant: edge probabilities drawn independently from a
+    clipped Gaussian approximation of the posterior (mean, std per
+    edge). *)
+
+val fit_beta : float array -> Iflow_stats.Dist.Beta.t option
+(** Method-of-moments beta fit to a sample of probabilities — the
+    dashed "implied beta" overlay of Fig 3. *)
+
+val mean_and_interval : float array -> float * (float * float)
+(** Sample mean and empirical central 95% interval. *)

@@ -1,0 +1,1 @@
+lib/rwr/rwr.ml: Array Float Iflow_core Iflow_graph

@@ -1,0 +1,1 @@
+lib/rwr/rwr.mli: Iflow_core

@@ -1,0 +1,47 @@
+module Icm = Iflow_core.Icm
+module Digraph = Iflow_graph.Digraph
+
+let scores ?(restart = 0.15) ?(tolerance = 1e-10) ?(max_iterations = 1000) icm
+    ~src =
+  if restart <= 0.0 || restart > 1.0 then invalid_arg "Rwr.scores: restart";
+  let g = Icm.graph icm in
+  let n = Digraph.n_nodes g in
+  if src < 0 || src >= n then invalid_arg "Rwr.scores: src out of range";
+  let out_weight = Array.make n 0.0 in
+  Digraph.iter_edges g (fun e { Digraph.src = u; _ } ->
+      out_weight.(u) <- out_weight.(u) +. Icm.prob icm e);
+  let r = Array.make n 0.0 in
+  r.(src) <- 1.0;
+  let next = Array.make n 0.0 in
+  let rec iterate k =
+    Array.fill next 0 n 0.0;
+    let teleported = ref 0.0 in
+    for v = 0 to n - 1 do
+      if r.(v) > 0.0 then begin
+        if out_weight.(v) > 0.0 then begin
+          let carry = (1.0 -. restart) *. r.(v) in
+          Digraph.iter_out g v (fun e ->
+              let w = Digraph.edge_dst g e in
+              next.(w) <-
+                next.(w) +. (carry *. Icm.prob icm e /. out_weight.(v)));
+          teleported := !teleported +. (restart *. r.(v))
+        end
+        else teleported := !teleported +. r.(v)
+      end
+    done;
+    next.(src) <- next.(src) +. !teleported;
+    let delta = ref 0.0 in
+    for v = 0 to n - 1 do
+      delta := !delta +. Float.abs (next.(v) -. r.(v));
+      r.(v) <- next.(v)
+    done;
+    if !delta > tolerance && k < max_iterations then iterate (k + 1)
+  in
+  iterate 0;
+  Array.copy r
+
+let flow_estimate ?restart icm ~src ~dst =
+  let r = scores ?restart icm ~src in
+  let peak = ref 0.0 in
+  Array.iteri (fun v s -> if v <> src then peak := Float.max !peak s) r;
+  if !peak <= 0.0 then 0.0 else Float.min 1.0 (r.(dst) /. !peak)

@@ -1,0 +1,23 @@
+(** Random walk with restart (Tong, Faloutsos & Pan, ICDM 2006) — the
+    alternative flow predictor the paper compares against in Fig 5.
+
+    RWR computes a stationary similarity score, not a probability: a
+    walker starts at the source, follows out-edges with probability
+    proportional to their weight, and teleports back to the source with
+    the restart probability each step. The paper's point is precisely
+    that using these scores as flow probabilities is badly calibrated. *)
+
+val scores :
+  ?restart:float -> ?tolerance:float -> ?max_iterations:int ->
+  Iflow_core.Icm.t -> src:int -> float array
+(** Stationary distribution of the restarting walk, one score per node,
+    summing to 1. Edge weights are the ICM activation probabilities,
+    row-normalised per node; a node with no (positive-weight) out-edge
+    teleports. [restart] defaults to 0.15. *)
+
+val flow_estimate :
+  ?restart:float -> Iflow_core.Icm.t -> src:int -> dst:int -> float
+(** The RWR stand-in for [Pr (src ~> dst)]: the sink's score rescaled by
+    the maximum non-source score so the estimates span [0, 1] (raw
+    stationary mass is vanishingly small on large graphs, which would
+    make the comparison in the bucket experiment degenerate). *)

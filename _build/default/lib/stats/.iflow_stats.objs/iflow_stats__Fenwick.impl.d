@@ -1,0 +1,1 @@
+lib/stats/fenwick.ml: Array Rng

@@ -1,0 +1,1 @@
+lib/stats/fenwick.mli: Rng

@@ -1,0 +1,1 @@
+lib/stats/measures.ml: Array Float Format List

@@ -1,0 +1,114 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.variance: empty";
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let std xs = Float.sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  if i >= n - 1 then sorted.(n - 1)
+  else begin
+    let frac = pos -. float_of_int i in
+    (sorted.(i) *. (1.0 -. frac)) +. (sorted.(i + 1) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+let autocorrelation xs ~lag =
+  let n = Array.length xs in
+  if lag < 0 || lag >= n then invalid_arg "Descriptive.autocorrelation: lag";
+  let m = mean xs in
+  let denom = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+  if denom <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - lag - 1 do
+      acc := !acc +. ((xs.(i) -. m) *. (xs.(i + lag) -. m))
+    done;
+    !acc /. denom
+  end
+
+let effective_sample_size xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.effective_sample_size: empty";
+  if n = 1 then 1.0
+  else begin
+    let rho_sum = ref 0.0 in
+    (try
+       for lag = 1 to n - 1 do
+         let rho = autocorrelation xs ~lag in
+         if rho <= 0.0 then raise Exit;
+         rho_sum := !rho_sum +. rho
+       done
+     with Exit -> ());
+    float_of_int n /. (1.0 +. (2.0 *. !rho_sum))
+  end
+
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+let histogram ?lo ?hi ~bins xs =
+  if bins <= 0 then invalid_arg "Descriptive.histogram: bins <= 0";
+  if Array.length xs = 0 then invalid_arg "Descriptive.histogram: empty";
+  let sample_lo, sample_hi = min_max xs in
+  let lo = Option.value lo ~default:sample_lo in
+  let hi = Option.value hi ~default:sample_hi in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  let counts = Array.make bins 0 in
+  let underflow = ref 0 and overflow = ref 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      if x < lo then incr underflow
+      else if x > hi then incr overflow
+      else begin
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else b in
+        counts.(b) <- counts.(b) + 1
+      end)
+    xs;
+  { lo; hi; counts; underflow = !underflow; overflow = !overflow }
+
+let histogram_bin_center h i =
+  let bins = Array.length h.counts in
+  let width = (h.hi -. h.lo) /. float_of_int bins in
+  h.lo +. ((float_of_int i +. 0.5) *. width)
+
+let pp_histogram ppf h =
+  let max_count = Array.fold_left max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let bar_len = c * 40 / max_count in
+      Format.fprintf ppf "%8.4f | %6d %s@." (histogram_bin_center h i) c
+        (String.make bar_len '#'))
+    h.counts;
+  if h.underflow > 0 || h.overflow > 0 then
+    Format.fprintf ppf "(underflow %d, overflow %d)@." h.underflow h.overflow

@@ -1,0 +1,45 @@
+(** Descriptive statistics and histograms over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; 0 for a singleton. *)
+
+val std : float array -> float
+
+val min_max : float array -> float * float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [[0, 1]], linear interpolation between
+    order statistics. Does not mutate [xs]. *)
+
+val median : float array -> float
+
+val autocorrelation : float array -> lag:int -> float
+(** Sample autocorrelation at a lag (normalised to [autocorrelation
+    ~lag:0 = 1]). 0 for constant series; raises [Invalid_argument] on
+    negative lags or lags beyond the series. *)
+
+val effective_sample_size : float array -> float
+(** MCMC effective sample size: [n / (1 + 2 sum rho_k)], truncating the
+    autocorrelation sum at the first non-positive term (Geyer's initial
+    positive sequence, simplified). Equals [n] for i.i.d. series and
+    shrinks as the chain autocorrelates. *)
+
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array; (** one cell per bin, equal widths across [lo, hi] *)
+  underflow : int;
+  overflow : int;
+}
+
+val histogram : ?lo:float -> ?hi:float -> bins:int -> float array -> histogram
+(** Equal-width histogram; bounds default to the sample range. *)
+
+val histogram_bin_center : histogram -> int -> float
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** One line per bin: center, count, and a proportional bar — the text
+    stand-in for the paper's frequency plots (Figs 3, 4). *)

@@ -1,0 +1,162 @@
+let two_pi = 2.0 *. Float.pi
+
+let gaussian rng ~mean ~std =
+  if std < 0.0 then invalid_arg "Dist.gaussian: std < 0";
+  (* Box-Muller; guard against log 0. *)
+  let u1 = Float.max (Rng.uniform rng) 1e-300 in
+  let u2 = Rng.uniform rng in
+  mean +. (std *. Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (two_pi *. u2))
+
+let gaussian_log_pdf ~mean ~std x =
+  if std <= 0.0 then invalid_arg "Dist.gaussian_log_pdf: std <= 0";
+  let z = (x -. mean) /. std in
+  -0.5 *. ((z *. z) +. Float.log (two_pi *. std *. std))
+
+(* Marsaglia & Tsang (2000). For shape < 1 we boost to shape + 1 and
+   apply the standard power-of-uniform correction. *)
+let rec gamma rng ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg (Printf.sprintf "Dist.gamma: shape = %g, scale = %g" shape scale);
+  if shape < 1.0 then begin
+    let u = Float.max (Rng.uniform rng) 1e-300 in
+    gamma rng ~shape:(shape +. 1.0) ~scale *. Float.pow u (1.0 /. shape)
+  end
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. Float.sqrt (9.0 *. d) in
+    let rec loop () =
+      let x = gaussian rng ~mean:0.0 ~std:1.0 in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then loop ()
+      else begin
+        let v = v *. v *. v in
+        let u = Float.max (Rng.uniform rng) 1e-300 in
+        if
+          Float.log u
+          < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. Float.log v)
+        then d *. v
+        else loop ()
+      end
+    in
+    scale *. loop ()
+  end
+
+let binomial_log_pmf ~n ~p k =
+  if n < 0 then invalid_arg "Dist.binomial_log_pmf: n < 0";
+  if k < 0 || k > n then neg_infinity
+  else if p <= 0.0 then (if k = 0 then 0.0 else neg_infinity)
+  else if p >= 1.0 then (if k = n then 0.0 else neg_infinity)
+  else
+    Special.log_choose n k
+    +. (float_of_int k *. Float.log p)
+    +. (float_of_int (n - k) *. Float.log (1.0 -. p))
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial: n < 0";
+  if p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else if n <= 64 then begin
+    let count = ref 0 in
+    for _ = 1 to n do
+      if Rng.bernoulli rng p then incr count
+    done;
+    !count
+  end
+  else begin
+    (* pmf inversion with the multiplicative recurrence
+       pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p). *)
+    let q = 1.0 -. p in
+    let ratio = p /. q in
+    let u = ref (Rng.uniform rng) in
+    let pmf = ref (Float.exp (float_of_int n *. Float.log q)) in
+    let k = ref 0 in
+    (* If q^n underflows, fall back on a gaussian approximation clipped to
+       the support; only reachable for huge n*p. *)
+    if !pmf <= 0.0 then begin
+      let nf = float_of_int n in
+      let x = gaussian rng ~mean:(nf *. p) ~std:(Float.sqrt (nf *. p *. q)) in
+      int_of_float (Float.max 0.0 (Float.min nf (Float.round x)))
+    end
+    else begin
+      while !u > !pmf && !k < n do
+        u := !u -. !pmf;
+        pmf := !pmf *. (float_of_int (n - !k) /. float_of_int (!k + 1)) *. ratio;
+        incr k
+      done;
+      !k
+    end
+  end
+
+let categorical rng weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if not (total > 0.0) then invalid_arg "Dist.categorical: non-positive total";
+  let u = Rng.float rng total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else begin
+      let acc = acc +. weights.(i) in
+      if u < acc then i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.0
+
+module Beta = struct
+  type t = { alpha : float; beta : float }
+
+  let v alpha beta =
+    if alpha <= 0.0 || beta <= 0.0 then
+      invalid_arg (Printf.sprintf "Dist.Beta.v: alpha = %g, beta = %g" alpha beta);
+    { alpha; beta }
+
+  let uniform = { alpha = 1.0; beta = 1.0 }
+  let mean { alpha; beta } = alpha /. (alpha +. beta)
+
+  let variance { alpha; beta } =
+    let s = alpha +. beta in
+    alpha *. beta /. (s *. s *. (s +. 1.0))
+
+  let std t = Float.sqrt (variance t)
+
+  let mode ({ alpha; beta } as t) =
+    if alpha > 1.0 && beta > 1.0 then (alpha -. 1.0) /. (alpha +. beta -. 2.0)
+    else mean t
+
+  let log_pdf { alpha; beta } x =
+    if x < 0.0 || x > 1.0 then neg_infinity
+    else if (x = 0.0 && alpha > 1.0) || (x = 1.0 && beta > 1.0) then neg_infinity
+    else
+      ((alpha -. 1.0) *. Float.log (Float.max x 1e-300))
+      +. ((beta -. 1.0) *. Float.log (Float.max (1.0 -. x) 1e-300))
+      -. Special.log_beta alpha beta
+
+  let cdf { alpha; beta } x = Special.betai alpha beta x
+  let quantile { alpha; beta } p = Special.betai_inv alpha beta p
+
+  let interval t mass =
+    if mass <= 0.0 || mass >= 1.0 then invalid_arg "Dist.Beta.interval";
+    let tail = (1.0 -. mass) /. 2.0 in
+    (quantile t tail, quantile t (1.0 -. tail))
+
+  let sample rng { alpha; beta } =
+    let x = gamma rng ~shape:alpha ~scale:1.0 in
+    let y = gamma rng ~shape:beta ~scale:1.0 in
+    x /. (x +. y)
+
+  let fit_moments ~mean ~variance =
+    if mean <= 0.0 || mean >= 1.0 || variance <= 0.0 then None
+    else begin
+      let bound = mean *. (1.0 -. mean) in
+      if variance >= bound then None
+      else begin
+        let nu = (bound /. variance) -. 1.0 in
+        Some { alpha = mean *. nu; beta = (1.0 -. mean) *. nu }
+      end
+    end
+
+  let of_counts ~successes ~failures =
+    if successes < 0 || failures < 0 then invalid_arg "Dist.Beta.of_counts";
+    { alpha = float_of_int (successes + 1); beta = float_of_int (failures + 1) }
+
+  let pp ppf { alpha; beta } = Format.fprintf ppf "Beta(%g, %g)" alpha beta
+end

@@ -1,0 +1,66 @@
+(** Probability distributions: samplers and (log-)densities.
+
+    Samplers take an explicit {!Rng.t}. Densities are pure. *)
+
+val gaussian : Rng.t -> mean:float -> std:float -> float
+(** Box-Muller normal sample. Requires [std >= 0]. *)
+
+val gaussian_log_pdf : mean:float -> std:float -> float -> float
+
+val gamma : Rng.t -> shape:float -> scale:float -> float
+(** Marsaglia-Tsang gamma sample; [shape > 0], [scale > 0]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Binomial sample by pmf inversion. O(n) worst case, fine for the
+    evidence sizes used here. *)
+
+val binomial_log_pmf : n:int -> p:float -> int -> float
+(** [binomial_log_pmf ~n ~p k] is [ln Pr(K = k)] for K ~ Binomial(n, p).
+    Handles [p = 0] and [p = 1] exactly (0 or [neg_infinity]). *)
+
+val categorical : Rng.t -> float array -> int
+(** [categorical rng weights] draws index [i] with probability
+    proportional to [weights.(i)] (weights must be non-negative with a
+    positive sum). Linear scan; use {!Fenwick} when weights mutate. *)
+
+(** Beta distributions, the workhorse of betaICMs. *)
+module Beta : sig
+  type t = { alpha : float; beta : float }
+
+  val v : float -> float -> t
+  (** [v alpha beta] with both parameters [> 0]. *)
+
+  val uniform : t
+  (** Beta(1, 1), the uninformative prior used throughout the paper. *)
+
+  val mean : t -> float
+  val variance : t -> float
+  val std : t -> float
+
+  val mode : t -> float
+  (** Mode for [alpha, beta > 1]; falls back to the mean otherwise. *)
+
+  val log_pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+
+  val interval : t -> float -> float * float
+  (** [interval t mass] is the central credible interval holding [mass]
+      probability, e.g. [interval t 0.95] is the (2.5%, 97.5%) quantile
+      pair used for the paper's confidence bands. *)
+
+  val sample : Rng.t -> t -> float
+  (** Sample via two gamma draws. *)
+
+  val fit_moments : mean:float -> variance:float -> t option
+  (** Method-of-moments fit; [None] when the moments are not achievable
+      by any beta distribution (variance too large or degenerate mean).
+      Used for the dashed "implied beta" curves of the paper's Fig 3. *)
+
+  val of_counts : successes:int -> failures:int -> t
+  (** Posterior from a uniform prior and the given Bernoulli counts:
+      Beta(successes + 1, failures + 1) — exactly the paper's attributed
+      training rule and its empirical-bucket distribution. *)
+
+  val pp : Format.formatter -> t -> unit
+end

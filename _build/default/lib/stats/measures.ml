@@ -1,0 +1,87 @@
+type prediction = { estimate : float; outcome : bool }
+
+let brier predictions =
+  match predictions with
+  | [] -> invalid_arg "Measures.brier: empty"
+  | _ ->
+    let n = List.length predictions in
+    let acc =
+      List.fold_left
+        (fun acc { estimate; outcome } ->
+          let target = if outcome then 1.0 else 0.0 in
+          let d = estimate -. target in
+          acc +. (d *. d))
+        0.0 predictions
+    in
+    acc /. float_of_int n
+
+let normalised_likelihood ?(epsilon = 1e-6) predictions =
+  match predictions with
+  | [] -> invalid_arg "Measures.normalised_likelihood: empty"
+  | _ ->
+    let n = List.length predictions in
+    let log_sum =
+      List.fold_left
+        (fun acc { estimate; outcome } ->
+          let p = Float.max epsilon (Float.min (1.0 -. epsilon) estimate) in
+          acc +. Float.log (if outcome then p else 1.0 -. p))
+        0.0 predictions
+    in
+    Float.exp (log_sum /. float_of_int n)
+
+let middle_values predictions =
+  List.filter (fun { estimate; _ } -> estimate > 0.0 && estimate < 1.0) predictions
+
+let paired_fold f ~expected ~actual =
+  let n = Array.length expected in
+  if n = 0 then invalid_arg "Measures: empty arrays";
+  if n <> Array.length actual then invalid_arg "Measures: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. f expected.(i) actual.(i)
+  done;
+  !acc /. float_of_int n
+
+let rmse ~expected ~actual =
+  Float.sqrt
+    (paired_fold (fun e a -> (e -. a) *. (e -. a)) ~expected ~actual)
+
+let mae ~expected ~actual =
+  paired_fold (fun e a -> Float.abs (e -. a)) ~expected ~actual
+
+type row = {
+  label : string;
+  nl_all : float;
+  brier_all : float;
+  count_all : int;
+  nl_middle : float option;
+  brier_middle : float option;
+  count_middle : int;
+}
+
+let table_row ~label predictions =
+  let middle = middle_values predictions in
+  {
+    label;
+    nl_all = normalised_likelihood predictions;
+    brier_all = brier predictions;
+    count_all = List.length predictions;
+    nl_middle =
+      (match middle with [] -> None | m -> Some (normalised_likelihood m));
+    brier_middle = (match middle with [] -> None | m -> Some (brier m));
+    count_middle = List.length middle;
+  }
+
+let pp_opt ppf = function
+  | None -> Format.fprintf ppf "%10s" "-"
+  | Some x -> Format.fprintf ppf "%10.6f" x
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-28s %10.6f %10.6f %7d %a %a %7d" r.label r.nl_all
+    r.brier_all r.count_all pp_opt r.nl_middle pp_opt r.brier_middle
+    r.count_middle
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-28s %10s %10s %7s %10s %10s %7s@." "experiment"
+    "NL(all)" "Brier(all)" "n" "NL(mid)" "Brier(mid)" "n_mid";
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) rows

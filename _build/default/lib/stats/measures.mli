@@ -1,0 +1,43 @@
+(** Accuracy measures from the paper's appendix (Table III) plus the
+    standard error metrics used in Section V-C (Fig 7).
+
+    A prediction is a pair [(p, z)]: an estimated probability [p] and the
+    boolean outcome [z] that was actually observed. *)
+
+type prediction = { estimate : float; outcome : bool }
+
+val brier : prediction list -> float
+(** Mean squared difference between estimate and outcome — lower is
+    better, 0 is perfect. Raises [Invalid_argument] on []. *)
+
+val normalised_likelihood : ?epsilon:float -> prediction list -> float
+(** Geometric mean of the probability assigned to the observed outcome —
+    closer to 1 is better. As in the paper, estimates of exactly 0 or 1
+    are nudged by [epsilon] (default 1e-6) so a single surprising outcome
+    cannot collapse the whole product to 0. *)
+
+val middle_values : prediction list -> prediction list
+(** Drop predictions that are exactly 0 or 1 — the paper's "middle
+    values" variant that stops near-certain predictions washing out the
+    differences between methods. *)
+
+val rmse : expected:float array -> actual:float array -> float
+(** Root mean squared error between paired arrays (Fig 7's metric).
+    Raises [Invalid_argument] on length mismatch or empty input. *)
+
+val mae : expected:float array -> actual:float array -> float
+
+type row = {
+  label : string;
+  nl_all : float;
+  brier_all : float;
+  count_all : int;
+  nl_middle : float option;
+  brier_middle : float option;
+  count_middle : int;
+}
+(** One line of the paper's Table III. *)
+
+val table_row : label:string -> prediction list -> row
+val pp_row : Format.formatter -> row -> unit
+val pp_table : Format.formatter -> row list -> unit

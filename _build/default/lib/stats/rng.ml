@@ -1,0 +1,28 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let float t bound = Random.State.float t bound
+let uniform t = Random.State.float t 1.0
+let uniform_in t lo hi = lo +. Random.State.float t (hi -. lo)
+let int t bound = Random.State.int t bound
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let state t = t

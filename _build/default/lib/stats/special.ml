@@ -1,0 +1,106 @@
+let lanczos_g = 7.0
+
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+(* Lanczos approximation for ln Gamma(x), valid for x > 0. For x < 0.5 we
+   use the reflection formula to stay in the region where the series
+   converges well. *)
+let rec log_gamma x =
+  if not (Float.is_finite x) || x <= 0.0 then
+    invalid_arg (Printf.sprintf "Special.log_gamma: x = %g <= 0" x)
+  else if x < 0.5 then
+    (* Gamma(x) Gamma(1-x) = pi / sin(pi x) *)
+    Float.log (Float.pi /. Float.sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let acc = ref lanczos_coefficients.(0) in
+    for i = 1 to Array.length lanczos_coefficients - 1 do
+      acc := !acc +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. Float.log (2.0 *. Float.pi))
+    +. ((x +. 0.5) *. Float.log t)
+    -. t
+    +. Float.log !acc
+  end
+
+let log_beta a b = log_gamma a +. log_gamma b -. log_gamma (a +. b)
+
+let log_choose n k =
+  if k < 0 || k > n then
+    invalid_arg (Printf.sprintf "Special.log_choose: n = %d, k = %d" n k)
+  else
+    log_gamma (float_of_int (n + 1))
+    -. log_gamma (float_of_int (k + 1))
+    -. log_gamma (float_of_int (n - k + 1))
+
+(* Continued fraction for the incomplete beta function, evaluated with the
+   modified Lentz algorithm. Converges quickly for x < (a+1)/(a+b+2). *)
+let beta_continued_fraction a b x =
+  let max_iterations = 300 in
+  let epsilon = 3e-15 in
+  let tiny = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < tiny then d := tiny;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to max_iterations do
+       let mf = float_of_int m in
+       let m2 = 2.0 *. mf in
+       (* even step *)
+       let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1.0 +. (aa *. !d);
+       if Float.abs !d < tiny then d := tiny;
+       c := 1.0 +. (aa /. !c);
+       if Float.abs !c < tiny then c := tiny;
+       d := 1.0 /. !d;
+       h := !h *. !d *. !c;
+       (* odd step *)
+       let aa =
+         -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2))
+       in
+       d := 1.0 +. (aa *. !d);
+       if Float.abs !d < tiny then d := tiny;
+       c := 1.0 +. (aa /. !c);
+       if Float.abs !c < tiny then c := tiny;
+       d := 1.0 /. !d;
+       let delta = !d *. !c in
+       h := !h *. delta;
+       if Float.abs (delta -. 1.0) < epsilon then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+let betai a b x =
+  if a <= 0.0 || b <= 0.0 then
+    invalid_arg (Printf.sprintf "Special.betai: a = %g, b = %g" a b);
+  if x <= 0.0 then 0.0
+  else if x >= 1.0 then 1.0
+  else begin
+    let log_front =
+      (a *. Float.log x) +. (b *. Float.log (1.0 -. x)) -. log_beta a b
+    in
+    let front = Float.exp log_front in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then
+      front *. beta_continued_fraction a b x /. a
+    else 1.0 -. (front *. beta_continued_fraction b a (1.0 -. x) /. b)
+  end
+
+let betai_inv a b p =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  if p = 0.0 then 0.0
+  else if p = 1.0 then 1.0
+  else begin
+    let lo = ref 0.0 and hi = ref 1.0 in
+    for _ = 1 to 100 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if betai a b mid < p then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end

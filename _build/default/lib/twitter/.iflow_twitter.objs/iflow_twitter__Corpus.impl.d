@@ -1,0 +1,1 @@
+lib/twitter/corpus.ml: Array Char Iflow_core Iflow_graph Iflow_stats List Printf Queue String Tweet

@@ -1,0 +1,1 @@
+lib/twitter/corpus.mli: Iflow_core Iflow_graph Iflow_stats Tweet

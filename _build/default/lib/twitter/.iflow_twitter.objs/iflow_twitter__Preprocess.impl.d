@@ -1,0 +1,1 @@
+lib/twitter/preprocess.ml: Array Hashtbl Iflow_core Iflow_graph List Set String Tweet

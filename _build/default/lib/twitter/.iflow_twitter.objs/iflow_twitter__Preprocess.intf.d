@@ -1,0 +1,1 @@
+lib/twitter/preprocess.mli: Hashtbl Iflow_core Iflow_graph Tweet

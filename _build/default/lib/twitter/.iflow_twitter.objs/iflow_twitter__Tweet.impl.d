@@ -1,0 +1,1 @@
+lib/twitter/tweet.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/twitter/tweet.mli: Format

@@ -1,0 +1,1 @@
+lib/twitter/unattributed.ml: Array Hashtbl Iflow_core Iflow_graph List Tweet

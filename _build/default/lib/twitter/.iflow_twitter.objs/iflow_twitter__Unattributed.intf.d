@@ -1,0 +1,1 @@
+lib/twitter/unattributed.mli: Iflow_core Iflow_graph Tweet

@@ -1,0 +1,205 @@
+module Digraph = Iflow_graph.Digraph
+module Icm = Iflow_core.Icm
+module Rng = Iflow_stats.Rng
+module Dist = Iflow_stats.Dist
+
+type params = {
+  originals : int;
+  hashtag_pool : int;
+  hashtag_prob : float;
+  url_prob : float;
+  offline_hashtag_rate : float;
+  offline_adopters : int;
+  drop_original_rate : float;
+  drop_retweet_rate : float;
+  words_per_tweet : int * int;
+}
+
+let default_params =
+  {
+    originals = 2000;
+    hashtag_pool = 40;
+    hashtag_prob = 0.35;
+    url_prob = 0.3;
+    offline_hashtag_rate = 0.5;
+    offline_adopters = 3;
+    drop_original_rate = 0.15;
+    drop_retweet_rate = 0.03;
+    words_per_tweet = (2, 6);
+  }
+
+type t = {
+  tweets : Tweet.t list;
+  names : string array;
+  graph : Digraph.t;
+  truth : Icm.t;
+  truth_objects : Iflow_core.Evidence.attributed;
+  dropped : int;
+}
+
+let vocabulary =
+  [| "coffee"; "today"; "breaking"; "news"; "great"; "launch"; "watch";
+     "live"; "thread"; "thoughts"; "update"; "finally"; "wow"; "love";
+     "best"; "paper"; "data"; "graph"; "flow"; "model" |]
+
+(* Real tweets are almost never textually identical; a random pseudo-word
+   per message keeps cascade keys distinct, like wording variation does
+   in practice. *)
+let pseudo_word rng =
+  String.init 5 (fun _ -> Char.chr (Char.code 'a' + Rng.int rng 26))
+
+let filler_words rng (lo, hi) =
+  let count = lo + Rng.int rng (max 1 (hi - lo + 1)) in
+  String.concat " "
+    (pseudo_word rng :: List.init count (fun _ -> Rng.choose rng vocabulary))
+
+(* Zipf-ish hashtag popularity: weight 1/(k+1). *)
+let pick_hashtag rng pool =
+  let weights = Array.init pool (fun k -> 1.0 /. float_of_int (k + 1)) in
+  Printf.sprintf "#tag%d" (Dist.categorical rng weights)
+
+let base36 n =
+  let digits = "0123456789abcdefghijklmnopqrstuvwxyz" in
+  let rec go n acc =
+    if n = 0 then (if acc = "" then "0" else acc)
+    else go (n / 36) (String.make 1 digits.[n mod 36] ^ acc)
+  in
+  go n ""
+
+(* Cascade simulation that also records each activation's parent, so we
+   can emit the retweet text chain. *)
+let simulate_with_parents rng icm ~source =
+  let g = Icm.graph icm in
+  let n = Digraph.n_nodes g in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n (-1) in
+  let active = Array.make n false in
+  active.(source) <- true;
+  depth.(source) <- 0;
+  let order = ref [] in
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Digraph.iter_out g v (fun e ->
+        if Rng.bernoulli rng (Icm.prob icm e) then begin
+          let w = Digraph.edge_dst g e in
+          if not active.(w) then begin
+            active.(w) <- true;
+            parent.(w) <- v;
+            depth.(w) <- depth.(v) + 1;
+            order := w :: !order;
+            Queue.add w queue
+          end
+        end)
+  done;
+  (List.rev !order, parent, depth)
+
+let generate ?(params = default_params) rng truth =
+  let g = Icm.graph truth in
+  let n = Digraph.n_nodes g in
+  if n = 0 then invalid_arg "Corpus.generate: empty graph";
+  let names = Array.init n (fun v -> Printf.sprintf "user%d" v) in
+  let audience = Array.init n (fun v -> 1.0 +. float_of_int (Digraph.out_degree g v)) in
+  let next_id = ref 0 in
+  let next_url = ref 0 in
+  let clock = ref 0 in
+  let tweets = ref [] in
+  let truth_objects = ref [] in
+  let dropped = ref 0 in
+  let emit ~keep_prob tweet =
+    if Rng.uniform rng < keep_prob then tweets := tweet :: !tweets
+    else incr dropped
+  in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  for _ = 1 to params.originals do
+    let author = Dist.categorical rng audience in
+    let parts = ref [] in
+    if Rng.uniform rng < params.url_prob then begin
+      incr next_url;
+      parts := Printf.sprintf "http://t.co/%s" (base36 (1000 + !next_url)) :: !parts
+    end;
+    let tag =
+      if Rng.uniform rng < params.hashtag_prob then
+        Some (pick_hashtag rng params.hashtag_pool)
+      else None
+    in
+    (match tag with Some t -> parts := t :: !parts | None -> ());
+    parts := filler_words rng params.words_per_tweet :: !parts;
+    (* URL first so truncation eats filler, not the payload. *)
+    let text = String.concat " " (List.rev !parts) in
+    clock := !clock + 1 + Rng.int rng 3;
+    let original =
+      Tweet.make ~id:(fresh_id ()) ~author:names.(author) ~time:!clock ~text
+    in
+    emit ~keep_prob:(1.0 -. params.drop_original_rate) original;
+    (* The cascade of retweets. *)
+    let order, parent, depth = simulate_with_parents rng truth ~source:author in
+    (* Record the ground-truth attribution for this object: the tree of
+       (parent -> retweeter) edges the message actually travelled. *)
+    let active_nodes = Array.make n false in
+    let active_edges = Array.make (Digraph.n_edges g) false in
+    active_nodes.(author) <- true;
+    List.iter
+      (fun w ->
+        active_nodes.(w) <- true;
+        match Digraph.find_edge g ~src:parent.(w) ~dst:w with
+        | Some e -> active_edges.(e) <- true
+        | None -> ())
+      order;
+    truth_objects :=
+      { Iflow_core.Evidence.sources = [ author ]; active_nodes; active_edges }
+      :: !truth_objects;
+    let tweet_of_node = Array.make n None in
+    tweet_of_node.(author) <- Some original;
+    List.iter
+      (fun w ->
+        match tweet_of_node.(parent.(w)) with
+        | None -> () (* unreachable: parents are processed first *)
+        | Some parent_tweet ->
+          let rt =
+            Tweet.retweet ~id:(fresh_id ()) ~retweeter:names.(w)
+              ~time:(!clock + depth.(w)) ~of_:parent_tweet
+          in
+          tweet_of_node.(w) <- Some rt;
+          emit ~keep_prob:(1.0 -. params.drop_retweet_rate) rt)
+      order;
+    (* Offline hashtag adoption: the same tag surfaces independently. *)
+    match tag with
+    | Some tag when Rng.uniform rng < params.offline_hashtag_rate ->
+      for _ = 1 to params.offline_adopters do
+        let adopter = Rng.int rng n in
+        let text =
+          String.concat " " [ filler_words rng params.words_per_tweet; tag ]
+        in
+        let t =
+          Tweet.make ~id:(fresh_id ()) ~author:names.(adopter)
+            ~time:(!clock + 1 + Rng.int rng 5)
+            ~text
+        in
+        emit ~keep_prob:(1.0 -. params.drop_original_rate) t
+      done
+    | Some _ | None -> ()
+  done;
+  let sorted =
+    List.sort
+      (fun (a : Tweet.t) (b : Tweet.t) ->
+        match compare a.time b.time with 0 -> compare a.id b.id | c -> c)
+      !tweets
+  in
+  {
+    tweets = sorted;
+    names;
+    graph = g;
+    truth;
+    truth_objects = List.rev !truth_objects;
+    dropped = !dropped;
+  }
+
+let node_of_name t name =
+  let found = ref None in
+  Array.iteri (fun v n -> if n = name then found := Some v) t.names;
+  !found

@@ -1,0 +1,53 @@
+(** Synthetic Twitter corpus generation.
+
+    The paper's experiments use the Choudhury et al. crawl (10M tweets,
+    118K users), which is unavailable; per DESIGN.md we substitute a
+    generator that reproduces the crawl's relevant properties:
+
+    - a scale-free follower graph with a ground-truth retweet ICM on the
+      flow edges (so calibration can be checked against truth);
+    - raw tweet {i text} with real syntax, so the whole preprocessing
+      pipeline (RT-chain parsing, original recovery) is exercised;
+    - incompleteness: a configurable fraction of tweets is dropped,
+      originals more often than retweets (the crawl is described as
+      containing "many retweeted messages without the original");
+    - hashtags that also enter "offline" (several users adopting a tag
+      spontaneously — events, acronyms), while URLs are unique,
+      shortener-style, and spread only through the network: the
+      asymmetry behind Fig 8 vs Fig 9. *)
+
+type params = {
+  originals : int; (** number of original (non-retweet) tweets *)
+  hashtag_pool : int; (** distinct hashtags, Zipf-distributed popularity *)
+  hashtag_prob : float; (** probability an original carries a hashtag *)
+  url_prob : float; (** probability an original carries a URL *)
+  offline_hashtag_rate : float;
+      (** probability a hashtag use sparks spontaneous offline adoption *)
+  offline_adopters : int; (** spontaneous adopters per offline event *)
+  drop_original_rate : float; (** corpus sparsity for originals *)
+  drop_retweet_rate : float; (** corpus sparsity for retweets *)
+  words_per_tweet : int * int; (** min/max filler words *)
+}
+
+val default_params : params
+
+type t = {
+  tweets : Tweet.t list; (** the observable corpus, sorted by time *)
+  names : string array; (** ground truth: node id -> user name *)
+  graph : Iflow_graph.Digraph.t; (** ground truth follow/flow graph *)
+  truth : Iflow_core.Icm.t; (** ground truth retweet ICM *)
+  truth_objects : Iflow_core.Evidence.attributed;
+      (** ground-truth attribution per original: the (parent ->
+          retweeter) tree the message travelled — what a perfect
+          preprocessing pass would reconstruct from complete data *)
+  dropped : int; (** tweets removed for sparsity *)
+}
+
+val generate :
+  ?params:params -> Iflow_stats.Rng.t -> Iflow_core.Icm.t -> t
+(** [generate rng truth_icm] simulates tweeting and retweeting on the
+    ground-truth model. Authors of originals are drawn with probability
+    proportional to 1 + audience size (out-degree). The ICM's graph
+    supplies both topology and names ("user0", "user1", ...). *)
+
+val node_of_name : t -> string -> int option

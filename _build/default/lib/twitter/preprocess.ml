@@ -1,0 +1,168 @@
+module Digraph = Iflow_graph.Digraph
+module Evidence = Iflow_core.Evidence
+
+type cascade = {
+  root_author : string;
+  root_text : string;
+  original_observed : bool;
+  activations : (string * string * int) list;
+}
+
+let is_prefix ~prefix s =
+  String.length prefix <= String.length s
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Two observations of the same original may be truncated to different
+   lengths; they agree iff one text is a prefix of the other. *)
+let same_root a b = is_prefix ~prefix:a b || is_prefix ~prefix:b a
+
+type builder = {
+  b_author : string;
+  mutable b_text : string; (* longest version of the root text seen *)
+  mutable b_observed : bool;
+  mutable b_time : int; (* earliest sighting, for ordering *)
+  (* retweeter -> (parent, earliest time) *)
+  b_activations : (string, string * int) Hashtbl.t;
+}
+
+let cascades tweets =
+  (* Group by root author; match within the group by text prefix. *)
+  let by_author : (string, builder list ref) Hashtbl.t = Hashtbl.create 256 in
+  let find_builder author text time =
+    let cell =
+      match Hashtbl.find_opt by_author author with
+      | Some cell -> cell
+      | None ->
+        let cell = ref [] in
+        Hashtbl.add by_author author cell;
+        cell
+    in
+    match List.find_opt (fun b -> same_root b.b_text text) !cell with
+    | Some b ->
+      if String.length text > String.length b.b_text then b.b_text <- text;
+      if time < b.b_time then b.b_time <- time;
+      b
+    | None ->
+      let b =
+        {
+          b_author = author;
+          b_text = text;
+          b_observed = false;
+          b_time = time;
+          b_activations = Hashtbl.create 8;
+        }
+      in
+      cell := b :: !cell;
+      b
+  in
+  let record_activation b child parent time =
+    if child <> b.b_author then begin
+      match Hashtbl.find_opt b.b_activations child with
+      | Some (_, t0) when t0 <= time -> ()
+      | _ -> Hashtbl.replace b.b_activations child (parent, time)
+    end
+  in
+  List.iter
+    (fun (tw : Tweet.t) ->
+      match Tweet.retweet_chain tw.text with
+      | [], _root ->
+        let b = find_builder tw.author tw.text tw.time in
+        b.b_observed <- true
+      | chain, root ->
+        (* chain = [nearest ancestor; ...; deepest known ancestor]. The
+           deepest is our best guess at the original author. *)
+        let deepest = List.nth chain (List.length chain - 1) in
+        let b = find_builder deepest root tw.time in
+        (* The retweeter forwarded from the nearest ancestor... *)
+        (match chain with
+        | nearest :: _ -> record_activation b tw.author nearest tw.time
+        | [] -> ());
+        (* ...and each ancestor (except the original author) forwarded
+           from the next one up, at some earlier time. Times of the
+           recovered hops are bounded above by this tweet's time; use
+           decreasing offsets to keep the order right. *)
+        let rec link hops offset =
+          match hops with
+          | child :: (parent :: _ as rest) ->
+            if child <> deepest then
+              record_activation b child parent (tw.time - offset);
+            link rest (offset + 1)
+          | [ _ ] | [] -> ()
+        in
+        link chain 1)
+    tweets;
+  let all =
+    Hashtbl.fold (fun _ cell acc -> List.rev_append !cell acc) by_author []
+  in
+  let finish b =
+    let activations =
+      Hashtbl.fold (fun child (parent, t) acc -> (child, parent, t) :: acc)
+        b.b_activations []
+    in
+    {
+      root_author = b.b_author;
+      root_text = b.b_text;
+      original_observed = b.b_observed;
+      activations =
+        List.sort (fun (_, _, t1) (_, _, t2) -> compare t1 t2) activations;
+    }
+  in
+  List.map finish (List.sort (fun a b -> compare a.b_time b.b_time) all)
+
+let users tweets =
+  let module SS = Set.Make (String) in
+  let set =
+    List.fold_left
+      (fun acc (tw : Tweet.t) ->
+        let acc = SS.add tw.author acc in
+        List.fold_left (fun acc m -> SS.add m acc) acc
+          (Tweet.mentions tw.text))
+      SS.empty tweets
+  in
+  Array.of_list (SS.elements set)
+
+let infer_graph tweets =
+  let names = users tweets in
+  let index = Hashtbl.create (Array.length names * 2) in
+  Array.iteri (fun i n -> Hashtbl.add index n i) names;
+  let edges = Hashtbl.create 1024 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (child, parent, _) ->
+          match (Hashtbl.find_opt index parent, Hashtbl.find_opt index child)
+          with
+          | Some p, Some ch when p <> ch -> Hashtbl.replace edges (p, ch) ()
+          | _ -> ())
+        c.activations)
+    (cascades tweets);
+  let pairs = Hashtbl.fold (fun pair () acc -> pair :: acc) edges [] in
+  let g = Digraph.of_edges ~nodes:(Array.length names) pairs in
+  (g, names, index)
+
+let to_attributed ~graph ~node_of_name cascade_list =
+  let n = Digraph.n_nodes graph in
+  List.filter_map
+    (fun c ->
+      match node_of_name c.root_author with
+      | None -> None
+      | Some source ->
+        let active_nodes = Array.make n false in
+        let active_edges = Array.make (Digraph.n_edges graph) false in
+        active_nodes.(source) <- true;
+        (* Activations are time-sorted, so a child's parent is processed
+           first; drop activations whose parent never made it in. *)
+        List.iter
+          (fun (child_name, parent_name, _) ->
+            match (node_of_name child_name, node_of_name parent_name) with
+            | Some child, Some parent when active_nodes.(parent) -> begin
+              match Digraph.find_edge graph ~src:parent ~dst:child with
+              | Some e ->
+                active_edges.(e) <- true;
+                active_nodes.(child) <- true
+              | None -> ()
+            end
+            | _ -> ())
+          c.activations;
+        Some { Evidence.sources = [ source ]; active_nodes; active_edges })
+    cascade_list

@@ -1,0 +1,40 @@
+(** Preprocessing raw tweets into attributed evidence (paper Section
+    IV-B): identify retweets and their ancestry from message syntax,
+    link later retweets back through chains, and recover originals that
+    are missing from the (incomplete) corpus. *)
+
+type cascade = {
+  root_author : string;
+  root_text : string;
+  original_observed : bool;
+      (** false when the original tweet was reconstructed from RT chains
+          — the paper's recovery step that grew its corpus from 10M to
+          10.8M tweets *)
+  activations : (string * string * int) list;
+      (** (retweeter, attributed parent, time); includes intermediate
+          hops recovered from deeper chains *)
+}
+
+val cascades : Tweet.t list -> cascade list
+(** Reconstruct cascades from a raw corpus. Retweets are matched to
+    their original by root author plus text-prefix comparison (deep
+    chains truncate the root text, so exact equality is wrong). *)
+
+val users : Tweet.t list -> string array
+(** All user names appearing as authors or in mentions, sorted. *)
+
+val infer_graph :
+  Tweet.t list -> Iflow_graph.Digraph.t * string array * (string, int) Hashtbl.t
+(** The paper infers topology "using the '@' references": one node per
+    user, one edge parent -> child per attribution pair observed in some
+    cascade. Returns (graph, names by node, node index by name). *)
+
+val to_attributed :
+  graph:Iflow_graph.Digraph.t ->
+  node_of_name:(string -> int option) ->
+  cascade list ->
+  Iflow_core.Evidence.attributed
+(** Project cascades onto a graph as attributed evidence. Activations
+    whose user is unknown or whose attributed edge is absent from the
+    graph are dropped (and their descendants with them), keeping every
+    produced object consistent. *)

@@ -1,0 +1,104 @@
+type t = { id : int; author : string; time : int; text : string }
+
+let max_length = 140
+
+let truncate text =
+  if String.length text <= max_length then text
+  else String.sub text 0 max_length
+
+let make ~id ~author ~time ~text = { id; author; time; text = truncate text }
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_url_char c = is_name_char c || c = '/' || c = '.' || c = ':' || c = '-'
+
+(* Scan for marker-introduced tokens: '@name', '#tag'. *)
+let tokens_after marker text =
+  let n = String.length text in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = marker && !i + 1 < n && is_name_char text.[!i + 1] then begin
+      let start = !i + 1 in
+      let stop = ref start in
+      while !stop < n && is_name_char text.[!stop] do
+        incr stop
+      done;
+      acc := String.sub text start (!stop - start) :: !acc;
+      i := !stop
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+let mentions text = tokens_after '@' text
+
+let dedup_keep_order list =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    list
+
+let hashtags text = dedup_keep_order (tokens_after '#' text)
+
+let urls text =
+  let n = String.length text in
+  let acc = ref [] in
+  let i = ref 0 in
+  let matches_at pos prefix =
+    let k = String.length prefix in
+    pos + k <= n && String.sub text pos k = prefix
+  in
+  while !i < n do
+    if matches_at !i "http://" || matches_at !i "https://" then begin
+      let stop = ref !i in
+      while !stop < n && is_url_char text.[!stop] do
+        incr stop
+      done;
+      acc := String.sub text !i (!stop - !i) :: !acc;
+      i := !stop
+    end
+    else incr i
+  done;
+  dedup_keep_order (List.rev !acc)
+
+(* Parse nested "RT @name: " prefixes. Stops as soon as the pattern
+   breaks (e.g. truncation cut the prefix). *)
+let retweet_chain text =
+  let rec peel text acc =
+    let n = String.length text in
+    if n >= 5 && String.sub text 0 4 = "RT @" then begin
+      let stop = ref 4 in
+      while !stop < n && is_name_char text.[!stop] do
+        incr stop
+      done;
+      if !stop > 4 && !stop + 1 < n && text.[!stop] = ':' && text.[!stop + 1] = ' '
+      then begin
+        let name = String.sub text 4 (!stop - 4) in
+        let rest = String.sub text (!stop + 2) (n - !stop - 2) in
+        peel rest (name :: acc)
+      end
+      else (List.rev acc, text)
+    end
+    else (List.rev acc, text)
+  in
+  peel text []
+
+let is_retweet text =
+  match retweet_chain text with [], _ -> false | _ :: _, _ -> true
+
+let retweet ~id ~retweeter ~time ~of_ =
+  make ~id ~author:retweeter ~time
+    ~text:(Printf.sprintf "RT @%s: %s" of_.author of_.text)
+
+let pp ppf t =
+  Format.fprintf ppf "[%d t=%d @%s] %s" t.id t.time t.author t.text

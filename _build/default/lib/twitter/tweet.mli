@@ -1,0 +1,49 @@
+(** Tweets and their syntax (paper Section IV-B).
+
+    A tweet is at most 140 characters of text. Conventions parsed here:
+    - [@name] references another user;
+    - [#tag] attaches a hashtag;
+    - [http://...] carries a (typically shortened) URL;
+    - a retweet prefixes the forwarded text with [RT @name: ], and
+      chains of retweets nest the prefix ([RT @a: RT @b: ...]), with the
+      nearest ancestor first.
+
+    The 140-character limit truncates deep chains — exactly the
+    artefact the paper blames for the scarcity of long retweet chains —
+    so the parser must tolerate text cut mid-token. *)
+
+type t = {
+  id : int;
+  author : string;
+  time : int; (** abstract, monotone timestamp *)
+  text : string;
+}
+
+val max_length : int
+(** 140. *)
+
+val make : id:int -> author:string -> time:int -> text:string -> t
+(** Truncates [text] to {!max_length}. *)
+
+val mentions : string -> string list
+(** All [@name] references, in order of appearance. *)
+
+val hashtags : string -> string list
+(** All [#tag] tags (without the [#]), in order, deduplicated. *)
+
+val urls : string -> string list
+(** All [http://]/[https://] tokens, in order, deduplicated. *)
+
+val retweet_chain : string -> string list * string
+(** [retweet_chain text] is [(ancestors, root_text)]: the RT-prefix
+    names nearest-first, and the remaining (root) text. A tweet with no
+    RT prefix returns [([], text)]. A chain cut by truncation yields the
+    ancestors that survived intact. *)
+
+val is_retweet : string -> bool
+
+val retweet : id:int -> retweeter:string -> time:int -> of_:t -> t
+(** Build the retweet a user would post: [RT @author: text],
+    truncated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+module Digraph = Iflow_graph.Digraph
+module Evidence = Iflow_core.Evidence
+
+let augment_with_omnipotent g =
+  let n = Digraph.n_nodes g in
+  let omni = n in
+  let pairs = Digraph.edges g @ List.init n (fun v -> (omni, v)) in
+  (Digraph.of_edges ~nodes:(n + 1) pairs, omni)
+
+type item_kind = Hashtag | Url
+
+let items_of kind text =
+  match kind with
+  | Hashtag -> Tweet.hashtags text
+  | Url -> Tweet.urls text
+
+let item_traces ?(min_users = 1) ~kind ~node_of_name ~n_nodes ~omni tweets =
+  (* first_use.(item) : node -> earliest tweet time mentioning item *)
+  let table : (string, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (tw : Tweet.t) ->
+      match node_of_name tw.author with
+      | None -> ()
+      | Some node ->
+        List.iter
+          (fun item ->
+            let uses =
+              match Hashtbl.find_opt table item with
+              | Some uses -> uses
+              | None ->
+                let uses = Hashtbl.create 8 in
+                Hashtbl.add table item uses;
+                uses
+            in
+            match Hashtbl.find_opt uses node with
+            | Some t0 when t0 <= tw.time -> ()
+            | _ -> Hashtbl.replace uses node tw.time)
+          (items_of kind tw.text))
+    tweets;
+  let traces =
+    Hashtbl.fold
+      (fun item uses acc ->
+        if Hashtbl.length uses < min_users then acc
+        else begin
+          let times = Array.make n_nodes (-1) in
+          times.(omni) <- 0;
+          (* Rank distinct raw times so traces use small dense steps
+             starting at 1 (after the omnipotent source at 0). *)
+          let raw = Hashtbl.fold (fun node t acc -> (node, t) :: acc) uses [] in
+          let distinct =
+            List.sort_uniq compare (List.map snd raw)
+          in
+          let rank = Hashtbl.create 16 in
+          List.iteri (fun i t -> Hashtbl.add rank t (i + 1)) distinct;
+          List.iter
+            (fun (node, t) ->
+              if node < n_nodes then times.(node) <- Hashtbl.find rank t)
+            raw;
+          (item, { Evidence.trace_sources = [ omni ]; times }) :: acc
+        end)
+      table []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) traces

@@ -1,0 +1,31 @@
+(** Unattributed evidence from hashtag and URL adoption (paper Section
+    V-D).
+
+    Hashtags and URLs can enter Twitter from the outside world, so the
+    paper adds an {i omnipotent user} every user implicitly follows and
+    who "is the true originator of all tweets". We augment the graph
+    with that node and build one activation-time trace per hashtag/URL:
+    the omnipotent user activates at time 0, each real user at the rank
+    of their first use of the item. *)
+
+val augment_with_omnipotent : Iflow_graph.Digraph.t -> Iflow_graph.Digraph.t * int
+(** [(augmented, omni)] where [omni] is the new node, with an edge to
+    every original node. Existing node and edge ids are preserved. *)
+
+type item_kind = Hashtag | Url
+
+val item_traces :
+  ?min_users:int ->
+  kind:item_kind ->
+  node_of_name:(string -> int option) ->
+  n_nodes:int ->
+  omni:int ->
+  Tweet.t list ->
+  (string * Iflow_core.Evidence.trace) list
+(** One trace per distinct item over the augmented graph ([n_nodes] must
+    already count the omnipotent node). The omnipotent user is the
+    single source, at time 0; real users activate at the rank of their
+    first use. Items used by fewer than [min_users] (default 1) distinct
+    users are dropped. Keep the default: items that never spread are the
+    {i negative} evidence — restricting to spreading items conditions
+    training on success and inflates every edge estimate. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Beta_icm Cascade Evidence Exact Float Generator Icm Iflow_core Iflow_graph Iflow_stats List Printf Pseudo_state QCheck QCheck_alcotest Random Summary

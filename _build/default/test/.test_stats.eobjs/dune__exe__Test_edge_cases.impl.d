@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Cascade Evidence Exact Float Icm Iflow_bucket Iflow_core Iflow_graph Iflow_gtm Iflow_learn Iflow_mcmc Iflow_rwr Iflow_stats List Summary

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Buffer Fig11 Fig6 Fig7 Float Format Iflow_bucket Iflow_core Iflow_exp Iflow_mcmc Iflow_stats Lazy List Printf Scale String Synthetic_bucket Tables Twitter_lab

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Digraph Gen Iflow_graph Iflow_stats List QCheck QCheck_alcotest Random Traverse

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Beta_icm Cascade Evidence Generator Icm Iflow_bucket Iflow_core Iflow_graph Iflow_learn Iflow_mcmc Iflow_stats Iflow_twitter List Printf Summary

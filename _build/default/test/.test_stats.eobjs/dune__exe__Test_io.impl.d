@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Fun Iflow_core Iflow_graph Iflow_io Iflow_stats Iflow_twitter List Sys

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Cascade Evidence Exact Float Icm Iflow_bucket Iflow_core Iflow_graph Iflow_gtm Iflow_rwr Iflow_stats List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Beta_icm Cascade Exact Float Generator Icm Iflow_core Iflow_graph Iflow_mcmc Iflow_stats Iflow_twitter List Printf QCheck QCheck_alcotest Random String Summary

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Dist Fenwick Float Gen Iflow_stats List Measures Printf QCheck QCheck_alcotest Random Rng Special

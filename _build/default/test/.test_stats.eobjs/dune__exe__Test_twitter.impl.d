@@ -1,0 +1,1 @@
+test/test_twitter.ml: Alcotest Array Corpus Float Hashtbl Iflow_core Iflow_graph Iflow_stats Iflow_twitter List Preprocess Printf String Tweet Unattributed

@@ -1,0 +1,220 @@
+(* Edge-case and validation tests across modules: the error paths a
+   library user will actually hit. *)
+open Iflow_core
+module Digraph = Iflow_graph.Digraph
+module Gen = Iflow_graph.Gen
+module Rng = Iflow_stats.Rng
+module Dist = Iflow_stats.Dist
+module Fenwick = Iflow_stats.Fenwick
+module Descriptive = Iflow_stats.Descriptive
+module Measures = Iflow_stats.Measures
+module Estimator = Iflow_mcmc.Estimator
+module Conditions = Iflow_mcmc.Conditions
+module Rwr = Iflow_rwr.Rwr
+module Sgtm = Iflow_gtm.Sgtm
+module Bucket = Iflow_bucket.Bucket
+
+let invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+(* ---------- stats ---------- *)
+
+let test_stats_validation () =
+  let rng = Rng.create 1 in
+  invalid "choose empty" (fun () -> Rng.choose rng [||]);
+  invalid "gaussian std" (fun () -> Dist.gaussian rng ~mean:0.0 ~std:(-1.0));
+  invalid "gamma shape" (fun () -> Dist.gamma rng ~shape:0.0 ~scale:1.0);
+  invalid "binomial n" (fun () -> Dist.binomial rng ~n:(-1) ~p:0.5);
+  invalid "categorical zero" (fun () -> Dist.categorical rng [| 0.0; 0.0 |]);
+  invalid "beta params" (fun () -> Dist.Beta.v 0.0 1.0);
+  invalid "beta interval" (fun () -> Dist.Beta.interval Dist.Beta.uniform 1.5);
+  invalid "of_counts" (fun () -> Dist.Beta.of_counts ~successes:(-1) ~failures:0);
+  invalid "fenwick size" (fun () -> Fenwick.create (-1));
+  invalid "fenwick negative weight" (fun () ->
+      Fenwick.set (Fenwick.create 3) 0 (-1.0));
+  invalid "fenwick sample empty" (fun () ->
+      Fenwick.sample rng (Fenwick.create 3));
+  invalid "quantile q" (fun () -> Descriptive.quantile [| 1.0 |] 1.5);
+  invalid "mean empty" (fun () -> Descriptive.mean [||]);
+  invalid "histogram bins" (fun () ->
+      Descriptive.histogram ~bins:0 [| 1.0 |]);
+  invalid "measures empty" (fun () -> Measures.brier [])
+
+let test_degenerate_beta_cdf () =
+  (* extreme parameters must not produce NaN or non-monotone CDFs *)
+  List.iter
+    (fun (a, b) ->
+      let beta = Dist.Beta.v a b in
+      let prev = ref (-1.0) in
+      for i = 0 to 100 do
+        let x = float_of_int i /. 100.0 in
+        let c = Dist.Beta.cdf beta x in
+        if Float.is_nan c then Alcotest.failf "NaN cdf at %g" x;
+        if c < !prev -. 1e-12 then Alcotest.failf "non-monotone at %g" x;
+        prev := c
+      done)
+    [ (0.01, 0.01); (100.0, 1.0); (1.0, 100.0); (500.0, 500.0) ]
+
+(* ---------- graph ---------- *)
+
+let test_graph_edges_order_and_folds () =
+  let g = Digraph.of_edges ~nodes:3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check (list (pair int int))) "edge order preserved"
+    [ (0, 1); (1, 2); (0, 2) ]
+    (Digraph.edges g);
+  let sum = Digraph.fold_out g 0 ~init:0 ~f:(fun acc e -> acc + e) in
+  Alcotest.(check int) "fold_out" 2 sum;
+  let count = Digraph.fold_in g 2 ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "fold_in" 2 count
+
+let test_empty_graph () =
+  let g = Digraph.of_edges ~nodes:0 [] in
+  Alcotest.(check int) "no nodes" 0 (Digraph.n_nodes g);
+  let g1 = Digraph.of_edges ~nodes:1 [] in
+  let marked = Iflow_graph.Traverse.reachable_from g1 [ 0 ] in
+  Alcotest.(check (array bool)) "singleton" [| true |] marked
+
+(* ---------- core ---------- *)
+
+let test_exact_limits () =
+  let rng = Rng.create 2 in
+  let g = Gen.gnm rng ~nodes:5 ~edges:20 in
+  let icm = Icm.create g (Array.make 20 0.5) in
+  (* > 24 edges forbidden for brute force *)
+  let g_big = Gen.gnm rng ~nodes:8 ~edges:30 in
+  let icm_big = Icm.create g_big (Array.make 30 0.5) in
+  invalid "brute force size" (fun () ->
+      Exact.brute_force_flow icm_big ~src:0 ~dst:1);
+  ignore (Exact.brute_force_flow icm ~src:0 ~dst:1);
+  invalid "node range" (fun () -> Exact.flow_probability icm ~src:0 ~dst:99)
+
+let test_cascade_validation () =
+  let rng = Rng.create 3 in
+  let icm = Icm.const (Gen.path 3) 0.5 in
+  invalid "source range" (fun () -> Cascade.run rng icm ~sources:[ 7 ]);
+  (* multiple sources work and all are active *)
+  let o = Cascade.run rng icm ~sources:[ 0; 2 ] in
+  Alcotest.(check bool) "both sources active" true
+    (o.Evidence.active_nodes.(0) && o.Evidence.active_nodes.(2))
+
+let test_isolated_sink_flow_is_zero () =
+  (* a node with no in-edges can never receive flow *)
+  let g = Digraph.of_edges ~nodes:3 [ (1, 0) ] in
+  let icm = Icm.create g [| 1.0 |] in
+  Alcotest.(check (float 0.0)) "exact zero" 0.0
+    (Exact.flow_probability icm ~src:0 ~dst:2);
+  let rng = Rng.create 4 in
+  Alcotest.(check (float 0.0)) "sampled zero" 0.0
+    (Estimator.flow_probability rng icm
+       { Estimator.burn_in = 50; thin = 1; samples = 100 }
+       ~src:0 ~dst:2)
+
+let test_all_deterministic_chain () =
+  (* every edge probability 0 or 1: the chain has nothing to flip and
+     must still answer correctly *)
+  let g = Digraph.of_edges ~nodes:3 [ (0, 1); (1, 2) ] in
+  let icm = Icm.create g [| 1.0; 0.0 |] in
+  let rng = Rng.create 5 in
+  Alcotest.(check (float 0.0)) "certain hop" 1.0
+    (Estimator.flow_probability rng icm
+       { Estimator.burn_in = 20; thin = 1; samples = 50 }
+       ~src:0 ~dst:1);
+  Alcotest.(check (float 0.0)) "impossible hop" 0.0
+    (Estimator.flow_probability rng icm
+       { Estimator.burn_in = 20; thin = 1; samples = 50 }
+       ~src:0 ~dst:2)
+
+let test_estimator_config_validation () =
+  let icm = Icm.const (Gen.path 2) 0.5 in
+  let rng = Rng.create 6 in
+  invalid "bad config" (fun () ->
+      Estimator.flow_probability rng icm
+        { Estimator.burn_in = -1; thin = 1; samples = 10 }
+        ~src:0 ~dst:1);
+  invalid "zero thin" (fun () ->
+      Estimator.flow_probability rng icm
+        { Estimator.burn_in = 0; thin = 0; samples = 10 }
+        ~src:0 ~dst:1)
+
+(* ---------- learners on thin evidence ---------- *)
+
+let test_learners_on_empty_summary () =
+  let s = Summary.of_table ~sink:0 [] in
+  let goyal = Iflow_learn.Goyal.train s in
+  Alcotest.(check int) "goyal empty" 0 (Array.length goyal.Iflow_learn.Trainer.parents);
+  let saito = Iflow_learn.Saito.train s in
+  Alcotest.(check int) "saito empty" 0 (Array.length saito.Iflow_learn.Trainer.parents);
+  let filtered = Iflow_learn.Filtered.train s in
+  Alcotest.(check int) "filtered empty" 0
+    (Array.length filtered.Iflow_learn.Trainer.parents)
+
+let test_joint_bayes_all_leaks () =
+  (* every observation leaked: posterior should push towards 1 *)
+  let s = Summary.of_table ~sink:1 [ ([| 0 |], 30, 30) ] in
+  let est = Iflow_learn.Joint_bayes.train (Rng.create 7) s in
+  Alcotest.(check bool) "near one" true (est.Iflow_learn.Trainer.mean.(0) > 0.9);
+  let s = Summary.of_table ~sink:1 [ ([| 0 |], 30, 0) ] in
+  let est = Iflow_learn.Joint_bayes.train (Rng.create 8) s in
+  Alcotest.(check bool) "near zero" true (est.Iflow_learn.Trainer.mean.(0) < 0.1)
+
+(* ---------- rwr / sgtm ---------- *)
+
+let test_rwr_validation () =
+  let icm = Icm.const (Gen.path 3) 0.5 in
+  invalid "restart range" (fun () -> Rwr.scores ~restart:0.0 icm ~src:0);
+  invalid "src range" (fun () -> Rwr.scores icm ~src:9)
+
+let test_sgtm_validation () =
+  let icm = Icm.const (Gen.path 3) 0.5 in
+  let rng = Rng.create 9 in
+  invalid "source range" (fun () -> Sgtm.run rng icm ~sources:[ 5 ]);
+  invalid "runs" (fun () ->
+      Sgtm.activation_frequency rng icm ~sources:[ 0 ] ~runs:0)
+
+(* ---------- bucket boundaries ---------- *)
+
+let test_bucket_boundary_estimates () =
+  let p e o = { Measures.estimate = e; outcome = o } in
+  let b = Bucket.run ~bins:4 ~label:"b" [ p 0.0 false; p 1.0 true; p 0.25 true ] in
+  Alcotest.(check int) "first bin" 1 b.Bucket.bins.(0).Bucket.count;
+  (* 0.25 is the left edge of bin 1 *)
+  Alcotest.(check int) "edge lands right" 1 b.Bucket.bins.(1).Bucket.count;
+  Alcotest.(check int) "one clamps into last bin" 1
+    b.Bucket.bins.(3).Bucket.count
+
+let () =
+  Alcotest.run "iflow_edge_cases"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "validation" `Quick test_stats_validation;
+          Alcotest.test_case "degenerate beta cdf" `Quick test_degenerate_beta_cdf;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "edges order and folds" `Quick test_graph_edges_order_and_folds;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "exact limits" `Quick test_exact_limits;
+          Alcotest.test_case "cascade validation" `Quick test_cascade_validation;
+          Alcotest.test_case "isolated sink" `Quick test_isolated_sink_flow_is_zero;
+          Alcotest.test_case "deterministic chain" `Quick test_all_deterministic_chain;
+          Alcotest.test_case "estimator config" `Quick test_estimator_config_validation;
+        ] );
+      ( "learn",
+        [
+          Alcotest.test_case "empty summary" `Quick test_learners_on_empty_summary;
+          Alcotest.test_case "extreme leak rates" `Slow test_joint_bayes_all_leaks;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "rwr validation" `Quick test_rwr_validation;
+          Alcotest.test_case "sgtm validation" `Quick test_sgtm_validation;
+        ] );
+      ( "bucket",
+        [ Alcotest.test_case "boundary estimates" `Quick test_bucket_boundary_estimates ] );
+    ]

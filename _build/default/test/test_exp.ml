@@ -1,0 +1,144 @@
+(* Smoke tests for the experiment layer: each figure's machinery runs at
+   tiny scale and produces structurally sane output. The bench binary
+   runs them at real scale. *)
+module Rng = Iflow_stats.Rng
+module Bucket = Iflow_bucket.Bucket
+open Iflow_exp
+
+let tiny_lab =
+  (* built once; Twitter_lab.make at Quick scale is the smallest size *)
+  lazy (Twitter_lab.make Scale.Quick (Rng.create 401))
+
+let test_scale () =
+  Alcotest.(check int) "pick quick" 1 (Scale.pick Scale.Quick ~quick:1 ~full:2);
+  Alcotest.(check int) "pick full" 2 (Scale.pick Scale.Full ~quick:1 ~full:2);
+  let config = Scale.mcmc Scale.Quick in
+  Alcotest.(check bool) "config sane" true
+    (config.Iflow_mcmc.Estimator.samples > 0)
+
+let test_synthetic_bucket_runs () =
+  let rng = Rng.create 402 in
+  let bucket =
+    Synthetic_bucket.run rng ~models:30 ~nodes:12 ~edges:36
+      ~estimator:
+        (Synthetic_bucket.Metropolis_hastings
+           { Iflow_mcmc.Estimator.burn_in = 100; thin = 2; samples = 100 })
+      ~label:"smoke"
+  in
+  Alcotest.(check int) "total" 30 bucket.Bucket.total;
+  Alcotest.(check bool) "coverage in range" true
+    (bucket.Bucket.coverage >= 0.0 && bucket.Bucket.coverage <= 1.0)
+
+let test_twitter_lab () =
+  let lab = Lazy.force tiny_lab in
+  Alcotest.(check bool) "has training objects" true
+    (List.length lab.Twitter_lab.train_objects > 100);
+  Alcotest.(check bool) "has test cascades" true
+    (List.length lab.Twitter_lab.test_cascades > 10);
+  let interesting = Twitter_lab.interesting_users lab ~count:5 in
+  Alcotest.(check int) "five focus users" 5 (List.length interesting);
+  (* interesting users are ranked: the first has the most retweets *)
+  match interesting with
+  | first :: _ ->
+    let sub, node_of_sub, focus =
+      Twitter_lab.subgraph_around lab ~centre:first ~radius:1
+    in
+    Alcotest.(check bool) "focus present" true (focus >= 0);
+    Alcotest.(check int) "focus maps back" first node_of_sub.(focus);
+    Alcotest.(check bool) "subgraph nonempty" true
+      (Iflow_core.Beta_icm.n_nodes sub > 1)
+  | [] -> Alcotest.fail "no interesting users"
+
+let test_fig7_point_structure () =
+  let rng = Rng.create 403 in
+  let panels = Fig7.run Scale.Quick rng in
+  Alcotest.(check int) "four panels" 4 (List.length panels);
+  List.iter
+    (fun (p : Fig7.panel) ->
+      List.iter
+        (fun (pt : Fig7.point) ->
+          List.iter
+            (fun (_, rmse) ->
+              if not (Float.is_nan rmse) && (rmse < 0.0 || rmse > 1.0) then
+                Alcotest.failf "rmse %g out of range" rmse)
+            pt.Fig7.rmse)
+        p.Fig7.points)
+    panels;
+  (* with 1000 objects, our method should be accurate on panel (a) *)
+  let panel_a = List.hd panels in
+  let last = List.nth panel_a.Fig7.points (List.length panel_a.Fig7.points - 1) in
+  let ours = List.assoc Fig7.Ours last.Fig7.rmse in
+  Alcotest.(check bool)
+    (Printf.sprintf "ours converges (%.3f)" ours)
+    true (ours < 0.1)
+
+let test_fig11_structure () =
+  let rng = Rng.create 404 in
+  let r = Fig11.run Scale.Quick rng in
+  Alcotest.(check int) "em restarts" 200 (List.length r.Fig11.em_points);
+  Alcotest.(check int) "mcmc samples" 1000 (List.length r.Fig11.mcmc_points);
+  List.iter
+    (fun (a, b, c) ->
+      if a < 0.0 || a > 1.0 || b < 0.0 || b > 1.0 || c < 0.0 || c > 1.0 then
+        Alcotest.fail "point out of range")
+    (r.Fig11.em_points @ r.Fig11.mcmc_points)
+
+let test_density_grid () =
+  let grid =
+    Fig11.density_grid ~cells:4 ~lo:0.0 ~hi:1.0
+      [ (0.1, 0.1); (0.9, 0.9); (0.9, 0.95); (1.2, -0.5) ]
+  in
+  Alcotest.(check int) "bottom-left" 1 grid.(0).(0);
+  Alcotest.(check int) "top-right" 2 grid.(3).(3);
+  (* out-of-range points clamp to border cells *)
+  Alcotest.(check int) "clamped" 1 grid.(0).(3)
+
+let test_fig6_rows_positive () =
+  let rng = Rng.create 405 in
+  let rows =
+    [ Fig6.(
+        let r = List.hd (run Scale.Quick rng) in
+        r) ]
+  in
+  List.iter
+    (fun (r : Fig6.row) ->
+      Alcotest.(check bool) "goyal > 0" true (r.Fig6.goyal_seconds > 0.0);
+      Alcotest.(check bool) "ours > 0" true (r.Fig6.ours_core_seconds > 0.0);
+      Alcotest.(check bool) "amortised <= with-summary" true
+        (r.Fig6.ours_amortised_seconds <= r.Fig6.ours_with_summary_seconds))
+    rows
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_tables () =
+  (* Table I prints without error and matches the paper's rows *)
+  let s = Tables.table_one () in
+  Alcotest.(check int) "entries" 3 (Iflow_core.Summary.n_entries s);
+  Alcotest.(check int) "observations" 65
+    (Iflow_core.Summary.total_observations s);
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Tables.report_table_one ppf;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "mentions rebuild" true
+    (contains_substring (Buffer.contents buf) "rebuilt")
+
+let () =
+  Alcotest.run "iflow_exp"
+    [
+      ( "scale",
+        [ Alcotest.test_case "pick and mcmc" `Quick test_scale ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "synthetic bucket" `Slow test_synthetic_bucket_runs;
+          Alcotest.test_case "twitter lab" `Slow test_twitter_lab;
+          Alcotest.test_case "fig7 structure" `Slow test_fig7_point_structure;
+          Alcotest.test_case "fig11 structure" `Slow test_fig11_structure;
+          Alcotest.test_case "density grid" `Quick test_density_grid;
+          Alcotest.test_case "fig6 rows" `Slow test_fig6_rows_positive;
+          Alcotest.test_case "tables" `Quick test_tables;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+open Iflow_graph
+module Rng = Iflow_stats.Rng
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  Digraph.of_edges ~nodes:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_construction () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 4 (Digraph.n_nodes g);
+  Alcotest.(check int) "edges" 4 (Digraph.n_edges g);
+  Alcotest.(check int) "edge 0 src" 0 (Digraph.edge_src g 0);
+  Alcotest.(check int) "edge 0 dst" 1 (Digraph.edge_dst g 0);
+  Alcotest.(check int) "out degree 0" 2 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in degree 3" 2 (Digraph.in_degree g 3);
+  Alcotest.(check int) "in degree 0" 0 (Digraph.in_degree g 0)
+
+let test_construction_errors () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Digraph.of_edges: self loop at 1") (fun () ->
+      ignore (Digraph.of_edges ~nodes:2 [ (1, 1) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Digraph.of_edges: duplicate edge (0, 1)") (fun () ->
+      ignore (Digraph.of_edges ~nodes:2 [ (0, 1); (0, 1) ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Digraph.of_edges: edge (0, 5) out of range") (fun () ->
+      ignore (Digraph.of_edges ~nodes:2 [ (0, 5) ]))
+
+let test_find_edge () =
+  let g = diamond () in
+  Alcotest.(check (option int)) "present" (Some 2)
+    (Digraph.find_edge g ~src:1 ~dst:3);
+  Alcotest.(check (option int)) "absent" None
+    (Digraph.find_edge g ~src:3 ~dst:0);
+  Alcotest.(check bool) "mem" true (Digraph.mem_edge g ~src:0 ~dst:2)
+
+let test_adjacency () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "out 0" [ 0; 1 ] (Digraph.out_edges g 0);
+  Alcotest.(check (list int)) "in 3" [ 2; 3 ] (Digraph.in_edges g 3);
+  Alcotest.(check (list int)) "in neighbours 3" [ 1; 2 ]
+    (Digraph.in_neighbours g 3);
+  Alcotest.(check (list int)) "out neighbours 0" [ 1; 2 ]
+    (Digraph.out_neighbours g 0)
+
+let test_induced () =
+  let g = diamond () in
+  let keep = [| true; true; false; true |] in
+  let sub, node_of_sub, edge_of_sub = Digraph.induced g ~keep in
+  Alcotest.(check int) "sub nodes" 3 (Digraph.n_nodes sub);
+  Alcotest.(check int) "sub edges" 2 (Digraph.n_edges sub);
+  Alcotest.(check (array int)) "node map" [| 0; 1; 3 |] node_of_sub;
+  Alcotest.(check (array int)) "edge map" [| 0; 2 |] edge_of_sub;
+  (* kept edges are 0->1 and 1->3, remapped *)
+  Alcotest.(check bool) "0->1 kept" true (Digraph.mem_edge sub ~src:0 ~dst:1);
+  Alcotest.(check bool) "1->3 remapped" true (Digraph.mem_edge sub ~src:1 ~dst:2)
+
+let test_reachability () =
+  let g = diamond () in
+  let marked = Traverse.reachable_from g [ 0 ] in
+  Alcotest.(check (array bool)) "all reachable" [| true; true; true; true |]
+    marked;
+  let marked = Traverse.reachable_from g [ 1 ] in
+  Alcotest.(check (array bool)) "from 1" [| false; true; false; true |] marked;
+  (* restrict active edges: kill edge 0 (0->1) and 1 (0->2) *)
+  let marked = Traverse.reachable_from ~active:(fun e -> e > 1) g [ 0 ] in
+  Alcotest.(check (array bool)) "blocked" [| true; false; false; false |]
+    marked
+
+let test_reaches () =
+  let g = diamond () in
+  Alcotest.(check bool) "0 to 3" true (Traverse.reaches g ~src:0 ~dst:3);
+  Alcotest.(check bool) "3 to 0" false (Traverse.reaches g ~src:3 ~dst:0);
+  Alcotest.(check bool) "self" true (Traverse.reaches g ~src:2 ~dst:2)
+
+let test_within_radius () =
+  let g = Gen.path 5 in
+  Alcotest.(check (array bool)) "out radius 2 from 0"
+    [| true; true; true; false; false |]
+    (Traverse.within_radius ~direction:Traverse.Out g ~centre:0 ~radius:2);
+  Alcotest.(check (array bool)) "in radius 1 from 2"
+    [| false; true; true; false; false |]
+    (Traverse.within_radius ~direction:Traverse.In g ~centre:2 ~radius:1);
+  Alcotest.(check (array bool)) "both radius 1 from 2"
+    [| false; true; true; true; false |]
+    (Traverse.within_radius ~direction:Traverse.Both g ~centre:2 ~radius:1)
+
+let test_shortest_path () =
+  let g = diamond () in
+  (match Traverse.shortest_path g ~src:0 ~dst:3 with
+  | Some [ a; b ] ->
+    Alcotest.(check bool) "two hops" true
+      ((a = 0 && b = 2) || (a = 1 && b = 3))
+  | Some other -> Alcotest.failf "unexpected path length %d" (List.length other)
+  | None -> Alcotest.fail "no path");
+  Alcotest.(check bool) "no reverse path" true
+    (Traverse.shortest_path g ~src:3 ~dst:0 = None);
+  Alcotest.(check bool) "self" true (Traverse.shortest_path g ~src:1 ~dst:1 = Some [])
+
+let test_gnm () =
+  let rng = Rng.create 1 in
+  let g = Gen.gnm rng ~nodes:20 ~edges:50 in
+  Alcotest.(check int) "nodes" 20 (Digraph.n_nodes g);
+  Alcotest.(check int) "edges" 50 (Digraph.n_edges g);
+  (* dense fallback branch *)
+  let g = Gen.gnm rng ~nodes:5 ~edges:20 in
+  Alcotest.(check int) "dense edges" 20 (Digraph.n_edges g);
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Gen.gnm: 21 edges > 20 possible") (fun () ->
+      ignore (Gen.gnm rng ~nodes:5 ~edges:21))
+
+let test_preferential_attachment () =
+  let rng = Rng.create 2 in
+  let g = Gen.preferential_attachment rng ~nodes:300 ~mean_out_degree:3 in
+  Alcotest.(check int) "nodes" 300 (Digraph.n_nodes g);
+  Alcotest.(check bool) "has edges" true (Digraph.n_edges g > 500);
+  (* scale-free-ish: the max audience should be much larger than the mean *)
+  let max_out = ref 0 and total = ref 0 in
+  for v = 0 to 299 do
+    let d = Digraph.out_degree g v in
+    max_out := max !max_out d;
+    total := !total + d
+  done;
+  let mean = float_of_int !total /. 300.0 in
+  Alcotest.(check bool) "heavy tail" true (float_of_int !max_out > 4.0 *. mean)
+
+let test_fixed_generators () =
+  let s = Gen.star ~centre_to_leaves:true ~leaves:4 in
+  Alcotest.(check int) "star out degree" 4 (Digraph.out_degree s 0);
+  let s = Gen.star ~centre_to_leaves:false ~leaves:4 in
+  Alcotest.(check int) "in-star in degree" 4 (Digraph.in_degree s 0);
+  let c = Gen.complete 4 in
+  Alcotest.(check int) "complete edges" 12 (Digraph.n_edges c)
+
+let prop_gnm_no_self_loops_or_dups =
+  QCheck.Test.make ~count:50 ~name:"gnm produces simple digraphs"
+    QCheck.(pair (int_range 2 15) small_nat)
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let m = min (n * (n - 1)) (n * 2) in
+      let g = Gen.gnm rng ~nodes:n ~edges:m in
+      (* of_edges would have rejected self loops/dups; check count *)
+      Digraph.n_edges g = m)
+
+let prop_reachability_monotone =
+  QCheck.Test.make ~count:50
+    ~name:"activating more edges never shrinks the reachable set"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.gnm rng ~nodes:12 ~edges:30 in
+      let active1 = Array.init 30 (fun _ -> Rng.bool rng) in
+      let active2 =
+        Array.mapi (fun _ a -> a || Rng.bool rng) active1
+      in
+      let r1 = Traverse.reachable_from ~active:(fun e -> active1.(e)) g [ 0 ] in
+      let r2 = Traverse.reachable_from ~active:(fun e -> active2.(e)) g [ 0 ] in
+      Array.for_all2 (fun a b -> (not a) || b) r1 r2)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0 |])) tests
+
+let () =
+  Alcotest.run "iflow_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "construction errors" `Quick test_construction_errors;
+          Alcotest.test_case "find edge" `Quick test_find_edge;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "induced subgraph" `Quick test_induced;
+        ] );
+      ( "traverse",
+        [
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "reaches" `Quick test_reaches;
+          Alcotest.test_case "within radius" `Quick test_within_radius;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+        ]
+        @ qcheck [ prop_reachability_monotone ] );
+      ( "gen",
+        [
+          Alcotest.test_case "gnm" `Quick test_gnm;
+          Alcotest.test_case "preferential attachment" `Quick test_preferential_attachment;
+          Alcotest.test_case "fixed generators" `Quick test_fixed_generators;
+        ]
+        @ qcheck [ prop_gnm_no_self_loops_or_dups ] );
+    ]

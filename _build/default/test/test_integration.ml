@@ -1,0 +1,187 @@
+(* End-to-end integration tests: the full pipelines the experiments run,
+   at reduced scale. *)
+open Iflow_core
+module Digraph = Iflow_graph.Digraph
+module Gen = Iflow_graph.Gen
+module Rng = Iflow_stats.Rng
+module Measures = Iflow_stats.Measures
+module Estimator = Iflow_mcmc.Estimator
+module Conditions = Iflow_mcmc.Conditions
+module Nested = Iflow_mcmc.Nested
+module Bucket = Iflow_bucket.Bucket
+module Corpus = Iflow_twitter.Corpus
+module Preprocess = Iflow_twitter.Preprocess
+module Unattributed = Iflow_twitter.Unattributed
+module Joint_bayes = Iflow_learn.Joint_bayes
+module Trainer = Iflow_learn.Trainer
+
+(* Miniature Fig 1: the bucket experiment on synthetic betaICMs must be
+   calibrated — MH estimates of flow vs cascade outcomes. *)
+let test_bucket_experiment_synthetic () =
+  let rng = Rng.create 201 in
+  let config = { Estimator.burn_in = 400; thin = 5; samples = 400 } in
+  let predictions = ref [] in
+  for _ = 1 to 60 do
+    let model = Generator.default_beta_icm rng ~nodes:15 ~edges:45 in
+    let icm = Beta_icm.sample_icm rng model in
+    let src = Rng.int rng 15 in
+    let dst = (src + 1 + Rng.int rng 14) mod 15 in
+    let o = Cascade.run rng icm ~sources:[ src ] in
+    let z = o.Evidence.active_nodes.(dst) in
+    let p =
+      Estimator.flow_probability rng
+        (Beta_icm.expected_icm model)
+        config ~src ~dst
+    in
+    predictions := { Measures.estimate = p; outcome = z } :: !predictions
+  done;
+  let b = Bucket.run ~bins:10 ~label:"mini fig1" !predictions in
+  (* With only 60 points per-bucket intervals are wide; coverage should
+     still be decent for a sound estimator. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.2f" b.Bucket.coverage)
+    true (b.Bucket.coverage >= 0.6);
+  Alcotest.(check bool) "brier sane" true
+    (b.Bucket.measures.Measures.brier_all < 0.3)
+
+(* Miniature Fig 2 pipeline: corpus -> preprocess -> betaICM -> predict
+   held-out retweet outcomes, with and without flow conditions. *)
+let test_twitter_attributed_pipeline () =
+  let rng = Rng.create 202 in
+  let g = Gen.preferential_attachment rng ~nodes:50 ~mean_out_degree:3 in
+  let truth = Generator.skewed_ground_truth rng g in
+  let corpus =
+    Corpus.generate
+      ~params:
+        {
+          Corpus.default_params with
+          originals = 800;
+          hashtag_prob = 0.0;
+          url_prob = 0.0;
+          offline_hashtag_rate = 0.0;
+        }
+      rng truth
+  in
+  let cascades = Preprocess.cascades corpus.Corpus.tweets in
+  let objects =
+    Preprocess.to_attributed ~graph:g
+      ~node_of_name:(Corpus.node_of_name corpus)
+      cascades
+  in
+  let model = Beta_icm.train_attributed g objects in
+  let icm = Beta_icm.expected_icm model in
+  let config = { Estimator.burn_in = 300; thin = 4; samples = 300 } in
+  (* held-out outcomes straight from the ground truth model *)
+  let predictions = ref [] in
+  for _ = 1 to 40 do
+    let src = Rng.int rng 50 in
+    let o = Cascade.run rng truth ~sources:[ src ] in
+    let dst = (src + 1 + Rng.int rng 49) mod 50 in
+    let p = Estimator.flow_probability rng icm config ~src ~dst in
+    predictions :=
+      { Measures.estimate = p; outcome = o.Evidence.active_nodes.(dst) }
+      :: !predictions
+  done;
+  let row = Measures.table_row ~label:"pipeline" !predictions in
+  Alcotest.(check bool)
+    (Printf.sprintf "brier %.3f beats chance" row.Measures.brier_all)
+    true
+    (row.Measures.brier_all < 0.25);
+  (* conditional query runs end to end *)
+  let src = 0 in
+  let o = Cascade.run rng truth ~sources:[ src ] in
+  let active =
+    Array.to_list
+      (Array.mapi (fun v a -> if a && v <> src then Some v else None)
+         o.Evidence.active_nodes)
+    |> List.filter_map (fun x -> x)
+  in
+  match active with
+  | known :: _ ->
+    let conditions = Conditions.v [ (src, known, true) ] in
+    let p =
+      Estimator.flow_probability ~conditions rng icm config ~src ~dst:known
+    in
+    Alcotest.(check (float 1e-9)) "conditioned flow certain" 1.0 p
+  | [] -> ()
+
+(* Miniature Fig 8 pipeline: URL traces -> summaries -> joint Bayes ->
+   flow prediction on the omnipotent-augmented graph. *)
+let test_twitter_unattributed_pipeline () =
+  let rng = Rng.create 203 in
+  let g = Gen.preferential_attachment rng ~nodes:40 ~mean_out_degree:3 in
+  let truth = Generator.skewed_ground_truth rng g in
+  let corpus =
+    Corpus.generate
+      ~params:{ Corpus.default_params with originals = 600; url_prob = 0.5 }
+      rng truth
+  in
+  let aug, omni = Unattributed.augment_with_omnipotent g in
+  let traces =
+    Unattributed.item_traces ~kind:Unattributed.Url
+      ~node_of_name:(Corpus.node_of_name corpus)
+      ~n_nodes:(Digraph.n_nodes aug) ~omni corpus.Corpus.tweets
+  in
+  Alcotest.(check bool) "traces" true (List.length traces > 20);
+  let traces = List.map snd traces in
+  (* train a handful of sinks with the joint Bayes method *)
+  let options =
+    { Joint_bayes.default_options with burn_in = 150; samples = 200; thin = 2 }
+  in
+  let estimates =
+    List.filter_map
+      (fun sink ->
+        let summary = Summary.build aug traces ~sink in
+        if Summary.n_entries summary = 0 then None
+        else Some (Joint_bayes.train ~options rng summary))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "estimates produced" true (List.length estimates > 0);
+  List.iter
+    (fun (e : Trainer.estimate) ->
+      Array.iter
+        (fun m ->
+          if m < 0.0 || m > 1.0 then Alcotest.failf "estimate %g" m)
+        e.Trainer.mean)
+    estimates;
+  (* write estimates onto an ICM over the augmented graph and query *)
+  let icm = Trainer.apply_to_icm (Icm.const aug 0.0) estimates in
+  let config = { Estimator.burn_in = 200; thin = 3; samples = 200 } in
+  let p = Estimator.flow_probability rng icm config ~src:omni ~dst:1 in
+  Alcotest.(check bool) "query runs" true (p >= 0.0 && p <= 1.0)
+
+(* Nested MH uncertainty on a trained model mirrors the evidence
+   uncertainty (mini Fig 3). *)
+let test_uncertainty_mirrors_evidence () =
+  let rng = Rng.create 204 in
+  let g = Digraph.of_edges ~nodes:2 [ (0, 1) ] in
+  let truth = Icm.create g [| 0.3 |] in
+  let objects =
+    List.init 40 (fun _ -> Cascade.run rng truth ~sources:[ 0 ])
+  in
+  let model = Beta_icm.train_attributed g objects in
+  let config = { Estimator.burn_in = 150; thin = 2; samples = 300 } in
+  let samples = Nested.flow_samples rng model config ~reps:50 ~src:0 ~dst:1 in
+  let mean, (lo, hi) = Nested.mean_and_interval samples in
+  let b = Beta_icm.edge_beta model 0 in
+  Alcotest.(check (float 0.05)) "nested mean tracks posterior mean"
+    (Iflow_stats.Dist.Beta.mean b) mean;
+  (* the empirical beta's central mass should overlap the sample interval *)
+  let blo, bhi = Iflow_stats.Dist.Beta.interval b 0.95 in
+  Alcotest.(check bool) "intervals overlap" true (lo < bhi && blo < hi)
+
+let () =
+  Alcotest.run "iflow_integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "synthetic bucket experiment" `Slow
+            test_bucket_experiment_synthetic;
+          Alcotest.test_case "twitter attributed pipeline" `Slow
+            test_twitter_attributed_pipeline;
+          Alcotest.test_case "twitter unattributed pipeline" `Slow
+            test_twitter_unattributed_pipeline;
+          Alcotest.test_case "uncertainty mirrors evidence" `Slow
+            test_uncertainty_mirrors_evidence;
+        ] );
+    ]

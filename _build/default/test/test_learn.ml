@@ -1,0 +1,432 @@
+open Iflow_core
+open Iflow_learn
+module Digraph = Iflow_graph.Digraph
+module Rng = Iflow_stats.Rng
+module Beta = Iflow_stats.Dist.Beta
+module Descriptive = Iflow_stats.Descriptive
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* Paper Table I, nodes A=0, B=1, C=2, sink k=3. *)
+let table_one () =
+  Summary.of_table ~sink:3
+    [ ([| 0; 1 |], 5, 1); ([| 1; 2 |], 50, 15); ([| 0; 2 |], 10, 2) ]
+
+(* Paper Table II: the multimodal example behind Fig 11. *)
+let table_two () =
+  Summary.of_table ~sink:3
+    [ ([| 0; 1 |], 100, 50); ([| 1; 2 |], 100, 50); ([| 0; 1; 2 |], 100, 75) ]
+
+(* ---------- Trainer helpers ---------- *)
+
+let test_trainer_lookup_and_rmse () =
+  let e =
+    {
+      Trainer.sink = 3;
+      parents = [| 0; 2; 5 |];
+      mean = [| 0.1; 0.5; 0.9 |];
+      std = [| 0.0; 0.0; 0.0 |];
+    }
+  in
+  Alcotest.(check (option int)) "index" (Some 1) (Trainer.parent_index e 2);
+  Alcotest.(check (option int)) "missing" None (Trainer.parent_index e 3);
+  Alcotest.(check (option (float 1e-9))) "mean_for" (Some 0.9)
+    (Trainer.mean_for e 5);
+  check_close "rmse zero" 0.0
+    (Trainer.rmse_vs_truth e ~truth:(fun p -> e.Trainer.mean.(Option.get (Trainer.parent_index e p))));
+  check_close ~eps:1e-12 "rmse known" 0.1
+    (Trainer.rmse_vs_truth e ~truth:(fun p ->
+         match p with 0 -> 0.2 | 2 -> 0.4 | _ -> 1.0))
+
+let test_trainer_apply_to_icm () =
+  let g = Digraph.of_edges ~nodes:3 [ (0, 2); (1, 2) ] in
+  let base = Icm.const g 0.0 in
+  let e =
+    {
+      Trainer.sink = 2;
+      parents = [| 0; 1 |];
+      mean = [| 0.3; 0.7 |];
+      std = [| 0.0; 0.0 |];
+    }
+  in
+  let icm = Trainer.apply_to_icm base [ e ] in
+  check_close "edge 0" 0.3 (Icm.prob icm 0);
+  check_close "edge 1" 0.7 (Icm.prob icm 1);
+  let mean, std =
+    Trainer.mean_std_arrays g ~default_mean:0.5 ~default_std:0.1 [ e ]
+  in
+  check_close "mean arr" 0.7 mean.(1);
+  check_close "std arr" 0.0 std.(1)
+
+(* ---------- Goyal ---------- *)
+
+let test_goyal_table_one () =
+  let est = Goyal.train (table_one ()) in
+  (* credit_A = 1/2 (from {A,B}) + 2/2 (from {A,C}) = 1.5; exposure 15 *)
+  Alcotest.(check (option (float 1e-9))) "A" (Some 0.1) (Trainer.mean_for est 0);
+  (* credit_B = 1/2 + 15/2 = 8; exposure 55 *)
+  Alcotest.(check (option (float 1e-9))) "B" (Some (8.0 /. 55.0))
+    (Trainer.mean_for est 1);
+  (* credit_C = 15/2 + 2/2 = 8.5; exposure 60 *)
+  Alcotest.(check (option (float 1e-9))) "C" (Some (8.5 /. 60.0))
+    (Trainer.mean_for est 2)
+
+let test_goyal_unambiguous_exact () =
+  (* with only singleton characteristics, Goyal is the empirical rate *)
+  let s = Summary.of_table ~sink:1 [ ([| 0 |], 20, 14) ] in
+  let est = Goyal.train s in
+  Alcotest.(check (option (float 1e-9))) "rate" (Some 0.7)
+    (Trainer.mean_for est 0)
+
+(* Goyal's credit rule biases towards the mean of all incident edges:
+   with one strong and one weak parent always observed together, both
+   get the same estimate. *)
+let test_goyal_bias_on_joint_observations () =
+  let s = Summary.of_table ~sink:2 [ ([| 0; 1 |], 100, 80) ] in
+  let est = Goyal.train s in
+  Alcotest.(check (option (float 1e-9))) "equal credit 0" (Some 0.4)
+    (Trainer.mean_for est 0);
+  Alcotest.(check (option (float 1e-9))) "equal credit 1" (Some 0.4)
+    (Trainer.mean_for est 1)
+
+(* ---------- Filtered ---------- *)
+
+let test_filtered () =
+  let s =
+    Summary.of_table ~sink:2
+      [ ([| 0 |], 8, 6); ([| 0; 1 |], 100, 90) ]
+  in
+  let est = Filtered.train s in
+  (* parent 0: Beta(7, 3) posterior mean 0.7 *)
+  Alcotest.(check (option (float 1e-9))) "unambiguous used" (Some 0.7)
+    (Trainer.mean_for est 0);
+  (* parent 1 has no unambiguous rows: uniform prior *)
+  Alcotest.(check (option (float 1e-9))) "prior fallback" (Some 0.5)
+    (Trainer.mean_for est 1);
+  let b = Filtered.beta_for s ~parent:0 in
+  check_close "alpha" 7.0 b.Beta.alpha;
+  check_close "beta" 3.0 b.Beta.beta
+
+(* ---------- Saito EM ---------- *)
+
+let test_saito_single_parent_fixed_point () =
+  let s = Summary.of_table ~sink:1 [ ([| 0 |], 10, 7) ] in
+  let est = Saito.train s in
+  Alcotest.(check (option (float 1e-6))) "mle" (Some 0.7)
+    (Trainer.mean_for est 0)
+
+(* EM must reach a stationary point of the summarised likelihood: no
+   coordinate-wise improvement. *)
+let test_saito_reaches_local_maximum () =
+  let s = table_two () in
+  let est =
+    Saito.train
+      ~options:{ Saito.default_options with max_iterations = 50000 }
+      s
+  in
+  let kappa = est.Trainer.mean in
+  let prob i = kappa.(i) in
+  let base = Summary.log_likelihood s ~prob in
+  Array.iteri
+    (fun i k ->
+      List.iter
+        (fun delta ->
+          let perturbed j = if j = i then Float.max 0.001 (Float.min 0.999 (k +. delta)) else kappa.(j) in
+          let ll = Summary.log_likelihood s ~prob:perturbed in
+          if ll > base +. 1e-6 then
+            Alcotest.failf "coordinate %d improvable by %g (%.9f > %.9f)" i
+              delta ll base)
+        [ -0.01; 0.01 ])
+    kappa
+
+let test_saito_multimodal_restarts () =
+  (* Table II: restarts must find at least two distinct local maxima. *)
+  let rng = Rng.create 71 in
+  let results = Saito.restarts rng ~n:60 (table_two ()) in
+  let firsts =
+    List.map (fun (e : Trainer.estimate) -> Float.round (e.mean.(0) *. 50.0)) results
+  in
+  let distinct = List.sort_uniq compare firsts in
+  Alcotest.(check bool)
+    (Printf.sprintf "multiple modes (%d distinct)" (List.length distinct))
+    true
+    (List.length distinct >= 2)
+
+let test_saito_discrete_summary () =
+  (* Graph 0 -> 2, 1 -> 2. Trace: node 0 at t=0, node 1 at t=1, sink 2
+     at t=2. Discrete-time: at step 1 the candidate set {0} failed; at
+     step 2 the set {1} leaked. *)
+  let g = Digraph.of_edges ~nodes:3 [ (0, 2); (1, 2) ] in
+  let tr =
+    Evidence.trace_of_active ~sources:[ 0 ] ~times:[ (1, 1); (2, 2) ] ~n:3
+  in
+  let s = Saito.discrete_summary g [ tr ] ~sink:2 in
+  let find parents =
+    List.find_opt (fun (e : Summary.entry) -> e.parents = parents) s.entries
+  in
+  (match find [| 0 |] with
+  | Some e ->
+    Alcotest.(check int) "{0} count" 1 e.count;
+    Alcotest.(check int) "{0} leaks" 0 e.leaks
+  | None -> Alcotest.fail "{0} missing");
+  (match find [| 1 |] with
+  | Some e ->
+    Alcotest.(check int) "{1} count" 1 e.count;
+    Alcotest.(check int) "{1} leaks" 1 e.leaks
+  | None -> Alcotest.fail "{1} missing");
+  let est = Saito.train_discrete g [ tr ] ~sink:2 in
+  (* single observation each: MLE 0 for parent 0, 1 for parent 1 *)
+  (match Trainer.mean_for est 0 with
+  | Some p -> Alcotest.(check bool) "parent 0 low" true (p < 0.01)
+  | None -> Alcotest.fail "parent 0 missing");
+  match Trainer.mean_for est 1 with
+  | Some p -> Alcotest.(check bool) "parent 1 high" true (p > 0.99)
+  | None -> Alcotest.fail "parent 1 missing"
+
+(* ---------- Joint Bayes ---------- *)
+
+let jb_options =
+  { Joint_bayes.default_options with burn_in = 400; samples = 800; thin = 3 }
+
+let test_joint_bayes_single_parent_posterior () =
+  (* summary {0}: 10 observations, 7 leaks; uniform prior -> Beta(8,4) *)
+  let s = Summary.of_table ~sink:1 [ ([| 0 |], 10, 7) ] in
+  let rng = Rng.create 81 in
+  let result = Joint_bayes.run ~options:jb_options rng s in
+  let est = result.Joint_bayes.estimate in
+  check_close ~eps:0.03 "posterior mean" (8.0 /. 12.0) est.Trainer.mean.(0);
+  let b = Beta.v 8.0 4.0 in
+  check_close ~eps:0.02 "posterior std" (Beta.std b) est.Trainer.std.(0);
+  Alcotest.(check bool) "acceptance reasonable" true
+    (result.Joint_bayes.acceptance > 0.1)
+
+let test_joint_bayes_prior_formulations_agree () =
+  let s =
+    Summary.of_table ~sink:2
+      [ ([| 0 |], 30, 21); ([| 1 |], 10, 2); ([| 0; 1 |], 40, 30) ]
+  in
+  let uniform =
+    Joint_bayes.train ~options:jb_options (Rng.create 82) s
+  in
+  let informed =
+    Joint_bayes.train
+      ~options:{ jb_options with prior = `Informed }
+      (Rng.create 83) s
+  in
+  Array.iteri
+    (fun i m ->
+      check_close ~eps:0.04
+        (Printf.sprintf "parent %d" i)
+        m informed.Trainer.mean.(i))
+    uniform.Trainer.mean
+
+let test_joint_bayes_log_posterior () =
+  let s = Summary.of_table ~sink:1 [ ([| 0 |], 10, 7) ] in
+  let lp =
+    Joint_bayes.log_posterior
+      ~prior:(fun _ -> Beta.uniform)
+      ~ambiguous_only:false s [| 0.7 |]
+  in
+  check_close ~eps:1e-9 "bernoulli likelihood + flat prior"
+    ((7.0 *. Float.log 0.7) +. (3.0 *. Float.log 0.3))
+    lp
+
+let test_joint_bayes_table_two_spread () =
+  (* Fig 11: the posterior is broad/multimodal; samples should span a
+     wide range rather than collapsing to a point. *)
+  let rng = Rng.create 84 in
+  let result =
+    Joint_bayes.run
+      ~options:{ jb_options with samples = 1500 }
+      rng (table_two ())
+  in
+  let spread_a = result.Joint_bayes.estimate.Trainer.std.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "posterior spread %.3f" spread_a)
+    true (spread_a > 0.05)
+
+(* ---------- Contextual (discussion extension) ---------- *)
+
+let test_contextual_recovers_both_regimes () =
+  let rng = Rng.create 87 in
+  let g = Iflow_graph.Gen.gnm rng ~nodes:12 ~edges:40 in
+  (* originals are forwarded eagerly, relays reluctantly *)
+  let source_icm = Icm.const g 0.7 in
+  let relay_icm = Icm.const g 0.15 in
+  let objects =
+    List.init 4000 (fun _ ->
+        Cascade.run_contextual rng ~source_icm ~relay_icm
+          ~sources:[ Rng.int rng 12 ])
+  in
+  let model = Contextual.train g objects in
+  (* per-edge means, restricted to well-observed edges *)
+  let check context truth =
+    let errors = ref [] in
+    for e = 0 to 39 do
+      let b = Contextual.edge_beta model context e in
+      if b.Beta.alpha +. b.Beta.beta > 100.0 then
+        errors := Float.abs (Beta.mean b -. truth) :: !errors
+    done;
+    Alcotest.(check bool) "has well-observed edges" true
+      (List.length !errors > 5);
+    let worst = List.fold_left Float.max 0.0 !errors in
+    Alcotest.(check bool)
+      (Printf.sprintf "max error %.3f" worst)
+      true (worst < 0.1)
+  in
+  check Contextual.From_source 0.7;
+  check Contextual.From_relay 0.15;
+  (* the pooled model sits between the two regimes and would mislead *)
+  let pooled = Contextual.pooled model in
+  let gap_seen = ref false in
+  for e = 0 to 39 do
+    if Contextual.context_gap model e > 0.3 then gap_seen := true;
+    let m = Beta.mean (Iflow_core.Beta_icm.edge_beta pooled e) in
+    if m > 0.75 || m < 0.05 then
+      Alcotest.failf "pooled mean %.3f outside blended range" m
+  done;
+  Alcotest.(check bool) "context gap detected" true !gap_seen
+
+let test_contextual_pooled_equals_plain_training () =
+  let rng = Rng.create 88 in
+  let g = Iflow_graph.Gen.gnm rng ~nodes:8 ~edges:20 in
+  let icm = Icm.create g (Array.init 20 (fun _ -> Rng.uniform rng)) in
+  let objects =
+    List.init 300 (fun _ -> Cascade.run rng icm ~sources:[ Rng.int rng 8 ])
+  in
+  let contextual = Contextual.pooled (Contextual.train g objects) in
+  let plain = Iflow_core.Beta_icm.train_attributed g objects in
+  for e = 0 to 19 do
+    let a = Iflow_core.Beta_icm.edge_beta contextual e in
+    let b = Iflow_core.Beta_icm.edge_beta plain e in
+    check_close "alpha" b.Beta.alpha a.Beta.alpha;
+    check_close "beta" b.Beta.beta a.Beta.beta
+  done
+
+(* ---------- Recovery comparison (the Fig 7 claim, in miniature) ---------- *)
+
+let traces_for_star rng icm ~objects =
+  let g = Icm.graph icm in
+  let n = Digraph.n_nodes g in
+  let d = n - 1 in
+  List.init objects (fun _ ->
+      (* random nonempty subset of parents is active as sources *)
+      let sources =
+        List.filter (fun _ -> Rng.bool rng) (List.init d (fun j -> j))
+      in
+      let sources = if sources = [] then [ Rng.int rng d ] else sources in
+      Iflow_core.Cascade.run_trace rng icm ~sources)
+
+let test_methods_recover_ground_truth () =
+  let probs = [| 0.15; 0.68; 0.83 |] in
+  let g, icm, sink = Generator.in_star_icm ~probs in
+  let rng = Rng.create 85 in
+  let traces = traces_for_star rng icm ~objects:4000 in
+  let summary = Summary.build g traces ~sink in
+  let truth j = probs.(j) in
+  let ours = Joint_bayes.train ~options:jb_options (Rng.create 86) summary in
+  let goyal = Goyal.train summary in
+  let saito = Saito.train summary in
+  let rmse_ours = Trainer.rmse_vs_truth ours ~truth in
+  let rmse_goyal = Trainer.rmse_vs_truth goyal ~truth in
+  let rmse_saito = Trainer.rmse_vs_truth saito ~truth in
+  Alcotest.(check bool)
+    (Printf.sprintf "ours accurate (%.3f)" rmse_ours)
+    true (rmse_ours < 0.06);
+  Alcotest.(check bool)
+    (Printf.sprintf "saito accurate (%.3f)" rmse_saito)
+    true (rmse_saito < 0.08);
+  Alcotest.(check bool)
+    (Printf.sprintf "ours (%.3f) beats goyal (%.3f)" rmse_ours rmse_goyal)
+    true
+    (rmse_ours < rmse_goyal)
+
+let prop_goyal_estimates_in_unit_interval =
+  QCheck.Test.make ~count:60 ~name:"goyal estimates lie in [0,1]"
+    QCheck.(
+      list_of_size Gen.(1 -- 6)
+        (triple (int_range 0 4) (int_range 1 50) (int_range 0 50)))
+    (fun rows ->
+      (* build a valid random table: distinct characteristics *)
+      let seen = Hashtbl.create 8 in
+      let rows =
+        List.filter_map
+          (fun (p, count, leaks) ->
+            let parents = [| p; p + 5 |] in
+            if Hashtbl.mem seen p then None
+            else begin
+              Hashtbl.add seen p ();
+              Some (parents, count, min leaks count)
+            end)
+          rows
+      in
+      match rows with
+      | [] -> true
+      | _ ->
+        let s = Summary.of_table ~sink:99 rows in
+        let est = Goyal.train s in
+        Array.for_all (fun m -> m >= 0.0 && m <= 1.0) est.Trainer.mean)
+
+let prop_saito_estimates_in_unit_interval =
+  QCheck.Test.make ~count:40 ~name:"saito EM estimates stay in (0,1)"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 2 + Rng.int rng 3 in
+      let probs = Array.init d (fun _ -> Rng.uniform rng) in
+      let g, icm, sink = Generator.in_star_icm ~probs in
+      let traces = traces_for_star rng icm ~objects:50 in
+      let s = Summary.build g traces ~sink in
+      if Summary.n_entries s = 0 then true
+      else begin
+        let est = Saito.train s in
+        Array.for_all (fun m -> m >= 0.0 && m <= 1.0) est.Trainer.mean
+      end)
+
+let qcheck tests =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0 |])) tests
+
+let () =
+  Alcotest.run "iflow_learn"
+    [
+      ( "trainer",
+        [
+          Alcotest.test_case "lookup and rmse" `Quick test_trainer_lookup_and_rmse;
+          Alcotest.test_case "apply to icm" `Quick test_trainer_apply_to_icm;
+        ] );
+      ( "goyal",
+        [
+          Alcotest.test_case "table I" `Quick test_goyal_table_one;
+          Alcotest.test_case "unambiguous exact" `Quick test_goyal_unambiguous_exact;
+          Alcotest.test_case "joint-observation bias" `Quick test_goyal_bias_on_joint_observations;
+        ]
+        @ qcheck [ prop_goyal_estimates_in_unit_interval ] );
+      ("filtered", [ Alcotest.test_case "filtered rule" `Quick test_filtered ]);
+      ( "saito",
+        [
+          Alcotest.test_case "single parent fixed point" `Quick test_saito_single_parent_fixed_point;
+          Alcotest.test_case "reaches local maximum" `Quick test_saito_reaches_local_maximum;
+          Alcotest.test_case "multimodal restarts (Fig 11)" `Quick test_saito_multimodal_restarts;
+          Alcotest.test_case "discrete summary" `Quick test_saito_discrete_summary;
+        ]
+        @ qcheck [ prop_saito_estimates_in_unit_interval ] );
+      ( "joint_bayes",
+        [
+          Alcotest.test_case "single-parent posterior" `Slow test_joint_bayes_single_parent_posterior;
+          Alcotest.test_case "prior formulations agree" `Slow test_joint_bayes_prior_formulations_agree;
+          Alcotest.test_case "log posterior" `Quick test_joint_bayes_log_posterior;
+          Alcotest.test_case "table II spread (Fig 11)" `Slow test_joint_bayes_table_two_spread;
+        ] );
+      ( "contextual",
+        [
+          Alcotest.test_case "recovers both regimes" `Slow
+            test_contextual_recovers_both_regimes;
+          Alcotest.test_case "pooled equals plain training" `Quick
+            test_contextual_pooled_equals_plain_training;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "methods recover truth" `Slow test_methods_recover_ground_truth;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for iflow_rwr, iflow_gtm and iflow_bucket. *)
+open Iflow_core
+module Digraph = Iflow_graph.Digraph
+module Gen = Iflow_graph.Gen
+module Rng = Iflow_stats.Rng
+module Measures = Iflow_stats.Measures
+module Rwr = Iflow_rwr.Rwr
+module Sgtm = Iflow_gtm.Sgtm
+module Bucket = Iflow_bucket.Bucket
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ---------- RWR ---------- *)
+
+let test_rwr_scores_normalised () =
+  let rng = Rng.create 91 in
+  let g = Gen.gnm rng ~nodes:20 ~edges:60 in
+  let icm = Icm.create g (Array.init 60 (fun _ -> Rng.uniform rng)) in
+  let r = Rwr.scores icm ~src:0 in
+  check_close ~eps:1e-6 "sums to one" 1.0 (Array.fold_left ( +. ) 0.0 r);
+  Array.iter
+    (fun s -> if s < 0.0 then Alcotest.failf "negative score %g" s)
+    r
+
+let test_rwr_prefers_nearer_nodes () =
+  (* chain 0 -> 1 -> 2: score must decay with distance *)
+  let g = Gen.path 3 in
+  let icm = Icm.const g 0.9 in
+  let r = Rwr.scores icm ~src:0 in
+  Alcotest.(check bool) "source highest" true (r.(0) > r.(1));
+  Alcotest.(check bool) "decay" true (r.(1) > r.(2))
+
+let test_rwr_restart_extremes () =
+  let g = Gen.path 3 in
+  let icm = Icm.const g 0.9 in
+  let nearly_all_restart = Rwr.scores ~restart:0.99 icm ~src:0 in
+  Alcotest.(check bool) "mass stays at source" true
+    (nearly_all_restart.(0) > 0.95);
+  let wanderer = Rwr.scores ~restart:0.01 icm ~src:0 in
+  Alcotest.(check bool) "mass spreads" true (wanderer.(0) < 0.5)
+
+let test_rwr_flow_estimate_range () =
+  let rng = Rng.create 92 in
+  let g = Gen.gnm rng ~nodes:15 ~edges:45 in
+  let icm = Icm.create g (Array.init 45 (fun _ -> Rng.uniform rng)) in
+  for dst = 1 to 14 do
+    let p = Rwr.flow_estimate icm ~src:0 ~dst in
+    if p < 0.0 || p > 1.0 then Alcotest.failf "estimate %g outside [0,1]" p
+  done
+
+let test_rwr_sink_node_teleports () =
+  (* node 1 has no out-edges: walk must not lose mass *)
+  let g = Digraph.of_edges ~nodes:2 [ (0, 1) ] in
+  let icm = Icm.const g 1.0 in
+  let r = Rwr.scores icm ~src:0 in
+  check_close ~eps:1e-6 "mass conserved" 1.0 (r.(0) +. r.(1))
+
+(* ---------- SGTM / ICM equivalence (Theorem 1) ---------- *)
+
+let test_sgtm_influence () =
+  let g = Digraph.of_edges ~nodes:3 [ (0, 2); (1, 2) ] in
+  let icm = Icm.create g [| 0.5; 0.4 |] in
+  check_close "no parents" 0.0
+    (Sgtm.influence icm ~node:2 ~active:[| false; false; false |]);
+  check_close "one parent" 0.5
+    (Sgtm.influence icm ~node:2 ~active:[| true; false; false |]);
+  check_close ~eps:1e-12 "both parents" 0.7
+    (Sgtm.influence icm ~node:2 ~active:[| true; true; false |])
+
+let test_sgtm_equiv_single_edge () =
+  let g = Digraph.of_edges ~nodes:2 [ (0, 1) ] in
+  let icm = Icm.create g [| 0.37 |] in
+  let rng = Rng.create 93 in
+  let freq = Sgtm.activation_frequency rng icm ~sources:[ 0 ] ~runs:30000 in
+  check_close "source always" 1.0 freq.(0);
+  check_close ~eps:0.015 "edge weight" 0.37 freq.(1)
+
+let test_sgtm_equiv_matches_exact_flow () =
+  (* Theorem 1: SGTM activation probability of any node equals the ICM
+     flow probability, computable exactly by brute force. *)
+  let rng = Rng.create 94 in
+  for trial = 1 to 3 do
+    let g = Gen.gnm rng ~nodes:6 ~edges:12 in
+    let icm = Icm.create g (Array.init 12 (fun _ -> Rng.uniform rng)) in
+    let freq = Sgtm.activation_frequency rng icm ~sources:[ 0 ] ~runs:20000 in
+    for dst = 1 to 5 do
+      check_close ~eps:0.02
+        (Printf.sprintf "trial %d node %d" trial dst)
+        (Exact.brute_force_flow icm ~src:0 ~dst)
+        freq.(dst)
+    done
+  done
+
+let prop_sgtm_icm_same_activation_distribution =
+  QCheck.Test.make ~count:5 ~name:"SGTM and ICM cascades activate alike"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.gnm rng ~nodes:8 ~edges:16 in
+      let icm = Icm.create g (Array.init 16 (fun _ -> Rng.uniform rng)) in
+      let runs = 8000 in
+      let sgtm = Sgtm.activation_frequency rng icm ~sources:[ 0 ] ~runs in
+      let icm_counts = Array.make 8 0 in
+      for _ = 1 to runs do
+        let o = Cascade.run rng icm ~sources:[ 0 ] in
+        Array.iteri
+          (fun v a -> if a then icm_counts.(v) <- icm_counts.(v) + 1)
+          o.Evidence.active_nodes
+      done;
+      let ok = ref true in
+      Array.iteri
+        (fun v c ->
+          let f = float_of_int c /. float_of_int runs in
+          if Float.abs (f -. sgtm.(v)) > 0.035 then ok := false)
+        icm_counts;
+      !ok)
+
+(* ---------- Bucket ---------- *)
+
+let p e o = { Measures.estimate = e; outcome = o }
+
+let test_bucket_binning () =
+  let preds = [ p 0.02 false; p 0.04 true; p 0.98 true; p 1.0 true ] in
+  let b = Bucket.run ~bins:10 ~label:"t" preds in
+  Alcotest.(check int) "total" 4 b.Bucket.total;
+  Alcotest.(check int) "bin 0 volume" 2 b.Bucket.bins.(0).Bucket.count;
+  Alcotest.(check int) "bin 0 positives" 1 b.Bucket.bins.(0).Bucket.positives;
+  (* estimate = 1.0 lands in the last bin *)
+  Alcotest.(check int) "bin 9 volume" 2 b.Bucket.bins.(9).Bucket.count
+
+let test_bucket_calibrated_coverage () =
+  (* perfectly calibrated predictions: outcome ~ Bernoulli(estimate) *)
+  let rng = Rng.create 95 in
+  let preds =
+    List.init 30000 (fun _ ->
+        let q = Rng.uniform rng in
+        p q (Rng.bernoulli rng q))
+  in
+  let b = Bucket.run ~label:"calibrated" preds in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.3f >= 0.8" b.Bucket.coverage)
+    true (b.Bucket.coverage >= 0.8)
+
+let test_bucket_miscalibrated_detected () =
+  (* estimates say 0.8 but the truth is 0.2: buckets must flag it *)
+  let rng = Rng.create 96 in
+  let preds =
+    List.init 3000 (fun _ ->
+        p (0.75 +. (0.1 *. Rng.uniform rng)) (Rng.bernoulli rng 0.2))
+  in
+  let b = Bucket.run ~label:"bad" preds in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.3f <= 0.5" b.Bucket.coverage)
+    true (b.Bucket.coverage <= 0.5)
+
+let test_bucket_empirical_beta_rule () =
+  let preds = [ p 0.5 true; p 0.5 true; p 0.52 false ] in
+  let b = Bucket.run ~bins:10 ~label:"beta" preds in
+  let bin = b.Bucket.bins.(5) in
+  (* alpha = 1 + 2, beta = 3 - 3 + 2 = 2 *)
+  check_close "alpha" 3.0 bin.Bucket.empirical.Iflow_stats.Dist.Beta.alpha;
+  check_close "beta" 2.0 bin.Bucket.empirical.Iflow_stats.Dist.Beta.beta
+
+let test_bucket_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Bucket.run: no predictions")
+    (fun () -> ignore (Bucket.run ~label:"x" []));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Bucket.run: estimate outside [0,1]") (fun () ->
+      ignore (Bucket.run ~label:"x" [ p 1.2 true ]))
+
+let qcheck tests =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0 |])) tests
+
+let () =
+  Alcotest.run "iflow_misc"
+    [
+      ( "rwr",
+        [
+          Alcotest.test_case "scores normalised" `Quick test_rwr_scores_normalised;
+          Alcotest.test_case "prefers nearer nodes" `Quick test_rwr_prefers_nearer_nodes;
+          Alcotest.test_case "restart extremes" `Quick test_rwr_restart_extremes;
+          Alcotest.test_case "flow estimate range" `Quick test_rwr_flow_estimate_range;
+          Alcotest.test_case "sink teleports" `Quick test_rwr_sink_node_teleports;
+        ] );
+      ( "sgtm",
+        [
+          Alcotest.test_case "influence" `Quick test_sgtm_influence;
+          Alcotest.test_case "single edge" `Slow test_sgtm_equiv_single_edge;
+          Alcotest.test_case "matches exact flow" `Slow test_sgtm_equiv_matches_exact_flow;
+        ]
+        @ qcheck [ prop_sgtm_icm_same_activation_distribution ] );
+      ( "bucket",
+        [
+          Alcotest.test_case "binning" `Quick test_bucket_binning;
+          Alcotest.test_case "calibrated coverage" `Quick test_bucket_calibrated_coverage;
+          Alcotest.test_case "miscalibration detected" `Quick test_bucket_miscalibrated_detected;
+          Alcotest.test_case "empirical beta rule" `Quick test_bucket_empirical_beta_rule;
+          Alcotest.test_case "validation" `Quick test_bucket_validation;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Cross-module property and fuzz tests. *)
+open Iflow_core
+module Digraph = Iflow_graph.Digraph
+module Gen = Iflow_graph.Gen
+module Rng = Iflow_stats.Rng
+module Tweet = Iflow_twitter.Tweet
+module Preprocess = Iflow_twitter.Preprocess
+module Estimator = Iflow_mcmc.Estimator
+module Conditions = Iflow_mcmc.Conditions
+module Delay = Iflow_mcmc.Delay
+
+let qcheck tests =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0 |])) tests
+
+(* ---------- tweet parser fuzz ---------- *)
+
+let printable_string =
+  QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+
+let prop_parser_total =
+  QCheck.Test.make ~count:500 ~name:"tweet parsers never raise" printable_string
+    (fun text ->
+      let _ = Tweet.mentions text in
+      let _ = Tweet.hashtags text in
+      let _ = Tweet.urls text in
+      let _ = Tweet.retweet_chain text in
+      true)
+
+let prop_chain_root_is_suffix =
+  QCheck.Test.make ~count:500 ~name:"retweet-chain root is a suffix"
+    printable_string
+    (fun text ->
+      let _, root = Tweet.retweet_chain text in
+      let n = String.length text and r = String.length root in
+      r <= n && String.sub text (n - r) r = root)
+
+let prop_chain_names_are_mentions =
+  QCheck.Test.make ~count:300 ~name:"chain ancestors appear as mentions"
+    QCheck.(pair (list_of_size Gen.(1 -- 4) (string_gen_of_size (Gen.return 3) (Gen.char_range 'a' 'z'))) printable_string)
+    (fun (names, tail) ->
+      let text =
+        List.fold_right (fun n acc -> Printf.sprintf "RT @%s: %s" n acc) names tail
+      in
+      let chain, _ = Tweet.retweet_chain text in
+      let mentions = Tweet.mentions text in
+      List.for_all (fun n -> List.mem n mentions) chain)
+
+let prop_cascades_total =
+  QCheck.Test.make ~count:100 ~name:"cascade reconstruction never raises"
+    QCheck.(list_of_size Gen.(0 -- 10) (pair printable_string small_nat))
+    (fun rows ->
+      let tweets =
+        List.mapi
+          (fun i (text, time) ->
+            Tweet.make ~id:i ~author:(Printf.sprintf "u%d" (i mod 3)) ~time
+              ~text)
+          rows
+      in
+      let _ = Preprocess.cascades tweets in
+      let _ = Preprocess.users tweets in
+      true)
+
+(* ---------- conditional sampling vs brute force ---------- *)
+
+let prop_conditional_matches_brute_force =
+  QCheck.Test.make ~count:5 ~name:"conditional MH matches brute force"
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.gnm rng ~nodes:6 ~edges:12 in
+      let icm =
+        Icm.create g (Array.init 12 (fun _ -> 0.15 +. (0.7 *. Rng.uniform rng)))
+      in
+      let conditions = [ (0, 2, true); (1, 5, false) ] in
+      match Exact.brute_force_conditional icm ~conditions ~src:0 ~dst:4 with
+      | truth -> (
+        match
+          Estimator.flow_probability
+            ~conditions:(Conditions.v conditions)
+            rng icm
+            { Estimator.burn_in = 1500; thin = 8; samples = 4000 }
+            ~src:0 ~dst:4
+        with
+        | estimate -> Float.abs (estimate -. truth) < 0.05
+        | exception Failure _ -> false)
+      | exception Failure _ -> true (* conditions infeasible: nothing to test *))
+
+(* ---------- grow/remove round trip ---------- *)
+
+let prop_grow_remove_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"grow then remove restores the model"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.gnm rng ~nodes:6 ~edges:10 in
+      let model = Generator.default_beta_icm rng ~nodes:6 ~edges:0 in
+      ignore model;
+      let betas =
+        Array.init 10 (fun _ ->
+            Iflow_stats.Dist.Beta.v
+              (1.0 +. Rng.uniform rng)
+              (1.0 +. Rng.uniform rng))
+      in
+      let model = Beta_icm.create g betas in
+      (* pick a fresh edge to add *)
+      let rec fresh () =
+        let s = Rng.int rng 6 and d = Rng.int rng 6 in
+        if s <> d && not (Digraph.mem_edge g ~src:s ~dst:d) then (s, d)
+        else fresh ()
+      in
+      let s, d = fresh () in
+      let grown =
+        Beta_icm.grow model ~new_nodes:0
+          ~new_edges:[ (s, d, Iflow_stats.Dist.Beta.v 3.0 4.0) ]
+      in
+      let restored = Beta_icm.remove_edges grown [ (s, d) ] in
+      Beta_icm.n_edges restored = 10
+      && List.for_all
+           (fun e ->
+             let b = Beta_icm.edge_beta model e in
+             let pair = (Digraph.edge_src g e, Digraph.edge_dst g e) in
+             match
+               Digraph.find_edge (Beta_icm.graph restored) ~src:(fst pair)
+                 ~dst:(snd pair)
+             with
+             | Some e' ->
+               let b' = Beta_icm.edge_beta restored e' in
+               b.Iflow_stats.Dist.Beta.alpha = b'.Iflow_stats.Dist.Beta.alpha
+               && b.Iflow_stats.Dist.Beta.beta = b'.Iflow_stats.Dist.Beta.beta
+             | None -> false)
+           (List.init 10 (fun e -> e)))
+
+(* ---------- delay monotonicity ---------- *)
+
+let prop_delay_monotone_in_active_set =
+  QCheck.Test.make ~count:100
+    ~name:"activating more edges never delays arrival"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.gnm rng ~nodes:8 ~edges:20 in
+      let icm = Icm.const g 1.0 in
+      let delays = Array.init 20 (fun _ -> Rng.uniform rng *. 5.0) in
+      let active1 = Array.init 20 (fun _ -> Rng.bool rng) in
+      let active2 = Array.mapi (fun _ a -> a || Rng.bool rng) active1 in
+      let arrival active =
+        Delay.earliest_arrival icm
+          ~active:(fun e -> active.(e))
+          ~delay:(fun e -> delays.(e))
+          ~src:0 ~dst:7
+      in
+      match (arrival active1, arrival active2) with
+      | None, _ -> true
+      | Some _, None -> false
+      | Some t1, Some t2 -> t2 <= t1 +. 1e-9)
+
+(* ---------- summary totals ---------- *)
+
+let prop_summary_totals =
+  QCheck.Test.make ~count:80
+    ~name:"summary observations bounded by usable traces"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.gnm rng ~nodes:8 ~edges:20 in
+      let icm = Icm.create g (Array.init 20 (fun _ -> Rng.uniform rng)) in
+      let traces =
+        List.init 40 (fun _ -> Cascade.run_trace rng icm ~sources:[ Rng.int rng 8 ])
+      in
+      let sink = Rng.int rng 8 in
+      let s = Summary.build g traces ~sink in
+      Summary.total_observations s <= 40
+      && Summary.total_leaks s <= Summary.total_observations s)
+
+(* ---------- impact conservation ---------- *)
+
+let prop_impact_samples_bounded =
+  QCheck.Test.make ~count:10 ~name:"impact samples bounded by n - 1"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.gnm rng ~nodes:7 ~edges:14 in
+      let icm = Icm.create g (Array.init 14 (fun _ -> Rng.uniform rng)) in
+      let samples =
+        Estimator.impact_samples rng icm
+          { Estimator.burn_in = 100; thin = 2; samples = 100 }
+          ~src:0
+      in
+      Array.for_all (fun k -> k >= 0 && k <= 6) samples)
+
+let () =
+  Alcotest.run "iflow_properties"
+    [
+      ( "parser fuzz",
+        qcheck
+          [
+            prop_parser_total; prop_chain_root_is_suffix;
+            prop_chain_names_are_mentions; prop_cascades_total;
+          ] );
+      ( "sampling",
+        qcheck
+          [ prop_conditional_matches_brute_force; prop_impact_samples_bounded ]
+      );
+      ("models", qcheck [ prop_grow_remove_roundtrip; prop_summary_totals ]);
+      ("delay", qcheck [ prop_delay_monotone_in_active_set ]);
+    ]

@@ -1,0 +1,314 @@
+open Iflow_twitter
+module Digraph = Iflow_graph.Digraph
+module Gen = Iflow_graph.Gen
+module Rng = Iflow_stats.Rng
+module Icm = Iflow_core.Icm
+module Evidence = Iflow_core.Evidence
+module Beta_icm = Iflow_core.Beta_icm
+module Generator = Iflow_core.Generator
+
+(* ---------- Tweet syntax ---------- *)
+
+let test_mentions () =
+  Alcotest.(check (list string)) "basic" [ "alice"; "bob_2" ]
+    (Tweet.mentions "hey @alice and @bob_2!");
+  Alcotest.(check (list string)) "none" [] (Tweet.mentions "no refs here");
+  Alcotest.(check (list string)) "bare at" [] (Tweet.mentions "50 @ 10")
+
+let test_hashtags () =
+  Alcotest.(check (list string)) "basic" [ "ICDE"; "fb" ]
+    (Tweet.hashtags "see you at #ICDE #fb");
+  Alcotest.(check (list string)) "dedup" [ "x" ] (Tweet.hashtags "#x and #x");
+  Alcotest.(check (list string)) "none" [] (Tweet.hashtags "hash # alone")
+
+let test_urls () =
+  Alcotest.(check (list string)) "short" [ "http://t.co/ab3x" ]
+    (Tweet.urls "look http://t.co/ab3x now");
+  Alcotest.(check (list string)) "https and dedup"
+    [ "https://example.com/a-b" ]
+    (Tweet.urls "https://example.com/a-b https://example.com/a-b");
+  Alcotest.(check (list string)) "none" [] (Tweet.urls "no links")
+
+let test_retweet_chain () =
+  let chain, root = Tweet.retweet_chain "RT @a: RT @b: hello world" in
+  Alcotest.(check (list string)) "chain" [ "a"; "b" ] chain;
+  Alcotest.(check string) "root" "hello world" root;
+  let chain, root = Tweet.retweet_chain "plain tweet" in
+  Alcotest.(check (list string)) "no chain" [] chain;
+  Alcotest.(check string) "root unchanged" "plain tweet" root;
+  Alcotest.(check bool) "is_retweet" true (Tweet.is_retweet "RT @a: x");
+  Alcotest.(check bool) "not retweet" false (Tweet.is_retweet "x RT @a: y")
+
+let test_retweet_chain_truncated () =
+  (* a chain cut mid-prefix must yield only the intact ancestors *)
+  let chain, _root = Tweet.retweet_chain "RT @alice: RT @bo" in
+  Alcotest.(check (list string)) "partial chain" [ "alice" ] chain
+
+let test_retweet_roundtrip_and_truncation () =
+  let original =
+    Tweet.make ~id:1 ~author:"alice" ~time:0 ~text:(String.make 130 'x')
+  in
+  let rt1 = Tweet.retweet ~id:2 ~retweeter:"bob" ~time:1 ~of_:original in
+  Alcotest.(check int) "truncated to limit" Tweet.max_length
+    (String.length rt1.Tweet.text);
+  let chain, root = Tweet.retweet_chain rt1.Tweet.text in
+  Alcotest.(check (list string)) "attribution survives" [ "alice" ] chain;
+  Alcotest.(check bool) "root is prefix of original" true
+    (String.length root < 130
+    && root = String.sub original.Tweet.text 0 (String.length root))
+
+(* ---------- Corpus generation ---------- *)
+
+let small_corpus seed =
+  let rng = Rng.create seed in
+  let g = Gen.preferential_attachment rng ~nodes:60 ~mean_out_degree:3 in
+  let truth = Generator.skewed_ground_truth rng g in
+  Corpus.generate
+    ~params:
+      {
+        Corpus.default_params with
+        originals = 300;
+        drop_original_rate = 0.2;
+        drop_retweet_rate = 0.05;
+      }
+    rng truth
+
+let test_corpus_generation () =
+  let c = small_corpus 101 in
+  Alcotest.(check bool) "has tweets" true (List.length c.Corpus.tweets > 300);
+  Alcotest.(check bool) "dropped some" true (c.Corpus.dropped > 0);
+  (* sorted by time *)
+  let rec sorted = function
+    | (a : Tweet.t) :: (b :: _ as rest) -> a.Tweet.time <= b.Tweet.time && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "time sorted" true (sorted c.Corpus.tweets);
+  Alcotest.(check (option int)) "name lookup" (Some 7)
+    (Corpus.node_of_name c "user7")
+
+let test_corpus_contains_retweets_and_items () =
+  let c = small_corpus 102 in
+  let tweets = c.Corpus.tweets in
+  let retweets = List.filter (fun t -> Tweet.is_retweet t.Tweet.text) tweets in
+  Alcotest.(check bool) "retweets present" true (List.length retweets > 20);
+  let with_tags =
+    List.filter (fun t -> Tweet.hashtags t.Tweet.text <> []) tweets
+  in
+  Alcotest.(check bool) "hashtags present" true (List.length with_tags > 20);
+  let with_urls = List.filter (fun t -> Tweet.urls t.Tweet.text <> []) tweets in
+  Alcotest.(check bool) "urls present" true (List.length with_urls > 20)
+
+(* ---------- Preprocessing ---------- *)
+
+let test_cascades_reconstruction () =
+  let alice = Tweet.make ~id:1 ~author:"alice" ~time:0 ~text:"hello world" in
+  let bob = Tweet.retweet ~id:2 ~retweeter:"bob" ~time:1 ~of_:alice in
+  let carol = Tweet.retweet ~id:3 ~retweeter:"carol" ~time:2 ~of_:bob in
+  let cascades = Preprocess.cascades [ alice; bob; carol ] in
+  Alcotest.(check int) "one cascade" 1 (List.length cascades);
+  let c = List.hd cascades in
+  Alcotest.(check string) "root author" "alice" c.Preprocess.root_author;
+  Alcotest.(check bool) "original observed" true c.Preprocess.original_observed;
+  Alcotest.(check int) "two activations" 2
+    (List.length c.Preprocess.activations);
+  let parents =
+    List.map (fun (ch, p, _) -> (ch, p)) c.Preprocess.activations
+  in
+  Alcotest.(check bool) "bob <- alice" true (List.mem ("bob", "alice") parents);
+  Alcotest.(check bool) "carol <- bob" true (List.mem ("carol", "bob") parents)
+
+let test_cascades_recover_missing_original () =
+  (* the original tweet is absent: it must be reconstructed *)
+  let alice = Tweet.make ~id:1 ~author:"alice" ~time:0 ~text:"breaking" in
+  let bob = Tweet.retweet ~id:2 ~retweeter:"bob" ~time:1 ~of_:alice in
+  let carol = Tweet.retweet ~id:3 ~retweeter:"carol" ~time:2 ~of_:bob in
+  let cascades = Preprocess.cascades [ bob; carol ] in
+  Alcotest.(check int) "one cascade" 1 (List.length cascades);
+  let c = List.hd cascades in
+  Alcotest.(check string) "recovered author" "alice" c.Preprocess.root_author;
+  Alcotest.(check bool) "marked unobserved" false c.Preprocess.original_observed;
+  (* the intermediate hop bob <- alice is recovered from carol's chain
+     even if bob's own retweet were missing *)
+  let cascades = Preprocess.cascades [ carol ] in
+  let c = List.hd cascades in
+  let parents =
+    List.map (fun (ch, p, _) -> (ch, p)) c.Preprocess.activations
+  in
+  Alcotest.(check bool) "recovered intermediate" true
+    (List.mem ("bob", "alice") parents)
+
+let test_users_and_infer_graph () =
+  let alice = Tweet.make ~id:1 ~author:"alice" ~time:0 ~text:"hi" in
+  let bob = Tweet.retweet ~id:2 ~retweeter:"bob" ~time:1 ~of_:alice in
+  let names = Preprocess.users [ alice; bob ] in
+  Alcotest.(check (array string)) "users" [| "alice"; "bob" |] names;
+  let g, names, index = Preprocess.infer_graph [ alice; bob ] in
+  Alcotest.(check int) "nodes" 2 (Digraph.n_nodes g);
+  Alcotest.(check int) "edges" 1 (Digraph.n_edges g);
+  let a = Hashtbl.find index "alice" and b = Hashtbl.find index "bob" in
+  Alcotest.(check bool) "edge alice->bob" true (Digraph.mem_edge g ~src:a ~dst:b);
+  Alcotest.(check string) "names round trip" "alice" names.(a)
+
+let test_to_attributed_consistency () =
+  let c = small_corpus 103 in
+  let cascades = Preprocess.cascades c.Corpus.tweets in
+  let node_of_name = Corpus.node_of_name c in
+  let objects =
+    Preprocess.to_attributed ~graph:c.Corpus.graph ~node_of_name cascades
+  in
+  Alcotest.(check bool) "objects exist" true (List.length objects > 100);
+  List.iter
+    (fun o ->
+      if not (Evidence.attributed_object_is_consistent c.Corpus.graph o) then
+        Alcotest.fail "inconsistent attributed object")
+    objects
+
+(* Preprocessing fidelity: with nothing dropped, training on the parsed
+   text must agree with training on the generator's own attribution
+   records — the text round-trip loses (almost) nothing. Retweet data
+   attributes a single parent per retweet, so the comparison is against
+   the attribution ground truth, not against the multi-exposure ICM edge
+   probabilities (the paper's Twitter experiments evaluate flow
+   calibration for the same reason). *)
+let test_pipeline_matches_ground_truth_attribution () =
+  let rng = Rng.create 104 in
+  let g = Gen.preferential_attachment rng ~nodes:40 ~mean_out_degree:3 in
+  let truth = Generator.skewed_ground_truth rng g in
+  let corpus =
+    Corpus.generate
+      ~params:
+        {
+          Corpus.default_params with
+          originals = 1500;
+          hashtag_prob = 0.0;
+          url_prob = 0.0;
+          offline_hashtag_rate = 0.0;
+          drop_original_rate = 0.0;
+          drop_retweet_rate = 0.0;
+        }
+      rng truth
+  in
+  let cascades = Preprocess.cascades corpus.Corpus.tweets in
+  let parsed =
+    Preprocess.to_attributed ~graph:g ~node_of_name:(Corpus.node_of_name corpus)
+      cascades
+  in
+  let from_text = Beta_icm.train_attributed g parsed in
+  let from_truth = Beta_icm.train_attributed g corpus.Corpus.truth_objects in
+  let worst = ref 0.0 in
+  for e = 0 to Digraph.n_edges g - 1 do
+    let a = Iflow_stats.Dist.Beta.mean (Beta_icm.edge_beta from_text e) in
+    let b = Iflow_stats.Dist.Beta.mean (Beta_icm.edge_beta from_truth e) in
+    worst := Float.max !worst (Float.abs (a -. b))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "worst edge-mean gap %.4f" !worst)
+    true (!worst < 0.08)
+
+(* ---------- Unattributed ---------- *)
+
+let test_augment_with_omnipotent () =
+  let g = Gen.path 3 in
+  let aug, omni = Unattributed.augment_with_omnipotent g in
+  Alcotest.(check int) "omni id" 3 omni;
+  Alcotest.(check int) "nodes" 4 (Digraph.n_nodes aug);
+  Alcotest.(check int) "edges" (2 + 3) (Digraph.n_edges aug);
+  for v = 0 to 2 do
+    Alcotest.(check bool) "omni edge" true (Digraph.mem_edge aug ~src:omni ~dst:v)
+  done;
+  (* original edges and ids preserved *)
+  Alcotest.(check bool) "path edge kept" true (Digraph.mem_edge aug ~src:0 ~dst:1)
+
+let test_item_traces () =
+  let t1 = Tweet.make ~id:1 ~author:"user0" ~time:5 ~text:"go #x" in
+  let t2 = Tweet.make ~id:2 ~author:"user1" ~time:9 ~text:"yes #x and #y" in
+  let t3 = Tweet.make ~id:3 ~author:"user2" ~time:12 ~text:"#x again" in
+  let node_of_name n =
+    match n with
+    | "user0" -> Some 0
+    | "user1" -> Some 1
+    | "user2" -> Some 2
+    | _ -> None
+  in
+  let traces =
+    Unattributed.item_traces ~min_users:2 ~kind:Unattributed.Hashtag
+      ~node_of_name ~n_nodes:4 ~omni:3 [ t1; t2; t3 ]
+  in
+  (* with min_users 2: #y has a single user and is dropped; #x kept *)
+  Alcotest.(check int) "one item" 1 (List.length traces);
+  let all_traces =
+    Unattributed.item_traces ~kind:Unattributed.Hashtag ~node_of_name
+      ~n_nodes:4 ~omni:3 [ t1; t2; t3 ]
+  in
+  Alcotest.(check int) "default keeps single-user items" 2
+    (List.length all_traces);
+  let item, tr = List.hd traces in
+  Alcotest.(check string) "item" "x" item;
+  Alcotest.(check (array int)) "ranked times" [| 1; 2; 3; 0 |] tr.Evidence.times;
+  Alcotest.(check (list int)) "omni source" [ 3 ] tr.Evidence.trace_sources
+
+let test_item_traces_first_use_only () =
+  let t1 = Tweet.make ~id:1 ~author:"user0" ~time:5 ~text:"#x" in
+  let t2 = Tweet.make ~id:2 ~author:"user0" ~time:9 ~text:"#x again" in
+  let t3 = Tweet.make ~id:3 ~author:"user1" ~time:7 ~text:"#x too" in
+  let node_of_name n = if n = "user0" then Some 0 else Some 1 in
+  let traces =
+    Unattributed.item_traces ~kind:Unattributed.Hashtag ~node_of_name
+      ~n_nodes:3 ~omni:2 [ t1; t2; t3 ]
+  in
+  let _, tr = List.hd traces in
+  (* user0 first at 5 (rank 1), user1 at 7 (rank 2) *)
+  Alcotest.(check (array int)) "first use" [| 1; 2; 0 |] tr.Evidence.times
+
+let test_url_traces_from_corpus () =
+  let c = small_corpus 105 in
+  let aug, omni = Unattributed.augment_with_omnipotent c.Corpus.graph in
+  let traces =
+    Unattributed.item_traces ~kind:Unattributed.Url
+      ~node_of_name:(Corpus.node_of_name c)
+      ~n_nodes:(Digraph.n_nodes aug) ~omni c.Corpus.tweets
+  in
+  Alcotest.(check bool) "url traces exist" true (List.length traces > 5);
+  List.iter
+    (fun (_, tr) ->
+      if not (Evidence.trace_is_consistent aug tr) then
+        Alcotest.fail "inconsistent url trace")
+    traces
+
+let () =
+  Alcotest.run "iflow_twitter"
+    [
+      ( "tweet",
+        [
+          Alcotest.test_case "mentions" `Quick test_mentions;
+          Alcotest.test_case "hashtags" `Quick test_hashtags;
+          Alcotest.test_case "urls" `Quick test_urls;
+          Alcotest.test_case "retweet chain" `Quick test_retweet_chain;
+          Alcotest.test_case "truncated chain" `Quick test_retweet_chain_truncated;
+          Alcotest.test_case "roundtrip and truncation" `Quick
+            test_retweet_roundtrip_and_truncation;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "generation" `Quick test_corpus_generation;
+          Alcotest.test_case "retweets and items" `Quick
+            test_corpus_contains_retweets_and_items;
+        ] );
+      ( "preprocess",
+        [
+          Alcotest.test_case "cascade reconstruction" `Quick test_cascades_reconstruction;
+          Alcotest.test_case "recover missing original" `Quick
+            test_cascades_recover_missing_original;
+          Alcotest.test_case "users and infer graph" `Quick test_users_and_infer_graph;
+          Alcotest.test_case "attributed consistency" `Quick test_to_attributed_consistency;
+          Alcotest.test_case "pipeline matches ground-truth attribution" `Slow
+            test_pipeline_matches_ground_truth_attribution;
+        ] );
+      ( "unattributed",
+        [
+          Alcotest.test_case "augment omnipotent" `Quick test_augment_with_omnipotent;
+          Alcotest.test_case "item traces" `Quick test_item_traces;
+          Alcotest.test_case "first use only" `Quick test_item_traces_first_use_only;
+          Alcotest.test_case "url traces from corpus" `Quick test_url_traces_from_corpus;
+        ] );
+    ]
