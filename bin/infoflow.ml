@@ -5,6 +5,7 @@
      generate-corpus   synthesise a raw tweet corpus
      train             tweets -> inferred graph + trained betaICM
      estimate          flow probability queries (incl. conditional)
+     batch             answer a JSONL file of queries through the engine
      impact            impact (dispersion) distribution of a source
      calibrate         self-test a model with the bucket experiment *)
 open Cmdliner
@@ -22,6 +23,8 @@ module Nested = Iflow_mcmc.Nested
 module Measures = Iflow_stats.Measures
 module Bucket = Iflow_bucket.Bucket
 module Model_io = Iflow_io.Model_io
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
 open Iflow_twitter
 
 (* ----- shared options ----- *)
@@ -30,18 +33,67 @@ let seed_term =
   let doc = "Random seed (experiments are reproducible per seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+(* Defaults mirror Estimator.default_config exactly — the CLI used to
+   ship its own (burn 1000, thin 10, samples 2000) and silently disagree
+   with the library. One source of truth now. *)
 let mcmc_term =
+  let d = Estimator.default_config in
   let burn =
-    Arg.(value & opt int 1000 & info [ "burn-in" ] ~doc:"Burn-in steps.")
+    Arg.(
+      value & opt int d.Estimator.burn_in
+      & info [ "burn-in" ] ~doc:"Burn-in steps (library default).")
   in
   let thin =
-    Arg.(value & opt int 10 & info [ "thin" ] ~doc:"Steps between samples.")
+    Arg.(
+      value & opt int d.Estimator.thin
+      & info [ "thin" ] ~doc:"Steps between samples (library default).")
   in
   let samples =
-    Arg.(value & opt int 2000 & info [ "samples" ] ~doc:"Retained samples.")
+    Arg.(
+      value & opt int d.Estimator.samples
+      & info [ "samples" ] ~doc:"Retained samples per chain (library default).")
   in
   let make burn_in thin samples = { Estimator.burn_in; thin; samples } in
   Term.(const make $ burn $ thin $ samples)
+
+(* engine knobs shared by `estimate` and `batch` *)
+let engine_term =
+  let chains =
+    Arg.(
+      value & opt int Engine.default_config.Engine.chains
+      & info [ "chains" ] ~doc:"Independent MH chains per query.")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ]
+          ~doc:"Domain-pool size (default: recommended for this machine).")
+  in
+  let rhat =
+    Arg.(
+      value & opt float Engine.default_config.Engine.rhat_target
+      & info [ "rhat-target" ] ~doc:"Stop when split-R-hat falls below this.")
+  in
+  let mcse =
+    Arg.(
+      value & opt float Engine.default_config.Engine.mcse_target
+      & info [ "mcse-target" ]
+          ~doc:"... and the Monte-Carlo standard error below this.")
+  in
+  let make chains domains rhat_target mcse_target (config : Estimator.config) =
+    {
+      Engine.default_config with
+      Engine.chains;
+      domains;
+      rhat_target;
+      mcse_target;
+      burn_in = config.Estimator.burn_in;
+      thin = config.Estimator.thin;
+      round_samples = min 250 config.Estimator.samples;
+      max_samples = config.Estimator.samples * chains;
+    }
+  in
+  Term.(const make $ chains $ domains $ rhat $ mcse $ mcmc_term)
 
 (* ----- generate-model ----- *)
 
@@ -150,6 +202,14 @@ let train_cmd =
 
 (* ----- estimate ----- *)
 
+(* engine/config/file errors are user errors, not crashes *)
+let or_die f =
+  match f () with
+  | v -> v
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
 let condition_conv =
   let parse s =
     match String.split_on_char ':' s with
@@ -165,22 +225,23 @@ let condition_conv =
   in
   Arg.conv (parse, print)
 
-let estimate seed model_path src dst conditions config nested deadline
-    delay_mean =
+let estimate seed model_path src dst conditions engine_config config nested
+    deadline delay_mean =
   let rng = Rng.create seed in
   let model = Model_io.load_beta_icm model_path in
   let icm = Beta_icm.expected_icm model in
+  let engine = or_die (fun () -> Engine.create ~config:engine_config ~seed icm) in
+  let query = Query.flow ~conditions ~src ~dst () in
   let conditions = Conditions.v conditions in
-  (match
-     Estimator.flow_probability ~conditions rng icm config ~src ~dst
-   with
-  | p -> Printf.printf "Pr(%d ~> %d%s) = %.5f\n" src dst
-           (if Conditions.is_empty conditions then ""
-            else Format.asprintf " | %a" Conditions.pp conditions)
-           p
-  | exception Failure msg -> (
-    Printf.eprintf "error: %s\n" msg;
-    exit 1));
+  let r = or_die (fun () -> Engine.query engine query) in
+  Printf.printf "Pr(%d ~> %d%s) = %.5f\n" src dst
+    (if Conditions.is_empty conditions then ""
+     else Format.asprintf " | %a" Conditions.pp conditions)
+    r.Engine.estimate;
+  Printf.printf
+    "  R-hat %.4f, ESS %.0f, MCSE %.5f (%d samples, %d chains, %d domains)\n"
+    r.Engine.rhat r.Engine.ess r.Engine.mcse r.Engine.total_samples
+    r.Engine.chains_used (Engine.pool_size engine);
   if nested > 0 then begin
     let samples =
       Nested.flow_samples ~conditions rng model config ~reps:nested ~src ~dst
@@ -250,11 +311,88 @@ let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:
-         "Estimate a (conditional) flow probability with \
-          Metropolis-Hastings sampling.")
+         "Estimate a (conditional) flow probability with multi-chain \
+          Metropolis-Hastings sampling and convergence diagnostics.")
     Term.(
-      const estimate $ seed_term $ model $ src $ dst $ conditions $ mcmc_term
-      $ nested $ deadline $ delay_mean)
+      const estimate $ seed_term $ model $ src $ dst $ conditions
+      $ engine_term $ mcmc_term $ nested $ deadline $ delay_mean)
+
+(* ----- batch ----- *)
+
+let batch seed model_path queries_path engine_config =
+  let model = Model_io.load_beta_icm model_path in
+  let icm = Beta_icm.expected_icm model in
+  let engine = or_die (fun () -> Engine.create ~config:engine_config ~seed icm) in
+  let lines =
+    let ic = or_die (fun () -> open_in queries_path) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc lineno =
+          match input_line ic with
+          | line -> go ((lineno, line) :: acc) (lineno + 1)
+          | exception End_of_file -> List.rev acc
+        in
+        go [] 1)
+  in
+  let queries =
+    List.filter_map
+      (fun (lineno, line) ->
+        if String.trim line = "" then None
+        else
+          match Query.of_line line with
+          | Ok q -> Some q
+          | Error msg ->
+            Printf.eprintf "%s:%d: %s\n" queries_path lineno msg;
+            exit 1)
+      lines
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = or_die (fun () -> Engine.query_all engine queries) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "query\testimate\trhat\tess\tmcse\tsamples\tcached\n";
+  List.iter2
+    (fun q (r : Engine.result) ->
+      Printf.printf "%s\t%.5f\t%.4f\t%.0f\t%.5f\t%d\t%s\n" (Query.key q)
+        r.Engine.estimate r.Engine.rhat r.Engine.ess r.Engine.mcse
+        r.Engine.total_samples
+        (if r.Engine.cached then "yes" else "no"))
+    queries results;
+  let stats = Engine.cache_stats engine in
+  Printf.eprintf
+    "answered %d queries in %.2fs (%.1f queries/s, %d domains); cache: %s\n"
+    (List.length queries) elapsed
+    (float_of_int (List.length queries) /. Float.max elapsed 1e-9)
+    (Engine.pool_size engine)
+    (Format.asprintf "%a" Iflow_engine.Lru.pp_stats stats)
+
+let batch_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~doc:"betaICM file.")
+  in
+  let queries =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "queries" ]
+          ~doc:
+            "JSONL query file: one JSON object per line, e.g. \
+             {\"type\":\"flow\",\"src\":0,\"dst\":5, \
+             \"conditions\":[[0,3,\"+\"]]}, \
+             {\"type\":\"community\",\"src\":0,\"sinks\":[3,4]}, or \
+             {\"type\":\"joint\",\"flows\":[[0,3],[1,4]]}.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Answer a JSONL file of flow queries through the parallel query \
+          engine: multi-chain MH per query, adaptive stopping on R-hat and \
+          MCSE, deduplication and an LRU result cache. Emits TSV with \
+          diagnostics columns.")
+    Term.(const batch $ seed_term $ model $ queries $ engine_term)
 
 (* ----- impact ----- *)
 
@@ -472,6 +610,6 @@ let () =
        (Cmd.group info
           [
             generate_model_cmd; generate_corpus_cmd; train_cmd;
-            train_unattributed_cmd; estimate_cmd; impact_cmd; seeds_cmd;
-            calibrate_cmd;
+            train_unattributed_cmd; estimate_cmd; batch_cmd; impact_cmd;
+            seeds_cmd; calibrate_cmd;
           ]))

@@ -1,0 +1,99 @@
+module Descriptive = Iflow_stats.Descriptive
+
+type summary = {
+  mean : float;
+  rhat : float;
+  ess : float;
+  mcse : float;
+  n_total : int;
+}
+
+(* Split each chain in half so a single chain still yields a between-
+   sequence comparison and slow drift within a chain inflates R-hat. *)
+let split_sequences chains =
+  let out = ref [] in
+  Array.iter
+    (fun (c : float array) ->
+      let n = Array.length c in
+      if n >= 4 then begin
+        let half = n / 2 in
+        out := Array.sub c 0 half :: Array.sub c (n - half) half :: !out
+      end
+      else if n > 0 then out := c :: !out)
+    chains;
+  Array.of_list (List.rev !out)
+
+let split_rhat chains =
+  let seqs = split_sequences chains in
+  let m = Array.length seqs in
+  if m < 2 then Float.nan
+  else begin
+    (* truncate to a common length so unequal chains stay comparable *)
+    let n = Array.fold_left (fun acc s -> min acc (Array.length s))
+        (Array.length seqs.(0)) seqs in
+    let seqs = Array.map (fun s -> Array.sub s 0 n) seqs in
+    if n < 2 then Float.nan
+    else begin
+      let means = Array.map Descriptive.mean seqs in
+      let vars = Array.map Descriptive.variance seqs in
+      let w = Descriptive.mean vars in
+      let b = float_of_int n *. Descriptive.variance means in
+      if w <= 0.0 then
+        (* all sequences constant: identical -> converged; else divergent *)
+        if b <= 0.0 then 1.0 else Float.infinity
+      else begin
+        let nf = float_of_int n in
+        let var_plus = ((nf -. 1.0) /. nf *. w) +. (b /. nf) in
+        Float.sqrt (var_plus /. w)
+      end
+    end
+  end
+
+let ess chains =
+  Array.fold_left
+    (fun acc (c : float array) ->
+      if Array.length c = 0 then acc
+      else acc +. Descriptive.effective_sample_size c)
+    0.0 chains
+
+let pooled_mean chains =
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun c ->
+      Array.iter (fun x -> sum := !sum +. x) c;
+      n := !n + Array.length c)
+    chains;
+  if !n = 0 then Float.nan else !sum /. float_of_int !n
+
+let pooled_variance chains =
+  let m = pooled_mean chains in
+  let acc = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun c ->
+      Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) c;
+      n := !n + Array.length c)
+    chains;
+  if !n < 2 then 0.0 else !acc /. float_of_int (!n - 1)
+
+let mcse chains =
+  let e = ess chains in
+  if e <= 0.0 then Float.nan
+  else Float.sqrt (pooled_variance chains /. e)
+
+let summary chains =
+  let n_total = Array.fold_left (fun acc c -> acc + Array.length c) 0 chains in
+  {
+    mean = pooled_mean chains;
+    rhat = split_rhat chains;
+    ess = ess chains;
+    mcse = mcse chains;
+    n_total;
+  }
+
+let converged ~rhat_target ~mcse_target s =
+  (* NaN compares false, so undiagnosable summaries never pass *)
+  s.rhat <= rhat_target && s.mcse <= mcse_target
+
+let pp_summary ppf s =
+  Format.fprintf ppf "mean %.5f, R-hat %.4f, ESS %.0f, MCSE %.5f (n=%d)"
+    s.mean s.rhat s.ess s.mcse s.n_total

@@ -1,0 +1,41 @@
+(** Cross-chain convergence diagnostics for the query engine.
+
+    All functions take per-chain sample streams ([chains.(k)] is the
+    retained-sample series of chain [k], e.g. 0/1 indicator draws) and
+    implement the standard MCMC battery:
+
+    - {b split-R̂} (Gelman–Rubin with split chains): each chain is
+      halved, then R̂ = sqrt(var̂⁺ / W) over the resulting sequences.
+      Near 1 when chains agree and are stationary; > 1 under
+      disagreement or drift.
+    - {b effective sample size}: per-chain
+      {!Iflow_stats.Descriptive.effective_sample_size}, summed.
+    - {b Monte-Carlo standard error}: pooled standard deviation divided
+      by sqrt(ESS).
+
+    The engine's adaptive stopping rule draws rounds of samples until
+    {!converged}, capped at a sample budget. *)
+
+type summary = {
+  mean : float;       (** pooled mean over all chains *)
+  rhat : float;       (** split-R̂; [nan] when undiagnosable (too few samples) *)
+  ess : float;        (** total effective sample size *)
+  mcse : float;       (** Monte-Carlo standard error of [mean] *)
+  n_total : int;      (** raw retained samples across chains *)
+}
+
+val split_rhat : float array array -> float
+(** [nan] when there are fewer than two split sequences or fewer than
+    two samples per sequence; [1.0] when every sequence is constant and
+    identical; [infinity] when sequences are constant but disagree. *)
+
+val ess : float array array -> float
+
+val mcse : float array array -> float
+
+val summary : float array array -> summary
+
+val converged : rhat_target:float -> mcse_target:float -> summary -> bool
+(** [rhat <= rhat_target && mcse <= mcse_target]; NaNs never pass. *)
+
+val pp_summary : Format.formatter -> summary -> unit

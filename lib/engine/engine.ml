@@ -1,0 +1,228 @@
+module Icm = Iflow_core.Icm
+module Digraph = Iflow_graph.Digraph
+module Rng = Iflow_stats.Rng
+module Fingerprint = Iflow_stats.Fingerprint
+module Estimator = Iflow_mcmc.Estimator
+module Conditions = Iflow_mcmc.Conditions
+
+type config = {
+  chains : int;
+  domains : int option;
+  burn_in : int;
+  thin : int;
+  round_samples : int;
+  max_samples : int;
+  rhat_target : float;
+  mcse_target : float;
+  cache_capacity : int;
+}
+
+let default_config =
+  {
+    chains = 4;
+    domains = None;
+    burn_in = 1000;
+    thin = 20;
+    round_samples = 250;
+    max_samples = 20_000;
+    rhat_target = 1.05;
+    mcse_target = 0.01;
+    cache_capacity = 256;
+  }
+
+let validate_config c =
+  let bad fmt = Printf.ksprintf invalid_arg ("Engine: bad config: " ^^ fmt) in
+  if c.chains < 1 then bad "chains must be >= 1 (got %d)" c.chains;
+  if c.burn_in < 0 then bad "burn_in must be >= 0 (got %d)" c.burn_in;
+  if c.thin < 1 then bad "thin must be >= 1 (got %d)" c.thin;
+  if c.round_samples < 1 then
+    bad "round_samples must be >= 1 (got %d)" c.round_samples;
+  if c.max_samples < c.chains then
+    bad "max_samples must be >= chains (got %d < %d)" c.max_samples c.chains;
+  if c.rhat_target < 1.0 then
+    bad "rhat_target must be >= 1 (got %g)" c.rhat_target;
+  if not (c.mcse_target > 0.0) then
+    bad "mcse_target must be > 0 (got %g)" c.mcse_target;
+  if c.cache_capacity < 0 then
+    bad "cache_capacity must be >= 0 (got %d)" c.cache_capacity;
+  match c.domains with
+  | Some d when d < 1 -> bad "domains must be >= 1 (got %d)" d
+  | _ -> ()
+
+type result = {
+  estimate : float;
+  rhat : float;
+  ess : float;
+  mcse : float;
+  total_samples : int;
+  chains_used : int;
+  cached : bool;
+}
+
+type t = {
+  icm : Icm.t;
+  digest : string;
+  config : config;
+  pool : Pool.t;
+  cache : (string, result) Lru.t;
+  seed : int;
+}
+
+let icm_digest icm =
+  let fp = Fingerprint.create () in
+  let g = Icm.graph icm in
+  Fingerprint.add_int fp (Digraph.n_nodes g);
+  Fingerprint.add_int fp (Digraph.n_edges g);
+  Digraph.iter_edges g (fun _ { Digraph.src; dst } ->
+      Fingerprint.add_int fp src;
+      Fingerprint.add_int fp dst);
+  Fingerprint.add_floats fp (Icm.probs icm);
+  Fingerprint.to_hex fp
+
+let config_key c =
+  Printf.sprintf "k%d b%d t%d r%d n%d rh%h mc%h" c.chains c.burn_in c.thin
+    c.round_samples c.max_samples c.rhat_target c.mcse_target
+
+let create ?(config = default_config) ~seed icm =
+  validate_config config;
+  {
+    icm;
+    digest = icm_digest icm;
+    config;
+    pool = Pool.create ?size:config.domains ();
+    cache = Lru.create config.cache_capacity;
+    seed;
+  }
+
+let icm t = t.icm
+let digest t = t.digest
+let config t = t.config
+let pool_size t = Pool.size t.pool
+let cache_stats t = Lru.stats t.cache
+
+let cache_key t q =
+  (* (model digest, query, conditions, config, seed): conditions are
+     part of Query.key *)
+  Printf.sprintf "%s/%s/%d/%s" t.digest (config_key t.config) t.seed
+    (Query.key q)
+
+(* Per-query seed derived from (engine seed, model, query), so results
+   are independent of the order queries arrive in — a cached result and
+   a recomputed one can never disagree. *)
+let query_seed t q =
+  let fp = Fingerprint.create () in
+  Fingerprint.add_int fp t.seed;
+  Fingerprint.add_string fp t.digest;
+  Fingerprint.add_string fp (Query.key q);
+  Fingerprint.to_seed fp
+
+(* Growable per-chain sample buffer; samples are 0/1 indicator draws. *)
+type buffer = { mutable data : float array; mutable len : int }
+
+let buffer_create () = { data = Array.make 256 0.0; len = 0 }
+
+let buffer_push b x =
+  if b.len = Array.length b.data then begin
+    let grown = Array.make (2 * b.len) 0.0 in
+    Array.blit b.data 0 grown 0 b.len;
+    b.data <- grown
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let buffer_contents b = Array.sub b.data 0 b.len
+
+let run_query t q =
+  if Query.max_node q >= Icm.n_nodes t.icm then
+    invalid_arg
+      (Printf.sprintf "Engine: query %s references node >= %d" (Query.key q)
+         (Icm.n_nodes t.icm));
+  let c = t.config in
+  let conditions = Conditions.v (Query.conditions q) in
+  let qrng = Rng.create (query_seed t q) in
+  let chain_rngs = Array.init c.chains (fun _ -> Rng.split qrng) in
+  let streams = Array.make c.chains None in
+  let buffers = Array.init c.chains (fun _ -> buffer_create ()) in
+  let total = ref 0 in
+  let finished = ref false in
+  let last_summary = ref None in
+  while not !finished do
+    let per_chain =
+      min c.round_samples
+        (max 1 ((c.max_samples - !total + c.chains - 1) / c.chains))
+    in
+    let draws =
+      Pool.run t.pool
+        (fun i ->
+          let st =
+            match streams.(i) with
+            | Some st -> st
+            | None ->
+              let st =
+                Estimator.stream ~conditions chain_rngs.(i) t.icm
+                  ~burn_in:c.burn_in ~thin:c.thin
+              in
+              streams.(i) <- Some st;
+              st
+          in
+          Array.init per_chain (fun _ ->
+              Estimator.stream_next st ~f:(fun state ->
+                  if Query.indicator t.icm q state then 1.0 else 0.0)))
+        (Array.init c.chains Fun.id)
+    in
+    Array.iteri (fun i xs -> Array.iter (buffer_push buffers.(i)) xs) draws;
+    total := !total + (per_chain * c.chains);
+    let s = Diagnostics.summary (Array.map buffer_contents buffers) in
+    last_summary := Some s;
+    if
+      Diagnostics.converged ~rhat_target:c.rhat_target
+        ~mcse_target:c.mcse_target s
+      || !total >= c.max_samples
+    then finished := true
+  done;
+  let s = Option.get !last_summary in
+  {
+    estimate = s.Diagnostics.mean;
+    rhat = s.Diagnostics.rhat;
+    ess = s.Diagnostics.ess;
+    mcse = s.Diagnostics.mcse;
+    total_samples = s.Diagnostics.n_total;
+    chains_used = c.chains;
+    cached = false;
+  }
+
+let query t q =
+  let key = cache_key t q in
+  match Lru.find t.cache key with
+  | Some r -> { r with cached = true }
+  | None ->
+    let r = run_query t q in
+    Lru.add t.cache key r;
+    r
+
+let query_all t qs =
+  (* duplicate queries sample once; each unique query then fans its
+     chains out across the pool *)
+  if Lru.capacity t.cache > 0 then
+    (* the cache already dedups (per-query seeds make this sound), and
+       its hit counter then reflects the batch's duplicates *)
+    List.map (query t) qs
+  else begin
+    let results = Hashtbl.create 16 in
+    List.map
+      (fun q ->
+        let key = cache_key t q in
+        match Hashtbl.find_opt results key with
+        | Some r -> { r with cached = true }
+        | None ->
+          let r = run_query t q in
+          Hashtbl.replace results key r;
+          r)
+      qs
+  end
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%.5f (R-hat %.4f, ESS %.0f, MCSE %.5f, n %d, chains %d%s)" r.estimate
+    r.rhat r.ess r.mcse r.total_samples r.chains_used
+    (if r.cached then ", cached" else "")

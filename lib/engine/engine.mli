@@ -1,0 +1,76 @@
+(** The parallel flow-query engine.
+
+    Turns the one-shot estimator of {!Iflow_mcmc.Estimator} into a
+    reusable service: each query runs K independent Metropolis-Hastings
+    chains spread across a {!Pool} of OCaml 5 domains, draws samples in
+    adaptive rounds until the cross-chain {!Diagnostics} pass
+    (split-R̂ ≤ target and MCSE ≤ target) or a sample budget is
+    exhausted, and memoises results in an {!Lru} cache keyed by
+    (model digest, query, conditions, config, seed).
+
+    {b Reproducibility.} Every query derives its own seed by
+    fingerprinting (engine seed, model digest, query key); chain [i]
+    then takes the [i]-th {!Iflow_stats.Rng.split} of that stream, and
+    chains are merged in index order. Results are therefore bit-for-bit
+    identical across runs, across query arrival orders, and across pool
+    sizes — the domain count changes wall-clock time only.
+
+    An engine value is intended to be driven from one domain (the cache
+    is not thread-safe); the parallelism lives {e inside} [query]. *)
+
+type config = {
+  chains : int;          (** independent MH chains per query *)
+  domains : int option;  (** pool size; [None] = recommended count *)
+  burn_in : int;         (** per-chain burn-in steps *)
+  thin : int;            (** steps between retained samples *)
+  round_samples : int;   (** per-chain samples per adaptive round *)
+  max_samples : int;     (** cap on total retained samples across chains *)
+  rhat_target : float;   (** stop when split-R̂ falls below this *)
+  mcse_target : float;   (** ... and the Monte-Carlo SE below this *)
+  cache_capacity : int;  (** LRU entries; 0 disables caching *)
+}
+
+val default_config : config
+(** chains 4, recommended domains, burn-in 1000, thin 20 (matching
+    {!Iflow_mcmc.Estimator.default_config}), rounds of 250, cap 20000,
+    R̂ ≤ 1.05, MCSE ≤ 0.01, cache 256. *)
+
+type result = {
+  estimate : float;      (** pooled flow-probability estimate *)
+  rhat : float;          (** split-R̂ at stopping time *)
+  ess : float;           (** total effective sample size *)
+  mcse : float;          (** Monte-Carlo standard error *)
+  total_samples : int;   (** retained samples actually drawn *)
+  chains_used : int;
+  cached : bool;         (** served from the cache without sampling *)
+}
+
+type t
+
+val create : ?config:config -> seed:int -> Iflow_core.Icm.t -> t
+(** Raises [Invalid_argument] on a nonsensical config (no chains,
+    [thin < 1], [rhat_target < 1], ...). *)
+
+val icm : t -> Iflow_core.Icm.t
+val config : t -> config
+val digest : t -> string
+(** The model fingerprint used in cache keys and per-query seeds. *)
+
+val pool_size : t -> int
+
+val query : t -> Query.t -> result
+(** Answer one query, consulting the cache first. Raises
+    [Invalid_argument] when the query mentions a node outside the
+    model, [Failure] when its conditions cannot be satisfied. *)
+
+val query_all : t -> Query.t list -> result list
+(** Batch entry point: deduplicates by cache key so repeated queries
+    are sampled once, then answers in input order ([cached] marks the
+    duplicates and cache hits). *)
+
+val cache_stats : t -> Lru.stats
+
+val icm_digest : Iflow_core.Icm.t -> string
+(** Fingerprint of a model's topology and edge probabilities. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,37 @@
+(** A mutable LRU cache with hit / miss / eviction counters.
+
+    Hashtbl for lookup plus an intrusive doubly-linked recency list, so
+    [find], [add], and eviction are all O(1). Keys use polymorphic
+    hashing — the engine keys entries by digest strings. A capacity of
+    0 disables caching ([add] is a no-op) while still counting misses,
+    which keeps the instrumented code path uniform.
+
+    Not thread-safe: the engine only touches the cache from the
+    coordinating domain. *)
+
+type ('k, 'v) t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val create : int -> ('k, 'v) t
+(** [create capacity]. Raises [Invalid_argument] when negative. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Counts a hit (and refreshes recency) or a miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure lookup: no counter or recency update. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite, making the entry most-recent; evicts the
+    least-recently-used entry when full. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries (counters are retained). *)
+
+val stats : ('k, 'v) t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,48 @@
+type t = { size : int }
+
+let create ?size () =
+  let size =
+    match size with
+    | Some s ->
+      if s < 1 then invalid_arg "Pool.create: size must be >= 1";
+      s
+    | None -> Domain.recommended_domain_count ()
+  in
+  { size }
+
+let size t = t.size
+
+let run t f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let workers = min t.size n in
+    let results = Array.make n None in
+    if workers = 1 then
+      Array.iteri (fun i task -> results.(i) <- Some (Ok (f task))) tasks
+    else begin
+      (* worker w owns indices with i mod workers = w: assignment is a
+         pure function of the index, never of timing *)
+      let run_block w () =
+        let i = ref w in
+        while !i < n do
+          (results.(!i) <-
+            (match f tasks.(!i) with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error e)));
+          i := !i + workers
+        done
+      in
+      let domains =
+        Array.init (workers - 1) (fun w -> Domain.spawn (run_block (w + 1)))
+      in
+      run_block 0 ();
+      Array.iter Domain.join domains
+    end;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

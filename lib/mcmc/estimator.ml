@@ -1,5 +1,6 @@
 module Icm = Iflow_core.Icm
 module Pseudo_state = Iflow_core.Pseudo_state
+module Rng = Iflow_stats.Rng
 
 type config = { burn_in : int; thin : int; samples : int }
 
@@ -10,14 +11,26 @@ let validate { burn_in; thin; samples } =
   if burn_in < 0 || thin < 1 || samples < 1 then
     invalid_arg "Estimator: bad config"
 
+type stream = { chain : Chain.t; stream_rng : Rng.t; stream_thin : int }
+
+let stream ?conditions rng icm ~burn_in ~thin =
+  if burn_in < 0 || thin < 1 then invalid_arg "Estimator.stream: bad config";
+  let chain = Chain.create ?conditions rng icm in
+  Chain.advance rng chain burn_in;
+  { chain; stream_rng = rng; stream_thin = thin }
+
+let stream_next st ~f =
+  Chain.advance st.stream_rng st.chain st.stream_thin;
+  f (Chain.state st.chain)
+
+let stream_chain st = st.chain
+
 let fold_samples ?conditions rng icm config ~init ~f =
   validate config;
-  let chain = Chain.create ?conditions rng icm in
-  Chain.advance rng chain config.burn_in;
+  let st = stream ?conditions rng icm ~burn_in:config.burn_in ~thin:config.thin in
   let acc = ref init in
   for _ = 1 to config.samples do
-    Chain.advance rng chain config.thin;
-    acc := f !acc (Chain.state chain)
+    acc := stream_next st ~f:(fun state -> f !acc state)
   done;
   !acc
 

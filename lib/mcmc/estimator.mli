@@ -21,6 +21,29 @@ val fold_samples :
 (** The shared sampling loop; [f] must not retain or mutate the state it
     is handed. *)
 
+type stream
+(** An open-ended per-chain sample stream: one burnt-in chain that hands
+    out retained samples on demand, [thin] steps apart. This is the
+    engine-facing view of a chain — callers that need incremental
+    draws (adaptive stopping, cross-chain diagnostics) pull exactly as
+    many samples as they decide to, instead of committing to a fixed
+    [samples] budget up front. A stream owns its [Rng.t] and chain
+    state; it must only be used from one domain at a time. *)
+
+val stream :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> burn_in:int -> thin:int -> stream
+(** Create the chain, run the burn-in, and return the stream. Raises
+    like {!Chain.create} (e.g. [Failure] when the conditions cannot be
+    satisfied) and [Invalid_argument] on [burn_in < 0] or [thin < 1]. *)
+
+val stream_next : stream -> f:(Iflow_core.Pseudo_state.t -> 'a) -> 'a
+(** Advance [thin] steps and apply [f] to the new retained state. [f]
+    must not retain or mutate the state. *)
+
+val stream_chain : stream -> Chain.t
+(** The underlying chain (acceptance-rate inspection etc.). *)
+
 val flow_probability :
   ?conditions:Conditions.t ->
   Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config ->

@@ -1,0 +1,35 @@
+type t = { mutable h : int64 }
+
+let fnv_offset_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let create () = { h = fnv_offset_basis }
+
+let add_byte t b =
+  t.h <- Int64.mul (Int64.logxor t.h (Int64.of_int (b land 0xff))) fnv_prime
+
+let add_int64 t x =
+  for i = 0 to 7 do
+    add_byte t (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done
+
+let add_int t x = add_int64 t (Int64.of_int x)
+let add_float t x = add_int64 t (Int64.bits_of_float x)
+let add_bool t b = add_byte t (if b then 1 else 0)
+
+let add_string t s =
+  String.iter (fun c -> add_byte t (Char.code c)) s;
+  (* length fold keeps ["ab";"c"] distinct from ["a";"bc"] *)
+  add_int t (String.length s)
+
+let add_floats t xs = Array.iter (add_float t) xs; add_int t (Array.length xs)
+let add_ints t xs = Array.iter (add_int t) xs; add_int t (Array.length xs)
+
+let value t = t.h
+let to_hex t = Printf.sprintf "%016Lx" t.h
+
+let to_seed t =
+  (* fold to a non-negative OCaml int, mixing the top bit back in *)
+  let x = t.h in
+  let folded = Int64.logxor x (Int64.shift_right_logical x 61) in
+  Int64.to_int (Int64.logand folded 0x3fffffffffffffffL)

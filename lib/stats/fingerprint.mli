@@ -1,0 +1,40 @@
+(** Incremental 64-bit FNV-1a fingerprints.
+
+    Deterministic, platform-independent content hashing for cache keys
+    and derived seeds: feed ints / floats / strings in a fixed order and
+    read the digest out as hex (cache keys) or as a non-negative int
+    (seeding an {!Rng.t}). Not cryptographic — collision resistance is
+    the 64-bit birthday bound, plenty for memoisation keys. *)
+
+type t
+
+val create : unit -> t
+(** A fresh fingerprint at the FNV-1a offset basis. *)
+
+val add_byte : t -> int -> unit
+(** Feed the low 8 bits of an int. *)
+
+val add_int : t -> int -> unit
+val add_int64 : t -> int64 -> unit
+
+val add_float : t -> float -> unit
+(** Feeds the IEEE-754 bit pattern, so [0.0] and [-0.0] differ and
+    NaNs hash by representation. *)
+
+val add_bool : t -> bool -> unit
+
+val add_string : t -> string -> unit
+(** Feeds the bytes then the length, so consecutive strings of
+    different splits fingerprint differently. *)
+
+val add_floats : t -> float array -> unit
+val add_ints : t -> int array -> unit
+
+val value : t -> int64
+(** The current 64-bit digest. *)
+
+val to_hex : t -> string
+(** The digest as 16 lowercase hex characters. *)
+
+val to_seed : t -> int
+(** The digest folded to a non-negative OCaml int, for [Rng.create]. *)
