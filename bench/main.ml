@@ -43,17 +43,20 @@ let engine_throughput rng =
   (* random pairs on this DAG are mostly unreachable — constant-0
      indicator chains converge instantly, so sample connected pairs to
      keep every query's MH work non-trivial *)
+  let dsts = Array.make n 0 in
   let rec connected_pair () =
     let src = Rng.int rng n in
     let reachable = Iflow_graph.Traverse.reachable_from g [ src ] in
-    let dsts =
-      List.filter
-        (fun v -> v <> src && reachable.(v))
-        (List.init n (fun v -> v))
-    in
-    match dsts with
-    | [] -> connected_pair ()
-    | _ -> (src, List.nth dsts (Rng.int rng (List.length dsts)))
+    let count = ref 0 in
+    Array.iteri
+      (fun v r ->
+        if r && v <> src then begin
+          dsts.(!count) <- v;
+          incr count
+        end)
+      reachable;
+    if !count = 0 then connected_pair ()
+    else (src, dsts.(Rng.int rng !count))
   in
   let queries =
     List.init n_queries (fun _ ->

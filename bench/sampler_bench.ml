@@ -1,0 +1,202 @@
+(* Sampler micro-benchmark: raw Metropolis-Hastings steps/sec on the
+   paper's timing setting (~6K users, ~12K edges), at 0, 1 and 3 flow
+   conditions.
+
+   Two implementations are timed side by side on this machine:
+   - "legacy": the seed sampler's condition check — a fresh allocating
+     BFS from every condition source on every accepted proposal
+     (replicated here against the public API);
+   - "incremental": the live Chain, whose per-source reachability
+     caches decide most flips in O(1) and recompute only when a
+     BFS-tree edge is cut.
+
+   Results go to BENCH_PR2.json (machine-readable, committed) so the
+   perf trajectory is recorded from PR 2 onward; the JSON also carries
+   the pre-PR baseline numbers recorded when this benchmark was first
+   written. --quick (or IFLOW_BENCH_QUICK=1) shortens the timed windows
+   for CI. *)
+
+module Rng = Iflow_stats.Rng
+module Fenwick = Iflow_stats.Fenwick
+module Icm = Iflow_core.Icm
+module Pseudo_state = Iflow_core.Pseudo_state
+module Gen = Iflow_graph.Gen
+module Digraph = Iflow_graph.Digraph
+module Traverse = Iflow_graph.Traverse
+module Chain = Iflow_mcmc.Chain
+module Conditions = Iflow_mcmc.Conditions
+
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv
+  || Sys.getenv_opt "IFLOW_BENCH_QUICK" <> None
+
+let measure_seconds = if quick then 0.25 else 1.5
+let warmup_steps = if quick then 2_000 else 20_000
+
+(* Pre-PR 2 steps/sec of the seed implementation, measured in full mode
+   on the development machine (6000-node preferential-attachment graph,
+   seed 20120402): the trajectory's time-zero point. *)
+let baseline_pre_pr = [ (0, 3_927_589.0); (1, 106_810.0); (3, 37_495.0) ]
+
+(* The seed sampler, replicated against the public API: single-edge-flip
+   proposals from a Fenwick tree, and `Conditions.satisfied` — a fresh
+   allocating BFS per condition source — on every accepted proposal. *)
+module Legacy = struct
+  type t = {
+    icm : Icm.t;
+    conditions : Conditions.t;
+    state : Pseudo_state.t;
+    weights : Fenwick.t;
+    mutable z : float;
+  }
+
+  let proposal_weight icm state e =
+    let p = Icm.prob icm e in
+    if Pseudo_state.get state e then 1.0 -. p else p
+
+  let create rng icm conditions =
+    let state =
+      match Conditions.initial_state rng icm conditions with
+      | Some s -> s
+      | None -> failwith "Legacy.create: could not satisfy conditions"
+    in
+    let weights =
+      Fenwick.of_array
+        (Array.init (Icm.n_edges icm) (proposal_weight icm state))
+    in
+    { icm; conditions; state; weights; z = Fenwick.total weights }
+
+  let step rng t =
+    if t.z > 0.0 then begin
+      let e = Fenwick.sample rng t.weights in
+      let w = Fenwick.get t.weights e in
+      let z' = t.z +. 1.0 -. (2.0 *. w) in
+      let a = if t.z < z' then t.z /. z' else 1.0 in
+      if Rng.uniform rng <= a then begin
+        Pseudo_state.flip t.state e;
+        if Conditions.satisfied t.icm t.state t.conditions then begin
+          Fenwick.set t.weights e (1.0 -. w);
+          t.z <- Fenwick.total t.weights
+        end
+        else Pseudo_state.flip t.state e
+      end
+    end
+
+  let advance rng t k =
+    for _ = 1 to k do
+      step rng t
+    done
+end
+
+(* Array-based connected pair pick (no list scan). *)
+let connected_pair rng g =
+  let n = Digraph.n_nodes g in
+  let dsts = Array.make n 0 in
+  let rec go () =
+    let src = Rng.int rng n in
+    let reachable = Traverse.reachable_from g [ src ] in
+    let count = ref 0 in
+    Array.iteri
+      (fun v r ->
+        if r && v <> src then begin
+          dsts.(!count) <- v;
+          incr count
+        end)
+      reachable;
+    if !count = 0 then go () else (src, dsts.(Rng.int rng !count))
+  in
+  go ()
+
+let timed advance =
+  advance warmup_steps;
+  let batch = 1_000 in
+  let t0 = Unix.gettimeofday () in
+  let steps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < measure_seconds do
+    advance batch;
+    steps := !steps + batch;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int !steps /. !elapsed
+
+let () =
+  let rng = Rng.create 20120402 in
+  let g = Gen.preferential_attachment rng ~nodes:6000 ~mean_out_degree:2 in
+  let m = Digraph.n_edges g in
+  let probs = Array.init m (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)) in
+  let icm = Icm.create g probs in
+  let pairs = List.init 3 (fun _ -> connected_pair rng g) in
+  let conds k =
+    Conditions.v
+      (List.filteri (fun i _ -> i < k)
+         (List.map (fun (u, v) -> (u, v, true)) pairs))
+  in
+  Printf.printf "sampler bench: %d nodes, %d edges (quick=%b)\n%!"
+    (Digraph.n_nodes g) m quick;
+  let counts = [ 0; 1; 3 ] in
+  let measure_legacy k =
+    let chain_rng = Rng.create (808 + k) in
+    let chain = Legacy.create chain_rng icm (conds k) in
+    timed (Legacy.advance chain_rng chain)
+  in
+  let measure_incremental k =
+    let chain_rng = Rng.create (808 + k) in
+    let chain = Chain.create ~conditions:(conds k) chain_rng icm in
+    timed (Chain.advance chain_rng chain)
+  in
+  let legacy = List.map (fun k -> (k, measure_legacy k)) counts in
+  let incremental = List.map (fun k -> (k, measure_incremental k)) counts in
+  Printf.printf "%12s %16s %16s %10s\n" "conditions" "legacy steps/s"
+    "incremental" "speedup";
+  List.iter2
+    (fun (k, l) (_, i) ->
+      Printf.printf "%12d %16.0f %16.0f %9.1fx\n" k l i (i /. l))
+    legacy incremental;
+  let json =
+    let b = Buffer.create 1024 in
+    let rates label xs =
+      Buffer.add_string b (Printf.sprintf "    %S: {" label);
+      List.iteri
+        (fun i (k, r) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s\"c%d\": %.0f" (if i > 0 then ", " else "") k r))
+        xs;
+      Buffer.add_string b "}"
+    in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"bench\": \"sampler_steps_per_sec\",\n";
+    Buffer.add_string b "  \"pr\": 2,\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"graph\": {\"nodes\": %d, \"edges\": %d, \"generator\": \
+          \"preferential_attachment\", \"seed\": 20120402},\n"
+         (Digraph.n_nodes g) m);
+    Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+    Buffer.add_string b "  \"baseline_pre_pr\": {\n";
+    Buffer.add_string b
+      "    \"note\": \"seed implementation, full mode, development \
+       machine, recorded at PR 2\",\n";
+    rates "steps_per_sec" baseline_pre_pr;
+    Buffer.add_string b "\n  },\n";
+    Buffer.add_string b "  \"measured\": {\n";
+    rates "legacy_fresh_bfs" legacy;
+    Buffer.add_string b ",\n";
+    rates "incremental" incremental;
+    Buffer.add_string b "\n  },\n";
+    Buffer.add_string b "  \"speedup_incremental_vs_legacy\": {";
+    List.iteri
+      (fun i ((k, l), (_, inc)) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\"c%d\": %.1f"
+             (if i > 0 then ", " else "")
+             k (inc /. l)))
+      (List.combine legacy incremental);
+    Buffer.add_string b "}\n";
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+  in
+  let oc = open_out "BENCH_PR2.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_PR2.json\n%!"

@@ -1,5 +1,6 @@
 module Digraph = Iflow_graph.Digraph
 module Traverse = Iflow_graph.Traverse
+module Reach = Iflow_graph.Reach
 module Rng = Iflow_stats.Rng
 
 type t = Bytes.t
@@ -57,6 +58,13 @@ let reachable icm t ~sources =
   Traverse.reachable_from ~active:(get t) (Icm.graph icm) sources
 
 let flow icm t ~src ~dst = (reachable icm t ~sources:[ src ]).(dst)
+
+let reachable_ws ws icm t ~sources =
+  Reach.bfs_sources ws ~active:(get t) (Icm.graph icm) sources
+
+let flow_ws ws icm t ~src ~dst =
+  Reach.bfs ws ~active:(get t) (Icm.graph icm) ~src;
+  Reach.marked ws dst
 
 let derive_active_edges icm t ~sources =
   let g = Icm.graph icm in

@@ -36,6 +36,17 @@ val reachable : Icm.t -> t -> sources:int list -> bool array
 val flow : Icm.t -> t -> src:int -> dst:int -> bool
 (** Does the pseudo-state carry flow [src ~> dst]? *)
 
+val reachable_ws :
+  Iflow_graph.Reach.workspace -> Icm.t -> t -> sources:int list -> unit
+(** Allocation-free {!reachable}: marks the derived active nodes in the
+    workspace instead of returning an array; query them with
+    {!Iflow_graph.Reach.marked}. The marks are invalidated by the next
+    operation on the same workspace. *)
+
+val flow_ws :
+  Iflow_graph.Reach.workspace -> Icm.t -> t -> src:int -> dst:int -> bool
+(** Allocation-free {!flow}, reusing the workspace's scratch BFS. *)
+
 val derive_active_edges : Icm.t -> t -> sources:int list -> bool array
 (** The edges that are active *and* have an active parent — the edge set
     of the active state this pseudo-state gives rise to. *)

@@ -165,9 +165,12 @@ let run_query t q =
               streams.(i) <- Some st;
               st
           in
+          (* each chain owns its workspace, so the K chains of a query
+             run allocation-free on K domains without sharing scratch *)
+          let ws = Estimator.stream_workspace st in
           Array.init per_chain (fun _ ->
               Estimator.stream_next st ~f:(fun state ->
-                  if Query.indicator t.icm q state then 1.0 else 0.0)))
+                  if Query.indicator_ws ws t.icm q state then 1.0 else 0.0)))
         (Array.init c.chains Fun.id)
     in
     Array.iteri (fun i xs -> Array.iter (buffer_push buffers.(i)) xs) draws;

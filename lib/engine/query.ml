@@ -1,5 +1,6 @@
 module Icm = Iflow_core.Icm
 module Pseudo_state = Iflow_core.Pseudo_state
+module Reach = Iflow_graph.Reach
 
 type kind =
   | Flow of { src : int; dst : int }
@@ -59,6 +60,17 @@ let indicator icm t state =
   | Joint { flows } ->
     List.for_all
       (fun (src, dst) -> Pseudo_state.flow icm state ~src ~dst)
+      flows
+
+let indicator_ws ws icm t state =
+  match t.kind with
+  | Flow { src; dst } -> Pseudo_state.flow_ws ws icm state ~src ~dst
+  | Community { src; sinks } ->
+    Pseudo_state.reachable_ws ws icm state ~sources:[ src ];
+    List.for_all (fun v -> Reach.marked ws v) sinks
+  | Joint { flows } ->
+    List.for_all
+      (fun (src, dst) -> Pseudo_state.flow_ws ws icm state ~src ~dst)
       flows
 
 let key t =

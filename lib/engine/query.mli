@@ -35,6 +35,13 @@ val indicator : Iflow_core.Icm.t -> t -> Iflow_core.Pseudo_state.t -> bool
 (** Does this pseudo-state realise the queried event? (Conditions are
     {e not} checked here — the sampler conditions the chain itself.) *)
 
+val indicator_ws :
+  Iflow_graph.Reach.workspace ->
+  Iflow_core.Icm.t -> t -> Iflow_core.Pseudo_state.t -> bool
+(** {!indicator} through a reusable BFS workspace — what the engine's
+    per-chain sample loops use, so evaluating a query over thousands of
+    retained samples does no per-sample allocation. *)
+
 val key : t -> string
 (** Canonical textual form; equal queries have equal keys. Used in
     cache keys and derived seeds, and as the human-readable rendering. *)

@@ -1,6 +1,7 @@
 module Icm = Iflow_core.Icm
 module Pseudo_state = Iflow_core.Pseudo_state
 module Fenwick = Iflow_stats.Fenwick
+module Reach = Iflow_graph.Reach
 module Rng = Iflow_stats.Rng
 
 type t = {
@@ -12,6 +13,11 @@ type t = {
   mutable steps : int;
   mutable accepted : int;
   mutable since_rebuild : int;
+  ws : Reach.workspace; (* per-chain BFS scratch, shared with estimators *)
+  active : int -> bool; (* preallocated view of [state]'s edge activity *)
+  caches : Reach.Cache.t array; (* one reachable set per condition source *)
+  checks : (int * int * bool) array; (* (cache index, dst, required) *)
+  undos : Reach.Cache.update array; (* per-cache receipt of the last flip *)
 }
 
 (* Weight of proposing a flip of edge e: probability of the activity the
@@ -43,6 +49,23 @@ let create ?(conditions = Conditions.empty) ?init rng icm =
     Fenwick.of_array
       (Array.init (Icm.n_edges icm) (proposal_weight icm state))
   in
+  let ws = Reach.workspace (Icm.n_nodes icm) in
+  let active = Pseudo_state.get state in
+  let g = Icm.graph icm in
+  let srcs = Array.of_list (Conditions.sources conditions) in
+  let caches =
+    Array.map (fun u -> Reach.Cache.create ws g ~source:u ~active) srcs
+  in
+  let index_of u =
+    let rec go i = if srcs.(i) = u then i else go (i + 1) in
+    go 0
+  in
+  let checks =
+    Array.of_list
+      (List.map
+         (fun (u, v, req) -> (index_of u, v, req))
+         (Conditions.to_list conditions))
+  in
   {
     icm;
     conditions;
@@ -52,11 +75,40 @@ let create ?(conditions = Conditions.empty) ?init rng icm =
     steps = 0;
     accepted = 0;
     since_rebuild = 0;
+    ws;
+    active;
+    caches;
+    checks;
+    undos = Array.make (Array.length caches) Reach.Cache.Unchanged;
   }
 
 let icm t = t.icm
 let conditions t = t.conditions
 let state t = t.state
+let workspace t = t.ws
+
+(* The conditioned indicator check after edge [e] flipped: update every
+   per-source cache incrementally (O(1) for flips the set cannot see,
+   incremental BFS for growth, a workspace-reusing recompute only when a
+   BFS-tree edge was cut), then read the condition verdicts straight off
+   the caches. On violation the updates are reverted — Grew in O(newly
+   marked), Rebuilt in O(1) (double-buffer swap) — so rejected proposals
+   leave no trace and allocate nothing. *)
+let conditions_hold_after_flip t e =
+  let nc = Array.length t.caches in
+  for i = 0 to nc - 1 do
+    t.undos.(i) <- Reach.Cache.update t.caches.(i) ~active:t.active ~edge:e
+  done;
+  let ok = ref true in
+  for j = 0 to Array.length t.checks - 1 do
+    let ci, v, req = t.checks.(j) in
+    if Reach.Cache.reaches t.caches.(ci) v <> req then ok := false
+  done;
+  if not !ok then
+    for i = nc - 1 downto 0 do
+      Reach.Cache.undo t.caches.(i) t.undos.(i)
+    done;
+  !ok
 
 let step rng t =
   t.steps <- t.steps + 1;
@@ -69,7 +121,7 @@ let step rng t =
     let a = if t.z < z' then t.z /. z' else 1.0 in
     if Rng.uniform rng <= a then begin
       Pseudo_state.flip t.state e;
-      if Conditions.satisfied t.icm t.state t.conditions then begin
+      if Array.length t.caches = 0 || conditions_hold_after_flip t e then begin
         t.accepted <- t.accepted + 1;
         Fenwick.set t.weights e (1.0 -. w);
         t.since_rebuild <- t.since_rebuild + 1;

@@ -28,7 +28,15 @@ val icm : t -> Iflow_core.Icm.t
 val conditions : t -> Conditions.t
 
 val state : t -> Iflow_core.Pseudo_state.t
-(** The live current state — not a copy; do not mutate. *)
+(** The live current state — not a copy; do not mutate (the chain's
+    incremental reachability caches assume every edit goes through
+    {!step}). *)
+
+val workspace : t -> Iflow_graph.Reach.workspace
+(** The chain's BFS workspace. Estimators reuse it for reachability
+    sweeps over retained samples, so a whole chain — stepping and
+    querying — runs on one preallocated scratch area. Single-domain,
+    like the chain itself. *)
 
 val step : Iflow_stats.Rng.t -> t -> unit
 (** One Metropolis-Hastings transition (propose, accept or reject). *)

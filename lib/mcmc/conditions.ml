@@ -1,6 +1,6 @@
 module Icm = Iflow_core.Icm
 module Pseudo_state = Iflow_core.Pseudo_state
-module Traverse = Iflow_graph.Traverse
+module Reach = Iflow_graph.Reach
 module Rng = Iflow_stats.Rng
 
 type constrained_flow = { cond_src : int; cond_dst : int; required : bool }
@@ -10,16 +10,21 @@ let empty = []
 
 let v list =
   let seen = Hashtbl.create 16 in
-  List.map
-    (fun (u, v, required) ->
-      (match Hashtbl.find_opt seen (u, v) with
-      | Some prev when prev <> required ->
-        invalid_arg
-          (Printf.sprintf "Conditions.v: contradictory conditions on %d ~> %d"
-             u v)
-      | _ -> Hashtbl.replace seen (u, v) required);
-      { cond_src = u; cond_dst = v; required })
-    list
+  let conds =
+    List.map
+      (fun (u, v, required) ->
+        (match Hashtbl.find_opt seen (u, v) with
+        | Some prev when prev <> required ->
+          invalid_arg
+            (Printf.sprintf "Conditions.v: contradictory conditions on %d ~> %d"
+               u v)
+        | _ -> Hashtbl.replace seen (u, v) required);
+        { cond_src = u; cond_dst = v; required })
+      list
+  in
+  (* grouped by source so the indicator needs one reachability sweep
+     per distinct source ([satisfied_ws] relies on this) *)
+  List.stable_sort (fun a b -> compare a.cond_src b.cond_src) conds
 
 let is_empty t = t = []
 let to_list t = List.map (fun c -> (c.cond_src, c.cond_dst, c.required)) t
@@ -45,6 +50,23 @@ let satisfied icm state t =
         (reach_from cond_src).(cond_dst) = required)
       t
 
+let satisfied_ws ws icm state t =
+  match t with
+  | [] -> true
+  | _ ->
+    (* conditions are sorted by source (see [v]): one BFS per distinct
+       source, all into the same workspace, no allocation *)
+    let g = Icm.graph icm in
+    let active = Pseudo_state.get state in
+    let rec go current = function
+      | [] -> true
+      | { cond_src; cond_dst; required } :: rest ->
+        if cond_src <> current then Reach.bfs ws ~active g ~src:cond_src;
+        if Reach.marked ws cond_dst = required then go cond_src rest
+        else false
+    in
+    go (-1) t
+
 (* A state with positive model probability: edges with p = 1 must be
    active, edges with p = 0 must be inactive; others free. *)
 let clamp_determined icm state =
@@ -54,27 +76,30 @@ let clamp_determined icm state =
     else if p <= 0.0 then Pseudo_state.set state e false
   done
 
-let repair_positive rng icm state { cond_src; cond_dst; _ } =
-  (* Activate a shortest path through edges that are allowed to be
-     active (p > 0), preferring already-active edges so we perturb the
-     state as little as possible. *)
+let repair_positive ws icm state { cond_src; cond_dst; _ } =
+  (* Activate a path through edges that are allowed to be active
+     (p > 0), preferring already-active ones: a 0-1 BFS in which active
+     edges cost nothing finds the path activating the fewest new edges,
+     so the repair perturbs the state as little as possible. *)
   let g = Icm.graph icm in
   let usable e = Icm.prob icm e > 0.0 in
-  ignore rng;
-  match Traverse.shortest_path ~active:usable g ~src:cond_src ~dst:cond_dst with
+  let zero_cost e = Pseudo_state.get state e in
+  match
+    Reach.cheapest_path ws ~usable ~zero_cost g ~src:cond_src ~dst:cond_dst
+  with
   | None -> false
   | Some edges ->
     List.iter (fun e -> Pseudo_state.set state e true) edges;
     true
 
-let repair_negative rng icm state { cond_src; cond_dst; _ } =
+let repair_negative ws rng icm state { cond_src; cond_dst; _ } =
   (* While an active path exists, cut a random deactivatable edge on it. *)
   let g = Icm.graph icm in
   let rec loop budget =
     if budget = 0 then false
     else begin
       match
-        Traverse.shortest_path ~active:(Pseudo_state.get state) g
+        Reach.shortest_path ws ~active:(Pseudo_state.get state) g
           ~src:cond_src ~dst:cond_dst
       with
       | None -> true
@@ -93,7 +118,6 @@ let repair_negative rng icm state { cond_src; cond_dst; _ } =
   loop (Icm.n_edges icm + 1)
 
 let initial_state rng icm t =
-  let m = Icm.n_edges icm in
   if is_empty t then begin
     let s = Pseudo_state.sample rng icm in
     Some s
@@ -114,6 +138,7 @@ let initial_state rng icm t =
          first (adding edges), then negative (cutting), then re-check:
          cutting can break a positive condition, so iterate a few
          times. *)
+      let ws = Reach.workspace (Icm.n_nodes icm) in
       let rec attempt tries =
         if tries = 0 then None
         else begin
@@ -126,8 +151,8 @@ let initial_state rng icm t =
               let ok =
                 List.for_all
                   (fun c ->
-                    if c.required then repair_positive rng icm s c
-                    else repair_negative rng icm s c)
+                    if c.required then repair_positive ws icm s c
+                    else repair_negative ws rng icm s c)
                   t
               in
               if not ok then false else rounds (k - 1)
@@ -137,7 +162,6 @@ let initial_state rng icm t =
           else attempt (tries - 1)
         end
       in
-      ignore m;
       attempt 20
   end
 

@@ -13,7 +13,9 @@ val empty : t
 val v : (int * int * bool) list -> t
 (** [(u, v, required)] — when [required], flow [u ~> v] must exist;
     otherwise it must not. Raises [Invalid_argument] on a directly
-    contradictory pair. *)
+    contradictory pair. Conditions are stored grouped by source (stable
+    within a source), so indicator checks do one reachability sweep per
+    distinct source. *)
 
 val is_empty : t -> bool
 val to_list : t -> (int * int * bool) list
@@ -26,13 +28,20 @@ val sources : t -> int list
 val satisfied : Iflow_core.Icm.t -> Iflow_core.Pseudo_state.t -> t -> bool
 (** The combined indicator I(x, C). *)
 
+val satisfied_ws :
+  Iflow_graph.Reach.workspace ->
+  Iflow_core.Icm.t -> Iflow_core.Pseudo_state.t -> t -> bool
+(** Allocation-free {!satisfied}: one workspace BFS per distinct
+    condition source (conditions are kept grouped by source). *)
+
 val initial_state :
   Iflow_stats.Rng.t -> Iflow_core.Icm.t -> t ->
   Iflow_core.Pseudo_state.t option
 (** A pseudo-state with positive probability under the model that
     satisfies the conditions: first rejection-sample from the marginal,
-    then fall back on greedy repair (activate shortest paths for unmet
-    positive conditions, cut paths for violated negative ones).
+    then fall back on greedy repair (activate the path requiring the
+    fewest new edge activations for unmet positive conditions, cut
+    paths for violated negative ones).
     [None] when no satisfying state was found — e.g. a positive
     condition between disconnected nodes. *)
 

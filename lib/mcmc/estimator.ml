@@ -1,5 +1,6 @@
 module Icm = Iflow_core.Icm
 module Pseudo_state = Iflow_core.Pseudo_state
+module Reach = Iflow_graph.Reach
 module Rng = Iflow_stats.Rng
 
 type config = { burn_in : int; thin : int; samples : int }
@@ -24,29 +25,37 @@ let stream_next st ~f =
   f (Chain.state st.chain)
 
 let stream_chain st = st.chain
+let stream_workspace st = Chain.workspace st.chain
 
-let fold_samples ?conditions rng icm config ~init ~f =
+let fold_samples_ws ?conditions rng icm config ~init ~f =
   validate config;
   let st = stream ?conditions rng icm ~burn_in:config.burn_in ~thin:config.thin in
+  let ws = Chain.workspace st.chain in
   let acc = ref init in
   for _ = 1 to config.samples do
-    acc := stream_next st ~f:(fun state -> f !acc state)
+    acc := stream_next st ~f:(fun state -> f !acc ws state)
   done;
   !acc
 
+let fold_samples ?conditions rng icm config ~init ~f =
+  fold_samples_ws ?conditions rng icm config ~init ~f:(fun acc _ws state ->
+      f acc state)
+
 let flow_probability ?conditions rng icm config ~src ~dst =
   let hits =
-    fold_samples ?conditions rng icm config ~init:0 ~f:(fun acc state ->
-        if Pseudo_state.flow icm state ~src ~dst then acc + 1 else acc)
+    fold_samples_ws ?conditions rng icm config ~init:0 ~f:(fun acc ws state ->
+        if Pseudo_state.flow_ws ws icm state ~src ~dst then acc + 1 else acc)
   in
   float_of_int hits /. float_of_int config.samples
 
 let conditional_flow_by_ratio rng icm config ~conditions ~src ~dst =
   let joint, satisfied =
-    fold_samples rng icm config ~init:(0, 0) ~f:(fun (joint, satisfied) state ->
-        if Conditions.satisfied icm state conditions then begin
+    fold_samples_ws rng icm config ~init:(0, 0)
+      ~f:(fun (joint, satisfied) ws state ->
+        if Conditions.satisfied_ws ws icm state conditions then begin
           let satisfied = satisfied + 1 in
-          if Pseudo_state.flow icm state ~src ~dst then (joint + 1, satisfied)
+          if Pseudo_state.flow_ws ws icm state ~src ~dst then
+            (joint + 1, satisfied)
           else (joint, satisfied)
         end
         else (joint, satisfied))
@@ -56,28 +65,32 @@ let conditional_flow_by_ratio rng icm config ~conditions ~src ~dst =
   float_of_int joint /. float_of_int satisfied
 
 let source_to_all ?conditions rng icm config ~src =
-  let counts = Array.make (Icm.n_nodes icm) 0 in
+  let n = Icm.n_nodes icm in
+  let counts = Array.make n 0 in
   let () =
-    fold_samples ?conditions rng icm config ~init:() ~f:(fun () state ->
-        let reached = Pseudo_state.reachable icm state ~sources:[ src ] in
-        Array.iteri (fun v r -> if r then counts.(v) <- counts.(v) + 1) reached)
+    fold_samples_ws ?conditions rng icm config ~init:() ~f:(fun () ws state ->
+        Pseudo_state.reachable_ws ws icm state ~sources:[ src ];
+        for v = 0 to n - 1 do
+          if Reach.marked ws v then counts.(v) <- counts.(v) + 1
+        done)
   in
   Array.map (fun c -> float_of_int c /. float_of_int config.samples) counts
 
 let community_flow ?conditions rng icm config ~src ~sinks =
   let hits =
-    fold_samples ?conditions rng icm config ~init:0 ~f:(fun acc state ->
-        let reached = Pseudo_state.reachable icm state ~sources:[ src ] in
-        if List.for_all (fun v -> reached.(v)) sinks then acc + 1 else acc)
+    fold_samples_ws ?conditions rng icm config ~init:0 ~f:(fun acc ws state ->
+        Pseudo_state.reachable_ws ws icm state ~sources:[ src ];
+        if List.for_all (fun v -> Reach.marked ws v) sinks then acc + 1
+        else acc)
   in
   float_of_int hits /. float_of_int config.samples
 
 let joint_flow ?conditions rng icm config ~flows =
   let hits =
-    fold_samples ?conditions rng icm config ~init:0 ~f:(fun acc state ->
+    fold_samples_ws ?conditions rng icm config ~init:0 ~f:(fun acc ws state ->
         let all =
           List.for_all
-            (fun (u, v) -> Pseudo_state.flow icm state ~src:u ~dst:v)
+            (fun (u, v) -> Pseudo_state.flow_ws ws icm state ~src:u ~dst:v)
             flows
         in
         if all then acc + 1 else acc)
@@ -85,13 +98,16 @@ let joint_flow ?conditions rng icm config ~flows =
   float_of_int hits /. float_of_int config.samples
 
 let impact_samples ?conditions rng icm config ~src =
+  let n = Icm.n_nodes icm in
   let out = Array.make config.samples 0 in
   let i = ref 0 in
   let () =
-    fold_samples ?conditions rng icm config ~init:() ~f:(fun () state ->
-        let reached = Pseudo_state.reachable icm state ~sources:[ src ] in
+    fold_samples_ws ?conditions rng icm config ~init:() ~f:(fun () ws state ->
+        Pseudo_state.reachable_ws ws icm state ~sources:[ src ];
         let count = ref 0 in
-        Array.iteri (fun v r -> if r && v <> src then incr count) reached;
+        for v = 0 to n - 1 do
+          if v <> src && Reach.marked ws v then incr count
+        done;
         out.(!i) <- !count;
         incr i)
   in

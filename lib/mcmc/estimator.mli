@@ -21,6 +21,18 @@ val fold_samples :
 (** The shared sampling loop; [f] must not retain or mutate the state it
     is handed. *)
 
+val fold_samples_ws :
+  ?conditions:Conditions.t ->
+  Iflow_stats.Rng.t -> Iflow_core.Icm.t -> config ->
+  init:'a ->
+  f:('a -> Iflow_graph.Reach.workspace -> Iflow_core.Pseudo_state.t -> 'a) ->
+  'a
+(** Like {!fold_samples}, but also hands [f] the chain's own BFS
+    workspace so per-sample reachability sweeps
+    ({!Iflow_core.Pseudo_state.flow_ws}, [reachable_ws]) allocate
+    nothing. The workspace marks are only valid inside that call of
+    [f]; every built-in estimator goes through this. *)
+
 type stream
 (** An open-ended per-chain sample stream: one burnt-in chain that hands
     out retained samples on demand, [thin] steps apart. This is the
@@ -43,6 +55,12 @@ val stream_next : stream -> f:(Iflow_core.Pseudo_state.t -> 'a) -> 'a
 
 val stream_chain : stream -> Chain.t
 (** The underlying chain (acceptance-rate inspection etc.). *)
+
+val stream_workspace : stream -> Iflow_graph.Reach.workspace
+(** The stream's chain-owned BFS workspace — one per chain, so a query
+    engine running K chains on K domains threads K disjoint
+    workspaces. Reuse it to evaluate indicators over retained samples
+    without allocating. *)
 
 val flow_probability :
   ?conditions:Conditions.t ->
