@@ -1,0 +1,180 @@
+(* Streaming-ingestion benchmark: events/sec through the online
+   updater and hot-swap latency into a live engine, on the paper's
+   timing setting (~6K users, ~12K edges).
+
+   Three measurements:
+   - ingest: decode + validate + apply attributed log lines into the
+     in-place accumulator, with and without the drift detector;
+   - end to end: the same lines through [Runner.run] with its
+     publish/swap cadence against a live engine;
+   - swap: publish-a-version and hot-swap-into-the-engine latencies,
+     measured per call with a warm query cache so invalidation has
+     real entries to evict.
+
+   Results go to BENCH_PR3.json (machine-readable, committed) so the
+   perf trajectory is recorded from PR 3 onward. --quick (or
+   IFLOW_BENCH_QUICK=1) shortens the run for CI. *)
+
+module Rng = Iflow_stats.Rng
+module Gen = Iflow_graph.Gen
+module Digraph = Iflow_graph.Digraph
+module Beta_icm = Iflow_core.Beta_icm
+module Cascade = Iflow_core.Cascade
+module Generator = Iflow_core.Generator
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Event = Iflow_stream.Event
+module Online = Iflow_stream.Online
+module Drift = Iflow_stream.Drift
+module Snapshot = Iflow_stream.Snapshot
+module Runner = Iflow_stream.Runner
+
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv
+  || Sys.getenv_opt "IFLOW_BENCH_QUICK" <> None
+
+let n_events = if quick then 2_000 else 20_000
+let n_swaps = if quick then 20 else 200
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let () =
+  let rng = Rng.create 20120402 in
+  let g = Gen.preferential_attachment rng ~nodes:6000 ~mean_out_degree:2 in
+  let truth = Generator.retweet_ground_truth rng g in
+  Printf.printf "stream bench: %d nodes, %d edges, %d events (quick=%b)\n%!"
+    (Digraph.n_nodes g) (Digraph.n_edges g) n_events quick;
+
+  let lines =
+    List.init n_events (fun _ ->
+        let src = Rng.int rng (Digraph.n_nodes g) in
+        Event.to_line
+          (Event.of_attributed g (Cascade.run rng truth ~sources:[ src ])))
+  in
+  let prior = Beta_icm.uninformed g in
+
+  (* 1. raw ingest: decode + validate + apply *)
+  let ingest ?drift () =
+    let online = Online.create ?drift prior in
+    let (), dt =
+      timed (fun () ->
+          List.iter (fun line -> ignore (Online.apply_line online line)) lines)
+    in
+    (float_of_int n_events /. dt, Online.stats online)
+  in
+  let plain_rate, plain_stats = ingest () in
+  let drift_rate, _ = ingest ~drift:Drift.default_config () in
+  let obs = plain_stats.Online.observations in
+  Printf.printf "  ingest:          %10.0f events/s (%.0f obs/s)\n%!" plain_rate
+    (plain_rate *. float_of_int obs /. float_of_int n_events);
+  Printf.printf "  ingest + drift:  %10.0f events/s\n%!" drift_rate;
+
+  (* 2. end to end through the runner, publishing into a live engine *)
+  let light =
+    {
+      Engine.default_config with
+      Engine.chains = 2;
+      burn_in = 100;
+      round_samples = 50;
+      max_samples = 100;
+      rhat_target = 10.0;
+      mcse_target = 1.0;
+    }
+  in
+  let engine = Engine.create ~config:light ~seed:42 (Beta_icm.expected_icm prior) in
+  let runner_rate =
+    let online = Online.create prior in
+    let snapshot = Snapshot.create prior in
+    let report, dt =
+      timed (fun () ->
+          Runner.run ~engine
+            { Runner.batch = 500; checkpoint_every = None }
+            online snapshot
+            (Runner.lines_of_list lines))
+    in
+    ignore report;
+    float_of_int n_events /. dt
+  in
+  Printf.printf "  runner + engine: %10.0f events/s\n%!" runner_rate;
+
+  (* 3. per-call publish and swap latency, warm cache *)
+  let online = Online.create prior in
+  let snapshot = Snapshot.create prior in
+  let probes =
+    [ Query.flow ~src:0 ~dst:1 (); Query.flow ~src:1 ~dst:2 () ]
+  in
+  let rest = ref lines and consumed = ref 0 in
+  let publish_ts = ref [] and swap_ts = ref [] in
+  let evictions = ref 0 in
+  for _ = 1 to n_swaps do
+    (* advance the model a little so each published version is new *)
+    for _ = 1 to 20 do
+      match !rest with
+      | [] -> ()
+      | line :: tl ->
+        ignore (Online.apply_line online line);
+        incr consumed;
+        rest := tl
+    done;
+    let v, dt_pub =
+      timed (fun () ->
+          Snapshot.publish snapshot (Online.model online) ~offset:!consumed)
+    in
+    ignore v;
+    let evicted, dt_swap = timed (fun () -> Snapshot.swap_into snapshot engine) in
+    evictions := !evictions + evicted;
+    publish_ts := dt_pub :: !publish_ts;
+    swap_ts := dt_swap :: !swap_ts;
+    (* warm the cache against the new version *)
+    List.iter (fun q -> ignore (Engine.query engine q)) probes
+  done;
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let max_of xs = List.fold_left Float.max 0.0 xs in
+  let us x = 1e6 *. x in
+  Printf.printf
+    "  publish:         %10.1f us mean, %.1f us max over %d versions\n%!"
+    (us (mean !publish_ts))
+    (us (max_of !publish_ts))
+    n_swaps;
+  Printf.printf
+    "  swap:            %10.1f us mean, %.1f us max (%d cache evictions)\n%!"
+    (us (mean !swap_ts))
+    (us (max_of !swap_ts))
+    !evictions;
+
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"stream_ingest\",\n\
+      \  \"pr\": 3,\n\
+      \  \"graph\": {\"nodes\": %d, \"edges\": %d, \"generator\": \
+       \"preferential_attachment\", \"seed\": 20120402},\n\
+      \  \"quick\": %b,\n\
+      \  \"events\": %d,\n\
+      \  \"observations\": %d,\n\
+      \  \"measured\": {\n\
+      \    \"ingest_events_per_sec\": %.0f,\n\
+      \    \"ingest_with_drift_events_per_sec\": %.0f,\n\
+      \    \"runner_with_engine_events_per_sec\": %.0f,\n\
+      \    \"publish_mean_us\": %.1f,\n\
+      \    \"publish_max_us\": %.1f,\n\
+      \    \"swap_mean_us\": %.1f,\n\
+      \    \"swap_max_us\": %.1f,\n\
+      \    \"swap_cache_evictions\": %d\n\
+      \  }\n\
+       }\n"
+      (Digraph.n_nodes g) (Digraph.n_edges g) quick n_events obs plain_rate
+      drift_rate runner_rate
+      (us (mean !publish_ts))
+      (us (max_of !publish_ts))
+      (us (mean !swap_ts))
+      (us (max_of !swap_ts))
+      !evictions
+  in
+  let oc = open_out "BENCH_PR3.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_PR3.json\n%!"

@@ -6,6 +6,7 @@
      train             tweets -> inferred graph + trained betaICM
      estimate          flow probability queries (incl. conditional)
      batch             answer a JSONL file of queries through the engine
+     stream            maintain a live betaICM from a JSONL evidence log
      impact            impact (dispersion) distribution of a source
      calibrate         self-test a model with the bucket experiment *)
 open Cmdliner
@@ -394,6 +395,210 @@ let batch_cmd =
           diagnostics columns.")
     Term.(const batch $ seed_term $ model $ queries $ engine_term)
 
+(* ----- stream ----- *)
+
+let stream seed model_path resume events_path batch checkpoint checkpoint_every
+    forget drift_window drift_delta drift_report probes output =
+  let model, skip, version =
+    match (resume, model_path) with
+    | Some ckpt, _ ->
+      let model, offset, version =
+        or_die (fun () -> Iflow_stream.Snapshot.recover ckpt)
+      in
+      Printf.eprintf "resuming from %s: version %d at offset %d\n%!" ckpt
+        version offset;
+      (model, offset, version)
+    | None, Some path -> (or_die (fun () -> Model_io.load_beta_icm path), 0, 0)
+    | None, None ->
+      Printf.eprintf "error: provide --model or --resume\n";
+      exit 1
+  in
+  let drift =
+    {
+      Iflow_stream.Drift.default_config with
+      window = drift_window;
+      delta = drift_delta;
+    }
+  in
+  let online =
+    or_die (fun () -> Iflow_stream.Online.create ~forget ~drift model)
+  in
+  let snapshot =
+    Iflow_stream.Snapshot.create ?checkpoint_path:checkpoint ~id:version
+      ~offset:skip model
+  in
+  let engine =
+    (* only pay for an engine when there is something to serve *)
+    if probes = [] then None
+    else
+      Some
+        (or_die (fun () ->
+             Engine.create ~seed (Beta_icm.expected_icm model)))
+  in
+  let answer_probes version =
+    match engine with
+    | None -> ()
+    | Some e ->
+      List.iter
+        (fun (src, dst) ->
+          let q = Query.flow ~src ~dst () in
+          match Engine.query e q with
+          | r ->
+            Printf.printf "version %d\t%s\t%.5f\t%s\n%!"
+              version.Iflow_stream.Snapshot.id (Query.key q) r.Engine.estimate
+              (if r.Engine.cached then "cached" else "sampled")
+          | exception (Failure msg | Invalid_argument msg) ->
+            Printf.eprintf "probe %s: %s\n%!" (Query.key q) msg)
+        probes
+  in
+  let ic, close =
+    if events_path = "-" then (stdin, fun () -> ())
+    else
+      let ic = or_die (fun () -> open_in events_path) in
+      (ic, fun () -> close_in_noerr ic)
+  in
+  let report =
+    Fun.protect ~finally:close (fun () ->
+        or_die (fun () ->
+            Iflow_stream.Runner.run ?engine ~skip
+              ~on_alert:(fun a ->
+                if drift_report then
+                  Format.eprintf "drift: %a@." Iflow_stream.Drift.pp_alert a)
+              ~on_publish:answer_probes
+              { Iflow_stream.Runner.batch; checkpoint_every }
+              online snapshot
+              (Iflow_stream.Runner.lines_of_channel ic)))
+  in
+  (match output with
+  | Some path ->
+    let final = report.Iflow_stream.Runner.final in
+    Model_io.save_beta_icm
+      ~meta:
+        [
+          ("offset", string_of_int final.Iflow_stream.Snapshot.offset);
+          ("version", string_of_int final.Iflow_stream.Snapshot.id);
+        ]
+      path final.Iflow_stream.Snapshot.model;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match engine with
+  | Some e ->
+    Format.eprintf "engine cache after swaps: %a@." Iflow_engine.Lru.pp_stats
+      (Engine.cache_stats e)
+  | None -> ());
+  Format.eprintf "%a@." Iflow_stream.Runner.pp_report report
+
+let stream_cmd =
+  let model =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~doc:"Initial betaICM (e.g. the untrained prior).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ]
+          ~doc:
+            "Resume from a streaming checkpoint: load the model and skip \
+             the event-log lines it already absorbed. Digest mismatches \
+             fail loudly.")
+  in
+  let events =
+    Arg.(
+      value & opt string "-"
+      & info [ "events" ]
+          ~doc:
+            "Append-only JSONL event log (attributed / trace evidence and \
+             add_nodes / add_edges / remove_edges graph changes); '-' reads \
+             stdin.")
+  in
+  let batch =
+    Arg.(
+      value & opt int Iflow_stream.Runner.default_config.Iflow_stream.Runner.batch
+      & info [ "batch" ]
+          ~doc:"Applied events per published model version (and swap).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~doc:"Checkpoint file to write periodically.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ]
+          ~doc:"Event-log lines between checkpoints (requires --checkpoint).")
+  in
+  let forget =
+    Arg.(
+      value & opt float 0.0
+      & info [ "forget" ]
+          ~doc:
+            "Exponential forgetting factor per published batch, in [0, 1): \
+             pseudo-counts are scaled by (1 - lambda) so old evidence fades \
+             on non-stationary streams. 0 disables.")
+  in
+  let drift_window =
+    Arg.(
+      value
+      & opt int Iflow_stream.Drift.default_config.Iflow_stream.Drift.window
+      & info [ "drift-window" ] ~doc:"Per-edge trials per drift-test window.")
+  in
+  let drift_delta =
+    Arg.(
+      value
+      & opt float Iflow_stream.Drift.default_config.Iflow_stream.Drift.delta
+      & info [ "drift-delta" ]
+          ~doc:"Significance of the Hoeffding drift test (smaller = stricter).")
+  in
+  let drift_report =
+    Arg.(
+      value & flag
+      & info [ "drift-report" ] ~doc:"Print every drift alert as it fires.")
+  in
+  let probe_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ u; v ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v -> Ok (u, v)
+        | _ -> Error (`Msg "expected SRC:DST"))
+      | _ -> Error (`Msg "expected SRC:DST")
+    in
+    Arg.conv (parse, fun ppf (u, v) -> Format.fprintf ppf "%d:%d" u v)
+  in
+  let probes =
+    Arg.(
+      value & opt_all probe_conv []
+      & info [ "probe" ]
+          ~doc:
+            "Flow query SRC:DST answered through the engine after every \
+             hot-swap, showing the live estimate track the stream; \
+             repeatable.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the final model here.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Consume an append-only JSONL evidence log and maintain a live \
+          betaICM: batched conjugate updates, optional exponential \
+          forgetting, graph-change events, Hoeffding drift alerts, \
+          versioned checkpoints with replay-from-offset recovery, and \
+          hot-swap of each published version into the query engine.")
+    Term.(
+      const stream $ seed_term $ model $ resume $ events $ batch $ checkpoint
+      $ checkpoint_every $ forget $ drift_window $ drift_delta $ drift_report
+      $ probes $ output)
+
 (* ----- impact ----- *)
 
 let impact seed model_path src config =
@@ -610,6 +815,6 @@ let () =
        (Cmd.group info
           [
             generate_model_cmd; generate_corpus_cmd; train_cmd;
-            train_unattributed_cmd; estimate_cmd; batch_cmd; impact_cmd;
-            seeds_cmd; calibrate_cmd;
+            train_unattributed_cmd; estimate_cmd; batch_cmd; stream_cmd;
+            impact_cmd; seeds_cmd; calibrate_cmd;
           ]))

@@ -33,15 +33,20 @@ let train_attributed g objects =
     objects;
   { graph = g; betas = Array.init m (fun e -> Beta.v alpha.(e) beta.(e)) }
 
-let observe t ~edge ~fired =
-  let b = t.betas.(edge) in
-  let b' =
-    if fired then Beta.v (b.Beta.alpha +. 1.0) b.Beta.beta
-    else Beta.v b.Beta.alpha (b.Beta.beta +. 1.0)
-  in
+let observe_many t obs =
+  let m = Array.length t.betas in
   let betas = Array.copy t.betas in
-  betas.(edge) <- b';
+  List.iter
+    (fun (edge, fired) ->
+      if edge < 0 || edge >= m then invalid_arg "Beta_icm.observe_many: bad edge";
+      let b = betas.(edge) in
+      betas.(edge) <-
+        (if fired then Beta.v (b.Beta.alpha +. 1.0) b.Beta.beta
+         else Beta.v b.Beta.alpha (b.Beta.beta +. 1.0)))
+    obs;
   { t with betas }
+
+let observe t ~edge ~fired = observe_many t [ (edge, fired) ]
 
 let grow t ~new_nodes ~new_edges =
   if new_nodes < 0 then invalid_arg "Beta_icm.grow: negative node count";
@@ -73,6 +78,79 @@ let remove_edges t pairs =
     graph = Digraph.of_edges ~nodes:(Digraph.n_nodes t.graph) kept;
     betas = Array.of_list kept_betas;
   }
+
+module Accum = struct
+  type model = t
+
+  type t = {
+    mutable graph : Digraph.t;
+    mutable alpha : float array;
+    mutable beta : float array;
+    mutable observed : int;
+  }
+
+  let of_model (m : model) =
+    {
+      graph = m.graph;
+      alpha = Array.map (fun b -> b.Beta.alpha) m.betas;
+      beta = Array.map (fun b -> b.Beta.beta) m.betas;
+      observed = 0;
+    }
+
+  let graph t = t.graph
+  let n_edges t = Array.length t.alpha
+  let observed t = t.observed
+
+  let freeze t : model =
+    {
+      graph = t.graph;
+      betas = Array.init (Array.length t.alpha) (fun e ->
+          Beta.v t.alpha.(e) t.beta.(e));
+    }
+
+  let observe t ~edge ~fired =
+    if edge < 0 || edge >= Array.length t.alpha then
+      invalid_arg "Beta_icm.Accum.observe: bad edge";
+    if fired then t.alpha.(edge) <- t.alpha.(edge) +. 1.0
+    else t.beta.(edge) <- t.beta.(edge) +. 1.0;
+    t.observed <- t.observed + 1
+
+  let decay t ~lambda =
+    if not (lambda >= 0.0 && lambda < 1.0) then
+      invalid_arg "Beta_icm.Accum.decay: lambda outside [0, 1)";
+    if lambda > 0.0 then begin
+      let keep = 1.0 -. lambda in
+      for e = 0 to Array.length t.alpha - 1 do
+        t.alpha.(e) <- keep *. t.alpha.(e);
+        t.beta.(e) <- keep *. t.beta.(e)
+      done
+    end
+
+  let reload t (m : model) =
+    t.graph <- m.graph;
+    t.alpha <- Array.map (fun b -> b.Beta.alpha) m.betas;
+    t.beta <- Array.map (fun b -> b.Beta.beta) m.betas
+
+  let grow t ~new_nodes ~new_edges =
+    reload t (grow (freeze t) ~new_nodes ~new_edges)
+
+  let remove_edges t pairs = reload t (remove_edges (freeze t) pairs)
+end
+
+let digest t =
+  let fp = Iflow_stats.Fingerprint.create () in
+  let module Fp = Iflow_stats.Fingerprint in
+  Fp.add_int fp (Digraph.n_nodes t.graph);
+  Fp.add_int fp (Digraph.n_edges t.graph);
+  Digraph.iter_edges t.graph (fun _ { Digraph.src; dst } ->
+      Fp.add_int fp src;
+      Fp.add_int fp dst);
+  Array.iter
+    (fun b ->
+      Fp.add_float fp b.Beta.alpha;
+      Fp.add_float fp b.Beta.beta)
+    t.betas;
+  Fp.to_hex fp
 
 let expected_icm t = Icm.create t.graph (Array.map Beta.mean t.betas)
 let mode_icm t = Icm.create t.graph (Array.map Beta.mode t.betas)

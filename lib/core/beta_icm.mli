@@ -26,7 +26,57 @@ val train_attributed : Iflow_graph.Digraph.t -> Evidence.attributed -> t
 
 val observe : t -> edge:int -> fired:bool -> t
 (** Single-edge Bayesian update (functional); exposed for incremental /
-    streaming training. *)
+    streaming training. Thin wrapper over {!observe_many}. *)
+
+val observe_many : t -> (int * bool) list -> t
+(** Batched conjugate update: one [(edge, fired)] Bernoulli observation
+    per list element, applied with a single copy of the beta array
+    (where {!observe} would copy once per event). Raises
+    [Invalid_argument] on an out-of-range edge. *)
+
+(** In-place evidence accumulator — the zero-copy hot path behind the
+    streaming updater ({!Iflow_stream.Online}). Holds the posterior as
+    two raw pseudo-count arrays; [observe] is two array writes. Convert
+    back to an immutable model with [freeze] when publishing. *)
+module Accum : sig
+  type model = t
+  type t
+
+  val of_model : model -> t
+  (** Copies the model's pseudo-counts; the model is not aliased. *)
+
+  val graph : t -> Iflow_graph.Digraph.t
+  val n_edges : t -> int
+
+  val observed : t -> int
+  (** Bernoulli observations absorbed since [of_model]. *)
+
+  val observe : t -> edge:int -> fired:bool -> unit
+
+  val decay : t -> lambda:float -> unit
+  (** Exponential forgetting for non-stationary streams:
+      [(alpha, beta) <- (1 - lambda) * (alpha, beta)] on every edge.
+      Scaling both pseudo-counts preserves each posterior mean while
+      inflating its variance, so old evidence loses weight without
+      biasing the estimate. [lambda = 0] is a no-op; raises
+      [Invalid_argument] outside [0, 1). *)
+
+  val grow :
+    t -> new_nodes:int ->
+    new_edges:(int * int * Iflow_stats.Dist.Beta.t) list -> unit
+  (** In-place counterparts of the functional {!Beta_icm.grow} /
+      {!Beta_icm.remove_edges}; graph changes are rare events, so these
+      rebuild the arrays rather than complicating the observe path. *)
+
+  val remove_edges : t -> (int * int) list -> unit
+
+  val freeze : t -> model
+  (** An immutable snapshot; the accumulator remains usable. *)
+end
+
+val digest : t -> string
+(** FNV-1a fingerprint of the topology and every (alpha, beta) pair —
+    the identity used by checkpoint headers and model versioning. *)
 
 val grow :
   t -> new_nodes:int -> new_edges:(int * int * Iflow_stats.Dist.Beta.t) list -> t

@@ -21,5 +21,16 @@ let probs t = Array.copy t.probs
 let n_nodes t = Digraph.n_nodes t.graph
 let n_edges t = Digraph.n_edges t.graph
 
+let digest t =
+  let module Fp = Iflow_stats.Fingerprint in
+  let fp = Fp.create () in
+  Fp.add_int fp (Digraph.n_nodes t.graph);
+  Fp.add_int fp (Digraph.n_edges t.graph);
+  Digraph.iter_edges t.graph (fun _ { Digraph.src; dst } ->
+      Fp.add_int fp src;
+      Fp.add_int fp dst);
+  Fp.add_floats fp t.probs;
+  Fp.to_hex fp
+
 let pp ppf t =
   Format.fprintf ppf "icm(%d nodes, %d edges)" (n_nodes t) (n_edges t)

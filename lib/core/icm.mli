@@ -26,4 +26,9 @@ val probs : t -> float array
 val n_nodes : t -> int
 val n_edges : t -> int
 
+val digest : t -> string
+(** FNV-1a fingerprint of the topology and edge probabilities — the
+    model identity used by the engine's cache keys and per-query seeds
+    ({!Iflow_engine.Engine.icm_digest} delegates here). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,4 @@
 module Icm = Iflow_core.Icm
-module Digraph = Iflow_graph.Digraph
 module Rng = Iflow_stats.Rng
 module Fingerprint = Iflow_stats.Fingerprint
 module Estimator = Iflow_mcmc.Estimator
@@ -60,24 +59,15 @@ type result = {
 }
 
 type t = {
-  icm : Icm.t;
-  digest : string;
+  mutable icm : Icm.t;
+  mutable digest : string;
   config : config;
   pool : Pool.t;
   cache : (string, result) Lru.t;
   seed : int;
 }
 
-let icm_digest icm =
-  let fp = Fingerprint.create () in
-  let g = Icm.graph icm in
-  Fingerprint.add_int fp (Digraph.n_nodes g);
-  Fingerprint.add_int fp (Digraph.n_edges g);
-  Digraph.iter_edges g (fun _ { Digraph.src; dst } ->
-      Fingerprint.add_int fp src;
-      Fingerprint.add_int fp dst);
-  Fingerprint.add_floats fp (Icm.probs icm);
-  Fingerprint.to_hex fp
+let icm_digest = Icm.digest
 
 let config_key c =
   Printf.sprintf "k%d b%d t%d r%d n%d rh%h mc%h" c.chains c.burn_in c.thin
@@ -133,10 +123,13 @@ let buffer_push b x =
 let buffer_contents b = Array.sub b.data 0 b.len
 
 let run_query t q =
-  if Query.max_node q >= Icm.n_nodes t.icm then
+  (* capture the model once: a query runs to completion against the
+     version current when it started, even if a [swap] lands meanwhile *)
+  let icm = t.icm in
+  if Query.max_node q >= Icm.n_nodes icm then
     invalid_arg
       (Printf.sprintf "Engine: query %s references node >= %d" (Query.key q)
-         (Icm.n_nodes t.icm));
+         (Icm.n_nodes icm));
   let c = t.config in
   let conditions = Conditions.v (Query.conditions q) in
   let qrng = Rng.create (query_seed t q) in
@@ -159,7 +152,7 @@ let run_query t q =
             | Some st -> st
             | None ->
               let st =
-                Estimator.stream ~conditions chain_rngs.(i) t.icm
+                Estimator.stream ~conditions chain_rngs.(i) icm
                   ~burn_in:c.burn_in ~thin:c.thin
               in
               streams.(i) <- Some st;
@@ -170,7 +163,7 @@ let run_query t q =
           let ws = Estimator.stream_workspace st in
           Array.init per_chain (fun _ ->
               Estimator.stream_next st ~f:(fun state ->
-                  if Query.indicator_ws ws t.icm q state then 1.0 else 0.0)))
+                  if Query.indicator_ws ws icm q state then 1.0 else 0.0)))
         (Array.init c.chains Fun.id)
     in
     Array.iteri (fun i xs -> Array.iter (buffer_push buffers.(i)) xs) draws;
@@ -193,6 +186,18 @@ let run_query t q =
     chains_used = c.chains;
     cached = false;
   }
+
+let invalidate t ~digest =
+  let prefix = digest ^ "/" in
+  let plen = String.length prefix in
+  Lru.evict_where t.cache (fun key ->
+      String.length key >= plen && String.sub key 0 plen = prefix)
+
+let swap t icm =
+  let retired = t.digest in
+  t.icm <- icm;
+  t.digest <- icm_digest icm;
+  if t.digest = retired then 0 else invalidate t ~digest:retired
 
 let query t q =
   let key = cache_key t q in

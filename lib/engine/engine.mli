@@ -58,6 +58,21 @@ val digest : t -> string
 
 val pool_size : t -> int
 
+val swap : t -> Iflow_core.Icm.t -> int
+(** Hot-swap the engine onto a new model version: subsequent queries
+    run (and cache) against the new model and its digest, while a query
+    already running when the swap lands finishes on the version it
+    captured at entry. Cache entries of the retired digest are evicted
+    via {!invalidate}; returns that eviction count (0 when the digests
+    coincide). The engine seed is kept, so per-query seeds still depend
+    only on (seed, model, query) and swapping back reproduces earlier
+    answers bit-for-bit. *)
+
+val invalidate : t -> digest:string -> int
+(** Evict every cached result computed against the given model digest,
+    returning how many entries were dropped. The drops are counted in
+    {!cache_stats} evictions. *)
+
 val query : t -> Query.t -> result
 (** Answer one query, consulting the cache first. Raises
     [Invalid_argument] when the query mentions a node outside the

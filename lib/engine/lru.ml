@@ -84,6 +84,20 @@ let add t key value =
       push_front t node)
   end
 
+let evict_where t pred =
+  let doomed =
+    Hashtbl.fold
+      (fun key node acc -> if pred key then node :: acc else acc)
+      t.table []
+  in
+  List.iter
+    (fun node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1)
+    doomed;
+  List.length doomed
+
 let clear t =
   Hashtbl.reset t.table;
   t.first <- None;

@@ -29,6 +29,11 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Insert or overwrite, making the entry most-recent; evicts the
     least-recently-used entry when full. *)
 
+val evict_where : ('k, 'v) t -> ('k -> bool) -> int
+(** Evict every entry whose key satisfies the predicate, returning how
+    many were dropped. Each drop counts as an eviction — this is how
+    the engine retires a model version's cache entries on hot-swap. *)
+
 val clear : ('k, 'v) t -> unit
 (** Drop all entries (counters are retained). *)
 

@@ -25,8 +25,55 @@ let malformed path lineno what =
 
 (* ----- graph-with-edge-payload formats ----- *)
 
-let save_edges path ~magic ~nodes ~n_edges ~edge_line =
+(* v2 files open with a comment header carrying the model fingerprint
+   (and free-form key=value metadata such as a checkpoint's event
+   offset) ahead of the legacy "<magic> <n>" line:
+
+     # bicm-v2 digest=29ab... events=1200
+     bicm 50
+     ...
+
+   Loaders accept legacy headerless files, and verify the digest of a
+   v2 file against the reloaded model — a checkpoint replayed against
+   the wrong event log (or a corrupted file) fails loudly instead of
+   silently training the wrong posterior. *)
+
+let meta_field_ok s =
+  s <> "" && String.for_all (fun c -> c <> ' ' && c <> '=' && c <> '\n') s
+
+let header_of_meta ~magic ~digest meta =
+  List.iter
+    (fun (k, v) ->
+      if k = "digest" || not (meta_field_ok k && meta_field_ok v) then
+        invalid_arg "Model_io: bad metadata field")
+    meta;
+  String.concat " "
+    (Printf.sprintf "# %s-v2 digest=%s" magic digest
+    :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) meta)
+
+let meta_of_header path ~magic line =
+  (* "# <magic>-v2 k=v ..." -> Some fields; None when not a v2 header *)
+  match String.split_on_char ' ' line with
+  | "#" :: tag :: fields when tag = magic ^ "-v2" ->
+    Some
+      (List.filter_map
+         (fun field ->
+           if field = "" then None
+           else
+             match String.index_opt field '=' with
+             | Some i ->
+               Some
+                 ( String.sub field 0 i,
+                   String.sub field (i + 1) (String.length field - i - 1) )
+             | None -> malformed path 1 "header field (expected key=value)")
+         fields)
+  | "#" :: _ -> malformed path 1 (Printf.sprintf "header (expected '# %s-v2')" magic)
+  | _ -> None
+
+let save_edges path ~magic ~header ~nodes ~n_edges ~edge_line =
   with_out path (fun oc ->
+      output_string oc header;
+      output_char oc '\n';
       Printf.fprintf oc "%s %d\n" magic nodes;
       for e = 0 to n_edges - 1 do
         output_string oc (edge_line e);
@@ -35,40 +82,63 @@ let save_edges path ~magic ~nodes ~n_edges ~edge_line =
 
 let load_edges path ~magic ~parse_payload =
   with_in path (fun ic ->
-      let header = try input_line ic with End_of_file -> "" in
+      let first = try input_line ic with End_of_file -> "" in
+      let meta, header, body_start =
+        match meta_of_header path ~magic first with
+        | Some meta ->
+          let line = try input_line ic with End_of_file -> "" in
+          (Some meta, line, 3)
+        | None -> (None, first, 2)
+      in
       let nodes =
         match String.split_on_char ' ' header with
         | [ m; n ] when m = magic -> (
           match int_of_string_opt n with
           | Some n when n >= 0 -> n
-          | Some _ | None -> malformed path 1 "header")
-        | _ -> malformed path 1 (Printf.sprintf "header (expected '%s <n>')" magic)
+          | Some _ | None -> malformed path (body_start - 1) "header")
+        | _ ->
+          malformed path (body_start - 1)
+            (Printf.sprintf "header (expected '%s <n>')" magic)
       in
       let rows =
         fold_lines ic
           (fun lineno acc line ->
+            let lineno = lineno + body_start - 1 in
             if String.trim line = "" then acc
             else begin
               match String.split_on_char ' ' line with
               | src :: dst :: payload -> (
                 match (int_of_string_opt src, int_of_string_opt dst) with
-                | Some s, Some d -> (s, d, parse_payload path (lineno + 1) payload) :: acc
-                | _ -> malformed path (lineno + 1) "edge endpoints")
-              | _ -> malformed path (lineno + 1) "edge line"
+                | Some s, Some d -> (s, d, parse_payload path lineno payload) :: acc
+                | _ -> malformed path lineno "edge endpoints")
+              | _ -> malformed path lineno "edge line"
             end)
           []
       in
-      (nodes, List.rev rows))
+      (meta, nodes, List.rev rows))
 
-let save_beta_icm path model =
+let check_digest path meta digest =
+  match Option.bind meta (List.assoc_opt "digest") with
+  | Some expected when expected <> digest ->
+    failwith
+      (Printf.sprintf
+         "%s: model digest mismatch (header %s, contents %s) — the file is \
+          corrupted or this checkpoint belongs to a different model / event \
+          log"
+         path expected digest)
+  | Some _ | None -> ()
+
+let save_beta_icm ?(meta = []) path model =
   let g = Beta_icm.graph model in
-  save_edges path ~magic:"bicm" ~nodes:(Digraph.n_nodes g)
-    ~n_edges:(Digraph.n_edges g) ~edge_line:(fun e ->
+  save_edges path ~magic:"bicm"
+    ~header:(header_of_meta ~magic:"bicm" ~digest:(Beta_icm.digest model) meta)
+    ~nodes:(Digraph.n_nodes g) ~n_edges:(Digraph.n_edges g)
+    ~edge_line:(fun e ->
       let { Digraph.src; dst } = Digraph.edge g e in
       let b = Beta_icm.edge_beta model e in
       Printf.sprintf "%d %d %.17g %.17g" src dst b.Beta.alpha b.Beta.beta)
 
-let load_beta_icm path =
+let load_beta_icm_meta path =
   let parse path lineno = function
     | [ a; b ] -> (
       match (float_of_string_opt a, float_of_string_opt b) with
@@ -76,18 +146,26 @@ let load_beta_icm path =
       | _ -> malformed path lineno "beta parameters")
     | _ -> malformed path lineno "beta parameters"
   in
-  let nodes, rows = load_edges path ~magic:"bicm" ~parse_payload:parse in
+  let meta, nodes, rows = load_edges path ~magic:"bicm" ~parse_payload:parse in
   let g = Digraph.of_edges ~nodes (List.map (fun (s, d, _) -> (s, d)) rows) in
-  Beta_icm.create g (Array.of_list (List.map (fun (_, _, b) -> b) rows))
+  let model =
+    Beta_icm.create g (Array.of_list (List.map (fun (_, _, b) -> b) rows))
+  in
+  check_digest path meta (Beta_icm.digest model);
+  (model, Option.value meta ~default:[])
 
-let save_icm path icm =
+let load_beta_icm path = fst (load_beta_icm_meta path)
+
+let save_icm ?(meta = []) path icm =
   let g = Icm.graph icm in
-  save_edges path ~magic:"icm" ~nodes:(Digraph.n_nodes g)
-    ~n_edges:(Digraph.n_edges g) ~edge_line:(fun e ->
+  save_edges path ~magic:"icm"
+    ~header:(header_of_meta ~magic:"icm" ~digest:(Icm.digest icm) meta)
+    ~nodes:(Digraph.n_nodes g) ~n_edges:(Digraph.n_edges g)
+    ~edge_line:(fun e ->
       let { Digraph.src; dst } = Digraph.edge g e in
       Printf.sprintf "%d %d %.17g" src dst (Icm.prob icm e))
 
-let load_icm path =
+let load_icm_meta path =
   let parse path lineno = function
     | [ p ] -> (
       match float_of_string_opt p with
@@ -95,9 +173,13 @@ let load_icm path =
       | _ -> malformed path lineno "probability")
     | _ -> malformed path lineno "probability"
   in
-  let nodes, rows = load_edges path ~magic:"icm" ~parse_payload:parse in
+  let meta, nodes, rows = load_edges path ~magic:"icm" ~parse_payload:parse in
   let g = Digraph.of_edges ~nodes (List.map (fun (s, d, _) -> (s, d)) rows) in
-  Icm.create g (Array.of_list (List.map (fun (_, _, p) -> p) rows))
+  let icm = Icm.create g (Array.of_list (List.map (fun (_, _, p) -> p) rows)) in
+  check_digest path meta (Icm.digest icm);
+  (icm, Option.value meta ~default:[])
+
+let load_icm path = fst (load_icm_meta path)
 
 (* ----- tweets ----- *)
 

@@ -1,13 +1,22 @@
 (** Plain-text serialisation of models and corpora, so the CLI can pass
     artifacts between subcommands.
 
-    betaICM format ([.bicm]):
+    betaICM format ([.bicm], v2):
     {v
+    # bicm-v2 digest=<fnv-hex> [key=value ...]
     bicm <n_nodes>
     <src> <dst> <alpha> <beta>      (one line per edge)
     v}
 
-    ICM format ([.icm]): same with a single probability column.
+    ICM format ([.icm]): same with a single probability column and an
+    [# icm-v2] header. Legacy headerless files are still accepted.
+
+    The header digest is the model's {!Iflow_core.Beta_icm.digest} /
+    {!Iflow_core.Icm.digest}; loaders recompute it and raise [Failure]
+    on a mismatch, so a corrupted file — or a streaming checkpoint
+    replayed against the wrong model or event log — fails loudly. The
+    remaining [key=value] fields are free-form metadata (the streaming
+    layer records its event offset and version id there).
 
     Tweets are tab-separated [id author time text] lines, one per tweet
     (tweet text never contains tabs or newlines).
@@ -15,11 +24,24 @@
     All loaders raise [Failure] with a line-numbered message on
     malformed input. *)
 
-val save_beta_icm : string -> Iflow_core.Beta_icm.t -> unit
+val save_beta_icm :
+  ?meta:(string * string) list -> string -> Iflow_core.Beta_icm.t -> unit
+(** Writes a v2 file. [meta] keys and values must be non-empty and free
+    of spaces, [=] and newlines; the [digest] key is reserved. Raises
+    [Invalid_argument] otherwise. *)
+
 val load_beta_icm : string -> Iflow_core.Beta_icm.t
 
-val save_icm : string -> Iflow_core.Icm.t -> unit
+val load_beta_icm_meta :
+  string -> Iflow_core.Beta_icm.t * (string * string) list
+(** Also return the header's metadata fields (including [digest];
+    empty for a legacy file). *)
+
+val save_icm :
+  ?meta:(string * string) list -> string -> Iflow_core.Icm.t -> unit
+
 val load_icm : string -> Iflow_core.Icm.t
+val load_icm_meta : string -> Iflow_core.Icm.t * (string * string) list
 
 val save_tweets : string -> Iflow_twitter.Tweet.t list -> unit
 val load_tweets : string -> Iflow_twitter.Tweet.t list

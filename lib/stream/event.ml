@@ -1,0 +1,172 @@
+module Jsonl = Iflow_engine.Jsonl
+module Beta = Iflow_stats.Dist.Beta
+
+type t =
+  | Attributed of {
+      sources : int list;
+      nodes : int list;
+      edges : (int * int) list;
+    }
+  | Trace of { sources : int list; times : (int * int) list }
+  | Add_nodes of { count : int }
+  | Add_edges of { edges : (int * int) list; prior : Beta.t }
+  | Remove_edges of { edges : (int * int) list }
+
+let of_attributed g (o : Iflow_core.Evidence.attributed_object) =
+  let module Digraph = Iflow_graph.Digraph in
+  let nodes = ref [] in
+  Array.iteri
+    (fun v active -> if active then nodes := v :: !nodes)
+    o.Iflow_core.Evidence.active_nodes;
+  let edges = ref [] in
+  Array.iteri
+    (fun e active ->
+      if active then
+        edges := (Digraph.edge_src g e, Digraph.edge_dst g e) :: !edges)
+    o.Iflow_core.Evidence.active_edges;
+  Attributed
+    {
+      sources = o.Iflow_core.Evidence.sources;
+      nodes = List.rev !nodes;
+      edges = List.rev !edges;
+    }
+
+let of_trace (tr : Iflow_core.Evidence.trace) =
+  let times = ref [] in
+  Array.iteri
+    (fun v t -> if t > 0 then times := (v, t) :: !times)
+    tr.Iflow_core.Evidence.times;
+  Trace
+    { sources = tr.Iflow_core.Evidence.trace_sources; times = List.rev !times }
+
+(* ----- decoding ----- *)
+
+let ( let* ) r f = Result.bind r f
+
+let int_list_field name json =
+  match Jsonl.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some (Jsonl.List vs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest -> (
+        match Jsonl.to_int v with
+        | Some i -> go (i :: acc) rest
+        | None -> Error (Printf.sprintf "field %S: expected integers" name))
+    in
+    go [] vs
+  | Some _ -> Error (Printf.sprintf "field %S: expected a list" name)
+
+let pair_list_field name json =
+  match Jsonl.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some (Jsonl.List vs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Jsonl.List [ a; b ] :: rest -> (
+        match (Jsonl.to_int a, Jsonl.to_int b) with
+        | Some x, Some y -> go ((x, y) :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S: expected [int, int] pairs" name))
+      | _ :: _ ->
+        Error (Printf.sprintf "field %S: expected [int, int] pairs" name)
+    in
+    go [] vs
+  | Some _ -> Error (Printf.sprintf "field %S: expected a list" name)
+
+let float_field_default name default json =
+  match Jsonl.member name json with
+  | None -> Ok default
+  | Some (Jsonl.Num f) -> Ok f
+  | Some _ -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let int_field name json =
+  match Jsonl.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match Jsonl.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %S: expected an integer" name))
+
+let of_json json =
+  match Option.bind (Jsonl.member "type" json) Jsonl.to_string with
+  | Some "attributed" ->
+    let* sources = int_list_field "sources" json in
+    let* nodes = int_list_field "nodes" json in
+    let* edges = pair_list_field "edges" json in
+    Ok (Attributed { sources; nodes; edges })
+  | Some "trace" ->
+    let* sources = int_list_field "sources" json in
+    let* times = pair_list_field "times" json in
+    Ok (Trace { sources; times })
+  | Some "add_nodes" ->
+    let* count = int_field "count" json in
+    Ok (Add_nodes { count })
+  | Some "add_edges" ->
+    let* edges = pair_list_field "edges" json in
+    let* alpha = float_field_default "alpha" 1.0 json in
+    let* beta = float_field_default "beta" 1.0 json in
+    if alpha > 0.0 && beta > 0.0 then
+      Ok (Add_edges { edges; prior = Beta.v alpha beta })
+    else Error "add_edges: prior parameters must be > 0"
+  | Some "remove_edges" ->
+    let* edges = pair_list_field "edges" json in
+    Ok (Remove_edges { edges })
+  | Some other -> Error (Printf.sprintf "unknown event type %S" other)
+  | None -> Error "missing field \"type\""
+
+let of_line line =
+  let* json = Jsonl.parse line in
+  of_json json
+
+(* ----- encoding ----- *)
+
+let add_ints b ids =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v))
+    ids;
+  Buffer.add_char b ']'
+
+let add_pairs b pairs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (x, y) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "[%d,%d]" x y))
+    pairs;
+  Buffer.add_char b ']'
+
+let to_line t =
+  let b = Buffer.create 64 in
+  (match t with
+  | Attributed { sources; nodes; edges } ->
+    Buffer.add_string b {|{"type":"attributed","sources":|};
+    add_ints b sources;
+    Buffer.add_string b {|,"nodes":|};
+    add_ints b nodes;
+    Buffer.add_string b {|,"edges":|};
+    add_pairs b edges;
+    Buffer.add_char b '}'
+  | Trace { sources; times } ->
+    Buffer.add_string b {|{"type":"trace","sources":|};
+    add_ints b sources;
+    Buffer.add_string b {|,"times":|};
+    add_pairs b times;
+    Buffer.add_char b '}'
+  | Add_nodes { count } ->
+    Buffer.add_string b (Printf.sprintf {|{"type":"add_nodes","count":%d}|} count)
+  | Add_edges { edges; prior } ->
+    Buffer.add_string b {|{"type":"add_edges","edges":|};
+    add_pairs b edges;
+    Buffer.add_string b
+      (Printf.sprintf {|,"alpha":%.17g,"beta":%.17g}|} prior.Beta.alpha
+         prior.Beta.beta)
+  | Remove_edges { edges } ->
+    Buffer.add_string b {|{"type":"remove_edges","edges":|};
+    add_pairs b edges;
+    Buffer.add_char b '}');
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (to_line t)

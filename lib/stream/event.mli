@@ -1,0 +1,57 @@
+(** Events of the append-only evidence log.
+
+    One JSON object per line, in the same dialect as the engine's query
+    files ({!Iflow_engine.Jsonl}). Five event types:
+
+    {v
+    {"type":"attributed","sources":[0],"nodes":[0,3,5],"edges":[[0,3],[3,5]]}
+    {"type":"trace","sources":[0],"times":[[3,1],[5,2]]}
+    {"type":"add_nodes","count":2}
+    {"type":"add_edges","edges":[[1,7],[2,7]],"alpha":1,"beta":1}
+    {"type":"remove_edges","edges":[[0,3]]}
+    v}
+
+    Evidence events name nodes by id and edges by (src, dst) pair —
+    never by edge id, which is not stable across graph changes. An
+    attributed event lists the object's sources, every active node, and
+    every traversed edge; a trace event lists activation times for the
+    non-source active nodes (sources are at time 0, omitted nodes were
+    never activated). [add_edges] may carry a Beta prior for the new
+    edges ([alpha], [beta], both defaulting to 1).
+
+    Decoding here is purely syntactic; semantic validation (consistency
+    against the current graph) happens in {!Online}, which quarantines
+    rather than crashes. *)
+
+type t =
+  | Attributed of {
+      sources : int list;
+      nodes : int list;      (** active node ids, sources included or not *)
+      edges : (int * int) list;  (** traversed edges as (src, dst) *)
+    }
+  | Trace of {
+      sources : int list;
+      times : (int * int) list;  (** (node, activation time > 0) *)
+    }
+  | Add_nodes of { count : int }
+  | Add_edges of {
+      edges : (int * int) list;
+      prior : Iflow_stats.Dist.Beta.t;
+    }
+  | Remove_edges of { edges : (int * int) list }
+
+val of_attributed :
+  Iflow_graph.Digraph.t -> Iflow_core.Evidence.attributed_object -> t
+(** Encode a simulated (or parsed) cascade as a log event — the bridge
+    from {!Iflow_core.Cascade.run} to the stream. *)
+
+val of_trace : Iflow_core.Evidence.trace -> t
+
+val of_line : string -> (t, string) result
+(** Decode one log line. [Error] carries a human-readable reason
+    (malformed JSON, unknown type, wrong field shape). *)
+
+val to_line : t -> string
+(** Encode as a single JSON line, parseable by {!of_line}. *)
+
+val pp : Format.formatter -> t -> unit

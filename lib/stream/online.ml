@@ -1,0 +1,211 @@
+module Digraph = Iflow_graph.Digraph
+module Beta_icm = Iflow_core.Beta_icm
+module Accum = Beta_icm.Accum
+module Evidence = Iflow_core.Evidence
+
+type stats = {
+  applied : int;
+  observations : int;
+  graph_changes : int;
+  parse_errors : int;
+  inconsistent : int;
+  unknown_refs : int;
+}
+
+let quarantined s = s.parse_errors + s.inconsistent + s.unknown_refs
+
+type t = {
+  acc : Accum.t;
+  forget : float;
+  drift : Drift.t option;
+  mutable applied : int;
+  mutable graph_changes : int;
+  mutable parse_errors : int;
+  mutable inconsistent : int;
+  mutable unknown_refs : int;
+}
+
+let create ?(forget = 0.0) ?drift model =
+  if not (forget >= 0.0 && forget < 1.0) then
+    invalid_arg "Online.create: forget outside [0, 1)";
+  {
+    acc = Accum.of_model model;
+    forget;
+    drift = Option.map (fun config -> Drift.create config model) drift;
+    applied = 0;
+    graph_changes = 0;
+    parse_errors = 0;
+    inconsistent = 0;
+    unknown_refs = 0;
+  }
+
+let model t = Accum.freeze t.acc
+let graph t = Accum.graph t.acc
+let drift t = t.drift
+
+let stats t =
+  {
+    applied = t.applied;
+    observations = Accum.observed t.acc;
+    graph_changes = t.graph_changes;
+    parse_errors = t.parse_errors;
+    inconsistent = t.inconsistent;
+    unknown_refs = t.unknown_refs;
+  }
+
+let decay t = if t.forget > 0.0 then Accum.decay t.acc ~lambda:t.forget
+
+let observe t ~edge ~fired =
+  Accum.observe t.acc ~edge ~fired;
+  match t.drift with
+  | Some d -> ignore (Drift.observe d ~edge ~fired)
+  | None -> ()
+
+(* ----- evidence events ----- *)
+
+let in_range n v = v >= 0 && v < n
+
+let apply_attributed t ~sources ~nodes ~edges =
+  let g = Accum.graph t.acc in
+  let n = Digraph.n_nodes g and m = Digraph.n_edges g in
+  if not (List.for_all (in_range n) sources && List.for_all (in_range n) nodes)
+  then begin
+    t.unknown_refs <- t.unknown_refs + 1;
+    `Quarantined "attributed: node id out of range"
+  end
+  else begin
+    let active_nodes = Array.make n false in
+    let actives = ref [] in
+    let mark v =
+      if not active_nodes.(v) then begin
+        active_nodes.(v) <- true;
+        actives := v :: !actives
+      end
+    in
+    List.iter mark sources;
+    List.iter mark nodes;
+    let active_edges = Array.make m false in
+    let unknown = ref None in
+    List.iter
+      (fun (s, d) ->
+        match Digraph.find_edge g ~src:s ~dst:d with
+        | Some e -> active_edges.(e) <- true
+        | None -> if !unknown = None then unknown := Some (s, d))
+      edges;
+    match !unknown with
+    | Some (s, d) ->
+      t.unknown_refs <- t.unknown_refs + 1;
+      `Quarantined (Printf.sprintf "attributed: unknown edge (%d, %d)" s d)
+    | None ->
+      let o = { Evidence.sources; active_nodes; active_edges } in
+      if not (Evidence.attributed_object_is_consistent g o) then begin
+        t.inconsistent <- t.inconsistent + 1;
+        `Quarantined "attributed: inconsistent object"
+      end
+      else begin
+        (* the train_attributed counting rule. Only edges with an
+           active source carry information, and per-edge counters are
+           independent, so visiting the out-edges of active nodes gives
+           the same model as the batch rule's edge-id scan — without
+           touching the other O(m) edges *)
+        List.iter
+          (fun u ->
+            Digraph.iter_out g u (fun e ->
+                observe t ~edge:e ~fired:active_edges.(e)))
+          !actives;
+        t.applied <- t.applied + 1;
+        `Applied
+      end
+  end
+
+let apply_trace t ~sources ~times =
+  let g = Accum.graph t.acc in
+  let n = Digraph.n_nodes g in
+  match Evidence.trace_of_active ~sources ~times ~n with
+  | exception Invalid_argument _ ->
+    t.unknown_refs <- t.unknown_refs + 1;
+    `Quarantined "trace: node id or time out of range"
+  | tr ->
+    if not (Evidence.trace_is_consistent g tr) then begin
+      t.inconsistent <- t.inconsistent + 1;
+      `Quarantined "trace: inconsistent activation times"
+    end
+    else begin
+      (* naive frequency rule: u active at tu attempted every out-edge;
+         v joining at tu+1 is a success, v provably not fresh at tu+1
+         (never active, or active strictly later) a failure, v already
+         active no information. As above, only out-edges of active
+         nodes carry information, and per-edge independence makes the
+         visit order immaterial *)
+      let ts = tr.Evidence.times in
+      let seen = Array.make n false in
+      let actives = ref [] in
+      let mark v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          actives := v :: !actives
+        end
+      in
+      List.iter mark sources;
+      List.iter (fun (v, _) -> mark v) times;
+      List.iter
+        (fun u ->
+          let tu = ts.(u) in
+          if tu >= 0 then
+            Digraph.iter_out g u (fun e ->
+                let tv = ts.(Digraph.edge_dst g e) in
+                if tv = tu + 1 then observe t ~edge:e ~fired:true
+                else if tv < 0 || tv > tu + 1 then
+                  observe t ~edge:e ~fired:false))
+        !actives;
+      t.applied <- t.applied + 1;
+      `Applied
+    end
+
+(* ----- graph-change events ----- *)
+
+let reanchor_drift t =
+  match t.drift with
+  | Some d -> Drift.reset d (Accum.freeze t.acc)
+  | None -> ()
+
+let apply_graph_change t what f =
+  match f () with
+  | () ->
+    t.applied <- t.applied + 1;
+    t.graph_changes <- t.graph_changes + 1;
+    reanchor_drift t;
+    `Applied
+  | exception Invalid_argument msg ->
+    t.unknown_refs <- t.unknown_refs + 1;
+    `Quarantined (Printf.sprintf "%s: %s" what msg)
+
+let apply t event =
+  match event with
+  | Event.Attributed { sources; nodes; edges } ->
+    apply_attributed t ~sources ~nodes ~edges
+  | Event.Trace { sources; times } -> apply_trace t ~sources ~times
+  | Event.Add_nodes { count } ->
+    apply_graph_change t "add_nodes" (fun () ->
+        Accum.grow t.acc ~new_nodes:count ~new_edges:[])
+  | Event.Add_edges { edges; prior } ->
+    apply_graph_change t "add_edges" (fun () ->
+        Accum.grow t.acc ~new_nodes:0
+          ~new_edges:(List.map (fun (s, d) -> (s, d, prior)) edges))
+  | Event.Remove_edges { edges } ->
+    apply_graph_change t "remove_edges" (fun () ->
+        Accum.remove_edges t.acc edges)
+
+let apply_line t line =
+  match Event.of_line line with
+  | Ok event -> apply t event
+  | Error msg ->
+    t.parse_errors <- t.parse_errors + 1;
+    `Quarantined msg
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "%d events applied (%d observations, %d graph changes), %d quarantined \
+     (%d parse, %d inconsistent, %d unknown refs)"
+    s.applied s.observations s.graph_changes (quarantined s) s.parse_errors
+    s.inconsistent s.unknown_refs

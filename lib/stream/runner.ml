@@ -1,0 +1,119 @@
+module Engine = Iflow_engine.Engine
+
+type config = { batch : int; checkpoint_every : int option }
+
+let default_config = { batch = 256; checkpoint_every = None }
+
+type report = {
+  lines : int;
+  stats : Online.stats;
+  final : Snapshot.version;
+  versions_published : int;
+  checkpoints_written : int;
+  cache_evictions : int;
+  drift_alerts : Drift.alert list;
+}
+
+let lines_of_channel ic () =
+  match input_line ic with line -> Some line | exception End_of_file -> None
+
+let lines_of_list lines =
+  let rest = ref lines in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | line :: tl ->
+      rest := tl;
+      Some line
+
+let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
+  if config.batch < 1 then invalid_arg "Runner.run: batch must be >= 1";
+  (match config.checkpoint_every with
+  | Some k when k < 1 -> invalid_arg "Runner.run: checkpoint_every must be >= 1"
+  | _ -> ());
+  if skip < 0 then invalid_arg "Runner.run: negative skip";
+  for _ = 1 to skip do
+    ignore (next ())
+  done;
+  let lines = ref skip in
+  let pending = ref 0 in
+  let last_checkpoint = ref skip in
+  let evictions = ref 0 in
+  let published = ref 0 in
+  let checkpoints = ref 0 in
+  let seen_alerts = ref 0 in
+  let swap () =
+    match engine with
+    | Some e -> evictions := !evictions + Snapshot.swap_into snapshot e
+    | None -> ()
+  in
+  swap ();
+  let drain_alerts () =
+    match (Online.drift online, on_alert) with
+    | Some d, Some f ->
+      let count = Drift.alert_count d in
+      if count > !seen_alerts then begin
+        List.iteri
+          (fun i a -> if i >= !seen_alerts then f a)
+          (Drift.alerts d);
+        seen_alerts := count
+      end
+    | _ -> ()
+  in
+  let checkpoint_due () =
+    match config.checkpoint_every with
+    | Some k -> !lines - !last_checkpoint >= k
+    | None -> false
+  in
+  let write_checkpoint () =
+    Snapshot.checkpoint snapshot;
+    incr checkpoints;
+    last_checkpoint := !lines
+  in
+  let publish () =
+    let v = Snapshot.publish snapshot (Online.model online) ~offset:!lines in
+    swap ();
+    (* forgetting is per published batch: evidence already absorbed
+       loses weight (1 - lambda) before the next batch accumulates *)
+    Online.decay online;
+    incr published;
+    pending := 0;
+    (match on_publish with Some f -> f v | None -> ());
+    if checkpoint_due () then write_checkpoint ()
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some line ->
+      incr lines;
+      (match Online.apply_line online line with
+      | `Applied -> incr pending
+      | `Quarantined _ -> ());
+      drain_alerts ();
+      if !pending >= config.batch then publish ();
+      loop ()
+  in
+  loop ();
+  if !pending > 0 then publish ();
+  if config.checkpoint_every <> None && !last_checkpoint <> !lines then
+    write_checkpoint ();
+  {
+    lines = !lines;
+    stats = Online.stats online;
+    final = Snapshot.current snapshot;
+    versions_published = !published;
+    checkpoints_written = !checkpoints;
+    cache_evictions = !evictions;
+    drift_alerts =
+      (match Online.drift online with Some d -> Drift.alerts d | None -> []);
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%d lines: %a@,\
+     final version %d (digest %s, offset %d); %d published, %d checkpoints, \
+     %d cache evictions, %d drift alerts@]"
+    r.lines Online.pp_stats r.stats r.final.Snapshot.id r.final.Snapshot.digest
+    r.final.Snapshot.offset r.versions_published r.checkpoints_written
+    r.cache_evictions
+    (List.length r.drift_alerts)

@@ -1,0 +1,53 @@
+(** The ingest loop: drains an event-log line source through an
+    {!Online} updater, publishing {!Snapshot} versions at batch
+    boundaries, hot-swapping them into an optional engine, applying
+    forgetting, and writing periodic checkpoints.
+
+    Cadences:
+    - a version is published (and the engine swapped, and one
+      {!Online.decay} step applied) every [batch] {e applied} events,
+      and once more at end of stream if anything is pending;
+    - a checkpoint is written at the first publish at least
+      [checkpoint_every] {e lines} after the previous one (lines, not
+      events, so a recovered run skips exactly the consumed prefix —
+      quarantined lines included), and once more at end of stream.
+
+    Replay determinism: with forgetting off, any [batch] size — and any
+    checkpoint/recover split — yields the same final model bit for bit,
+    because publishing only freezes the accumulator. *)
+
+type config = {
+  batch : int;                   (** applied events per published version *)
+  checkpoint_every : int option; (** lines between checkpoints *)
+}
+
+val default_config : config
+(** batch 256, no checkpoints. *)
+
+type report = {
+  lines : int;                (** log lines consumed *)
+  stats : Online.stats;
+  final : Snapshot.version;   (** the last published version *)
+  versions_published : int;   (** published by this run *)
+  checkpoints_written : int;  (** written by this run *)
+  cache_evictions : int;      (** engine cache entries retired by swaps *)
+  drift_alerts : Drift.alert list;
+}
+
+val run :
+  ?engine:Iflow_engine.Engine.t ->
+  ?skip:int ->
+  ?on_alert:(Drift.alert -> unit) ->
+  ?on_publish:(Snapshot.version -> unit) ->
+  config -> Online.t -> Snapshot.t -> (unit -> string option) -> report
+(** [run config online snapshot next] pulls lines until [next ()]
+    returns [None]. [skip] discards that many leading lines first (the
+    offset of a recovered checkpoint). When [engine] is given it is
+    swapped onto the current version up front and after every publish.
+    Raises [Invalid_argument] on [batch < 1] or a non-positive
+    [checkpoint_every]. *)
+
+val lines_of_channel : in_channel -> unit -> string option
+val lines_of_list : string list -> unit -> string option
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,69 @@
+module Beta_icm = Iflow_core.Beta_icm
+module Engine = Iflow_engine.Engine
+module Model_io = Iflow_io.Model_io
+
+type version = {
+  id : int;
+  digest : string;
+  model : Beta_icm.t;
+  offset : int;
+}
+
+type t = {
+  checkpoint_path : string option;
+  mutable current : version;
+  mutable checkpoints : int;
+}
+
+let create ?checkpoint_path ?(id = 0) ?(offset = 0) model =
+  if id < 0 || offset < 0 then invalid_arg "Snapshot.create: negative id/offset";
+  {
+    checkpoint_path;
+    current = { id; digest = Beta_icm.digest model; model; offset };
+    checkpoints = 0;
+  }
+
+let current t = t.current
+let published t = t.current.id
+let checkpoints_written t = t.checkpoints
+
+let publish t model ~offset =
+  let v =
+    {
+      id = t.current.id + 1;
+      digest = Beta_icm.digest model;
+      model;
+      offset;
+    }
+  in
+  t.current <- v;
+  v
+
+let swap_into t engine =
+  Engine.swap engine (Beta_icm.expected_icm t.current.model)
+
+let checkpoint t =
+  match t.checkpoint_path with
+  | None -> ()
+  | Some path ->
+    Model_io.save_beta_icm
+      ~meta:
+        [
+          ("offset", string_of_int t.current.offset);
+          ("version", string_of_int t.current.id);
+        ]
+      path t.current.model;
+    t.checkpoints <- t.checkpoints + 1
+
+let recover path =
+  let model, meta = Model_io.load_beta_icm_meta path in
+  let field name =
+    match Option.bind (List.assoc_opt name meta) int_of_string_opt with
+    | Some v when v >= 0 -> v
+    | Some _ | None ->
+      failwith
+        (Printf.sprintf "%s: not a streaming checkpoint (missing or bad %S \
+                         header field)"
+           path name)
+  in
+  (model, field "offset", field "version")

@@ -1,0 +1,57 @@
+(** Model versioning for the streaming pipeline: immutable published
+    versions with monotonic ids and content digests, periodic [.bicm]
+    checkpoints carrying a replay offset, and hot-swap into a running
+    {!Iflow_engine.Engine}.
+
+    The accumulator mutates continuously; what the rest of the system
+    sees are the {e versions} published here. Each version is an
+    immutable frozen model plus its {!Iflow_core.Beta_icm.digest} and
+    the log offset (lines consumed) it reflects. Swapping a version
+    into an engine evicts the retired version's cache entries by
+    digest; queries already running finish on the version they
+    captured. *)
+
+type version = {
+  id : int;          (** monotonic, starting at 0 for the seed model *)
+  digest : string;   (** {!Iflow_core.Beta_icm.digest} of [model] *)
+  model : Iflow_core.Beta_icm.t;
+  offset : int;      (** event-log lines consumed when published *)
+}
+
+type t
+
+val create :
+  ?checkpoint_path:string -> ?id:int -> ?offset:int ->
+  Iflow_core.Beta_icm.t -> t
+(** The given seed model becomes the current version — id 0 at offset 0
+    unless resuming from a {!recover}ed checkpoint, whose id and offset
+    continue the original numbering. When [checkpoint_path] is set,
+    {!checkpoint} writes there. *)
+
+val current : t -> version
+
+val published : t -> int
+(** The current version id. *)
+
+val checkpoints_written : t -> int
+
+val publish : t -> Iflow_core.Beta_icm.t -> offset:int -> version
+(** Freeze a new current version with the next id. *)
+
+val swap_into : t -> Iflow_engine.Engine.t -> int
+(** Hot-swap the engine onto the current version's expected ICM via
+    {!Iflow_engine.Engine.swap}; returns the evicted cache-entry
+    count. *)
+
+val checkpoint : t -> unit
+(** Write the current version to [checkpoint_path] as a v2 [.bicm]
+    whose header records [digest], [offset] and [version] — everything
+    {!recover} needs. No-op without a path. *)
+
+val recover : string -> Iflow_core.Beta_icm.t * int * int
+(** [recover path] loads a checkpoint and returns
+    [(model, offset, version)]. Replay resumes by skipping [offset]
+    lines of the event log. Raises [Failure] if the file's digest does
+    not match its contents (corruption, or a checkpoint paired with the
+    wrong model — see {!Iflow_io.Model_io}), or if the offset/version
+    fields are missing or malformed. *)

@@ -1,0 +1,691 @@
+(* Tests for the streaming ingestion subsystem (lib/stream) and the
+   satellites it leans on: batched/in-place conjugate updates, model
+   digests, v2 model files, and engine hot-swap.
+
+   The acceptance criteria pinned here:
+   - replay determinism: any batch size, and any checkpoint/restore
+     split, reproduces the batch [train_attributed] posterior bit for
+     bit, and a streamed engine answers queries exactly like a fresh
+     engine built on the same final model and seed;
+   - drift: an injected rate shift is flagged within a bounded number
+     of trials, with zero false alarms on the stationary prefix;
+   - interleavings of evidence and graph-change events match the
+     functional fold over the same sequence (property test). *)
+
+module Rng = Iflow_stats.Rng
+module Beta = Iflow_stats.Dist.Beta
+module Gen = Iflow_graph.Gen
+module Digraph = Iflow_graph.Digraph
+module Icm = Iflow_core.Icm
+module Beta_icm = Iflow_core.Beta_icm
+module Cascade = Iflow_core.Cascade
+module Evidence = Iflow_core.Evidence
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Lru = Iflow_engine.Lru
+module Model_io = Iflow_io.Model_io
+module Event = Iflow_stream.Event
+module Online = Iflow_stream.Online
+module Drift = Iflow_stream.Drift
+module Snapshot = Iflow_stream.Snapshot
+module Runner = Iflow_stream.Runner
+
+let qcheck tests =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0 |])) tests
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_float msg a b = Alcotest.(check (float 0.0)) msg a b
+
+let with_temp_file f =
+  let path = Filename.temp_file "iflow_stream_test" ".bicm" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* a small substrate with its simulated event-log lines *)
+let substrate seed ~events =
+  let rng = Rng.create seed in
+  let g = Gen.gnm rng ~nodes:30 ~edges:120 in
+  let m = Digraph.n_edges g in
+  let icm = Icm.create g (Array.init m (fun _ -> 0.1 +. (0.6 *. Rng.uniform rng))) in
+  let objects =
+    List.init events (fun _ ->
+        Cascade.run rng icm ~sources:[ Rng.int rng (Digraph.n_nodes g) ])
+  in
+  let lines = List.map (fun o -> Event.to_line (Event.of_attributed g o)) objects in
+  (g, objects, lines)
+
+(* ---------- Event round-trip ---------- *)
+
+let test_event_roundtrip () =
+  let events =
+    [
+      Event.Attributed
+        { sources = [ 0; 2 ]; nodes = [ 0; 2; 5 ]; edges = [ (0, 5); (2, 5) ] };
+      Event.Trace { sources = [ 1 ]; times = [ (3, 1); (4, 2) ] };
+      Event.Add_nodes { count = 3 };
+      Event.Add_edges { edges = [ (1, 7); (2, 7) ]; prior = Beta.v 2.5 0.5 };
+      Event.Remove_edges { edges = [ (0, 5) ] };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      match Event.of_line (Event.to_line ev) with
+      | Ok ev' -> check_bool (Event.to_line ev) true (ev = ev')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    events
+
+let test_event_rejects () =
+  let bad =
+    [
+      "not json at all";
+      {|{"sources":[0]}|};
+      {|{"type":"teleport"}|};
+      {|{"type":"attributed","sources":[0],"nodes":"x","edges":[]}|};
+      {|{"type":"attributed","sources":[0],"nodes":[1]}|};
+      {|{"type":"trace","sources":[0],"times":[[1]]}|};
+      {|{"type":"add_nodes"}|};
+      {|{"type":"add_edges","edges":[[0,1]],"alpha":0}|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      check_bool line true (Result.is_error (Event.of_line line)))
+    bad
+
+(* ---------- observe_many and the in-place accumulator ---------- *)
+
+let tiny_model () =
+  let g = Digraph.of_edges ~nodes:3 [ (0, 1); (1, 2); (0, 2) ] in
+  Beta_icm.uninformed g
+
+let test_observe_many_matches_observe () =
+  let model = tiny_model () in
+  let obs = [ (0, true); (1, false); (0, true); (2, false); (1, true) ] in
+  let batched = Beta_icm.observe_many model obs in
+  let folded =
+    List.fold_left
+      (fun m (edge, fired) -> Beta_icm.observe m ~edge ~fired)
+      model obs
+  in
+  check_string "batched = folded" (Beta_icm.digest folded)
+    (Beta_icm.digest batched);
+  check_bool "out of range" true
+    (match Beta_icm.observe_many model [ (3, true) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_accum_matches_functional () =
+  let model = tiny_model () in
+  let obs = [ (0, true); (1, false); (2, true); (0, false) ] in
+  let acc = Beta_icm.Accum.of_model model in
+  List.iter (fun (edge, fired) -> Beta_icm.Accum.observe acc ~edge ~fired) obs;
+  check_int "observed" 4 (Beta_icm.Accum.observed acc);
+  check_string "freeze = observe_many"
+    (Beta_icm.digest (Beta_icm.observe_many model obs))
+    (Beta_icm.digest (Beta_icm.Accum.freeze acc));
+  (* freezing must not alias the live accumulator *)
+  let frozen = Beta_icm.Accum.freeze acc in
+  Beta_icm.Accum.observe acc ~edge:0 ~fired:true;
+  check_string "frozen unaffected"
+    (Beta_icm.digest (Beta_icm.observe_many model obs))
+    (Beta_icm.digest frozen)
+
+let test_accum_decay () =
+  let acc = Beta_icm.Accum.of_model (tiny_model ()) in
+  Beta_icm.Accum.observe acc ~edge:0 ~fired:true;
+  Beta_icm.Accum.observe acc ~edge:0 ~fired:true;
+  (* (3, 1) scaled by 0.5: the mean survives, the mass halves *)
+  Beta_icm.Accum.decay acc ~lambda:0.5;
+  let b = Beta_icm.edge_beta (Beta_icm.Accum.freeze acc) 0 in
+  check_float "alpha" 1.5 b.Beta.alpha;
+  check_float "beta" 0.5 b.Beta.beta;
+  check_float "mean preserved" 0.75 (Beta.mean b);
+  check_bool "lambda = 1 rejected" true
+    (match Beta_icm.Accum.decay acc ~lambda:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_beta_icm_digest () =
+  let model = tiny_model () in
+  check_string "stable" (Beta_icm.digest model) (Beta_icm.digest model);
+  check_bool "sensitive to counts" true
+    (Beta_icm.digest model
+    <> Beta_icm.digest (Beta_icm.observe model ~edge:0 ~fired:true));
+  check_bool "sensitive to topology" true
+    (Beta_icm.digest model
+    <> Beta_icm.digest
+         (Beta_icm.uninformed (Digraph.of_edges ~nodes:3 [ (0, 1); (1, 2) ])))
+
+(* ---------- quarantine ---------- *)
+
+let test_quarantine () =
+  let g = Digraph.of_edges ~nodes:3 [ (0, 1); (1, 2) ] in
+  let online = Online.create (Beta_icm.uninformed g) in
+  let before = Beta_icm.digest (Online.model online) in
+  let quarantined line =
+    match Online.apply_line online line with
+    | `Quarantined _ -> true
+    | `Applied -> false
+  in
+  check_bool "parse error" true (quarantined "{{{");
+  check_bool "unknown type" true (quarantined {|{"type":"teleport"}|});
+  check_bool "node out of range" true
+    (quarantined {|{"type":"attributed","sources":[99],"nodes":[],"edges":[]}|});
+  check_bool "unknown edge" true
+    (quarantined
+       {|{"type":"attributed","sources":[0],"nodes":[2],"edges":[[0,2]]}|});
+  check_bool "inconsistent object" true
+    (quarantined
+       {|{"type":"attributed","sources":[0],"nodes":[2],"edges":[[1,2]]}|});
+  check_bool "inconsistent trace" true
+    (quarantined {|{"type":"trace","sources":[],"times":[[2,5]]}|});
+  (* removing an unknown pair is documented as an ignored no-op *)
+  check_bool "unknown removal is a no-op, not an error" true
+    (not (quarantined {|{"type":"remove_edges","edges":[[2,0]]}|}));
+  let s = Online.stats online in
+  check_int "only the no-op removal applied" 1 s.Online.applied;
+  check_int "parse errors" 2 s.Online.parse_errors;
+  check_int "inconsistent" 2 s.Online.inconsistent;
+  check_int "unknown refs" 2 s.Online.unknown_refs;
+  check_int "quarantined total" 6 (Online.quarantined s);
+  check_string "model untouched" before (Beta_icm.digest (Online.model online))
+
+let test_trace_counting () =
+  let g = Digraph.of_edges ~nodes:3 [ (0, 1); (1, 2); (0, 2) ] in
+  let online = Online.create (Beta_icm.uninformed g) in
+  (* 0 at t=0, 1 at t=1, 2 at t=2: edges (0,1) and (1,2) fire at the
+     naive +1 step; (0,2) was attempted at t=1 and provably missed *)
+  (match
+     Online.apply online
+       (Event.Trace { sources = [ 0 ]; times = [ (1, 1); (2, 2) ] })
+   with
+  | `Applied -> ()
+  | `Quarantined msg -> Alcotest.failf "quarantined: %s" msg);
+  let check_edge src dst alpha beta =
+    let e = Option.get (Digraph.find_edge g ~src ~dst) in
+    let b = Beta_icm.edge_beta (Online.model online) e in
+    check_float (Printf.sprintf "alpha(%d,%d)" src dst) alpha b.Beta.alpha;
+    check_float (Printf.sprintf "beta(%d,%d)" src dst) beta b.Beta.beta
+  in
+  check_edge 0 1 2.0 1.0;
+  check_edge 1 2 2.0 1.0;
+  check_edge 0 2 1.0 2.0
+
+(* ---------- replay determinism (acceptance) ---------- *)
+
+let test_replay_determinism () =
+  let g, objects, lines = substrate 7 ~events:400 in
+  let expected = Beta_icm.digest (Beta_icm.train_attributed g objects) in
+  List.iter
+    (fun batch ->
+      let online = Online.create (Beta_icm.uninformed g) in
+      let snapshot = Snapshot.create (Beta_icm.uninformed g) in
+      let report =
+        Runner.run { Runner.batch; checkpoint_every = None } online snapshot
+          (Runner.lines_of_list lines)
+      in
+      check_int (Printf.sprintf "batch %d: all applied" batch) 400
+        report.Runner.stats.Online.applied;
+      check_string
+        (Printf.sprintf "batch %d: digest matches train_attributed" batch)
+        expected report.Runner.final.Snapshot.digest)
+    [ 1; 7; 64; 1000 ]
+
+let test_checkpoint_restore_determinism () =
+  let g, objects, lines = substrate 11 ~events:300 in
+  let expected = Beta_icm.digest (Beta_icm.train_attributed g objects) in
+  with_temp_file (fun path ->
+      (* crash after a 137-line prefix, leaving a checkpoint behind *)
+      let crashed =
+        Runner.run
+          { Runner.batch = 32; checkpoint_every = Some 50 }
+          (Online.create (Beta_icm.uninformed g))
+          (Snapshot.create ~checkpoint_path:path (Beta_icm.uninformed g))
+          (Runner.lines_of_list (List.filteri (fun i _ -> i < 137) lines))
+      in
+      check_int "prefix consumed" 137 crashed.Runner.lines;
+      let model, offset, version = Snapshot.recover path in
+      check_int "recovered offset" 137 offset;
+      check_bool "mid-stream version" true (version > 0);
+      let report =
+        Runner.run ~skip:offset
+          { Runner.batch = 32; checkpoint_every = None }
+          (Online.create model)
+          (Snapshot.create ~id:version ~offset model)
+          (Runner.lines_of_list lines)
+      in
+      check_int "resumed to the end" 300 report.Runner.lines;
+      check_string "restored replay matches train_attributed" expected
+        report.Runner.final.Snapshot.digest;
+      check_bool "version numbering continues" true
+        (report.Runner.final.Snapshot.id > version))
+
+let light_config =
+  {
+    Engine.default_config with
+    Engine.chains = 2;
+    burn_in = 100;
+    thin = 2;
+    round_samples = 100;
+    max_samples = 200;
+    rhat_target = 10.0;
+    mcse_target = 1.0;
+  }
+
+let test_streamed_engine_matches_fresh () =
+  let g, _, lines = substrate 13 ~events:200 in
+  let prior = Beta_icm.uninformed g in
+  let engine = Engine.create ~config:light_config ~seed:42 (Beta_icm.expected_icm prior) in
+  let report =
+    Runner.run ~engine
+      { Runner.batch = 50; checkpoint_every = None }
+      (Online.create prior) (Snapshot.create prior)
+      (Runner.lines_of_list lines)
+  in
+  let final = report.Runner.final.Snapshot.model in
+  let fresh = Engine.create ~config:light_config ~seed:42 (Beta_icm.expected_icm final) in
+  check_string "digests agree" (Engine.digest fresh) (Engine.digest engine);
+  let probe = Query.flow ~src:0 ~dst:(Digraph.n_nodes g - 1) () in
+  let r_streamed = Engine.query engine probe in
+  let r_fresh = Engine.query fresh probe in
+  check_float "estimates agree bit for bit" r_fresh.Engine.estimate
+    r_streamed.Engine.estimate
+
+(* ---------- forgetting ---------- *)
+
+let test_forgetting_changes_posterior_not_replay () =
+  let g, _, lines = substrate 17 ~events:200 in
+  let run ~forget =
+    let online = Online.create ~forget (Beta_icm.uninformed g) in
+    let report =
+      Runner.run
+        { Runner.batch = 50; checkpoint_every = None }
+        online
+        (Snapshot.create (Beta_icm.uninformed g))
+        (Runner.lines_of_list lines)
+    in
+    report.Runner.final.Snapshot.digest
+  in
+  check_string "forget = 0 is exact replay" (run ~forget:0.0) (run ~forget:0.0);
+  check_bool "forgetting discounts history" true
+    (run ~forget:0.1 <> run ~forget:0.0);
+  check_string "forgetting itself is deterministic" (run ~forget:0.1)
+    (run ~forget:0.1)
+
+(* ---------- drift detection (acceptance) ---------- *)
+
+let test_drift_flags_shift_no_false_alarms () =
+  let g = Digraph.of_edges ~nodes:2 [ (0, 1) ] in
+  let model = Beta_icm.uninformed g in
+  let config = { Drift.window = 50; delta = 1e-3; min_reference = 50.0 } in
+  let d = Drift.create config model in
+  (* stationary: exactly rate 1/2, six full windows *)
+  let alarms = ref 0 in
+  for i = 1 to 300 do
+    match Drift.observe d ~edge:0 ~fired:(i mod 2 = 0) with
+    | Some _ -> incr alarms
+    | None -> ()
+  done;
+  check_int "zero false alarms on the stationary prefix" 0 !alarms;
+  check_int "no flags yet" 0 (Drift.flagged d);
+  (* shift to rate 1: must alert within two windows *)
+  let detected_at = ref None in
+  (try
+     for i = 1 to 100 do
+       match Drift.observe d ~edge:0 ~fired:true with
+       | Some _ ->
+         detected_at := Some i;
+         raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  (match !detected_at with
+  | Some i -> check_bool "bounded detection delay" true (i <= 2 * config.Drift.window)
+  | None -> Alcotest.fail "shift never detected");
+  check_bool "edge flagged" true (Drift.is_flagged d 0);
+  check_int "one flagged edge" 1 (Drift.flagged d);
+  (match Drift.alerts d with
+  | a :: _ ->
+    check_int "alert names the edge" 0 a.Drift.edge;
+    check_bool "window rate above reference" true
+      (a.Drift.window_rate > a.Drift.reference_rate)
+  | [] -> Alcotest.fail "alert list empty");
+  (* revert to the reference rate: the next clean window clears the flag *)
+  for i = 1 to 2 * config.Drift.window do
+    ignore (Drift.observe d ~edge:0 ~fired:(i mod 2 = 0))
+  done;
+  check_int "flag cleared after a passing window" 0 (Drift.flagged d)
+
+let test_drift_through_online () =
+  (* same shift, driven through the full event pipeline *)
+  let g = Digraph.of_edges ~nodes:2 [ (0, 1) ] in
+  let config = { Drift.window = 40; delta = 1e-3; min_reference = 40.0 } in
+  let online = Online.create ~drift:config (Beta_icm.uninformed g) in
+  let event ~fired =
+    Event.to_line
+      (Event.Attributed
+         {
+           sources = [ 0 ];
+           nodes = (if fired then [ 0; 1 ] else [ 0 ]);
+           edges = (if fired then [ (0, 1) ] else []);
+         })
+  in
+  let lines =
+    List.init 200 (fun i -> event ~fired:(i mod 2 = 0))
+    @ List.init 100 (fun _ -> event ~fired:true)
+  in
+  let alerts = ref [] in
+  let report =
+    Runner.run
+      ~on_alert:(fun a -> alerts := a :: !alerts)
+      { Runner.batch = 25; checkpoint_every = None }
+      online
+      (Snapshot.create (Beta_icm.uninformed g))
+      (Runner.lines_of_list lines)
+  in
+  check_bool "alerts fired" true (List.length report.Runner.drift_alerts > 0);
+  check_int "on_alert saw every alert"
+    (List.length report.Runner.drift_alerts)
+    (List.length !alerts);
+  List.iter
+    (fun a ->
+      check_int "alert src" 0 a.Drift.src;
+      check_int "alert dst" 1 a.Drift.dst;
+      check_bool "alert is post-shift" true (a.Drift.at_trial > 100))
+    report.Runner.drift_alerts
+
+(* ---------- graph changes and the interleaving property ---------- *)
+
+let test_graph_change_events () =
+  let g = Digraph.of_edges ~nodes:2 [ (0, 1) ] in
+  let online = Online.create (Beta_icm.uninformed g) in
+  let apply ev =
+    match Online.apply online ev with
+    | `Applied -> ()
+    | `Quarantined msg -> Alcotest.failf "quarantined: %s" msg
+  in
+  apply (Event.Add_nodes { count = 1 });
+  apply (Event.Add_edges { edges = [ (1, 2) ]; prior = Beta.v 3.0 1.0 });
+  apply
+    (Event.Attributed
+       { sources = [ 0 ]; nodes = [ 0; 1; 2 ]; edges = [ (0, 1); (1, 2) ] });
+  apply (Event.Remove_edges { edges = [ (0, 1) ] });
+  let model = Online.model online in
+  check_int "3 nodes" 3 (Beta_icm.n_nodes model);
+  check_int "1 surviving edge" 1 (Beta_icm.n_edges model);
+  let b = Beta_icm.edge_beta model 0 in
+  (* the added edge kept its prior and absorbed the traversal *)
+  check_float "alpha" 4.0 b.Beta.alpha;
+  check_float "beta" 1.0 b.Beta.beta;
+  let s = Online.stats online in
+  check_int "graph changes" 3 s.Online.graph_changes;
+  check_int "applied" 4 s.Online.applied
+
+(* Build a random interleaving of cascades and graph changes, folding a
+   functional reference model alongside the emitted events. *)
+let random_interleaving seed =
+  let rng = Rng.create (1000 + seed) in
+  let g0 = Gen.gnm rng ~nodes:6 ~edges:10 in
+  let model = ref (Beta_icm.uninformed g0) in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  for _ = 1 to 40 do
+    let g = Beta_icm.graph !model in
+    let n = Digraph.n_nodes g and m = Digraph.n_edges g in
+    let r = Rng.uniform rng in
+    if r < 0.7 then begin
+      if m > 0 then begin
+        let icm = Icm.create g (Array.make m 0.4) in
+        let o = Cascade.run rng icm ~sources:[ Rng.int rng n ] in
+        emit (Event.of_attributed g o);
+        let obs = ref [] in
+        for e = 0 to m - 1 do
+          if o.Evidence.active_nodes.(Digraph.edge_src g e) then
+            obs := (e, o.Evidence.active_edges.(e)) :: !obs
+        done;
+        model := Beta_icm.observe_many !model !obs
+      end
+    end
+    else if r < 0.85 then begin
+      let prior = Beta.v (0.5 +. Rng.uniform rng) 1.0 in
+      emit (Event.Add_nodes { count = 1 });
+      model := Beta_icm.grow !model ~new_nodes:1 ~new_edges:[];
+      let src = Rng.int rng n in
+      emit (Event.Add_edges { edges = [ (src, n) ]; prior });
+      model := Beta_icm.grow !model ~new_nodes:0 ~new_edges:[ (src, n, prior) ]
+    end
+    else if m > 0 then begin
+      let e = Rng.int rng m in
+      let pair = (Digraph.edge_src g e, Digraph.edge_dst g e) in
+      emit (Event.Remove_edges { edges = [ pair ] });
+      model := Beta_icm.remove_edges !model [ pair ]
+    end
+  done;
+  (g0, List.rev !events, !model)
+
+let prop_interleaving_matches_functional_fold =
+  QCheck.Test.make ~count:30
+    ~name:"streamed interleavings match the functional fold"
+    QCheck.small_nat
+    (fun seed ->
+      let g0, events, reference = random_interleaving seed in
+      let online = Online.create (Beta_icm.uninformed g0) in
+      List.iter
+        (fun ev ->
+          match Online.apply_line online (Event.to_line ev) with
+          | `Applied -> ()
+          | `Quarantined msg ->
+            QCheck.Test.fail_reportf "quarantined %s: %s" (Event.to_line ev)
+              msg)
+        events;
+      Beta_icm.digest (Online.model online) = Beta_icm.digest reference)
+
+(* ---------- v2 model files ---------- *)
+
+let test_model_io_v2_roundtrip () =
+  let model =
+    Beta_icm.observe_many (tiny_model ()) [ (0, true); (2, false) ]
+  in
+  with_temp_file (fun path ->
+      Model_io.save_beta_icm ~meta:[ ("offset", "123"); ("version", "7") ] path
+        model;
+      let loaded, meta = Model_io.load_beta_icm_meta path in
+      check_string "model survives" (Beta_icm.digest model)
+        (Beta_icm.digest loaded);
+      check_string "digest recorded" (Beta_icm.digest model)
+        (List.assoc "digest" meta);
+      check_string "offset recorded" "123" (List.assoc "offset" meta);
+      check_string "version recorded" "7" (List.assoc "version" meta))
+
+let test_model_io_legacy () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "bicm 3\n0 1 2.0 1.0\n1 2 1.0 1.0\n";
+      close_out oc;
+      let model, meta = Model_io.load_beta_icm_meta path in
+      check_int "legacy file loads" 2 (Beta_icm.n_edges model);
+      check_bool "no metadata" true (meta = []);
+      let b = Beta_icm.edge_beta model 0 in
+      check_float "counts" 2.0 b.Beta.alpha)
+
+let test_model_io_digest_mismatch () =
+  let model = Beta_icm.observe (tiny_model ()) ~edge:0 ~fired:true in
+  with_temp_file (fun path ->
+      Model_io.save_beta_icm path model;
+      (* tamper with the last edge row's alpha *)
+      let ic = open_in path in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = read [] in
+      close_in ic;
+      let tampered =
+        match List.rev lines with
+        | last :: rest -> (
+          match String.split_on_char ' ' last with
+          | src :: dst :: _alpha :: tl ->
+            List.rev (String.concat " " (src :: dst :: "9" :: tl) :: rest)
+          | _ -> Alcotest.fail "unexpected edge row")
+        | [] -> Alcotest.fail "empty file"
+      in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) tampered;
+      close_out oc;
+      match Model_io.load_beta_icm path with
+      | _ -> Alcotest.fail "tampered file loaded"
+      | exception Failure msg ->
+        let contains needle hay =
+          let n = String.length needle and h = String.length hay in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "mismatch named" true (contains "digest mismatch" msg))
+
+let test_model_io_meta_validation () =
+  let model = tiny_model () in
+  with_temp_file (fun path ->
+      let rejects meta =
+        match Model_io.save_beta_icm ~meta path model with
+        | exception Invalid_argument _ -> true
+        | () -> false
+      in
+      check_bool "digest reserved" true (rejects [ ("digest", "x") ]);
+      check_bool "no spaces" true (rejects [ ("a b", "x") ]);
+      check_bool "no equals" true (rejects [ ("k", "a=b") ]);
+      check_bool "non-empty" true (rejects [ ("", "x") ]))
+
+(* ---------- engine hot-swap and invalidation ---------- *)
+
+let five_node_model seed =
+  let rng = Rng.create seed in
+  let g = Gen.gnm rng ~nodes:5 ~edges:12 in
+  Icm.create g (Array.init 12 (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)))
+
+let test_engine_swap_and_invalidate () =
+  let a = five_node_model 3 and b = five_node_model 4 in
+  let engine = Engine.create ~config:light_config ~seed:9 a in
+  let q1 = Query.flow ~src:0 ~dst:4 () in
+  let q2 = Query.flow ~src:1 ~dst:3 () in
+  let r1 = Engine.query engine q1 in
+  let r2 = Engine.query engine q2 in
+  check_bool "cached on repeat" true (Engine.query engine q1).Engine.cached;
+  let evicted = Engine.swap engine b in
+  check_int "both entries evicted" 2 evicted;
+  check_string "digest tracks the new model" (Engine.icm_digest b)
+    (Engine.digest engine);
+  check_bool "cache cold after swap" true
+    (not (Engine.query engine q1).Engine.cached);
+  check_bool "evictions counted" true
+    ((Engine.cache_stats engine).Lru.evictions >= 2);
+  (* swap back: same seed + same model digest = the original answers *)
+  ignore (Engine.swap engine a);
+  check_float "q1 reproduced bit for bit" r1.Engine.estimate
+    (Engine.query engine q1).Engine.estimate;
+  check_float "q2 reproduced bit for bit" r2.Engine.estimate
+    (Engine.query engine q2).Engine.estimate;
+  check_int "swap onto the same digest evicts nothing" 0 (Engine.swap engine a);
+  (* invalidate by digest only touches matching entries *)
+  ignore (Engine.query engine q1);
+  check_int "foreign digest evicts nothing" 0
+    (Engine.invalidate engine ~digest:"no-such-digest");
+  check_bool "current digest evicts the entry" true
+    (Engine.invalidate engine ~digest:(Engine.digest engine) >= 1)
+
+let test_lru_evict_where () =
+  let cache = Lru.create 8 in
+  List.iter (fun k -> Lru.add cache k k) [ "a/1"; "a/2"; "b/1"; "c/1" ];
+  let n =
+    Lru.evict_where cache (fun k -> String.length k > 0 && k.[0] = 'a')
+  in
+  check_int "two evicted" 2 n;
+  check_int "two remain" 2 (Lru.length cache);
+  check_bool "survivors intact" true
+    (Lru.mem cache "b/1" && Lru.mem cache "c/1");
+  check_int "evictions counted" 2 (Lru.stats cache).Lru.evictions
+
+(* ---------- snapshot versioning ---------- *)
+
+let test_snapshot_versioning () =
+  let model = tiny_model () in
+  let snap = Snapshot.create model in
+  check_int "seed version" 0 (Snapshot.current snap).Snapshot.id;
+  let m1 = Beta_icm.observe model ~edge:0 ~fired:true in
+  let v1 = Snapshot.publish snap m1 ~offset:10 in
+  check_int "monotonic id" 1 v1.Snapshot.id;
+  check_int "offset recorded" 10 v1.Snapshot.offset;
+  check_string "digest of the published model" (Beta_icm.digest m1)
+    v1.Snapshot.digest;
+  let resumed = Snapshot.create ~id:7 ~offset:99 model in
+  check_int "resume keeps numbering" 7 (Snapshot.current resumed).Snapshot.id;
+  check_int "resume keeps offset" 99 (Snapshot.current resumed).Snapshot.offset;
+  check_int "no checkpoint path = no checkpoints" 0
+    (Snapshot.checkpoint snap;
+     Snapshot.checkpoints_written snap)
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "events",
+        [
+          Alcotest.test_case "round-trip" `Quick test_event_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_event_rejects;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "observe_many = folded observe" `Quick
+            test_observe_many_matches_observe;
+          Alcotest.test_case "accumulator = functional" `Quick
+            test_accum_matches_functional;
+          Alcotest.test_case "decay preserves the mean" `Quick test_accum_decay;
+          Alcotest.test_case "digest" `Quick test_beta_icm_digest;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "quarantine counts, never crashes" `Quick
+            test_quarantine;
+          Alcotest.test_case "trace counting rule" `Quick test_trace_counting;
+          Alcotest.test_case "graph-change events" `Quick
+            test_graph_change_events;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "any batch size = train_attributed" `Quick
+            test_replay_determinism;
+          Alcotest.test_case "checkpoint/restore split" `Quick
+            test_checkpoint_restore_determinism;
+          Alcotest.test_case "streamed engine = fresh engine" `Slow
+            test_streamed_engine_matches_fresh;
+          Alcotest.test_case "forgetting" `Quick
+            test_forgetting_changes_posterior_not_replay;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "flags the shift, no false alarms" `Quick
+            test_drift_flags_shift_no_false_alarms;
+          Alcotest.test_case "through the event pipeline" `Quick
+            test_drift_through_online;
+        ] );
+      ("interleaving", qcheck [ prop_interleaving_matches_functional_fold ]);
+      ( "model-io",
+        [
+          Alcotest.test_case "v2 round-trip with metadata" `Quick
+            test_model_io_v2_roundtrip;
+          Alcotest.test_case "legacy files still load" `Quick
+            test_model_io_legacy;
+          Alcotest.test_case "digest mismatch fails loudly" `Quick
+            test_model_io_digest_mismatch;
+          Alcotest.test_case "metadata validation" `Quick
+            test_model_io_meta_validation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "hot-swap and invalidation" `Quick
+            test_engine_swap_and_invalidate;
+          Alcotest.test_case "lru evict_where" `Quick test_lru_evict_where;
+        ] );
+      ("snapshot", [ Alcotest.test_case "versioning" `Quick test_snapshot_versioning ]);
+    ]
