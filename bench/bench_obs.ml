@@ -1,0 +1,97 @@
+(* Shared observability plumbing for the benchmark executables:
+   [--metrics-out FILE] Prometheus dumps (scraped by the CI format
+   check) and the merged BENCH_PR4.json that records metrics-on vs
+   metrics-off throughput alongside an Obs metrics snapshot. Each bench
+   owns one top-level key ("sampler", "stream") and rewrites only its
+   own section, so the two executables can run in either order. *)
+
+module Metrics = Iflow_obs.Metrics
+module Prometheus = Iflow_obs.Prometheus
+module Jsonl = Iflow_engine.Jsonl
+
+let metrics_out_file () =
+  let rec find = function
+    | "--metrics-out" :: file :: _ -> Some file
+    | _ :: tl -> find tl
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let write_metrics_out () =
+  match metrics_out_file () with
+  | None -> ()
+  | Some file ->
+    Prometheus.write_file Metrics.default file;
+    Printf.printf "wrote %s\n%!" file
+
+let snapshot () =
+  match Jsonl.parse (Metrics.to_json_string Metrics.default) with
+  | Ok v -> v
+  | Error msg -> failwith ("Bench_obs.snapshot: bad metrics JSON: " ^ msg)
+
+(* BENCH_PR4.json is committed, so pretty-print it: objects and mixed
+   lists indent, scalar-only lists stay on one line. Scalars reuse
+   [Jsonl.pp] so the output round-trips through [Jsonl.parse]. *)
+let pretty v =
+  let buf = Buffer.create 4096 in
+  let scalar = function
+    | Jsonl.Obj _ | Jsonl.List _ -> false
+    | Jsonl.Null | Jsonl.Bool _ | Jsonl.Num _ | Jsonl.Str _ -> true
+  in
+  let rec go indent v =
+    match v with
+    | Jsonl.Obj [] -> Buffer.add_string buf "{}"
+    | Jsonl.Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v') ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (String.make (indent + 2) ' ');
+          Buffer.add_string buf (Format.asprintf "%a" Jsonl.pp (Jsonl.Str k));
+          Buffer.add_string buf ": ";
+          go (indent + 2) v')
+        kvs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf '}'
+    | Jsonl.List vs when vs = [] || List.for_all scalar vs ->
+      Buffer.add_string buf (Format.asprintf "%a" Jsonl.pp v)
+    | Jsonl.List vs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v' ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (String.make (indent + 2) ' ');
+          go (indent + 2) v')
+        vs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf ']'
+    | Jsonl.Null | Jsonl.Bool _ | Jsonl.Num _ | Jsonl.Str _ ->
+      Buffer.add_string buf (Format.asprintf "%a" Jsonl.pp v)
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let bench_file = "BENCH_PR4.json"
+
+let update_bench_json ~key section =
+  let existing =
+    if Sys.file_exists bench_file then begin
+      let ic = open_in_bin bench_file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Jsonl.parse s with Ok (Jsonl.Obj kvs) -> kvs | Ok _ | Error _ -> []
+    end
+    else []
+  in
+  let kvs =
+    List.filter (fun (k, _) -> k <> key) existing @ [ (key, section) ]
+  in
+  (* stable order across runs: sort the top-level keys *)
+  let kvs = List.sort (fun (a, _) (b, _) -> compare a b) kvs in
+  let oc = open_out bench_file in
+  output_string oc (pretty (Jsonl.Obj kvs));
+  close_out oc;
+  Printf.printf "updated %s (%S)\n%!" bench_file key

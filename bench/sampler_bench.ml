@@ -25,6 +25,9 @@ module Digraph = Iflow_graph.Digraph
 module Traverse = Iflow_graph.Traverse
 module Chain = Iflow_mcmc.Chain
 module Conditions = Iflow_mcmc.Conditions
+module Clock = Iflow_obs.Clock
+module Metrics = Iflow_obs.Metrics
+module Jsonl = Bench_obs.Jsonl
 
 let quick =
   Array.exists (fun a -> a = "--quick") Sys.argv
@@ -110,13 +113,13 @@ let connected_pair rng g =
 let timed advance =
   advance warmup_steps;
   let batch = 1_000 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
   let steps = ref 0 in
   let elapsed = ref 0.0 in
   while !elapsed < measure_seconds do
     advance batch;
     steps := !steps + batch;
-    elapsed := Unix.gettimeofday () -. t0
+    elapsed := Clock.seconds_of_ns (Clock.elapsed_ns t0)
   done;
   float_of_int !steps /. !elapsed
 
@@ -147,12 +150,40 @@ let () =
   in
   let legacy = List.map (fun k -> (k, measure_legacy k)) counts in
   let incremental = List.map (fun k -> (k, measure_incremental k)) counts in
+  (* the same chains again with the metrics registry recording: the
+     ISSUE 4 gate is < 3% throughput overhead with instrumentation on.
+     The two modes are interleaved and the best of three passes kept
+     per mode, so CPU-frequency drift across the run doesn't
+     masquerade as (or hide) instrumentation cost. *)
+  let overhead_pair k =
+    let off = ref 0.0 and on = ref 0.0 in
+    for _ = 1 to 3 do
+      off := Float.max !off (measure_incremental k);
+      Metrics.set_recording true;
+      on := Float.max !on (measure_incremental k);
+      Metrics.set_recording false
+    done;
+    (!off, !on)
+  in
+  let overhead = List.map (fun k -> (k, overhead_pair k)) counts in
+  let metrics_off = List.map (fun (k, (off, _)) -> (k, off)) overhead in
+  let metrics_on = List.map (fun (k, (_, on)) -> (k, on)) overhead in
+  let overhead_pct =
+    List.map (fun (k, (off, on)) -> (k, 100.0 *. (off -. on) /. off)) overhead
+  in
   Printf.printf "%12s %16s %16s %10s\n" "conditions" "legacy steps/s"
     "incremental" "speedup";
   List.iter2
     (fun (k, l) (_, i) ->
       Printf.printf "%12d %16.0f %16.0f %9.1fx\n" k l i (i /. l))
     legacy incremental;
+  Printf.printf "%12s %16s %16s %10s\n" "conditions" "metrics off"
+    "metrics on" "overhead";
+  List.iter
+    (fun (k, (off, on)) ->
+      Printf.printf "%12d %16.0f %16.0f %9.1f%%\n" k off on
+        (100.0 *. (off -. on) /. off))
+    overhead;
   let json =
     let b = Buffer.create 1024 in
     let rates label xs =
@@ -199,4 +230,36 @@ let () =
   let oc = open_out "BENCH_PR2.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "wrote BENCH_PR2.json\n%!"
+  Printf.printf "wrote BENCH_PR2.json\n%!";
+  (* PR 4: instrumentation overhead and the registry's own view of the
+     metrics-on run, merged into BENCH_PR4.json next to the stream
+     bench's section *)
+  let num x = Jsonl.Num x in
+  let rates ?(round = true) xs =
+    Jsonl.Obj
+      (List.map
+         (fun (k, r) ->
+           (Printf.sprintf "c%d" k, num (if round then Float.round r else r)))
+         xs)
+  in
+  Bench_obs.update_bench_json ~key:"sampler"
+    (Jsonl.Obj
+       [
+         ("bench", Jsonl.Str "sampler_metrics_overhead");
+         ("pr", num 4.0);
+         ("quick", Jsonl.Bool quick);
+         ( "graph",
+           Jsonl.Obj
+             [
+               ("nodes", num (float_of_int (Digraph.n_nodes g)));
+               ("edges", num (float_of_int m));
+               ("generator", Jsonl.Str "preferential_attachment");
+               ("seed", num 20120402.0);
+             ] );
+         ("metrics_off_steps_per_sec", rates metrics_off);
+         ("metrics_on_steps_per_sec", rates metrics_on);
+         ("overhead_pct", rates ~round:false overhead_pct);
+         ("target_overhead_pct", num 3.0);
+         ("obs_snapshot", Bench_obs.snapshot ());
+       ]);
+  Bench_obs.write_metrics_out ()

@@ -28,6 +28,9 @@ module Online = Iflow_stream.Online
 module Drift = Iflow_stream.Drift
 module Snapshot = Iflow_stream.Snapshot
 module Runner = Iflow_stream.Runner
+module Clock = Iflow_obs.Clock
+module Metrics = Iflow_obs.Metrics
+module Jsonl = Bench_obs.Jsonl
 
 let quick =
   Array.exists (fun a -> a = "--quick") Sys.argv
@@ -37,9 +40,9 @@ let n_events = if quick then 2_000 else 20_000
 let n_swaps = if quick then 20 else 200
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  (x, Clock.seconds_of_ns (Clock.elapsed_ns t0))
 
 let () =
   let rng = Rng.create 20120402 in
@@ -177,4 +180,43 @@ let () =
   let oc = open_out "BENCH_PR3.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "wrote BENCH_PR3.json\n%!"
+  Printf.printf "wrote BENCH_PR3.json\n%!";
+
+  (* PR 4: the same ingest and runner paths with the metrics registry
+     recording, plus the registry's own snapshot, merged into
+     BENCH_PR4.json next to the sampler bench's section *)
+  Metrics.set_recording true;
+  let ingest_on_rate, _ = ingest () in
+  let runner_on_rate =
+    let online = Online.create prior in
+    let snapshot = Snapshot.create prior in
+    let report, dt =
+      timed (fun () ->
+          Runner.run ~engine
+            { Runner.batch = 500; checkpoint_every = None }
+            online snapshot
+            (Runner.lines_of_list lines))
+    in
+    ignore report;
+    float_of_int n_events /. dt
+  in
+  Metrics.set_recording false;
+  Printf.printf "  metrics on:      %10.0f events/s ingest, %.0f runner\n%!"
+    ingest_on_rate runner_on_rate;
+  let num x = Jsonl.Num x in
+  Bench_obs.update_bench_json ~key:"stream"
+    (Jsonl.Obj
+       [
+         ("bench", Jsonl.Str "stream_metrics_overhead");
+         ("pr", num 4.0);
+         ("quick", Jsonl.Bool quick);
+         ("events", num (float_of_int n_events));
+         ("metrics_off_ingest_events_per_sec", num (Float.round plain_rate));
+         ("metrics_on_ingest_events_per_sec", num (Float.round ingest_on_rate));
+         ( "ingest_overhead_pct",
+           num (100.0 *. (plain_rate -. ingest_on_rate) /. plain_rate) );
+         ("metrics_off_runner_events_per_sec", num (Float.round runner_rate));
+         ("metrics_on_runner_events_per_sec", num (Float.round runner_on_rate));
+         ("obs_snapshot", Bench_obs.snapshot ());
+       ]);
+  Bench_obs.write_metrics_out ()

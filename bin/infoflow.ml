@@ -26,6 +26,11 @@ module Bucket = Iflow_bucket.Bucket
 module Model_io = Iflow_io.Model_io
 module Engine = Iflow_engine.Engine
 module Query = Iflow_engine.Query
+module Obs_log = Iflow_obs.Log
+module Obs_metrics = Iflow_obs.Metrics
+module Obs_prometheus = Iflow_obs.Prometheus
+module Obs_trace = Iflow_obs.Trace
+module Obs_clock = Iflow_obs.Clock
 open Iflow_twitter
 
 (* ----- shared options ----- *)
@@ -33,6 +38,54 @@ open Iflow_twitter
 let seed_term =
   let doc = "Random seed (experiments are reproducible per seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+(* observability knobs shared by the sampling/streaming subcommands *)
+let obs_term =
+  let log_level =
+    Arg.(
+      value & opt string "warn"
+      & info [ "log-level" ]
+          ~doc:"Diagnostic verbosity on stderr: error, warn, info, or debug.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:
+            "Switch metrics recording on and write a Prometheus text \
+             exposition of everything recorded here on exit.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Write Chrome trace_event JSON here (open in chrome://tracing \
+             or Perfetto).")
+  in
+  let make log_level metrics_out trace_out = (log_level, metrics_out, trace_out) in
+  Term.(const make $ log_level $ metrics_out $ trace_out)
+
+(* Recording never perturbs estimates (no RNG involvement; pinned by a
+   regression test), so switching it on costs only the export on exit.
+   Teardown goes through [at_exit] so error paths still flush. *)
+let obs_setup (log_level, metrics_out, trace_out) =
+  (match Obs_log.level_of_string log_level with
+  | Ok l -> Obs_log.set_level l
+  | Error msg ->
+    Obs_log.err "%s" msg;
+    exit 1);
+  (match trace_out with Some path -> Obs_trace.to_file path | None -> ());
+  if metrics_out <> None then Obs_metrics.set_recording true;
+  at_exit (fun () ->
+      (match metrics_out with
+      | Some path -> (
+        try Obs_prometheus.write_file Obs_metrics.default path
+        with Sys_error msg -> Obs_log.err ~component:"obs" "%s" msg)
+      | None -> ());
+      Obs_trace.close ())
 
 (* Defaults mirror Estimator.default_config exactly — the CLI used to
    ship its own (burn 1000, thin 10, samples 2000) and silently disagree
@@ -208,7 +261,7 @@ let or_die f =
   match f () with
   | v -> v
   | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
-    Printf.eprintf "error: %s\n" msg;
+    Obs_log.err "%s" msg;
     exit 1
 
 let condition_conv =
@@ -227,7 +280,8 @@ let condition_conv =
   Arg.conv (parse, print)
 
 let estimate seed model_path src dst conditions engine_config config nested
-    deadline delay_mean =
+    deadline delay_mean obs =
+  obs_setup obs;
   let rng = Rng.create seed in
   let model = Model_io.load_beta_icm model_path in
   let icm = Beta_icm.expected_icm model in
@@ -316,11 +370,12 @@ let estimate_cmd =
           Metropolis-Hastings sampling and convergence diagnostics.")
     Term.(
       const estimate $ seed_term $ model $ src $ dst $ conditions
-      $ engine_term $ mcmc_term $ nested $ deadline $ delay_mean)
+      $ engine_term $ mcmc_term $ nested $ deadline $ delay_mean $ obs_term)
 
 (* ----- batch ----- *)
 
-let batch seed model_path queries_path engine_config =
+let batch seed model_path queries_path engine_config obs =
+  obs_setup obs;
   let model = Model_io.load_beta_icm model_path in
   let icm = Beta_icm.expected_icm model in
   let engine = or_die (fun () -> Engine.create ~config:engine_config ~seed icm) in
@@ -344,13 +399,13 @@ let batch seed model_path queries_path engine_config =
           match Query.of_line line with
           | Ok q -> Some q
           | Error msg ->
-            Printf.eprintf "%s:%d: %s\n" queries_path lineno msg;
+            Obs_log.err ~component:"batch" "%s:%d: %s" queries_path lineno msg;
             exit 1)
       lines
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs_clock.now_ns () in
   let results = or_die (fun () -> Engine.query_all engine queries) in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Obs_clock.seconds_of_ns (Obs_clock.now_ns () - t0) in
   Printf.printf "query\testimate\trhat\tess\tmcse\tsamples\tcached\n";
   List.iter2
     (fun q (r : Engine.result) ->
@@ -360,12 +415,11 @@ let batch seed model_path queries_path engine_config =
         (if r.Engine.cached then "yes" else "no"))
     queries results;
   let stats = Engine.cache_stats engine in
-  Printf.eprintf
-    "answered %d queries in %.2fs (%.1f queries/s, %d domains); cache: %s\n"
+  Obs_log.info ~component:"batch"
+    "answered %d queries in %.2fs (%.1f queries/s, %d domains); cache: %a"
     (List.length queries) elapsed
     (float_of_int (List.length queries) /. Float.max elapsed 1e-9)
-    (Engine.pool_size engine)
-    (Format.asprintf "%a" Iflow_engine.Lru.pp_stats stats)
+    (Engine.pool_size engine) Iflow_engine.Lru.pp_stats stats
 
 let batch_cmd =
   let model =
@@ -393,24 +447,27 @@ let batch_cmd =
           engine: multi-chain MH per query, adaptive stopping on R-hat and \
           MCSE, deduplication and an LRU result cache. Emits TSV with \
           diagnostics columns.")
-    Term.(const batch $ seed_term $ model $ queries $ engine_term)
+    Term.(const batch $ seed_term $ model $ queries $ engine_term $ obs_term)
 
 (* ----- stream ----- *)
 
 let stream seed model_path resume events_path batch checkpoint checkpoint_every
-    forget drift_window drift_delta drift_report probes output =
+    forget drift_window drift_delta drift_report probes output metrics_every obs
+    =
+  obs_setup obs;
+  let _, metrics_out, _ = obs in
   let model, skip, version =
     match (resume, model_path) with
     | Some ckpt, _ ->
       let model, offset, version =
         or_die (fun () -> Iflow_stream.Snapshot.recover ckpt)
       in
-      Printf.eprintf "resuming from %s: version %d at offset %d\n%!" ckpt
-        version offset;
+      Obs_log.info ~component:"stream" "resuming from %s: version %d at offset %d"
+        ckpt version offset;
       (model, offset, version)
     | None, Some path -> (or_die (fun () -> Model_io.load_beta_icm path), 0, 0)
     | None, None ->
-      Printf.eprintf "error: provide --model or --resume\n";
+      Obs_log.err ~component:"stream" "provide --model or --resume";
       exit 1
   in
   let drift =
@@ -448,8 +505,21 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
               version.Iflow_stream.Snapshot.id (Query.key q) r.Engine.estimate
               (if r.Engine.cached then "cached" else "sampled")
           | exception (Failure msg | Invalid_argument msg) ->
-            Printf.eprintf "probe %s: %s\n%!" (Query.key q) msg)
+            Obs_log.warn ~component:"stream" "probe %s: %s" (Query.key q) msg)
         probes
+  in
+  (* periodic observability dump: rewrite the metrics file every
+     [metrics_every] published versions, so a long-running ingest can be
+     scraped while it runs *)
+  let publishes = ref 0 in
+  let on_publish v =
+    answer_probes v;
+    (match (metrics_out, metrics_every) with
+    | Some path, Some every ->
+      incr publishes;
+      if !publishes mod every = 0 then
+        Obs_prometheus.write_file Obs_metrics.default path
+    | _ -> ())
   in
   let ic, close =
     if events_path = "-" then (stdin, fun () -> ())
@@ -463,8 +533,9 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
             Iflow_stream.Runner.run ?engine ~skip
               ~on_alert:(fun a ->
                 if drift_report then
-                  Format.eprintf "drift: %a@." Iflow_stream.Drift.pp_alert a)
-              ~on_publish:answer_probes
+                  Obs_log.warn ~component:"drift" "%a"
+                    Iflow_stream.Drift.pp_alert a)
+              ~on_publish
               { Iflow_stream.Runner.batch; checkpoint_every }
               online snapshot
               (Iflow_stream.Runner.lines_of_channel ic)))
@@ -483,10 +554,10 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
   | None -> ());
   (match engine with
   | Some e ->
-    Format.eprintf "engine cache after swaps: %a@." Iflow_engine.Lru.pp_stats
-      (Engine.cache_stats e)
+    Obs_log.info ~component:"stream" "engine cache after swaps: %a"
+      Iflow_engine.Lru.pp_stats (Engine.cache_stats e)
   | None -> ());
-  Format.eprintf "%a@." Iflow_stream.Runner.pp_report report
+  Obs_log.info ~component:"stream" "%a" Iflow_stream.Runner.pp_report report
 
 let stream_cmd =
   let model =
@@ -586,6 +657,15 @@ let stream_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Write the final model here.")
   in
+  let metrics_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-every" ]
+          ~doc:
+            "Rewrite the --metrics-out file every N published versions (in \
+             addition to the final dump on exit).")
+  in
   Cmd.v
     (Cmd.info "stream"
        ~doc:
@@ -597,7 +677,7 @@ let stream_cmd =
     Term.(
       const stream $ seed_term $ model $ resume $ events $ batch $ checkpoint
       $ checkpoint_every $ forget $ drift_window $ drift_delta $ drift_report
-      $ probes $ output)
+      $ probes $ output $ metrics_every $ obs_term)
 
 (* ----- impact ----- *)
 
@@ -805,6 +885,88 @@ let calibrate_cmd =
           calibration.")
     Term.(const calibrate $ seed_term $ model $ trials $ mcmc_term)
 
+(* ----- metrics ----- *)
+
+let metrics seed model_path src dst engine_config json =
+  Obs_metrics.set_recording true;
+  let model = Model_io.load_beta_icm model_path in
+  let icm = Beta_icm.expected_icm model in
+  let n = Beta_icm.n_nodes model in
+  if src >= n || dst >= n then begin
+    Obs_log.err ~component:"metrics" "probe %d:%d out of range (model has %d nodes)"
+      src dst n;
+    exit 1
+  end;
+  let engine = or_die (fun () -> Engine.create ~config:engine_config ~seed icm) in
+  (* one sampled query + one cache hit, so every mcmc/engine metric has
+     something to show *)
+  let q = Query.flow ~src ~dst () in
+  ignore (or_die (fun () -> Engine.query engine q));
+  ignore (or_die (fun () -> Engine.query engine q));
+  print_string
+    (if json then Obs_metrics.to_json_string Obs_metrics.default
+     else Obs_prometheus.to_string Obs_metrics.default)
+
+let metrics_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~doc:"betaICM file.")
+  in
+  let src =
+    Arg.(value & opt int 0 & info [ "src" ] ~doc:"Probe query source node.")
+  in
+  let dst =
+    Arg.(value & opt int 1 & info [ "dst" ] ~doc:"Probe query sink node.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the JSON snapshot instead of Prometheus text format.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one probe flow query with metrics recording on and print the \
+          resulting registry snapshot (Prometheus text exposition by \
+          default) to stdout — a smoke test of the observability layer.")
+    Term.(const metrics $ seed_term $ model $ src $ dst $ engine_term $ json)
+
+(* ----- prom-check ----- *)
+
+let prom_check path =
+  let text =
+    or_die (fun () ->
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+  in
+  match Obs_prometheus.check text with
+  | Ok () ->
+    Printf.printf "%s: ok\n" path;
+    exit 0
+  | Error msg ->
+    Obs_log.err ~component:"prom-check" "%s: %s" path msg;
+    exit 1
+
+let prom_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Prometheus text exposition to validate.")
+  in
+  Cmd.v
+    (Cmd.info "prom-check"
+       ~doc:
+         "Validate a Prometheus text exposition file: sample-line syntax, \
+          label well-formedness, and duplicate metric detection. Exits \
+          non-zero on the first malformed line (CI gate).")
+    Term.(const prom_check $ file)
+
 let () =
   let info =
     Cmd.info "infoflow" ~version:"1.0.0"
@@ -816,5 +978,5 @@ let () =
           [
             generate_model_cmd; generate_corpus_cmd; train_cmd;
             train_unattributed_cmd; estimate_cmd; batch_cmd; stream_cmd;
-            impact_cmd; seeds_cmd; calibrate_cmd;
+            impact_cmd; seeds_cmd; calibrate_cmd; metrics_cmd; prom_check_cmd;
           ]))

@@ -3,6 +3,46 @@ module Rng = Iflow_stats.Rng
 module Fingerprint = Iflow_stats.Fingerprint
 module Estimator = Iflow_mcmc.Estimator
 module Conditions = Iflow_mcmc.Conditions
+module Metrics = Iflow_obs.Metrics
+module Trace = Iflow_obs.Trace
+module Clock = Iflow_obs.Clock
+
+let m_queries =
+  Metrics.counter ~help:"Flow queries answered (cache hits included)"
+    "iflow_engine_queries_total"
+
+let m_rounds =
+  Metrics.counter ~help:"Adaptive sampling rounds across all queries"
+    "iflow_engine_query_rounds_total"
+
+let m_samples =
+  Metrics.counter ~help:"Indicator samples drawn across all queries"
+    "iflow_engine_samples_total"
+
+let m_query_seconds =
+  Metrics.histogram ~scale:1e-9 ~help:"Wall time per sampled (uncached) query"
+    "iflow_engine_query_seconds"
+
+let m_last_rhat =
+  Metrics.gauge ~help:"Split R-hat at stop of the most recent sampled query"
+    "iflow_engine_last_rhat"
+
+let m_last_mcse =
+  Metrics.gauge ~help:"MCSE at stop of the most recent sampled query"
+    "iflow_engine_last_mcse"
+
+let m_cache_hits =
+  Metrics.counter ~help:"Result cache hits" "iflow_engine_cache_hits_total"
+
+let m_cache_misses =
+  Metrics.counter ~help:"Result cache misses" "iflow_engine_cache_misses_total"
+
+let m_cache_evictions =
+  Metrics.counter ~help:"Result cache evictions (LRU pressure and hot-swap)"
+    "iflow_engine_cache_evictions_total"
+
+let m_cache_entries =
+  Metrics.gauge ~help:"Result cache entries" "iflow_engine_cache_entries"
 
 type config = {
   chains : int;
@@ -65,7 +105,21 @@ type t = {
   pool : Pool.t;
   cache : (string, result) Lru.t;
   seed : int;
+  mutable lru_flushed : Lru.stats; (* already exported to the registry *)
 }
+
+(* [Lru] keeps its own lifetime counters; re-export their growth since
+   the last sync so the registry's counters stay monotone per engine. *)
+let sync_cache_metrics t =
+  if Metrics.recording () then begin
+    let s = Lru.stats t.cache in
+    let fl = t.lru_flushed in
+    Metrics.add m_cache_hits (s.Lru.hits - fl.Lru.hits);
+    Metrics.add m_cache_misses (s.Lru.misses - fl.Lru.misses);
+    Metrics.add m_cache_evictions (s.Lru.evictions - fl.Lru.evictions);
+    Metrics.set m_cache_entries (float_of_int s.Lru.entries);
+    t.lru_flushed <- s
+  end
 
 let icm_digest = Icm.digest
 
@@ -82,6 +136,7 @@ let create ?(config = default_config) ~seed icm =
     pool = Pool.create ?size:config.domains ();
     cache = Lru.create config.cache_capacity;
     seed;
+    lru_flushed = { Lru.hits = 0; misses = 0; evictions = 0; entries = 0 };
   }
 
 let icm t = t.icm
@@ -123,6 +178,9 @@ let buffer_push b x =
 let buffer_contents b = Array.sub b.data 0 b.len
 
 let run_query t q =
+  Trace.with_span "engine.query" ~args:[ ("key", Trace.Str (Query.key q)) ]
+  @@ fun () ->
+  let t0 = if Metrics.recording () then Clock.now_ns () else 0 in
   (* capture the model once: a query runs to completion against the
      version current when it started, even if a [swap] lands meanwhile *)
   let icm = t.icm in
@@ -139,6 +197,7 @@ let run_query t q =
   let total = ref 0 in
   let finished = ref false in
   let last_summary = ref None in
+  let rounds = ref 0 in
   while not !finished do
     let per_chain =
       min c.round_samples
@@ -168,6 +227,7 @@ let run_query t q =
     in
     Array.iteri (fun i xs -> Array.iter (buffer_push buffers.(i)) xs) draws;
     total := !total + (per_chain * c.chains);
+    incr rounds;
     let s = Diagnostics.summary (Array.map buffer_contents buffers) in
     last_summary := Some s;
     if
@@ -177,6 +237,13 @@ let run_query t q =
     then finished := true
   done;
   let s = Option.get !last_summary in
+  if Metrics.recording () then begin
+    Metrics.add m_rounds !rounds;
+    Metrics.add m_samples s.Diagnostics.n_total;
+    Metrics.set m_last_rhat s.Diagnostics.rhat;
+    Metrics.set m_last_mcse s.Diagnostics.mcse;
+    Metrics.observe m_query_seconds (Clock.now_ns () - t0)
+  end;
   {
     estimate = s.Diagnostics.mean;
     rhat = s.Diagnostics.rhat;
@@ -197,16 +264,23 @@ let swap t icm =
   let retired = t.digest in
   t.icm <- icm;
   t.digest <- icm_digest icm;
-  if t.digest = retired then 0 else invalidate t ~digest:retired
+  let evicted = if t.digest = retired then 0 else invalidate t ~digest:retired in
+  sync_cache_metrics t;
+  evicted
 
 let query t q =
+  Metrics.inc m_queries;
   let key = cache_key t q in
-  match Lru.find t.cache key with
-  | Some r -> { r with cached = true }
-  | None ->
-    let r = run_query t q in
-    Lru.add t.cache key r;
-    r
+  let r =
+    match Lru.find t.cache key with
+    | Some r -> { r with cached = true }
+    | None ->
+      let r = run_query t q in
+      Lru.add t.cache key r;
+      r
+  in
+  sync_cache_metrics t;
+  r
 
 let query_all t qs =
   (* duplicate queries sample once; each unique query then fans its
@@ -219,6 +293,7 @@ let query_all t qs =
     let results = Hashtbl.create 16 in
     List.map
       (fun q ->
+        Metrics.inc m_queries;
         let key = cache_key t q in
         match Hashtbl.find_opt results key with
         | Some r -> { r with cached = true }

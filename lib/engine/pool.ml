@@ -1,3 +1,22 @@
+module Metrics = Iflow_obs.Metrics
+module Clock = Iflow_obs.Clock
+
+let m_tasks =
+  Metrics.counter ~help:"Tasks executed by the worker pool"
+    "iflow_engine_pool_tasks_total"
+
+let m_busy_ns =
+  Metrics.counter ~help:"Nanoseconds pool domains spent running task blocks"
+    "iflow_engine_pool_busy_ns_total"
+
+let m_domains =
+  Metrics.gauge ~help:"Workers used by the most recent pool run"
+    "iflow_engine_pool_domains"
+
+let m_inflight =
+  Metrics.gauge ~help:"Tasks submitted to the in-progress pool run (0 when idle)"
+    "iflow_engine_pool_inflight_tasks"
+
 type t = { size : int }
 
 let create ?size () =
@@ -17,13 +36,25 @@ let run t f tasks =
   if n = 0 then [||]
   else begin
     let workers = min t.size n in
+    (* sampled once so every block of this run agrees on whether to read
+       the clock; busy time lands in the recording domain's own shard *)
+    let rec_on = Metrics.recording () in
+    if rec_on then begin
+      Metrics.set m_domains (float_of_int workers);
+      Metrics.set m_inflight (float_of_int n);
+      Metrics.add m_tasks n
+    end;
     let results = Array.make n None in
-    if workers = 1 then
-      Array.iteri (fun i task -> results.(i) <- Some (Ok (f task))) tasks
+    if workers = 1 then begin
+      let t0 = if rec_on then Clock.now_ns () else 0 in
+      Array.iteri (fun i task -> results.(i) <- Some (Ok (f task))) tasks;
+      if rec_on then Metrics.add m_busy_ns (Clock.now_ns () - t0)
+    end
     else begin
       (* worker w owns indices with i mod workers = w: assignment is a
          pure function of the index, never of timing *)
       let run_block w () =
+        let t0 = if rec_on then Clock.now_ns () else 0 in
         let i = ref w in
         while !i < n do
           (results.(!i) <-
@@ -31,7 +62,8 @@ let run t f tasks =
             | v -> Some (Ok v)
             | exception e -> Some (Error e)));
           i := !i + workers
-        done
+        done;
+        if rec_on then Metrics.add m_busy_ns (Clock.now_ns () - t0)
       in
       let domains =
         Array.init (workers - 1) (fun w -> Domain.spawn (run_block (w + 1)))
@@ -39,6 +71,7 @@ let run t f tasks =
       run_block 0 ();
       Array.iter Domain.join domains
     end;
+    if rec_on then Metrics.set m_inflight 0.0;
     Array.map
       (function
         | Some (Ok v) -> v

@@ -8,17 +8,9 @@ module Estimator = Iflow_mcmc.Estimator
 module Chain = Iflow_mcmc.Chain
 module Bucket = Iflow_bucket.Bucket
 
-let time_per_call f =
-  let rec run reps =
-    let t0 = Sys.time () in
-    for _ = 1 to reps do
-      f ()
-    done;
-    let dt = Sys.time () -. t0 in
-    if dt < 0.05 && reps < 10_000_000 then run (reps * 4)
-    else dt /. float_of_int reps
-  in
-  run 16
+(* Monotonic wall time per call; [Sys.time] (CPU time) under-counts
+   multi-domain work, so timings go through the shared clock. *)
+let time_per_call f = Iflow_obs.Clock.time_per_call f
 
 (* ----- proposal: Fenwick vs naive scan ----- *)
 
@@ -158,11 +150,14 @@ let report_conditional_strategies rng ppf =
     let measure label f =
       let trials = 10 in
       let err = ref 0.0 in
-      let t0 = Sys.time () in
+      let t0 = Iflow_obs.Clock.now_ns () in
       for _ = 1 to trials do
         err := !err +. Float.abs (f () -. truth)
       done;
-      let dt = (Sys.time () -. t0) /. float_of_int trials in
+      let dt =
+        Iflow_obs.Clock.seconds_of_ns (Iflow_obs.Clock.elapsed_ns t0)
+        /. float_of_int trials
+      in
       Format.fprintf ppf "%-18s %12.4f %12.4f@." label
         (!err /. float_of_int trials)
         dt

@@ -13,19 +13,9 @@ type row = {
   ours_amortised_seconds : float;
 }
 
-(* CPU-time a thunk, repeating until the measurement is long enough to
-   trust, and return seconds per call. *)
-let time_per_call f =
-  let rec run reps =
-    let t0 = Sys.time () in
-    for _ = 1 to reps do
-      f ()
-    done;
-    let dt = Sys.time () -. t0 in
-    if dt < 0.05 && reps < 1_000_000 then run (reps * 4)
-    else dt /. float_of_int reps
-  in
-  run 1
+(* Wall-time a thunk on the monotonic clock, repeating until the
+   measurement is long enough to trust, and return seconds per call. *)
+let time_per_call f = Iflow_obs.Clock.time_per_call ~max_reps:1_000_000 f
 
 let generate_setting rng ~parents ~objects =
   let probs = Array.init parents (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)) in

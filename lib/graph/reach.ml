@@ -211,9 +211,25 @@ module Cache = struct
     mutable alt : buf;
     trail : int array; (* nodes added by the last Grew, for undo *)
     mutable trail_len : int;
+    (* plain always-on tallies of which update rule fired; read by the
+       sampler's metrics flush and by the ablation reports *)
+    mutable n_unchanged : int;
+    mutable n_grew : int;
+    mutable n_rebuilt : int;
+    mutable n_undone : int;
   }
 
   type update = Unchanged | Grew | Rebuilt
+
+  type stats = { unchanged : int; grew : int; rebuilt : int; undone : int }
+
+  let stats t =
+    {
+      unchanged = t.n_unchanged;
+      grew = t.n_grew;
+      rebuilt = t.n_rebuilt;
+      undone = t.n_undone;
+    }
 
   let source t = t.source
   let reaches t v = t.cur.stamp.(v) = t.cur.epoch
@@ -256,6 +272,10 @@ module Cache = struct
         alt = buf ();
         trail = Array.make n 0;
         trail_len = 0;
+        n_unchanged = 0;
+        n_grew = 0;
+        n_rebuilt = 0;
+        n_undone = 0;
       }
     in
     rebuild t ~active;
@@ -292,28 +312,38 @@ module Cache = struct
 
   let update t ~active ~edge =
     let s = Digraph.edge_src t.g edge in
-    if not (reaches t s) then Unchanged
+    if not (reaches t s) then begin
       (* flipping an edge whose source the set cannot see never changes
          what the source reaches, in either direction *)
+      t.n_unchanged <- t.n_unchanged + 1;
+      Unchanged
+    end
     else if active edge then begin
       let d = Digraph.edge_dst t.g edge in
-      if reaches t d then Unchanged
+      if reaches t d then begin
+        t.n_unchanged <- t.n_unchanged + 1;
+        Unchanged
+      end
       else begin
         grow t ~active ~edge d;
+        t.n_grew <- t.n_grew + 1;
         Grew
       end
     end
     else begin
       let d = Digraph.edge_dst t.g edge in
-      if t.cur.stamp.(d) <> t.cur.epoch || t.cur.parent.(d) <> edge then
+      if t.cur.stamp.(d) <> t.cur.epoch || t.cur.parent.(d) <> edge then begin
         (* not the tree parent of its destination: every member's
            witness path avoids this edge, so the set is intact *)
+        t.n_unchanged <- t.n_unchanged + 1;
         Unchanged
+      end
       else begin
         full_bfs t t.alt ~active;
         let old = t.cur in
         t.cur <- t.alt;
         t.alt <- old;
+        t.n_rebuilt <- t.n_rebuilt + 1;
         Rebuilt
       end
     end
@@ -324,9 +354,11 @@ module Cache = struct
       for i = 0 to t.trail_len - 1 do
         t.cur.stamp.(t.trail.(i)) <- 0
       done;
-      t.trail_len <- 0
+      t.trail_len <- 0;
+      t.n_undone <- t.n_undone + 1
     | Rebuilt ->
       let fresh = t.cur in
       t.cur <- t.alt;
-      t.alt <- fresh
+      t.alt <- fresh;
+      t.n_undone <- t.n_undone + 1
 end

@@ -118,4 +118,11 @@ module Cache : sig
   val undo : t -> update -> unit
   (** Revert the most recent {!update} (the pre-flip activity must be
       restored by the caller; [undo] only restores the set). *)
+
+  type stats = { unchanged : int; grew : int; rebuilt : int; undone : int }
+  (** How many {!update}s resolved by each rule, plus non-trivial
+      {!undo}s ([Unchanged] undos are free and uncounted), since
+      creation. *)
+
+  val stats : t -> stats
 end

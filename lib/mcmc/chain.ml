@@ -3,6 +3,33 @@ module Pseudo_state = Iflow_core.Pseudo_state
 module Fenwick = Iflow_stats.Fenwick
 module Reach = Iflow_graph.Reach
 module Rng = Iflow_stats.Rng
+module Metrics = Iflow_obs.Metrics
+
+(* Registered once; recording into them is a no-op until the obs layer
+   is switched on. The hot loop never touches these — [advance] flushes
+   deltas from the chain's plain fields once per call. *)
+let m_steps = Metrics.counter ~help:"MH proposals attempted" "iflow_mcmc_steps_total"
+let m_accepts = Metrics.counter ~help:"MH proposals accepted" "iflow_mcmc_accepts_total"
+
+let m_accept_rate =
+  Metrics.gauge ~help:"Lifetime acceptance rate of the most recently flushed chain"
+    "iflow_mcmc_acceptance_rate"
+
+let m_reach_unchanged =
+  Metrics.counter ~help:"Reach cache updates classified O(1) unchanged"
+    "iflow_mcmc_reach_unchanged_total"
+
+let m_reach_grown =
+  Metrics.counter ~help:"Reach cache updates repaired by incremental growth"
+    "iflow_mcmc_reach_grown_total"
+
+let m_reach_rebuilt =
+  Metrics.counter ~help:"Reach cache updates repaired by full recompute"
+    "iflow_mcmc_reach_rebuilt_total"
+
+let m_reach_undone =
+  Metrics.counter ~help:"Reach cache updates reverted after a rejected proposal"
+    "iflow_mcmc_reach_undo_total"
 
 type t = {
   icm : Icm.t;
@@ -18,6 +45,11 @@ type t = {
   caches : Reach.Cache.t array; (* one reachable set per condition source *)
   checks : (int * int * bool) array; (* (cache index, dst, required) *)
   undos : Reach.Cache.update array; (* per-cache receipt of the last flip *)
+  (* high-water marks of what has already been flushed to the obs
+     registry, so [advance] adds exact deltas *)
+  mutable fl_steps : int;
+  mutable fl_accepted : int;
+  mutable fl_cache : Reach.Cache.stats;
 }
 
 (* Weight of proposing a flip of edge e: probability of the activity the
@@ -80,6 +112,9 @@ let create ?(conditions = Conditions.empty) ?init rng icm =
     caches;
     checks;
     undos = Array.make (Array.length caches) Reach.Cache.Unchanged;
+    fl_steps = 0;
+    fl_accepted = 0;
+    fl_cache = { Reach.Cache.unchanged = 0; grew = 0; rebuilt = 0; undone = 0 };
   }
 
 let icm t = t.icm
@@ -137,14 +172,49 @@ let step rng t =
     end
   end
 
-let advance rng t k =
-  for _ = 1 to k do
-    step rng t
-  done
-
 let steps_taken t = t.steps
 
 let acceptance_rate t =
   if t.steps = 0 then 0.0 else float_of_int t.accepted /. float_of_int t.steps
+
+let cache_stats t =
+  Array.fold_left
+    (fun (acc : Reach.Cache.stats) c ->
+      let s = Reach.Cache.stats c in
+      {
+        Reach.Cache.unchanged = acc.unchanged + s.unchanged;
+        grew = acc.grew + s.grew;
+        rebuilt = acc.rebuilt + s.rebuilt;
+        undone = acc.undone + s.undone;
+      })
+    { Reach.Cache.unchanged = 0; grew = 0; rebuilt = 0; undone = 0 }
+    t.caches
+
+(* Push everything accumulated since the last flush into the registry.
+   Runs once per [advance] call (i.e. per thinning interval), so the
+   per-step cost of observability is a handful of plain int updates
+   that happen with recording on or off — estimates cannot depend on
+   the recording switch. *)
+let flush_metrics t =
+  if Metrics.recording () then begin
+    Metrics.add m_steps (t.steps - t.fl_steps);
+    t.fl_steps <- t.steps;
+    Metrics.add m_accepts (t.accepted - t.fl_accepted);
+    t.fl_accepted <- t.accepted;
+    let s = cache_stats t in
+    let fl = t.fl_cache in
+    Metrics.add m_reach_unchanged (s.unchanged - fl.unchanged);
+    Metrics.add m_reach_grown (s.grew - fl.grew);
+    Metrics.add m_reach_rebuilt (s.rebuilt - fl.rebuilt);
+    Metrics.add m_reach_undone (s.undone - fl.undone);
+    t.fl_cache <- s;
+    Metrics.set m_accept_rate (acceptance_rate t)
+  end
+
+let advance rng t k =
+  for _ = 1 to k do
+    step rng t
+  done;
+  flush_metrics t
 
 let normaliser t = t.z

@@ -48,6 +48,10 @@ val advance : Iflow_stats.Rng.t -> t -> int -> unit
 val steps_taken : t -> int
 val acceptance_rate : t -> float
 
+val cache_stats : t -> Iflow_graph.Reach.Cache.stats
+(** Update-rule tallies summed over the chain's per-source reachability
+    caches (all zero for an unconditioned chain). *)
+
 val normaliser : t -> float
 (** Current proposal normaliser Z (exposed for tests of the O(log m)
     bookkeeping). *)

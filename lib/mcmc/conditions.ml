@@ -2,6 +2,13 @@ module Icm = Iflow_core.Icm
 module Pseudo_state = Iflow_core.Pseudo_state
 module Reach = Iflow_graph.Reach
 module Rng = Iflow_stats.Rng
+module Metrics = Iflow_obs.Metrics
+
+let m_repair_flips =
+  Metrics.counter
+    ~help:"Edges flipped while repairing an initial state into the \
+           conditioned slice"
+    "iflow_mcmc_repair_flips_total"
 
 type constrained_flow = { cond_src : int; cond_dst : int; required : bool }
 type t = constrained_flow list
@@ -89,6 +96,8 @@ let repair_positive ws icm state { cond_src; cond_dst; _ } =
   with
   | None -> false
   | Some edges ->
+    Metrics.add m_repair_flips
+      (List.length (List.filter (fun e -> not (Pseudo_state.get state e)) edges));
     List.iter (fun e -> Pseudo_state.set state e true) edges;
     true
 
@@ -111,6 +120,7 @@ let repair_negative ws rng icm state { cond_src; cond_dst; _ } =
         | [] -> false
         | _ ->
           let e = Rng.choose rng (Array.of_list cuttable) in
+          Metrics.inc m_repair_flips;
           Pseudo_state.set state e false;
           loop (budget - 1))
     end

@@ -17,7 +17,9 @@ type stream = { chain : Chain.t; stream_rng : Rng.t; stream_thin : int }
 let stream ?conditions rng icm ~burn_in ~thin =
   if burn_in < 0 || thin < 1 then invalid_arg "Estimator.stream: bad config";
   let chain = Chain.create ?conditions rng icm in
-  Chain.advance rng chain burn_in;
+  Iflow_obs.Trace.with_span "mcmc.burnin"
+    ~args:[ ("steps", Iflow_obs.Trace.Int burn_in) ]
+    (fun () -> Chain.advance rng chain burn_in);
   { chain; stream_rng = rng; stream_thin = thin }
 
 let stream_next st ~f =

@@ -1,0 +1,38 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+let current = ref Warn
+let set_level l = current := l
+let level () = !current
+
+let string_of_level = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" | "err" -> Result.Ok Error
+  | "warn" | "warning" -> Result.Ok Warn
+  | "info" -> Result.Ok Info
+  | "debug" -> Result.Ok Debug
+  | other ->
+    Result.Error
+      (Printf.sprintf "unknown log level %S (expected error|warn|info|debug)"
+         other)
+
+let log lvl ?component fmt =
+  if severity lvl <= severity !current then begin
+    let ppf = Format.err_formatter in
+    (match component with
+    | Some c -> Format.fprintf ppf "%s [%s] " (string_of_level lvl) c
+    | None -> Format.fprintf ppf "%s " (string_of_level lvl));
+    Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") ppf fmt
+  end
+  else Format.ifprintf Format.err_formatter fmt
+
+let err ?component fmt = log Error ?component fmt
+let warn ?component fmt = log Warn ?component fmt
+let info ?component fmt = log Info ?component fmt
+let debug ?component fmt = log Debug ?component fmt

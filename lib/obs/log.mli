@@ -1,0 +1,22 @@
+(** A leveled structured logger for the runner and CLI, replacing raw
+    [eprintf] reporting. Lines go to [stderr] as
+    ["<level> [<component>] <message>"]; the default level is {!Warn}
+    so stdout-parsing callers see no new output unless they opt in. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val level_of_string : string -> (level, string) result
+(** Accepts ["error"], ["warn"], ["info"], ["debug"] (any case). *)
+
+val string_of_level : level -> string
+
+val err : ?component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : ?component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : ?component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val debug : ?component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted log statements; each emits one line (a trailing newline
+    is appended) when its level is enabled, and evaluates its
+    arguments' formatting only then. *)

@@ -1,0 +1,127 @@
+(** The metrics registry: counters, gauges and log-scaled histograms,
+    recorded from any number of OCaml 5 domains and merged on scrape.
+
+    {b Sharding.} Counter and histogram cells are split across a small
+    fixed array of shards indexed by [Domain.self () land mask], so the
+    engine's pool domains record without cache-line ping-pong on a
+    single cell; each shard is an [Atomic.t], so a scrape (or a merge
+    after [Domain.join]) reads exact totals. Gauges are last-writer-
+    wins single cells — they carry instantaneous readings (R-hat at
+    stop, flagged-edge count), not accumulations.
+
+    {b Recording switch.} The registry is a no-op until
+    {!set_recording}[ true]: every record operation first reads one
+    atomic flag and returns. Metric handles can therefore be created
+    unconditionally at module-initialisation time and sprinkled through
+    hot paths; the disabled cost is a load and a branch. Instrumented
+    code must never branch on the flag to change {e what} it computes —
+    estimates stay bit-for-bit identical with recording on or off
+    (regression-tested in [test_obs]).
+
+    {b Histograms} take non-negative integer observations (by
+    convention nanoseconds for timings) into fixed power-of-two buckets
+    — bucket [i] holds values in [[2^i, 2^(i+1))] — so histograms from
+    different shards, runs or processes merge by bucket-wise addition.
+    [scale] (e.g. 1e-9 for ns → s) is applied by exporters only; the
+    stored values stay integral. *)
+
+type registry
+
+val default : registry
+(** The process-wide registry every built-in instrumentation point
+    records into. *)
+
+val create_registry : unit -> registry
+(** A private registry (tests, embedding). *)
+
+val set_recording : bool -> unit
+(** Globally enable or disable recording (default: disabled). *)
+
+val recording : unit -> bool
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter :
+  ?registry:registry -> ?labels:(string * string) list -> ?help:string ->
+  string -> counter
+(** [counter name] registers (or returns the already-registered)
+    counter under [name] + [labels]. Raises [Invalid_argument] on a
+    malformed name or label, or when [name]+[labels] is already
+    registered as a different metric kind. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** No-ops while recording is off; [add] ignores negative amounts. *)
+
+val counter_value : counter -> int
+(** Sum over shards. *)
+
+(** {1 Gauges} — instantaneous float readings. *)
+
+type gauge
+
+val gauge :
+  ?registry:registry -> ?labels:(string * string) list -> ?help:string ->
+  string -> gauge
+
+val set : gauge -> float -> unit
+(** No-op while recording is off. *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram :
+  ?registry:registry -> ?labels:(string * string) list -> ?help:string ->
+  ?scale:float -> string -> histogram
+(** [scale] (default 1.0) multiplies bucket edges and sums at export
+    time — use 1e-9 for histograms observed in nanoseconds so the
+    Prometheus exposition speaks seconds. *)
+
+val observe : histogram -> int -> unit
+(** Record one observation (clamped to 0 from below). No-op while
+    recording is off. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+(** Raw (unscaled) observation count and sum, merged over shards. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [(0, 1]]: the upper edge (raw units) of
+    the bucket containing the [ceil (q * count)]-th smallest
+    observation — an upper bound on the true quantile that is tight to
+    within the bucket's factor-of-two resolution. [nan] when empty. *)
+
+(** {1 Scrape} *)
+
+type snapshot_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      scale : float;
+      sum : int;
+      buckets : (float * int) array;
+          (** (raw upper edge, {e cumulative} count), ending with
+              [(infinity, total)]; empty-tail buckets trimmed. *)
+    }
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;
+  sample_help : string;
+  sample_value : snapshot_value;
+}
+
+val snapshot : registry -> sample list
+(** All registered metrics in registration order, with shard-merged
+    values. *)
+
+val to_json_string : registry -> string
+(** The snapshot as a JSON document:
+    [{"recording": bool, "metrics": [{name, labels, type, ...}]}], with
+    histogram buckets as per-bucket (non-cumulative) counts over raw
+    upper edges. *)

@@ -1,0 +1,21 @@
+/* Monotonic clock for Obs.Clock.
+
+   OCaml 5.1's Unix module has no clock_gettime binding, so this is the
+   one-line stub the interface promises: CLOCK_MONOTONIC nanoseconds as
+   a tagged OCaml int (63 bits hold ~146 years of nanoseconds, so no
+   allocation on the timing path — the stub is [@@noalloc]). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value iflow_obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0) {
+    /* monotonic clock unavailable: fall back to the realtime clock
+       rather than fail — callers only ever take differences */
+    clock_gettime(CLOCK_REALTIME, &ts);
+  }
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,266 @@
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let escape_label_value buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_help buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let render_labels buf labels =
+  if labels <> [] then begin
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape_label_value buf v;
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+  end
+
+let to_string registry =
+  let samples = Metrics.snapshot registry in
+  let buf = Buffer.create 4096 in
+  let headed = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let name = s.Metrics.sample_name in
+      let kind =
+        match s.Metrics.sample_value with
+        | Metrics.Counter_v _ -> "counter"
+        | Metrics.Gauge_v _ -> "gauge"
+        | Metrics.Histogram_v _ -> "histogram"
+      in
+      if not (Hashtbl.mem headed name) then begin
+        Hashtbl.add headed name ();
+        if s.Metrics.sample_help <> "" then begin
+          Buffer.add_string buf (Printf.sprintf "# HELP %s " name);
+          escape_help buf s.Metrics.sample_help;
+          Buffer.add_char buf '\n'
+        end;
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+      end;
+      match s.Metrics.sample_value with
+      | Metrics.Counter_v v ->
+        Buffer.add_string buf name;
+        render_labels buf s.Metrics.sample_labels;
+        Buffer.add_string buf (Printf.sprintf " %d\n" v)
+      | Metrics.Gauge_v v ->
+        Buffer.add_string buf name;
+        render_labels buf s.Metrics.sample_labels;
+        Buffer.add_string buf (Printf.sprintf " %s\n" (prom_float v))
+      | Metrics.Histogram_v { scale; sum; buckets } ->
+        let count =
+          if Array.length buckets = 0 then 0
+          else snd buckets.(Array.length buckets - 1)
+        in
+        Array.iter
+          (fun (le, cum) ->
+            Buffer.add_string buf (name ^ "_bucket");
+            render_labels buf
+              (s.Metrics.sample_labels @ [ ("le", prom_float (le *. scale)) ]);
+            Buffer.add_string buf (Printf.sprintf " %d\n" cum))
+          buckets;
+        Buffer.add_string buf (name ^ "_sum");
+        render_labels buf s.Metrics.sample_labels;
+        Buffer.add_string buf
+          (Printf.sprintf " %s\n" (prom_float (float_of_int sum *. scale)));
+        Buffer.add_string buf (name ^ "_count");
+        render_labels buf s.Metrics.sample_labels;
+        Buffer.add_string buf (Printf.sprintf " %d\n" count))
+    samples;
+  Buffer.contents buf
+
+let write_file registry path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string registry))
+
+(* ----- exposition validator (CI gate) ----- *)
+
+exception Bad of string
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+(* Parse one sample line, returning a canonical [name{sorted labels}]
+   key for duplicate detection. *)
+let parse_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  let start = !i in
+  while
+    !i < n
+    &&
+    match line.[!i] with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  do
+    incr i
+  done;
+  if !i = start then raise (Bad "missing metric name");
+  let name = String.sub line start (!i - start) in
+  if not (valid_name name) then raise (Bad ("bad metric name " ^ name));
+  let labels = ref [] in
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let parsing = ref true in
+    while !parsing do
+      if !i >= n then raise (Bad "unterminated label set");
+      if line.[!i] = '}' then begin
+        incr i;
+        parsing := false
+      end
+      else begin
+        let ls = !i in
+        while
+          !i < n
+          &&
+          match line.[!i] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+          | _ -> false
+        do
+          incr i
+        done;
+        if !i = ls then raise (Bad "bad label name");
+        let lname = String.sub line ls (!i - ls) in
+        if List.mem_assoc lname !labels then
+          raise (Bad ("duplicate label " ^ lname));
+        if !i >= n || line.[!i] <> '=' then raise (Bad "expected '=' in label");
+        incr i;
+        if !i >= n || line.[!i] <> '"' then
+          raise (Bad "expected '\"' opening label value");
+        incr i;
+        let buf = Buffer.create 16 in
+        let in_str = ref true in
+        while !in_str do
+          if !i >= n then raise (Bad "unterminated label value");
+          (match line.[!i] with
+          | '"' -> in_str := false
+          | '\\' ->
+            incr i;
+            if !i >= n then raise (Bad "dangling escape in label value");
+            (match line.[!i] with
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | 'n' -> Buffer.add_char buf '\n'
+            | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)))
+          | c -> Buffer.add_char buf c);
+          incr i
+        done;
+        labels := (lname, Buffer.contents buf) :: !labels;
+        if !i < n && line.[!i] = ',' then incr i
+        else if !i < n && line.[!i] = '}' then ()
+        else if !i >= n then raise (Bad "unterminated label set")
+        else raise (Bad "expected ',' or '}' in label set")
+      end
+    done
+  end;
+  if !i >= n || line.[!i] <> ' ' then raise (Bad "expected space before value");
+  while !i < n && line.[!i] = ' ' do
+    incr i
+  done;
+  let vs = !i in
+  while !i < n && line.[!i] <> ' ' do
+    incr i
+  done;
+  if !i = vs then raise (Bad "missing value");
+  let value = String.sub line vs (!i - vs) in
+  (match value with
+  | "NaN" | "+Inf" | "-Inf" | "Inf" -> ()
+  | v -> (
+    match float_of_string_opt v with
+    | Some _ -> ()
+    | None -> raise (Bad ("unparseable value " ^ v))));
+  while !i < n && line.[!i] = ' ' do
+    incr i
+  done;
+  if !i < n then begin
+    let ts = !i in
+    while !i < n && line.[!i] <> ' ' do
+      incr i
+    done;
+    let t = String.sub line ts (!i - ts) in
+    (match int_of_string_opt t with
+    | Some _ -> ()
+    | None -> raise (Bad ("unparseable timestamp " ^ t)));
+    while !i < n && line.[!i] = ' ' do
+      incr i
+    done;
+    if !i < n then raise (Bad "trailing garbage after timestamp")
+  end;
+  name ^ "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> k ^ "=" ^ String.escaped v)
+         (List.sort compare !labels))
+  ^ "}"
+
+let check text =
+  let seen = Hashtbl.create 64 in
+  let types = Hashtbl.create 16 in
+  let fail lineno msg =
+    Result.Error (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let rec go lineno = function
+    | [] -> Result.Ok ()
+    | line :: rest -> (
+      let lineno = lineno + 1 in
+      if line = "" then go lineno rest
+      else if line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; ty ] ->
+          if not (valid_name name) then
+            fail lineno ("bad metric name in TYPE: " ^ name)
+          else if
+            not
+              (List.mem ty [ "counter"; "gauge"; "histogram"; "summary";
+                             "untyped" ])
+          then fail lineno ("unknown metric type " ^ ty)
+          else if Hashtbl.mem types name then
+            fail lineno ("duplicate TYPE declaration for " ^ name)
+          else begin
+            Hashtbl.add types name ty;
+            go lineno rest
+          end
+        | "#" :: "TYPE" :: _ -> fail lineno "malformed TYPE line"
+        | _ -> go lineno rest (* HELP or free-form comment *)
+      end
+      else
+        match parse_sample line with
+        | exception Bad msg -> fail lineno msg
+        | key ->
+          if Hashtbl.mem seen key then fail lineno ("duplicate sample " ^ key)
+          else begin
+            Hashtbl.add seen key ();
+            go lineno rest
+          end)
+  in
+  go 0 (String.split_on_char '\n' text)

@@ -1,0 +1,20 @@
+(** Prometheus text exposition (format 0.0.4) over a {!Metrics}
+    snapshot, plus a standalone validator for CI. *)
+
+val to_string : Metrics.registry -> string
+(** Render every registered metric: [# HELP]/[# TYPE] header per metric
+    name, counter/gauge sample lines, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count], with the
+    histogram's [scale] applied to bucket edges and sums. Special
+    float values render as [NaN], [+Inf], [-Inf]. *)
+
+val write_file : Metrics.registry -> string -> unit
+(** [write_file registry path] atomically-ish dumps {!to_string} to
+    [path] (truncates). *)
+
+val check : string -> (unit, string) result
+(** Validate a text exposition: every non-comment line must parse as
+    [name{labels} value], label syntax must be well-formed, [# TYPE]
+    must name a known type, a metric name must not carry two [# TYPE]
+    declarations, and no two samples may share the same name + label
+    set. Returns [Error msg] naming the first offending line. *)

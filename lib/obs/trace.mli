@@ -1,0 +1,38 @@
+(** Structured trace spans, written as Chrome [trace_event] records so
+    a run opens directly in [chrome://tracing] or Perfetto.
+
+    The sink is a process-global JSONL file: one event object per line,
+    wrapped in a JSON array ([[] on open, [\]] on {!close}) — the exact
+    shape both viewers ingest; a crash that skips {!close} leaves an
+    unterminated array, which they also accept. Each record carries
+    [{name, ph, ts, dur, pid, tid, args}] with [ts]/[dur] in
+    microseconds from {!Clock}, [tid] the recording domain's id.
+
+    Tracing is independent of {!Metrics} recording: a span with no sink
+    installed costs one load and a branch, and never touches the
+    clock. Writers from multiple domains serialise on one mutex — spans
+    are per-query / per-publish constructs, not per-MH-step ones. *)
+
+type arg = Int of int | Float of float | Str of string
+
+val to_file : string -> unit
+(** Install a sink writing to [path] (truncates). Replaces (and
+    closes) any previous sink. Raises [Sys_error] like [open_out]. *)
+
+val close : unit -> unit
+(** Terminate the JSON array and close the sink. Idempotent; a no-op
+    when no sink is installed. *)
+
+val enabled : unit -> bool
+
+val with_span : string -> ?args:(string * arg) list -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and emits one complete ("ph":"X") event
+    covering it, exceptional exits included. When no sink is installed
+    this is just [f ()]. *)
+
+val instant : string -> ?args:(string * arg) list -> unit -> unit
+(** Emit an instant ("ph":"i") event, e.g. a drift alert. *)
+
+val complete : ?args:(string * arg) list -> string -> ts_ns:int ->
+  dur_ns:int -> unit
+(** Emit a complete event from an externally measured interval. *)

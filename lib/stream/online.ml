@@ -2,6 +2,36 @@ module Digraph = Iflow_graph.Digraph
 module Beta_icm = Iflow_core.Beta_icm
 module Accum = Beta_icm.Accum
 module Evidence = Iflow_core.Evidence
+module Metrics = Iflow_obs.Metrics
+
+let m_applied =
+  Metrics.counter ~help:"Evidence events applied to the online model"
+    "iflow_stream_events_applied_total"
+
+let m_observations =
+  Metrics.counter ~help:"Per-edge Bernoulli trials absorbed"
+    "iflow_stream_observations_total"
+
+let m_graph_changes =
+  Metrics.counter ~help:"Graph-change events applied"
+    "iflow_stream_graph_changes_total"
+
+let quarantined_counter reason =
+  Metrics.counter ~labels:[ ("reason", reason) ]
+    ~help:"Events quarantined instead of applied"
+    "iflow_stream_quarantined_total"
+
+let m_quar_parse = quarantined_counter "parse"
+let m_quar_inconsistent = quarantined_counter "inconsistent"
+let m_quar_unknown = quarantined_counter "unknown_ref"
+
+let m_drift_alerts =
+  Metrics.counter ~help:"Drift alerts raised by the Hoeffding checker"
+    "iflow_stream_drift_alerts_total"
+
+let m_flagged =
+  Metrics.gauge ~help:"Edges currently flagged as drifted"
+    "iflow_stream_flagged_edges"
 
 type stats = {
   applied : int;
@@ -57,8 +87,14 @@ let decay t = if t.forget > 0.0 then Accum.decay t.acc ~lambda:t.forget
 
 let observe t ~edge ~fired =
   Accum.observe t.acc ~edge ~fired;
+  Metrics.inc m_observations;
   match t.drift with
-  | Some d -> ignore (Drift.observe d ~edge ~fired)
+  | Some d -> (
+    match Drift.observe d ~edge ~fired with
+    | Some _alert ->
+      Metrics.inc m_drift_alerts;
+      Metrics.set m_flagged (float_of_int (Drift.flagged d))
+    | None -> ())
   | None -> ()
 
 (* ----- evidence events ----- *)
@@ -71,6 +107,7 @@ let apply_attributed t ~sources ~nodes ~edges =
   if not (List.for_all (in_range n) sources && List.for_all (in_range n) nodes)
   then begin
     t.unknown_refs <- t.unknown_refs + 1;
+    Metrics.inc m_quar_unknown;
     `Quarantined "attributed: node id out of range"
   end
   else begin
@@ -95,11 +132,13 @@ let apply_attributed t ~sources ~nodes ~edges =
     match !unknown with
     | Some (s, d) ->
       t.unknown_refs <- t.unknown_refs + 1;
+      Metrics.inc m_quar_unknown;
       `Quarantined (Printf.sprintf "attributed: unknown edge (%d, %d)" s d)
     | None ->
       let o = { Evidence.sources; active_nodes; active_edges } in
       if not (Evidence.attributed_object_is_consistent g o) then begin
         t.inconsistent <- t.inconsistent + 1;
+        Metrics.inc m_quar_inconsistent;
         `Quarantined "attributed: inconsistent object"
       end
       else begin
@@ -114,6 +153,7 @@ let apply_attributed t ~sources ~nodes ~edges =
                 observe t ~edge:e ~fired:active_edges.(e)))
           !actives;
         t.applied <- t.applied + 1;
+        Metrics.inc m_applied;
         `Applied
       end
   end
@@ -124,10 +164,12 @@ let apply_trace t ~sources ~times =
   match Evidence.trace_of_active ~sources ~times ~n with
   | exception Invalid_argument _ ->
     t.unknown_refs <- t.unknown_refs + 1;
+    Metrics.inc m_quar_unknown;
     `Quarantined "trace: node id or time out of range"
   | tr ->
     if not (Evidence.trace_is_consistent g tr) then begin
       t.inconsistent <- t.inconsistent + 1;
+      Metrics.inc m_quar_inconsistent;
       `Quarantined "trace: inconsistent activation times"
     end
     else begin
@@ -159,6 +201,7 @@ let apply_trace t ~sources ~times =
                   observe t ~edge:e ~fired:false))
         !actives;
       t.applied <- t.applied + 1;
+      Metrics.inc m_applied;
       `Applied
     end
 
@@ -166,7 +209,9 @@ let apply_trace t ~sources ~times =
 
 let reanchor_drift t =
   match t.drift with
-  | Some d -> Drift.reset d (Accum.freeze t.acc)
+  | Some d ->
+    Drift.reset d (Accum.freeze t.acc);
+    Metrics.set m_flagged 0.0
   | None -> ()
 
 let apply_graph_change t what f =
@@ -174,10 +219,13 @@ let apply_graph_change t what f =
   | () ->
     t.applied <- t.applied + 1;
     t.graph_changes <- t.graph_changes + 1;
+    Metrics.inc m_applied;
+    Metrics.inc m_graph_changes;
     reanchor_drift t;
     `Applied
   | exception Invalid_argument msg ->
     t.unknown_refs <- t.unknown_refs + 1;
+    Metrics.inc m_quar_unknown;
     `Quarantined (Printf.sprintf "%s: %s" what msg)
 
 let apply t event =
@@ -201,6 +249,7 @@ let apply_line t line =
   | Ok event -> apply t event
   | Error msg ->
     t.parse_errors <- t.parse_errors + 1;
+    Metrics.inc m_quar_parse;
     `Quarantined msg
 
 let pp_stats ppf (s : stats) =

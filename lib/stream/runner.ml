@@ -1,4 +1,34 @@
 module Engine = Iflow_engine.Engine
+module Metrics = Iflow_obs.Metrics
+module Trace = Iflow_obs.Trace
+module Clock = Iflow_obs.Clock
+
+let m_published =
+  Metrics.counter ~help:"Model versions published"
+    "iflow_stream_versions_published_total"
+
+let m_checkpoints =
+  Metrics.counter ~help:"Checkpoints written" "iflow_stream_checkpoints_total"
+
+let m_offset =
+  Metrics.gauge ~help:"Log offset (lines consumed) — resume point / ingest lag"
+    "iflow_stream_ingest_offset"
+
+let m_batch_seconds =
+  Metrics.histogram ~scale:1e-9
+    ~help:"Wall time from one publish to the next (evidence absorption \
+           included)"
+    "iflow_stream_batch_seconds"
+
+let m_publish_seconds =
+  Metrics.histogram ~scale:1e-9
+    ~help:"Wall time of freeze + publish + engine swap + decay"
+    "iflow_stream_publish_seconds"
+
+let m_swap_seconds =
+  Metrics.histogram ~scale:1e-9
+    ~help:"Wall time of hot-swapping a published version into the engine"
+    "iflow_stream_swap_seconds"
 
 type config = { batch : int; checkpoint_every : int option }
 
@@ -12,6 +42,8 @@ type report = {
   checkpoints_written : int;
   cache_evictions : int;
   drift_alerts : Drift.alert list;
+  wall_ns : int;
+  events_per_sec : float;
 }
 
 let lines_of_channel ic () =
@@ -35,6 +67,8 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
   for _ = 1 to skip do
     ignore (next ())
   done;
+  let t_start = Clock.now_ns () in
+  let t_last_publish = ref t_start in
   let lines = ref skip in
   let pending = ref 0 in
   let last_checkpoint = ref skip in
@@ -44,21 +78,36 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
   let seen_alerts = ref 0 in
   let swap () =
     match engine with
-    | Some e -> evictions := !evictions + Snapshot.swap_into snapshot e
+    | Some e ->
+      let t0 = Clock.now_ns () in
+      evictions := !evictions + Snapshot.swap_into snapshot e;
+      Metrics.observe m_swap_seconds (Clock.now_ns () - t0)
     | None -> ()
   in
   swap ();
   let drain_alerts () =
-    match (Online.drift online, on_alert) with
-    | Some d, Some f ->
+    match Online.drift online with
+    | None -> ()
+    | Some d ->
       let count = Drift.alert_count d in
       if count > !seen_alerts then begin
         List.iteri
-          (fun i a -> if i >= !seen_alerts then f a)
+          (fun i a ->
+            if i >= !seen_alerts then begin
+              if Trace.enabled () then
+                Trace.instant "stream.drift_alert"
+                  ~args:
+                    [
+                      ("edge", Trace.Int a.Drift.edge);
+                      ("reference_rate", Trace.Float a.Drift.reference_rate);
+                      ("window_rate", Trace.Float a.Drift.window_rate);
+                    ]
+                  ();
+              match on_alert with Some f -> f a | None -> ()
+            end)
           (Drift.alerts d);
         seen_alerts := count
       end
-    | _ -> ()
   in
   let checkpoint_due () =
     match config.checkpoint_every with
@@ -68,9 +117,13 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
   let write_checkpoint () =
     Snapshot.checkpoint snapshot;
     incr checkpoints;
+    Metrics.inc m_checkpoints;
     last_checkpoint := !lines
   in
   let publish () =
+    Trace.with_span "stream.publish" ~args:[ ("offset", Trace.Int !lines) ]
+    @@ fun () ->
+    let t0 = Clock.now_ns () in
     let v = Snapshot.publish snapshot (Online.model online) ~offset:!lines in
     swap ();
     (* forgetting is per published batch: evidence already absorbed
@@ -78,6 +131,12 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
     Online.decay online;
     incr published;
     pending := 0;
+    Metrics.inc m_published;
+    Metrics.set m_offset (float_of_int !lines);
+    let t1 = Clock.now_ns () in
+    Metrics.observe m_publish_seconds (t1 - t0);
+    Metrics.observe m_batch_seconds (t1 - !t_last_publish);
+    t_last_publish := t1;
     (match on_publish with Some f -> f v | None -> ());
     if checkpoint_due () then write_checkpoint ()
   in
@@ -97,23 +156,32 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
   if !pending > 0 then publish ();
   if config.checkpoint_every <> None && !last_checkpoint <> !lines then
     write_checkpoint ();
+  let wall_ns = Clock.now_ns () - t_start in
+  let stats = Online.stats online in
   {
     lines = !lines;
-    stats = Online.stats online;
+    stats;
     final = Snapshot.current snapshot;
     versions_published = !published;
     checkpoints_written = !checkpoints;
     cache_evictions = !evictions;
     drift_alerts =
       (match Online.drift online with Some d -> Drift.alerts d | None -> []);
+    wall_ns;
+    events_per_sec =
+      (if wall_ns <= 0 then 0.0
+       else
+         float_of_int stats.Online.applied /. Clock.seconds_of_ns wall_ns);
   }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>%d lines: %a@,\
      final version %d (digest %s, offset %d); %d published, %d checkpoints, \
-     %d cache evictions, %d drift alerts@]"
+     %d cache evictions, %d drift alerts; %.3f s (%.0f events/s)@]"
     r.lines Online.pp_stats r.stats r.final.Snapshot.id r.final.Snapshot.digest
     r.final.Snapshot.offset r.versions_published r.checkpoints_written
     r.cache_evictions
     (List.length r.drift_alerts)
+    (Iflow_obs.Clock.seconds_of_ns r.wall_ns)
+    r.events_per_sec

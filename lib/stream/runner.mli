@@ -32,6 +32,8 @@ type report = {
   checkpoints_written : int;  (** written by this run *)
   cache_evictions : int;      (** engine cache entries retired by swaps *)
   drift_alerts : Drift.alert list;
+  wall_ns : int;              (** monotonic wall time of the run *)
+  events_per_sec : float;     (** applied events per wall second *)
 }
 
 val run :

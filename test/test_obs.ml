@@ -1,0 +1,380 @@
+(* Tests for the observability layer (lib/obs) and its hard ISSUE 4
+   guarantees:
+
+   - histogram bucketing/quantiles agree with a brute-force sorted
+     array under the documented power-of-two bucket rule;
+   - domain-local counter shards merge to exact totals under real
+     [Domain.spawn] parallelism;
+   - turning metrics recording on does not perturb the sampler or the
+     engine: estimates are bit-for-bit identical on and off;
+   - the Prometheus exposition passes its own format checker (and the
+     checker rejects the malformed documents it exists to catch);
+   - trace spans round-trip through the JSONL sink as well-formed
+     Chrome trace_event records. *)
+
+module Rng = Iflow_stats.Rng
+module Gen = Iflow_graph.Gen
+module Digraph = Iflow_graph.Digraph
+module Icm = Iflow_core.Icm
+module Estimator = Iflow_mcmc.Estimator
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Jsonl = Iflow_engine.Jsonl
+module Metrics = Iflow_obs.Metrics
+module Prometheus = Iflow_obs.Prometheus
+module Trace = Iflow_obs.Trace
+module Log = Iflow_obs.Log
+
+let qcheck tests =
+  List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0 |])) tests
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_float msg a b = Alcotest.(check (float 0.0)) msg a b
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* Recording is a process-global switch; every test that flips it must
+   restore it, or it would leak into the bit-for-bit tests. *)
+let with_recording on f =
+  let prev = Metrics.recording () in
+  Metrics.set_recording on;
+  Fun.protect ~finally:(fun () -> Metrics.set_recording prev) f
+
+(* ---------- histogram vs brute force ---------- *)
+
+(* the documented bucket rule: v <= 1 lands in bucket 0, otherwise the
+   highest set bit indexes the bucket, capped at the open-ended last
+   one; a bucket's upper edge is the next power of two *)
+let expected_quantile values q =
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let k = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  let v = sorted.(k - 1) in
+  let i =
+    if v <= 1 then 0
+    else begin
+      let v = ref v and i = ref 0 in
+      while !v > 1 do
+        v := !v lsr 1;
+        incr i
+      done;
+      min !i 47
+    end
+  in
+  if i >= 47 then infinity else float_of_int (1 lsl (i + 1))
+
+let histogram_quantile_matches_brute_force =
+  QCheck.Test.make ~count:200 ~name:"histogram quantile = brute force"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
+        (int_range 1 100))
+    (fun (values, qpct) ->
+      let values = Array.of_list values in
+      let q = float_of_int qpct /. 100.0 in
+      let reg = Metrics.create_registry () in
+      let h = Metrics.histogram ~registry:reg "test_hist_ns" in
+      with_recording true (fun () -> Array.iter (Metrics.observe h) values);
+      Metrics.quantile h q = expected_quantile values q
+      && Metrics.histogram_count h = Array.length values
+      && Metrics.histogram_sum h = Array.fold_left ( + ) 0 values)
+
+let test_histogram_edges () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram ~registry:reg "edge_hist" in
+  check_bool "empty quantile is nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  with_recording true (fun () ->
+      Metrics.observe h 0;
+      Metrics.observe h 1;
+      Metrics.observe h (-5) (* clamped to 0 *));
+  check_int "count" 3 (Metrics.histogram_count h);
+  check_int "sum" 1 (Metrics.histogram_sum h);
+  (* all three land in bucket 0, upper edge 2 *)
+  check_float "q=1 upper edge" 2.0 (Metrics.quantile h 1.0);
+  Alcotest.check_raises "q=0 rejected"
+    (Invalid_argument "Obs.Metrics.quantile: q outside (0, 1]") (fun () ->
+      ignore (Metrics.quantile h 0.0));
+  with_recording false (fun () -> Metrics.observe h 100);
+  check_int "observe is a no-op while off" 3 (Metrics.histogram_count h)
+
+(* ---------- sharded counters under Domain.spawn ---------- *)
+
+let test_sharded_merge () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:reg "spawned_total" in
+  let h = Metrics.histogram ~registry:reg "spawned_hist" in
+  let domains = 4 and per_domain = 25_000 in
+  with_recording true (fun () ->
+      let workers =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to per_domain do
+                  Metrics.inc c;
+                  Metrics.observe h ((d * per_domain) + i)
+                done))
+      in
+      List.iter Domain.join workers);
+  check_int "counter merges exactly" (domains * per_domain)
+    (Metrics.counter_value c);
+  check_int "histogram count merges exactly" (domains * per_domain)
+    (Metrics.histogram_count h);
+  check_int "histogram sum merges exactly"
+    (domains * per_domain * ((domains * per_domain) + 1) / 2)
+    (Metrics.histogram_sum h)
+
+let test_counter_semantics () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:reg "sem_total" in
+  with_recording true (fun () ->
+      Metrics.inc c;
+      Metrics.add c 41;
+      Metrics.add c (-7) (* counters are monotone: negative adds ignored *));
+  check_int "inc/add/negative-add" 42 (Metrics.counter_value c);
+  let c' = Metrics.counter ~registry:reg "sem_total" in
+  with_recording true (fun () -> Metrics.inc c');
+  check_int "re-registration is the same counter" 43 (Metrics.counter_value c);
+  check_bool "kind clash rejected" true
+    (match Metrics.gauge ~registry:reg "sem_total" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- metrics on/off never perturbs estimates ---------- *)
+
+let test_bit_for_bit_estimator () =
+  let rng = Rng.create 7 in
+  let g = Gen.gnm rng ~nodes:12 ~edges:40 in
+  let icm =
+    Icm.create g (Array.init 40 (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)))
+  in
+  let config = { Estimator.burn_in = 300; thin = 3; samples = 400 } in
+  let run () =
+    Estimator.flow_probability (Rng.create 99) icm config ~src:0 ~dst:7
+  in
+  let off = with_recording false run in
+  let on = with_recording true run in
+  check_float "estimator estimate identical with metrics on" off on
+
+let test_bit_for_bit_engine () =
+  let rng = Rng.create 11 in
+  let g = Gen.gnm rng ~nodes:15 ~edges:60 in
+  let icm =
+    Icm.create g (Array.init 60 (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)))
+  in
+  let config =
+    {
+      Engine.default_config with
+      Engine.chains = 2;
+      burn_in = 100;
+      round_samples = 100;
+      max_samples = 400;
+    }
+  in
+  let run () =
+    let e = Engine.create ~config ~seed:5 icm in
+    let r = Engine.query e (Query.flow ~src:0 ~dst:9 ()) in
+    r.Engine.estimate
+  in
+  let off = with_recording false run in
+  let on = with_recording true run in
+  check_float "engine estimate identical with metrics on" off on
+
+(* ---------- Prometheus exposition ---------- *)
+
+let test_prometheus_well_formed () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:reg ~help:"a counter" "iflow_test_total" in
+  let cl =
+    Metrics.counter ~registry:reg
+      ~labels:[ ("reason", "parse \"quoted\"\nnewline") ]
+      ~help:"a counter" "iflow_test_labeled_total"
+  in
+  let gauge = Metrics.gauge ~registry:reg ~help:"a gauge" "iflow_test_gauge" in
+  let h =
+    Metrics.histogram ~registry:reg ~scale:1e-9 ~help:"a histogram"
+      "iflow_test_seconds"
+  in
+  with_recording true (fun () ->
+      Metrics.add c 3;
+      Metrics.inc cl;
+      Metrics.set gauge nan;
+      Metrics.observe h 1_500_000);
+  let text = Prometheus.to_string reg in
+  (match Prometheus.check text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "exposition rejected: %s" msg);
+  List.iter
+    (fun needle -> check_bool needle true (contains text needle))
+    [
+      "# TYPE iflow_test_total counter";
+      "iflow_test_total 3";
+      "# TYPE iflow_test_seconds histogram";
+      "iflow_test_seconds_bucket{le=\"+Inf\"} 1";
+      "iflow_test_seconds_count 1";
+      "iflow_test_gauge NaN";
+      (* label values escape backslash-style *)
+      "reason=\"parse \\\"quoted\\\"\\nnewline\"";
+    ]
+
+let test_prometheus_default_registry_checks () =
+  (* the real exposition — everything the instrumented libraries
+     registered at init — is valid and spans the three namespaces. The
+     stream layer must be referenced or the linker drops its modules
+     (and with them their registrations) from this binary *)
+  ignore Iflow_stream.Runner.default_config;
+  let text = Prometheus.to_string Metrics.default in
+  (match Prometheus.check text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "default exposition rejected: %s" msg);
+  List.iter
+    (fun prefix ->
+      check_bool ("has a " ^ prefix ^ " metric") true
+        (contains text ("# TYPE " ^ prefix)))
+    [ "iflow_mcmc_"; "iflow_engine_"; "iflow_stream_" ]
+
+let test_prometheus_check_rejects () =
+  let rejects label doc =
+    match Prometheus.check doc with
+    | Ok () -> Alcotest.failf "%s: malformed document accepted" label
+    | Error _ -> ()
+  in
+  rejects "bad name" "0bad_name 1\n";
+  rejects "duplicate sample" "a_total 1\na_total 2\n";
+  rejects "duplicate sample, labels reordered"
+    "a_total{x=\"1\",y=\"2\"} 1\na_total{y=\"2\",x=\"1\"} 2\n";
+  rejects "duplicate TYPE" "# TYPE a counter\n# TYPE a counter\n";
+  rejects "bad escape" "a_total{x=\"\\q\"} 1\n";
+  rejects "unterminated label" "a_total{x=\"1\" 1\n";
+  rejects "non-numeric value" "a_total one\n";
+  rejects "trailing garbage" "a_total 1 2 3\n";
+  Alcotest.(check (result unit string))
+    "distinct label sets are fine" (Ok ())
+    (Prometheus.check "a_total{x=\"1\"} 1\na_total{x=\"2\"} 2\n")
+
+(* ---------- trace JSONL round-trip ---------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "iflow_obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let field name v =
+  match Jsonl.member name v with
+  | Some x -> x
+  | None -> Alcotest.failf "trace event missing %S" name
+
+let test_trace_round_trip () =
+  with_temp_file @@ fun path ->
+  Trace.to_file path;
+  check_bool "enabled once a sink is installed" true (Trace.enabled ());
+  let result =
+    Trace.with_span "outer" ~args:[ ("k", Trace.Int 3) ] (fun () ->
+        Trace.instant "mark" ~args:[ ("x", Trace.Float 0.5) ] ();
+        17)
+  in
+  (try Trace.with_span "raises" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  Trace.close ();
+  Trace.close () (* idempotent *);
+  check_int "with_span returns the body's value" 17 result;
+  check_bool "disabled after close" false (Trace.enabled ());
+  let doc = read_file path in
+  let events =
+    match Jsonl.parse doc with
+    | Ok v -> (
+      match Jsonl.to_list v with
+      | Some l -> l
+      | None -> Alcotest.fail "trace file is not a JSON array")
+    | Error msg -> Alcotest.failf "trace file does not parse: %s" msg
+  in
+  check_int "three events" 3 (List.length events);
+  let ph e = Option.get (Jsonl.to_string (field "ph" e)) in
+  let name e = Option.get (Jsonl.to_string (field "name" e)) in
+  (* the sink serialises in emission order: the instant fires inside
+     the outer span, so it lands first; spans close in LIFO order *)
+  check_string "phases" "i,X,X" (String.concat "," (List.map ph events));
+  check_string "names" "mark,outer,raises"
+    (String.concat "," (List.map name events));
+  let is_num = function Jsonl.Num _ -> true | _ -> false in
+  List.iter
+    (fun e ->
+      check_bool "ts is a number" true (is_num (field "ts" e));
+      ignore (field "pid" e);
+      ignore (field "tid" e))
+    events;
+  let x = List.nth events 1 in
+  check_bool "span has a dur" true (is_num (field "dur" x));
+  check_int "span args survive" 3
+    (Option.get (Jsonl.to_int (field "k" (field "args" x))))
+
+(* ---------- logger ---------- *)
+
+let test_log_levels () =
+  List.iter
+    (fun (s, expect) ->
+      check_bool s true (Log.level_of_string s = expect))
+    [
+      ("error", Result.Ok Log.Error);
+      ("err", Result.Ok Log.Error);
+      ("warn", Result.Ok Log.Warn);
+      ("warning", Result.Ok Log.Warn);
+      ("info", Result.Ok Log.Info);
+      ("debug", Result.Ok Log.Debug);
+    ];
+  check_bool "unknown level rejected" true
+    (match Log.level_of_string "loud" with
+    | Result.Error _ -> true
+    | Result.Ok _ -> false);
+  let prev = Log.level () in
+  Fun.protect ~finally:(fun () -> Log.set_level prev) (fun () ->
+      Log.set_level Log.Error;
+      (* must not raise, and must not evaluate anything visible *)
+      Log.debug ~component:"test" "dropped %d" 1;
+      Log.err ~component:"test" "kept (stderr) %d" 2)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        qcheck [ histogram_quantile_matches_brute_force ]
+        @ [
+            Alcotest.test_case "edge cases" `Quick test_histogram_edges;
+          ] );
+      ( "shards",
+        [
+          Alcotest.test_case "Domain.spawn merge" `Quick test_sharded_merge;
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "estimator bit-for-bit" `Quick
+            test_bit_for_bit_estimator;
+          Alcotest.test_case "engine bit-for-bit" `Quick
+            test_bit_for_bit_engine;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "exposition well-formed" `Quick
+            test_prometheus_well_formed;
+          Alcotest.test_case "default registry valid + namespaced" `Quick
+            test_prometheus_default_registry_checks;
+          Alcotest.test_case "checker rejects malformed" `Quick
+            test_prometheus_check_rejects;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "JSONL round-trip" `Quick test_trace_round_trip ] );
+      ("log", [ Alcotest.test_case "levels" `Quick test_log_levels ]);
+    ]
