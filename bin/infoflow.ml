@@ -263,6 +263,9 @@ let or_die f =
   | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
     Obs_log.err "%s" msg;
     exit 1
+  | exception (Engine.Chains_failed _ as e) ->
+    Obs_log.err "%s" (Printexc.to_string e);
+    exit 1
 
 let condition_conv =
   let parse s =
@@ -451,16 +454,25 @@ let batch_cmd =
 
 (* ----- stream ----- *)
 
+(* exit 3 is reserved for --max-quarantine-rate violations, so scripts
+   can tell "stream is garbage" from ordinary failures (exit 1) *)
+let exit_quarantine = 3
+
 let stream seed model_path resume events_path batch checkpoint checkpoint_every
-    forget drift_window drift_delta drift_report probes output metrics_every obs
-    =
+    keep_checkpoints on_error max_quarantine_rate forget drift_window
+    drift_delta drift_report probes output metrics_every obs =
   obs_setup obs;
   let _, metrics_out, _ = obs in
   let model, skip, version =
     match (resume, model_path) with
     | Some ckpt, _ ->
       let model, offset, version =
-        or_die (fun () -> Iflow_stream.Snapshot.recover ckpt)
+        or_die (fun () ->
+            Iflow_stream.Snapshot.recover
+              ~on_skip:(fun ~path ~reason ->
+                Obs_log.warn ~component:"stream"
+                  "skipping damaged checkpoint %s: %s" path reason)
+              ckpt)
       in
       Obs_log.info ~component:"stream" "resuming from %s: version %d at offset %d"
         ckpt version offset;
@@ -481,8 +493,9 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
     or_die (fun () -> Iflow_stream.Online.create ~forget ~drift model)
   in
   let snapshot =
-    Iflow_stream.Snapshot.create ?checkpoint_path:checkpoint ~id:version
-      ~offset:skip model
+    or_die (fun () ->
+        Iflow_stream.Snapshot.create ?checkpoint_path:checkpoint
+          ~keep:keep_checkpoints ~id:version ~offset:skip model)
   in
   let engine =
     (* only pay for an engine when there is something to serve *)
@@ -530,7 +543,10 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
   let report =
     Fun.protect ~finally:close (fun () ->
         or_die (fun () ->
-            Iflow_stream.Runner.run ?engine ~skip
+            Iflow_stream.Runner.run ?engine ~skip ~on_error
+              ~on_degraded:(fun ~stage e ->
+                Obs_log.warn ~component:"stream" "degraded (%s): %s" stage
+                  (Printexc.to_string e))
               ~on_alert:(fun a ->
                 if drift_report then
                   Obs_log.warn ~component:"drift" "%a"
@@ -557,7 +573,23 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
     Obs_log.info ~component:"stream" "engine cache after swaps: %a"
       Iflow_engine.Lru.pp_stats (Engine.cache_stats e)
   | None -> ());
-  Obs_log.info ~component:"stream" "%a" Iflow_stream.Runner.pp_report report
+  Obs_log.info ~component:"stream" "%a" Iflow_stream.Runner.pp_report report;
+  match max_quarantine_rate with
+  | None -> ()
+  | Some limit ->
+    let s = report.Iflow_stream.Runner.stats in
+    let quarantined = Iflow_stream.Online.quarantined s in
+    let rate =
+      if s.Iflow_stream.Online.applied = 0 then
+        if quarantined = 0 then 0.0 else Float.infinity
+      else float_of_int quarantined /. float_of_int s.Iflow_stream.Online.applied
+    in
+    if rate > limit then begin
+      Obs_log.err ~component:"stream"
+        "quarantine rate %.4f (%d quarantined / %d applied) exceeds limit %.4f"
+        rate quarantined s.Iflow_stream.Online.applied limit;
+      exit exit_quarantine
+    end
 
 let stream_cmd =
   let model =
@@ -603,6 +635,44 @@ let stream_cmd =
       & opt (some int) None
       & info [ "checkpoint-every" ]
           ~doc:"Event-log lines between checkpoints (requires --checkpoint).")
+  in
+  let keep_checkpoints =
+    Arg.(
+      value & opt int 1
+      & info [ "keep-checkpoints" ]
+          ~doc:
+            "Rotated checkpoint generations to retain (FILE, FILE.1, ...). \
+             --resume falls back to the newest generation that still loads \
+             and verifies, so a crash mid-write costs one interval of \
+             replay, not the run.")
+  in
+  let on_error =
+    let policy_conv =
+      Arg.enum
+        [
+          ("fail", Iflow_stream.Runner.Fail_fast);
+          ("skip", Iflow_stream.Runner.Skip_line);
+          ("retry", Iflow_stream.Runner.Retry_reads Iflow_fault.Retry.default);
+        ]
+    in
+    Arg.(
+      value & opt policy_conv Iflow_stream.Runner.Fail_fast
+      & info [ "on-error" ]
+          ~doc:
+            "What to do when reading the event source fails: 'fail' stops \
+             the run, 'skip' drops the read and continues (up to 100 \
+             consecutive failures), 'retry' retries the read with \
+             exponential backoff before failing.")
+  in
+  let max_quarantine_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-quarantine-rate" ]
+          ~doc:
+            "Exit with status 3 when quarantined/applied exceeds this rate \
+             at end of stream — the ingest ran, but the evidence looks \
+             wrong.")
   in
   let forget =
     Arg.(
@@ -676,8 +746,9 @@ let stream_cmd =
           hot-swap of each published version into the query engine.")
     Term.(
       const stream $ seed_term $ model $ resume $ events $ batch $ checkpoint
-      $ checkpoint_every $ forget $ drift_window $ drift_delta $ drift_report
-      $ probes $ output $ metrics_every $ obs_term)
+      $ checkpoint_every $ keep_checkpoints $ on_error $ max_quarantine_rate
+      $ forget $ drift_window $ drift_delta $ drift_report $ probes $ output
+      $ metrics_every $ obs_term)
 
 (* ----- impact ----- *)
 

@@ -6,6 +6,7 @@ module Conditions = Iflow_mcmc.Conditions
 module Metrics = Iflow_obs.Metrics
 module Trace = Iflow_obs.Trace
 module Clock = Iflow_obs.Clock
+module Fail = Iflow_fault.Fail
 
 let m_queries =
   Metrics.counter ~help:"Flow queries answered (cache hits included)"
@@ -43,6 +44,15 @@ let m_cache_evictions =
 
 let m_cache_entries =
   Metrics.gauge ~help:"Result cache entries" "iflow_engine_cache_entries"
+
+let m_failed_chains =
+  Metrics.counter ~help:"MH chains lost to exceptions during queries"
+    "iflow_engine_failed_chains_total"
+
+let m_degraded_queries =
+  Metrics.counter
+    ~help:"Queries completed from surviving chains after chain failures"
+    "iflow_engine_degraded_queries_total"
 
 type config = {
   chains : int;
@@ -97,6 +107,24 @@ type result = {
   chains_used : int;
   cached : bool;
 }
+
+exception
+  Chains_failed of {
+    query : string;
+    failed : int;
+    chains : int;
+    reason : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Chains_failed { query; failed; chains; reason } ->
+      Some
+        (Printf.sprintf
+           "Engine.Chains_failed: query %s lost %d of %d chains (first \
+            failure: %s)"
+           query failed chains reason)
+    | _ -> None)
 
 type t = {
   mutable icm : Icm.t;
@@ -191,21 +219,53 @@ let run_query t q =
   let c = t.config in
   let conditions = Conditions.v (Query.conditions q) in
   let qrng = Rng.create (query_seed t q) in
+  (* chain RNGs are fixed up front, so losing chain i to a fault never
+     perturbs the draws of the survivors *)
   let chain_rngs = Array.init c.chains (fun _ -> Rng.split qrng) in
   let streams = Array.make c.chains None in
   let buffers = Array.init c.chains (fun _ -> buffer_create ()) in
+  let failed = Array.make c.chains false in
+  let first_failure = ref None in
+  let survivors () =
+    Array.fold_left (fun n f -> if f then n else n + 1) 0 failed
+  in
+  let fail_chain i e =
+    failed.(i) <- true;
+    if !first_failure = None then first_failure := Some e;
+    Metrics.inc m_failed_chains;
+    (* a majority of chains must survive for the estimate to stand on
+       the cross-chain diagnostics; below that, fail the query loudly *)
+    if 2 * survivors () < c.chains then
+      raise
+        (Chains_failed
+           {
+             query = Query.key q;
+             failed = c.chains - survivors ();
+             chains = c.chains;
+             reason = Printexc.to_string (Option.get !first_failure);
+           })
+  in
+  let live () =
+    let out = ref [] in
+    for i = c.chains - 1 downto 0 do
+      if not failed.(i) then out := i :: !out
+    done;
+    Array.of_list !out
+  in
   let total = ref 0 in
   let finished = ref false in
   let last_summary = ref None in
   let rounds = ref 0 in
   while not !finished do
+    let live_chains = live () in
+    let k = Array.length live_chains in
     let per_chain =
-      min c.round_samples
-        (max 1 ((c.max_samples - !total + c.chains - 1) / c.chains))
+      min c.round_samples (max 1 ((c.max_samples - !total + k - 1) / k))
     in
     let draws =
-      Pool.run t.pool
+      Pool.run_results t.pool
         (fun i ->
+          Fail.point "engine.chain";
           let st =
             match streams.(i) with
             | Some st -> st
@@ -223,12 +283,22 @@ let run_query t q =
           Array.init per_chain (fun _ ->
               Estimator.stream_next st ~f:(fun state ->
                   if Query.indicator_ws ws icm q state then 1.0 else 0.0)))
-        (Array.init c.chains Fun.id)
+        live_chains
     in
-    Array.iteri (fun i xs -> Array.iter (buffer_push buffers.(i)) xs) draws;
-    total := !total + (per_chain * c.chains);
+    Array.iteri
+      (fun slot r ->
+        let i = live_chains.(slot) in
+        match r with
+        | Ok xs ->
+          Array.iter (buffer_push buffers.(i)) xs;
+          total := !total + Array.length xs
+        | Error e -> fail_chain i e)
+      draws;
     incr rounds;
-    let s = Diagnostics.summary (Array.map buffer_contents buffers) in
+    let s =
+      Diagnostics.summary
+        (Array.map (fun i -> buffer_contents buffers.(i)) (live ()))
+    in
     last_summary := Some s;
     if
       Diagnostics.converged ~rhat_target:c.rhat_target
@@ -237,6 +307,8 @@ let run_query t q =
     then finished := true
   done;
   let s = Option.get !last_summary in
+  let chains_used = survivors () in
+  if chains_used < c.chains then Metrics.inc m_degraded_queries;
   if Metrics.recording () then begin
     Metrics.add m_rounds !rounds;
     Metrics.add m_samples s.Diagnostics.n_total;
@@ -250,7 +322,7 @@ let run_query t q =
     ess = s.Diagnostics.ess;
     mcse = s.Diagnostics.mcse;
     total_samples = s.Diagnostics.n_total;
-    chains_used = c.chains;
+    chains_used;
     cached = false;
   }
 
@@ -276,7 +348,9 @@ let query t q =
     | Some r -> { r with cached = true }
     | None ->
       let r = run_query t q in
-      Lru.add t.cache key r;
+      (* a degraded answer reflects a transient fault, not the model:
+         don't let it outlive the fault in the cache *)
+      if r.chains_used = t.config.chains then Lru.add t.cache key r;
       r
   in
   sync_cache_metrics t;
@@ -299,7 +373,7 @@ let query_all t qs =
         | Some r -> { r with cached = true }
         | None ->
           let r = run_query t q in
-          Hashtbl.replace results key r;
+          if r.chains_used = t.config.chains then Hashtbl.replace results key r;
           r)
       qs
   end

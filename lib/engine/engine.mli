@@ -41,9 +41,23 @@ type result = {
   ess : float;           (** total effective sample size *)
   mcse : float;          (** Monte-Carlo standard error *)
   total_samples : int;   (** retained samples actually drawn *)
-  chains_used : int;
+  chains_used : int;     (** chains surviving to the estimate; a value
+                             below [config.chains] marks a degraded
+                             answer (some chains were lost to faults) *)
   cached : bool;         (** served from the cache without sampling *)
 }
+
+exception
+  Chains_failed of {
+    query : string;   (** {!Query.key} of the failing query *)
+    failed : int;
+    chains : int;
+    reason : string;  (** printed form of the first chain's exception *)
+  }
+(** Raised by {!query} when chain failures leave fewer than half the
+    configured chains alive — too few for the cross-chain diagnostics
+    to vouch for the estimate. Never a crash: the engine itself stays
+    usable. *)
 
 type t
 
@@ -76,7 +90,17 @@ val invalidate : t -> digest:string -> int
 val query : t -> Query.t -> result
 (** Answer one query, consulting the cache first. Raises
     [Invalid_argument] when the query mentions a node outside the
-    model, [Failure] when its conditions cannot be satisfied. *)
+    model, [Failure] when its conditions cannot be satisfied.
+
+    {b Fault tolerance.} A chain that raises mid-query (including the
+    [engine.chain] failpoint) is dropped — its partial round is
+    discarded, the survivors' draws are untouched because every chain's
+    RNG is split up front — and the query completes from the surviving
+    chains as long as at least half remain ([chains_used] records how
+    many; counted in [iflow_engine_failed_chains_total] /
+    [iflow_engine_degraded_queries_total]). Below half, raises
+    {!Chains_failed}. Degraded results are never cached, so the next
+    ask re-samples at full strength. *)
 
 val query_all : t -> Query.t list -> result list
 (** Batch entry point: deduplicates by cache key so repeated queries

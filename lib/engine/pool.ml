@@ -31,7 +31,7 @@ let create ?size () =
 
 let size t = t.size
 
-let run t f tasks =
+let run_results t f tasks =
   let n = Array.length tasks in
   if n = 0 then [||]
   else begin
@@ -47,7 +47,13 @@ let run t f tasks =
     let results = Array.make n None in
     if workers = 1 then begin
       let t0 = if rec_on then Clock.now_ns () else 0 in
-      Array.iteri (fun i task -> results.(i) <- Some (Ok (f task))) tasks;
+      Array.iteri
+        (fun i task ->
+          results.(i) <-
+            (match f task with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error e)))
+        tasks;
       if rec_on then Metrics.add m_busy_ns (Clock.now_ns () - t0)
     end
     else begin
@@ -72,10 +78,10 @@ let run t f tasks =
       Array.iter Domain.join domains
     end;
     if rec_on then Metrics.set m_inflight 0.0;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false)
-      results
+    Array.map (function Some r -> r | None -> assert false) results
   end
+
+let run t f tasks =
+  Array.map
+    (function Ok v -> v | Error e -> raise e)
+    (run_results t f tasks)

@@ -26,3 +26,10 @@ val run : t -> ('a -> 'b) -> 'a array -> 'b array
     pool, and returns results in task order. If any task raises, the
     first (lowest-index) exception is re-raised after all domains have
     been joined — no domain is leaked. *)
+
+val run_results : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Like {!run}, but a raising task yields [Error exn] in its slot
+    instead of failing the whole run — both on the calling domain and on
+    spawned workers. A task failure never tears down a domain mid-run:
+    every task is still attempted, and callers decide whether partial
+    results are enough. *)

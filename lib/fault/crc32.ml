@@ -1,0 +1,40 @@
+(* CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320), table
+   driven. Pure OCaml so the io layer needs no C stubs; at checkpoint
+   sizes (KBs to a few MBs) throughput is far from mattering. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: range outside the string";
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s 0 (String.length s)
+let to_hex crc = Printf.sprintf "%08x" (crc land 0xFFFFFFFF)
+
+(* strict inverse of [to_hex]: lowercase only, so a checksum field has
+   exactly one valid encoding and any flipped bit in it is detectable *)
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    let rec go i acc =
+      if i = 8 then Some acc
+      else
+        match s.[i] with
+        | '0' .. '9' as c -> go (i + 1) ((acc lsl 4) lor (Char.code c - 48))
+        | 'a' .. 'f' as c -> go (i + 1) ((acc lsl 4) lor (Char.code c - 87))
+        | _ -> None
+    in
+    go 0 0

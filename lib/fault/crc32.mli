@@ -1,0 +1,23 @@
+(** CRC-32 (IEEE / zlib polynomial) for checkpoint footers.
+
+    A 32-bit cyclic redundancy check detects every single-bit flip,
+    every burst shorter than 32 bits, and any truncation that removes
+    the footer — exactly the torn-write and bit-rot cases a crash-safe
+    checkpoint must refuse to load. It is {e not} cryptographic; the
+    model digest in the header guards semantic identity, the CRC guards
+    physical integrity. *)
+
+val string : string -> int
+(** CRC-32 of a whole string. The result fits in 32 bits. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends [crc] over [s.[pos .. pos+len-1]],
+    so large payloads can be checksummed in chunks:
+    [string s = update 0 s 0 (String.length s)]. Raises
+    [Invalid_argument] when the range falls outside [s]. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase hex, 8 characters. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex characters. *)

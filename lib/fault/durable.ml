@@ -1,0 +1,69 @@
+(* Crash-safe file replacement: write the full payload to a sibling
+   temporary, fsync it, rename over the destination, fsync the
+   directory. A reader therefore sees either the old bytes or the new
+   bytes, never a torn mixture — SIGKILL at any instant leaves at worst
+   a stale [.tmp] beside an intact previous file. *)
+
+let tmp_of path = path ^ ".tmp"
+
+let fp prefix what = prefix ^ "." ^ what
+
+let fsync_dir dir =
+  (* Not all filesystems allow opening a directory for fsync; degraded
+     durability there is strictly better than refusing to checkpoint. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let write_atomic ?(failpoint_prefix = "durable") ?(fsync = true) path content =
+  let tmp = tmp_of path in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  try
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Fail.point (fp failpoint_prefix "write");
+        let oc = Unix.out_channel_of_descr fd in
+        content oc;
+        flush oc;
+        if fsync then begin
+          Fail.point (fp failpoint_prefix "fsync");
+          Unix.fsync fd
+        end);
+    Fail.point (fp failpoint_prefix "rename");
+    Sys.rename tmp path;
+    if fsync then fsync_dir (Filename.dirname path)
+  with e ->
+    cleanup ();
+    raise e
+
+let rotated path n = if n = 0 then path else Printf.sprintf "%s.%d" path n
+
+let rotate path ~keep =
+  if keep < 1 then invalid_arg "Durable.rotate: keep must be >= 1";
+  (* shift path.(keep-2) -> path.(keep-1), ..., path -> path.1; the
+     oldest generation falls off the end. Renames only: an interrupted
+     rotation loses rotation depth, never checkpoint integrity. *)
+  if keep > 1 && Sys.file_exists path then begin
+    for n = keep - 2 downto 0 do
+      let src = rotated path n in
+      if Sys.file_exists src then Sys.rename src (rotated path (n + 1))
+    done
+  end
+
+let generations path ~limit =
+  let rec go n acc =
+    if n >= limit then List.rev acc
+    else
+      let p = rotated path n in
+      if Sys.file_exists p then go (n + 1) (p :: acc)
+      else if n = 0 then go (n + 1) acc (* current missing, older may exist *)
+      else List.rev acc
+  in
+  go 0 []

@@ -1,0 +1,38 @@
+(** Crash-safe file replacement and checkpoint rotation.
+
+    {!write_atomic} guarantees a reader sees either the previous file
+    or the complete new one — never a torn mixture — by writing to a
+    sibling [.tmp], fsyncing, renaming over the destination and
+    fsyncing the directory. SIGKILL at any instant leaves at worst a
+    stale [.tmp] beside an intact previous generation.
+
+    Failpoints [<prefix>.write], [<prefix>.fsync] and [<prefix>.rename]
+    are planted at each stage (prefix [durable] by default), so chaos
+    tests can tear a write at any phase. *)
+
+val write_atomic :
+  ?failpoint_prefix:string -> ?fsync:bool -> string ->
+  (out_channel -> unit) -> unit
+(** [write_atomic path content] replaces [path] atomically with
+    whatever [content] writes. [fsync:false] skips both syncs (benches;
+    crash-durability is then the OS's problem). On any failure the
+    temporary is removed and the previous [path] is left untouched. *)
+
+val tmp_of : string -> string
+(** The sibling temporary used by {!write_atomic} ([path ^ ".tmp"]). *)
+
+val rotated : string -> int -> string
+(** Generation [n] of a rotated set: [rotated p 0 = p], then [p.1],
+    [p.2], ... — generation 1 is the newest predecessor. *)
+
+val rotate : string -> keep:int -> unit
+(** Shift the rotated set down one generation so [path] is free for the
+    next {!write_atomic}: [p.(keep-2)] → [p.(keep-1)], ..., [p] →
+    [p.1]. With [keep = 1] nothing is kept and this is a no-op (the
+    next write simply replaces [path]). Raises [Invalid_argument] when
+    [keep < 1]. *)
+
+val generations : string -> limit:int -> string list
+(** Existing files of the rotated set, newest first, stopping at the
+    first gap (generation 0 excepted — a crash can leave older
+    generations behind a missing current) or at [limit]. *)

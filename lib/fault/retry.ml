@@ -1,0 +1,94 @@
+module Metrics = Iflow_obs.Metrics
+
+let m_retries =
+  Metrics.counter ~help:"Operations re-attempted after a transient failure"
+    "iflow_fault_retries_total"
+
+let m_giveups =
+  Metrics.counter
+    ~help:"Retried operations that exhausted their attempts or deadline"
+    "iflow_fault_retry_giveups_total"
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  jitter : float;
+  max_delay : float;
+  budget : float option;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    base_delay = 0.01;
+    multiplier = 2.0;
+    jitter = 0.1;
+    max_delay = 1.0;
+    budget = None;
+  }
+
+let no_delay = { default with base_delay = 0.0; max_delay = 0.0; jitter = 0.0 }
+
+let validate p =
+  let bad fmt = Printf.ksprintf invalid_arg ("Retry: bad policy: " ^^ fmt) in
+  if p.max_attempts < 1 then bad "max_attempts must be >= 1 (got %d)" p.max_attempts;
+  if not (p.base_delay >= 0.0) then bad "base_delay must be >= 0 (got %g)" p.base_delay;
+  if not (p.multiplier >= 1.0) then bad "multiplier must be >= 1 (got %g)" p.multiplier;
+  if not (p.jitter >= 0.0 && p.jitter <= 1.0) then bad "jitter outside [0, 1] (got %g)" p.jitter;
+  if not (p.max_delay >= 0.0) then bad "max_delay must be >= 0 (got %g)" p.max_delay;
+  match p.budget with
+  | Some b when not (b >= 0.0) -> bad "budget must be >= 0 (got %g)" b
+  | _ -> ()
+
+(* Deterministic jitter stream (splitmix64), private to this module:
+   backoff spreading needs decorrelation, not entropy, and must not
+   perturb the simulation RNGs. *)
+let jitter_state = ref 0x2545F4914F6CDD1D
+
+let jitter_uniform () =
+  let z = !jitter_state + 0x2E3779B97F4A7C15 in
+  jitter_state := z;
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  float_of_int ((z lxor (z lsr 31)) land max_int) /. float_of_int max_int
+
+let delay_for policy ~attempt =
+  (* attempt 1 failed -> first sleep is base_delay *)
+  let raw = policy.base_delay *. (policy.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min policy.max_delay raw in
+  if policy.jitter = 0.0 then capped
+  else capped *. (1.0 +. (policy.jitter *. ((2.0 *. jitter_uniform ()) -. 1.0)))
+
+let with_policy ?(retryable = fun _ -> true) ?on_retry
+    ?(sleep = fun s -> if s > 0.0 then Unix.sleepf s) policy f =
+  validate policy;
+  let spent = ref 0.0 in
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when attempt < policy.max_attempts && retryable e ->
+      let d = delay_for policy ~attempt in
+      let over_budget =
+        match policy.budget with
+        | Some b -> !spent +. d > b
+        | None -> false
+      in
+      if over_budget then begin
+        Metrics.inc m_giveups;
+        raise e
+      end
+      else begin
+        Metrics.inc m_retries;
+        (match on_retry with
+        | Some g -> g ~attempt ~delay:d e
+        | None -> ());
+        sleep d;
+        spent := !spent +. d;
+        go (attempt + 1)
+      end
+    | exception e ->
+      if retryable e && policy.max_attempts > 1 then Metrics.inc m_giveups;
+      raise e
+  in
+  go 1

@@ -1,0 +1,43 @@
+(** Bounded retries with exponential backoff, decorrelating jitter and
+    an optional total-delay budget — the supervision primitive wrapped
+    around checkpoint writes and ingest-source reads.
+
+    The jitter stream is deterministic and private to this module, so
+    retrying never perturbs the simulation RNGs: model results stay
+    bit-for-bit identical whether or not a transient fault was ridden
+    out along the way. *)
+
+type policy = {
+  max_attempts : int;   (** total attempts, including the first *)
+  base_delay : float;   (** seconds before the first re-attempt *)
+  multiplier : float;   (** geometric backoff factor, >= 1 *)
+  jitter : float;       (** +/- fraction of each delay, in [0, 1] *)
+  max_delay : float;    (** per-sleep cap, seconds *)
+  budget : float option;
+      (** cap on the {e sum} of sleeps; a re-attempt whose backoff
+          would exceed it gives up immediately instead *)
+}
+
+val default : policy
+(** 3 attempts, 10 ms base, x2 backoff, 10% jitter, 1 s cap,
+    unlimited budget. *)
+
+val no_delay : policy
+(** [default] with zero delays — immediate re-attempts, for faults
+    where backing off buys nothing (and for tests). *)
+
+val delay_for : policy -> attempt:int -> float
+(** The (jittered) sleep after failed attempt [attempt] (1-based). *)
+
+val with_policy :
+  ?retryable:(exn -> bool) ->
+  ?on_retry:(attempt:int -> delay:float -> exn -> unit) ->
+  ?sleep:(float -> unit) ->
+  policy -> (unit -> 'a) -> 'a
+(** [with_policy policy f] runs [f], re-attempting on exceptions that
+    satisfy [retryable] (default: all) until one attempt succeeds, the
+    attempts are exhausted, or the delay budget is spent — then the
+    last exception is re-raised. [on_retry] observes each re-attempt;
+    [sleep] defaults to [Unix.sleepf]. Retries and give-ups are counted
+    in [iflow_fault_retries_total] / [iflow_fault_retry_giveups_total].
+    Raises [Invalid_argument] on a nonsensical policy. *)

@@ -3,6 +3,8 @@ module Beta = Iflow_stats.Dist.Beta
 module Beta_icm = Iflow_core.Beta_icm
 module Icm = Iflow_core.Icm
 module Tweet = Iflow_twitter.Tweet
+module Crc32 = Iflow_fault.Crc32
+module Durable = Iflow_fault.Durable
 
 let with_out path f =
   let oc = open_out path in
@@ -23,20 +25,36 @@ let fold_lines ic f init =
 let malformed path lineno what =
   failwith (Printf.sprintf "%s:%d: malformed %s" path lineno what)
 
+(* Model-file corruption is reported with the byte offset of the
+   offending line, so an operator staring at a torn checkpoint can jump
+   straight to the damage (and recovery code upstream can tell "this
+   file is damaged" from "this model is the wrong one"). *)
+let corrupt path ~lineno ~offset what =
+  failwith
+    (Printf.sprintf "%s: byte %d (line %d): malformed %s" path offset lineno
+       what)
+
 (* ----- graph-with-edge-payload formats ----- *)
 
-(* v2 files open with a comment header carrying the model fingerprint
+(* v3 files open with a comment header carrying the model fingerprint
    (and free-form key=value metadata such as a checkpoint's event
-   offset) ahead of the legacy "<magic> <n>" line:
+   offset) ahead of the legacy "<magic> <n>" line, and close with a
+   CRC-32 footer over every byte before it:
 
-     # bicm-v2 digest=29ab... events=1200
+     # bicm-v3 digest=29ab... events=1200
      bicm 50
      ...
+     # crc32 7f9a1c02 1234
 
-   Loaders accept legacy headerless files, and verify the digest of a
-   v2 file against the reloaded model — a checkpoint replayed against
-   the wrong event log (or a corrupted file) fails loudly instead of
-   silently training the wrong posterior. *)
+   Writes are atomic (tmp + fsync + rename, see
+   {!Iflow_fault.Durable}), so a crash mid-checkpoint leaves the
+   previous file intact; the footer makes the torn cases that slip past
+   rename semantics (partial copies, bit rot, truncation in transit)
+   fail loudly at load. Loaders accept v2 files (digest header, no
+   footer) and legacy headerless files, and always verify the header
+   digest against the reloaded model — a checkpoint replayed against
+   the wrong event log fails instead of silently training the wrong
+   posterior. *)
 
 let meta_field_ok s =
   s <> "" && String.for_all (fun c -> c <> ' ' && c <> '=' && c <> '\n') s
@@ -48,74 +66,149 @@ let header_of_meta ~magic ~digest meta =
         invalid_arg "Model_io: bad metadata field")
     meta;
   String.concat " "
-    (Printf.sprintf "# %s-v2 digest=%s" magic digest
+    (Printf.sprintf "# %s-v3 digest=%s" magic digest
     :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) meta)
 
 let meta_of_header path ~magic line =
-  (* "# <magic>-v2 k=v ..." -> Some fields; None when not a v2 header *)
+  (* "# <magic>-v2 k=v ..." / "# <magic>-v3 k=v ..." ->
+     Some (fields, has_footer); None when not a versioned header *)
   match String.split_on_char ' ' line with
-  | "#" :: tag :: fields when tag = magic ^ "-v2" ->
+  | "#" :: tag :: fields when tag = magic ^ "-v2" || tag = magic ^ "-v3" ->
     Some
-      (List.filter_map
-         (fun field ->
-           if field = "" then None
-           else
-             match String.index_opt field '=' with
-             | Some i ->
-               Some
-                 ( String.sub field 0 i,
-                   String.sub field (i + 1) (String.length field - i - 1) )
-             | None -> malformed path 1 "header field (expected key=value)")
-         fields)
-  | "#" :: _ -> malformed path 1 (Printf.sprintf "header (expected '# %s-v2')" magic)
+      ( List.filter_map
+          (fun field ->
+            if field = "" then None
+            else
+              match String.index_opt field '=' with
+              | Some i ->
+                Some
+                  ( String.sub field 0 i,
+                    String.sub field (i + 1) (String.length field - i - 1) )
+              | None -> malformed path 1 "header field (expected key=value)")
+          fields,
+        tag = magic ^ "-v3" )
+  | "#" :: _ ->
+    malformed path 1 (Printf.sprintf "header (expected '# %s-v3')" magic)
   | _ -> None
 
+let footer_prefix = "# crc32 "
+
+let render ~magic ~header ~nodes ~n_edges ~edge_line =
+  let buf = Buffer.create (64 + (n_edges * 24)) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" magic nodes);
+  for e = 0 to n_edges - 1 do
+    Buffer.add_string buf (edge_line e);
+    Buffer.add_char buf '\n'
+  done;
+  let body = Buffer.contents buf in
+  Printf.sprintf "%s%s%08x %d\n" body footer_prefix (Crc32.string body)
+    (String.length body)
+
 let save_edges path ~magic ~header ~nodes ~n_edges ~edge_line =
-  with_out path (fun oc ->
-      output_string oc header;
-      output_char oc '\n';
-      Printf.fprintf oc "%s %d\n" magic nodes;
-      for e = 0 to n_edges - 1 do
-        output_string oc (edge_line e);
-        output_char oc '\n'
-      done)
+  let content = render ~magic ~header ~nodes ~n_edges ~edge_line in
+  Durable.write_atomic ~failpoint_prefix:"model_io" path (fun oc ->
+      output_string oc content)
+
+(* Split into (byte_offset, lineno, line) triples; the fragment after a
+   trailing newline is dropped, matching input_line. *)
+let lines_with_offsets s =
+  let n = String.length s in
+  let rec go pos lineno acc =
+    if pos >= n then List.rev acc
+    else
+      let stop =
+        match String.index_from_opt s pos '\n' with Some i -> i | None -> n
+      in
+      let line = String.sub s pos (stop - pos) in
+      go (stop + 1) (lineno + 1) ((pos, lineno, line) :: acc)
+  in
+  go 0 1 []
+
+(* v3 integrity gate: the last line must be the CRC footer, its
+   recorded length must equal the footer's own byte offset, and the
+   checksum of that prefix must match. Any truncation or bit flip —
+   header, body or footer — fails here with the damaged offset. *)
+let check_footer path content lines =
+  match List.rev lines with
+  | [] -> malformed path 1 "empty file"
+  | (offset, lineno, last) :: body_rev ->
+    let fail what = corrupt path ~lineno ~offset what in
+    (* a writer always terminates the footer line, so a file that does
+       not end in a newline lost at least its last byte *)
+    if content.[String.length content - 1] <> '\n' then
+      fail "or missing crc32 footer (file truncated?)";
+    if not (String.length last > String.length footer_prefix
+            && String.sub last 0 (String.length footer_prefix) = footer_prefix)
+    then fail "or missing crc32 footer (file truncated?)";
+    (match
+       String.split_on_char ' '
+         (String.sub last (String.length footer_prefix)
+            (String.length last - String.length footer_prefix))
+     with
+    | [ hex; len ] -> (
+      match (Crc32.of_hex hex, int_of_string_opt len) with
+      | Some expected, Some nbytes ->
+        if nbytes <> offset then
+          fail
+            (Printf.sprintf
+               "crc32 footer: recorded length %d does not match footer offset \
+                %d (file truncated or spliced)"
+               nbytes offset);
+        let actual = Crc32.update 0 content 0 offset in
+        if actual <> expected then
+          failwith
+            (Printf.sprintf
+               "%s: crc32 mismatch (footer %s, contents %s) — the file is \
+                truncated or corrupted"
+               path hex (Crc32.to_hex actual))
+      | _ -> fail "crc32 footer")
+    | _ -> fail "crc32 footer");
+    List.rev body_rev
 
 let load_edges path ~magic ~parse_payload =
-  with_in path (fun ic ->
-      let first = try input_line ic with End_of_file -> "" in
-      let meta, header, body_start =
-        match meta_of_header path ~magic first with
-        | Some meta ->
-          let line = try input_line ic with End_of_file -> "" in
-          (Some meta, line, 3)
-        | None -> (None, first, 2)
-      in
-      let nodes =
-        match String.split_on_char ' ' header with
-        | [ m; n ] when m = magic -> (
-          match int_of_string_opt n with
-          | Some n when n >= 0 -> n
-          | Some _ | None -> malformed path (body_start - 1) "header")
-        | _ ->
-          malformed path (body_start - 1)
-            (Printf.sprintf "header (expected '%s <n>')" magic)
-      in
-      let rows =
-        fold_lines ic
-          (fun lineno acc line ->
-            let lineno = lineno + body_start - 1 in
-            if String.trim line = "" then acc
-            else begin
-              match String.split_on_char ' ' line with
-              | src :: dst :: payload -> (
-                match (int_of_string_opt src, int_of_string_opt dst) with
-                | Some s, Some d -> (s, d, parse_payload path lineno payload) :: acc
-                | _ -> malformed path lineno "edge endpoints")
-              | _ -> malformed path lineno "edge line"
-            end)
-          []
-      in
-      (meta, nodes, List.rev rows))
+  let content =
+    with_in path (fun ic -> really_input_string ic (in_channel_length ic))
+  in
+  let lines = lines_with_offsets content in
+  let first = match lines with (_, _, l) :: _ -> l | [] -> "" in
+  let meta, rest =
+    match meta_of_header path ~magic first with
+    | Some (meta, has_footer) ->
+      let lines = if has_footer then check_footer path content lines else lines in
+      (Some meta, List.tl lines)
+    | None -> (None, lines)
+  in
+  let nodes, body =
+    match rest with
+    | (offset, lineno, header) :: body -> (
+      match String.split_on_char ' ' header with
+      | [ m; n ] when m = magic -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> (n, body)
+        | Some _ | None -> corrupt path ~lineno ~offset "header")
+      | _ ->
+        corrupt path ~lineno ~offset
+          (Printf.sprintf "header (expected '%s <n>')" magic))
+    | [] -> malformed path 1 (Printf.sprintf "header (expected '%s <n>')" magic)
+  in
+  let rows =
+    List.fold_left
+      (fun acc (offset, lineno, line) ->
+        if String.trim line = "" then acc
+        else begin
+          match String.split_on_char ' ' line with
+          | src :: dst :: payload -> (
+            match (int_of_string_opt src, int_of_string_opt dst) with
+            | Some s, Some d ->
+              (s, d, parse_payload path ~lineno ~offset payload) :: acc
+            | _ -> corrupt path ~lineno ~offset "edge endpoints")
+          | _ -> corrupt path ~lineno ~offset "edge line"
+        end)
+      [] body
+  in
+  (meta, nodes, List.rev rows)
 
 let check_digest path meta digest =
   match Option.bind meta (List.assoc_opt "digest") with
@@ -139,12 +232,12 @@ let save_beta_icm ?(meta = []) path model =
       Printf.sprintf "%d %d %.17g %.17g" src dst b.Beta.alpha b.Beta.beta)
 
 let load_beta_icm_meta path =
-  let parse path lineno = function
+  let parse path ~lineno ~offset = function
     | [ a; b ] -> (
       match (float_of_string_opt a, float_of_string_opt b) with
       | Some a, Some b when a > 0.0 && b > 0.0 -> Beta.v a b
-      | _ -> malformed path lineno "beta parameters")
-    | _ -> malformed path lineno "beta parameters"
+      | _ -> corrupt path ~lineno ~offset "beta parameters")
+    | _ -> corrupt path ~lineno ~offset "beta parameters"
   in
   let meta, nodes, rows = load_edges path ~magic:"bicm" ~parse_payload:parse in
   let g = Digraph.of_edges ~nodes (List.map (fun (s, d, _) -> (s, d)) rows) in
@@ -166,12 +259,12 @@ let save_icm ?(meta = []) path icm =
       Printf.sprintf "%d %d %.17g" src dst (Icm.prob icm e))
 
 let load_icm_meta path =
-  let parse path lineno = function
+  let parse path ~lineno ~offset = function
     | [ p ] -> (
       match float_of_string_opt p with
       | Some p when p >= 0.0 && p <= 1.0 -> p
-      | _ -> malformed path lineno "probability")
-    | _ -> malformed path lineno "probability"
+      | _ -> corrupt path ~lineno ~offset "probability")
+    | _ -> corrupt path ~lineno ~offset "probability"
   in
   let meta, nodes, rows = load_edges path ~magic:"icm" ~parse_payload:parse in
   let g = Digraph.of_edges ~nodes (List.map (fun (s, d, _) -> (s, d)) rows) in

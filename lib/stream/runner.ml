@@ -2,6 +2,8 @@ module Engine = Iflow_engine.Engine
 module Metrics = Iflow_obs.Metrics
 module Trace = Iflow_obs.Trace
 module Clock = Iflow_obs.Clock
+module Fail = Iflow_fault.Fail
+module Retry = Iflow_fault.Retry
 
 let m_published =
   Metrics.counter ~help:"Model versions published"
@@ -30,6 +32,24 @@ let m_swap_seconds =
     ~help:"Wall time of hot-swapping a published version into the engine"
     "iflow_stream_swap_seconds"
 
+let m_read_errors =
+  Metrics.counter
+    ~help:"Ingest-source read failures absorbed by the on_error policy"
+    "iflow_stream_read_errors_total"
+
+let m_swap_failures =
+  Metrics.counter
+    ~help:"Engine swaps that failed — the engine keeps serving the \
+           last-good version (degraded)"
+    "iflow_stream_degraded_swaps_total"
+
+let m_checkpoint_failures =
+  Metrics.counter
+    ~help:"Checkpoint writes that failed after retries (ingest continues)"
+    "iflow_stream_checkpoint_failures_total"
+
+type error_policy = Fail_fast | Skip_line | Retry_reads of Retry.policy
+
 type config = { batch : int; checkpoint_every : int option }
 
 let default_config = { batch = 256; checkpoint_every = None }
@@ -42,12 +62,34 @@ type report = {
   checkpoints_written : int;
   cache_evictions : int;
   drift_alerts : Drift.alert list;
+  read_errors : int;
+  swap_failures : int;
+  checkpoint_failures : int;
   wall_ns : int;
   events_per_sec : float;
 }
 
+let is_eintr = function
+  | Unix.Unix_error (Unix.EINTR, _, _) -> true
+  | Sys_error msg ->
+    (* channel reads surface errno as strerror text *)
+    let needle = "Interrupted system call" in
+    let n = String.length needle and h = String.length msg in
+    let rec go i = i + n <= h && (String.sub msg i n = needle || go (i + 1)) in
+    go 0
+  | _ -> false
+
 let lines_of_channel ic () =
-  match input_line ic with line -> Some line | exception End_of_file -> None
+  (* EINTR is not data loss — a signal (SIGCHLD from a supervised
+     child, a profiler tick) interrupted the read before any byte moved.
+     Resume the same read instead of killing the ingest loop. *)
+  let rec go () =
+    match input_line ic with
+    | line -> Some line
+    | exception End_of_file -> None
+    | exception e when is_eintr e -> go ()
+  in
+  go ()
 
 let lines_of_list lines =
   let rest = ref lines in
@@ -58,7 +100,13 @@ let lines_of_list lines =
       rest := tl;
       Some line
 
-let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
+(* Skip_line re-pulls after a failed read; a source whose fault is
+   permanent (closed channel, dead disk) would spin forever, so give up
+   after this many consecutive failures. *)
+let max_consecutive_read_errors = 100
+
+let run ?engine ?(skip = 0) ?(on_error = Fail_fast) ?on_degraded ?on_alert
+    ?on_publish config online snapshot next =
   if config.batch < 1 then invalid_arg "Runner.run: batch must be >= 1";
   (match config.checkpoint_every with
   | Some k when k < 1 -> invalid_arg "Runner.run: checkpoint_every must be >= 1"
@@ -76,12 +124,60 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
   let published = ref 0 in
   let checkpoints = ref 0 in
   let seen_alerts = ref 0 in
+  let read_errors = ref 0 in
+  let swap_failures = ref 0 in
+  let checkpoint_failures = ref 0 in
+  let degraded stage e =
+    match on_degraded with Some f -> f ~stage e | None -> ()
+  in
+  let consecutive = ref 0 in
+  let rec pull () =
+    let attempt () =
+      Fail.point "runner.read";
+      next ()
+    in
+    match
+      (match on_error with
+      | Retry_reads policy -> Retry.with_policy policy attempt
+      | Fail_fast | Skip_line -> attempt ())
+    with
+    | v ->
+      consecutive := 0;
+      v
+    | exception e -> (
+      match on_error with
+      | Fail_fast -> raise e
+      | Retry_reads _ ->
+        incr read_errors;
+        Metrics.inc m_read_errors;
+        raise e
+      | Skip_line ->
+        incr read_errors;
+        Metrics.inc m_read_errors;
+        incr consecutive;
+        if !consecutive > max_consecutive_read_errors then raise e
+        else begin
+          degraded "read" e;
+          pull ()
+        end)
+  in
   let swap () =
     match engine with
-    | Some e ->
+    | Some e -> (
       let t0 = Clock.now_ns () in
-      evictions := !evictions + Snapshot.swap_into snapshot e;
-      Metrics.observe m_swap_seconds (Clock.now_ns () - t0)
+      match
+        Fail.point "runner.swap";
+        Snapshot.swap_into snapshot e
+      with
+      | evicted ->
+        evictions := !evictions + evicted;
+        Metrics.observe m_swap_seconds (Clock.now_ns () - t0)
+      | exception ex ->
+        (* the engine keeps answering from the last version it
+           successfully swapped onto; the next publish retries *)
+        incr swap_failures;
+        Metrics.inc m_swap_failures;
+        degraded "swap" ex)
     | None -> ()
   in
   swap ();
@@ -115,10 +211,18 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
     | None -> false
   in
   let write_checkpoint () =
-    Snapshot.checkpoint snapshot;
-    incr checkpoints;
-    Metrics.inc m_checkpoints;
-    last_checkpoint := !lines
+    match Snapshot.checkpoint snapshot with
+    | () ->
+      incr checkpoints;
+      Metrics.inc m_checkpoints;
+      last_checkpoint := !lines
+    | exception ex ->
+      (* retries inside Snapshot.checkpoint are exhausted; keep
+         ingesting — [last_checkpoint] stays put, so the next publish
+         tries again, and recovery still has the previous generation *)
+      incr checkpoint_failures;
+      Metrics.inc m_checkpoint_failures;
+      degraded "checkpoint" ex
   in
   let publish () =
     Trace.with_span "stream.publish" ~args:[ ("offset", Trace.Int !lines) ]
@@ -141,7 +245,7 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
     if checkpoint_due () then write_checkpoint ()
   in
   let rec loop () =
-    match next () with
+    match pull () with
     | None -> ()
     | Some line ->
       incr lines;
@@ -167,6 +271,9 @@ let run ?engine ?(skip = 0) ?on_alert ?on_publish config online snapshot next =
     cache_evictions = !evictions;
     drift_alerts =
       (match Online.drift online with Some d -> Drift.alerts d | None -> []);
+    read_errors = !read_errors;
+    swap_failures = !swap_failures;
+    checkpoint_failures = !checkpoint_failures;
     wall_ns;
     events_per_sec =
       (if wall_ns <= 0 then 0.0
@@ -178,10 +285,12 @@ let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>%d lines: %a@,\
      final version %d (digest %s, offset %d); %d published, %d checkpoints, \
-     %d cache evictions, %d drift alerts; %.3f s (%.0f events/s)@]"
+     %d cache evictions, %d drift alerts; %d read errors, %d degraded swaps, \
+     %d checkpoint failures; %.3f s (%.0f events/s)@]"
     r.lines Online.pp_stats r.stats r.final.Snapshot.id r.final.Snapshot.digest
     r.final.Snapshot.offset r.versions_published r.checkpoints_written
     r.cache_evictions
     (List.length r.drift_alerts)
+    r.read_errors r.swap_failures r.checkpoint_failures
     (Iflow_obs.Clock.seconds_of_ns r.wall_ns)
     r.events_per_sec

@@ -14,7 +14,26 @@
 
     Replay determinism: with forgetting off, any [batch] size — and any
     checkpoint/recover split — yields the same final model bit for bit,
-    because publishing only freezes the accumulator. *)
+    because publishing only freezes the accumulator.
+
+    {b Supervision.} Read failures from the source follow the [on_error]
+    policy; engine-swap and checkpoint-write failures never kill the
+    run: the engine keeps serving the last successfully swapped version
+    and ingest continues (counted in
+    [iflow_stream_degraded_swaps_total] /
+    [iflow_stream_checkpoint_failures_total] and surfaced in the
+    {!report}). *)
+
+type error_policy =
+  | Fail_fast      (** re-raise the first read error (default) *)
+  | Skip_line
+      (** count the error ([iflow_stream_read_errors_total]), notify
+          [on_degraded], pull the next line; gives up (re-raises) after
+          100 {e consecutive} failures so a permanently dead source
+          cannot spin the loop forever *)
+  | Retry_reads of Iflow_fault.Retry.policy
+      (** retry the same read with backoff; a read that exhausts the
+          policy is counted and re-raised *)
 
 type config = {
   batch : int;                   (** applied events per published version *)
@@ -32,6 +51,9 @@ type report = {
   checkpoints_written : int;  (** written by this run *)
   cache_evictions : int;      (** engine cache entries retired by swaps *)
   drift_alerts : Drift.alert list;
+  read_errors : int;          (** reads absorbed by the [on_error] policy *)
+  swap_failures : int;        (** swaps degraded to the last-good version *)
+  checkpoint_failures : int;  (** checkpoint writes that failed post-retry *)
   wall_ns : int;              (** monotonic wall time of the run *)
   events_per_sec : float;     (** applied events per wall second *)
 }
@@ -39,17 +61,27 @@ type report = {
 val run :
   ?engine:Iflow_engine.Engine.t ->
   ?skip:int ->
+  ?on_error:error_policy ->
+  ?on_degraded:(stage:string -> exn -> unit) ->
   ?on_alert:(Drift.alert -> unit) ->
   ?on_publish:(Snapshot.version -> unit) ->
   config -> Online.t -> Snapshot.t -> (unit -> string option) -> report
 (** [run config online snapshot next] pulls lines until [next ()]
     returns [None]. [skip] discards that many leading lines first (the
-    offset of a recovered checkpoint). When [engine] is given it is
-    swapped onto the current version up front and after every publish.
-    Raises [Invalid_argument] on [batch < 1] or a non-positive
-    [checkpoint_every]. *)
+    offset of a recovered checkpoint; skip reads are never retried or
+    skipped — a failure there means the resume point is unreachable).
+    When [engine] is given it is swapped onto the current version up
+    front and after every publish. [on_degraded ~stage e] fires once per
+    absorbed fault with [stage] one of ["read"], ["swap"],
+    ["checkpoint"]. Failpoints: [runner.read] per pull, [runner.swap]
+    per engine swap. Raises [Invalid_argument] on [batch < 1] or a
+    non-positive [checkpoint_every]. *)
 
 val lines_of_channel : in_channel -> unit -> string option
+(** Reads one line per call; [EINTR] (a signal interrupting the read —
+    e.g. SIGCHLD from a supervised child) is retried transparently
+    rather than surfaced as [Sys_error]. *)
+
 val lines_of_list : string list -> unit -> string option
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,7 +1,7 @@
 (** Model versioning for the streaming pipeline: immutable published
-    versions with monotonic ids and content digests, periodic [.bicm]
-    checkpoints carrying a replay offset, and hot-swap into a running
-    {!Iflow_engine.Engine}.
+    versions with monotonic ids and content digests, crash-safe rotated
+    [.bicm] checkpoints carrying a replay offset, and hot-swap into a
+    running {!Iflow_engine.Engine}.
 
     The accumulator mutates continuously; what the rest of the system
     sees are the {e versions} published here. Each version is an
@@ -9,7 +9,15 @@
     the log offset (lines consumed) it reflects. Swapping a version
     into an engine evicts the retired version's cache entries by
     digest; queries already running finish on the version they
-    captured. *)
+    captured.
+
+    {b Durability.} Checkpoints are written atomically
+    ({!Iflow_io.Model_io} v3: tmp + fsync + rename + CRC-32 footer) and
+    rotated ([path], [path.1], ..., newest first), with writes wrapped
+    in a {!Iflow_fault.Retry} policy. {!recover} walks the rotated set
+    newest-first and returns the first checkpoint that loads and
+    verifies, so a crash mid-write — or a torn copy — costs at most one
+    checkpoint interval of replay, never the run. *)
 
 type version = {
   id : int;          (** monotonic, starting at 0 for the seed model *)
@@ -21,12 +29,15 @@ type version = {
 type t
 
 val create :
-  ?checkpoint_path:string -> ?id:int -> ?offset:int ->
-  Iflow_core.Beta_icm.t -> t
+  ?checkpoint_path:string -> ?keep:int -> ?retry:Iflow_fault.Retry.policy ->
+  ?id:int -> ?offset:int -> Iflow_core.Beta_icm.t -> t
 (** The given seed model becomes the current version — id 0 at offset 0
     unless resuming from a {!recover}ed checkpoint, whose id and offset
     continue the original numbering. When [checkpoint_path] is set,
-    {!checkpoint} writes there. *)
+    {!checkpoint} writes there, retaining [keep] total generations
+    (default 1: just the current file, no rotation) and retrying failed
+    writes per [retry] (default {!Iflow_fault.Retry.default}). Raises
+    [Invalid_argument] on negative id/offset or [keep < 1]. *)
 
 val current : t -> version
 
@@ -44,14 +55,27 @@ val swap_into : t -> Iflow_engine.Engine.t -> int
     count. *)
 
 val checkpoint : t -> unit
-(** Write the current version to [checkpoint_path] as a v2 [.bicm]
+(** Rotate the checkpoint set down one generation, then atomically
+    write the current version to [checkpoint_path] as a v3 [.bicm]
     whose header records [digest], [offset] and [version] — everything
-    {!recover} needs. No-op without a path. *)
+    {!recover} needs. Transient write failures are retried per the
+    [retry] policy; the exception of the final failed attempt
+    propagates (the rotation has already preserved the previous
+    generation, so a failed write never destroys a good checkpoint).
+    No-op without a path. Failpoints: [snapshot.checkpoint] before each
+    attempt, plus [model_io.write]/[fsync]/[rename] inside the atomic
+    write. *)
 
-val recover : string -> Iflow_core.Beta_icm.t * int * int
-(** [recover path] loads a checkpoint and returns
-    [(model, offset, version)]. Replay resumes by skipping [offset]
-    lines of the event log. Raises [Failure] if the file's digest does
-    not match its contents (corruption, or a checkpoint paired with the
-    wrong model — see {!Iflow_io.Model_io}), or if the offset/version
-    fields are missing or malformed. *)
+val recover :
+  ?on_skip:(path:string -> reason:string -> unit) ->
+  string -> Iflow_core.Beta_icm.t * int * int
+(** [recover path] loads the newest valid checkpoint of the rotated set
+    ([path], then [path.1], ...) and returns [(model, offset, version)].
+    Replay resumes by skipping [offset] lines of the event log. Damaged
+    generations (truncated, bit-flipped, digest mismatch, missing
+    offset/version fields) are reported to [on_skip] with the
+    underlying error — which names the file and byte offset of the
+    damage, see {!Iflow_io.Model_io} — counted in
+    [iflow_stream_recover_fallbacks_total], and skipped. The last
+    candidate's error propagates as-is when nothing in the set is
+    loadable. *)
