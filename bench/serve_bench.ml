@@ -1,0 +1,272 @@
+(* Serving-layer benchmark: queries/sec and latency percentiles through
+   the full network path (socket -> admission -> bounded queue ->
+   executor -> engine -> wire encode) on the paper's timing setting
+   (~6K users, ~12K edges).
+
+   Measured at 1, 8 and 64 concurrent closed-loop clients, twice per
+   level:
+   - cached: every request hits the engine's LRU, so the number is the
+     serving overhead itself (framing, queueing, scheduling);
+   - uncached: every request is a fresh (src, dst) pair and runs the
+     MCMC estimator under a light budget, so the number shows how the
+     queue multiplexes real work across clients.
+
+   Results go to BENCH_PR6.json (machine-readable, committed). --quick
+   (or IFLOW_BENCH_QUICK=1) shortens the run for CI; percentiles above
+   the per-level request count (p999 on small runs) degrade to the max,
+   which is recorded alongside. *)
+
+module Rng = Iflow_stats.Rng
+module Gen = Iflow_graph.Gen
+module Digraph = Iflow_graph.Digraph
+module Beta_icm = Iflow_core.Beta_icm
+module Generator = Iflow_core.Generator
+module Engine = Iflow_engine.Engine
+module Clock = Iflow_obs.Clock
+module Jsonl = Iflow_engine.Jsonl
+module Sockio = Iflow_serve.Sockio
+module Server = Iflow_serve.Server
+
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv
+  || Sys.getenv_opt "IFLOW_BENCH_QUICK" <> None
+
+let levels = [ 1; 8; 64 ]
+let cached_total = if quick then 1_000 else 10_000
+let uncached_total = if quick then 48 else 384
+let warm_set = 32
+
+(* fresh (src, dst) pairs: distinct counter values map to distinct
+   pairs, so "uncached" requests can never collide with each other or
+   with the warm set *)
+let pair_counter = ref 0
+
+let fresh_pair n =
+  let k = !pair_counter in
+  incr pair_counter;
+  let src = k mod n in
+  let off = 1 + (k / n mod (n - 1)) in
+  (src, (src + off) mod n)
+
+let query_line (src, dst) =
+  Printf.sprintf {|{"type":"flow","src":%d,"dst":%d}|} src dst
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let ask r fd line =
+  Sockio.write_all fd (line ^ "\n");
+  match Sockio.read_line r with
+  | Sockio.Line l -> l
+  | Sockio.Eof | Sockio.Too_long -> failwith "serve_bench: session lost"
+
+let assert_answer line =
+  match Jsonl.parse line with
+  | Ok json when Jsonl.member "estimate" json <> None -> ()
+  | Ok _ -> failwith ("serve_bench: refused: " ^ line)
+  | Error msg -> failwith ("serve_bench: bad response: " ^ msg)
+
+type level_result = {
+  clients : int;
+  requests : int;
+  qps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  max_us : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let i = int_of_float (p *. float_of_int n) in
+  sorted.(min (n - 1) i)
+
+(* closed-loop: [clients] sessions, each draining its share of [lines]
+   sequentially; per-request latency in ns, wall clock for throughput *)
+let run_level server ~clients ~lines =
+  let total = Array.length lines in
+  (* every client must have work even when clients > total requests *)
+  let per = max 1 (total / clients) in
+  let lat = Array.make (per * clients) 0 in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let go = ref false in
+  let ready = ref 0 in
+  let client i =
+    let fd = connect (Server.port server) in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let r = Sockio.reader fd in
+        Mutex.protect m (fun () ->
+            incr ready;
+            Condition.broadcast cv;
+            while not !go do
+              Condition.wait cv m
+            done);
+        for j = i * per to ((i + 1) * per) - 1 do
+          let t0 = Clock.now_ns () in
+          let line = ask r fd lines.(j) in
+          lat.(j) <- Clock.elapsed_ns t0;
+          assert_answer line
+        done)
+  in
+  let threads = List.init clients (fun i -> Thread.create client i) in
+  Mutex.protect m (fun () ->
+      while !ready < clients do
+        Condition.wait cv m
+      done);
+  let t0 = Clock.now_ns () in
+  Mutex.protect m (fun () ->
+      go := true;
+      Condition.broadcast cv);
+  List.iter Thread.join threads;
+  let wall = Clock.seconds_of_ns (Clock.elapsed_ns t0) in
+  let requests = per * clients in
+  let sorted = Array.sub lat 0 requests in
+  Array.sort compare sorted;
+  let us i = 1e-3 *. float_of_int i in
+  {
+    clients;
+    requests;
+    qps = float_of_int requests /. wall;
+    p50_us = us (percentile sorted 0.50);
+    p99_us = us (percentile sorted 0.99);
+    p999_us = us (percentile sorted 0.999);
+    max_us = us sorted.(requests - 1);
+  }
+
+let print_result label r =
+  Printf.printf
+    "  %-10s %3d clients: %8.0f q/s  p50 %9.1f us  p99 %9.1f us  p999 \
+     %9.1f us  max %9.1f us  (%d reqs)\n\
+     %!"
+    label r.clients r.qps r.p50_us r.p99_us r.p999_us r.max_us r.requests
+
+let result_json r =
+  Jsonl.Obj
+    [
+      ("requests", Jsonl.Num (float_of_int r.requests));
+      ("qps", Jsonl.Num (Float.round r.qps));
+      ("p50_us", Jsonl.Num (Float.round (r.p50_us *. 10.0) /. 10.0));
+      ("p99_us", Jsonl.Num (Float.round (r.p99_us *. 10.0) /. 10.0));
+      ("p999_us", Jsonl.Num (Float.round (r.p999_us *. 10.0) /. 10.0));
+      ("max_us", Jsonl.Num (Float.round (r.max_us *. 10.0) /. 10.0));
+    ]
+
+let () =
+  let rng = Rng.create 20120402 in
+  let g = Gen.preferential_attachment rng ~nodes:6000 ~mean_out_degree:2 in
+  let truth = Generator.retweet_ground_truth rng g in
+  let n = Digraph.n_nodes g in
+  let light =
+    {
+      Engine.default_config with
+      Engine.chains = 2;
+      burn_in = 100;
+      round_samples = 50;
+      max_samples = 100;
+      rhat_target = 10.0;
+      mcse_target = 1.0;
+    }
+  in
+  let engine = Engine.create ~config:light ~seed:42 truth in
+  let config =
+    {
+      Server.default_config with
+      Server.workers = 8;
+      queue_capacity = 256;
+      max_connections = 128;
+    }
+  in
+  let server = Server.create ~config ~engine () in
+  Server.start server;
+  Printf.printf "serve bench: %d nodes, %d edges, port %d (quick=%b)\n%!" n
+    (Digraph.n_edges g) (Server.port server) quick;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      (* warm a fixed set of queries once; cached rounds cycle over it *)
+      let warm = Array.init warm_set (fun _ -> query_line (fresh_pair n)) in
+      let fd = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let r = Sockio.reader fd in
+          Array.iter (fun line -> assert_answer (ask r fd line)) warm);
+      let measure clients =
+        let cached =
+          run_level server ~clients
+            ~lines:
+              (Array.init cached_total (fun i -> warm.(i mod warm_set)))
+        in
+        print_result "cached" cached;
+        let uncached =
+          run_level server ~clients
+            ~lines:
+              (Array.init
+                 (max uncached_total clients)
+                 (fun _ -> query_line (fresh_pair n)))
+        in
+        print_result "uncached" uncached;
+        (cached, uncached)
+      in
+      let results = List.map (fun c -> (c, measure c)) levels in
+      let s = Server.stats server in
+      if s.Server.shed_capacity > 0 || s.Server.shed_quota > 0 then
+        Printf.printf "  WARNING: %d requests shed during the bench\n%!"
+          (s.Server.shed_capacity + s.Server.shed_quota);
+      let json =
+        Jsonl.Obj
+          [
+            ("bench", Jsonl.Str "serve_latency");
+            ("pr", Jsonl.Num 6.0);
+            ("quick", Jsonl.Bool quick);
+            ( "graph",
+              Jsonl.Obj
+                [
+                  ("nodes", Jsonl.Num (float_of_int n));
+                  ("edges", Jsonl.Num (float_of_int (Digraph.n_edges g)));
+                  ("generator", Jsonl.Str "preferential_attachment");
+                  ("seed", Jsonl.Num 20120402.0);
+                ] );
+            ( "server",
+              Jsonl.Obj
+                [
+                  ("workers", Jsonl.Num (float_of_int config.Server.workers));
+                  ( "queue_capacity",
+                    Jsonl.Num (float_of_int config.Server.queue_capacity) );
+                ] );
+            ( "engine",
+              Jsonl.Obj
+                [
+                  ("chains", Jsonl.Num (float_of_int light.Engine.chains));
+                  ( "max_samples",
+                    Jsonl.Num (float_of_int light.Engine.max_samples) );
+                ] );
+            ( "note",
+              Jsonl.Str
+                "closed-loop clients over loopback TCP, JSONL dialect; \
+                 cached = all requests hit the LRU (serving overhead), \
+                 uncached = every request runs the estimator; percentiles \
+                 above the request count degrade to the max" );
+            ( "levels",
+              Jsonl.List
+                (List.map
+                   (fun (c, (cached, uncached)) ->
+                     Jsonl.Obj
+                       [
+                         ("clients", Jsonl.Num (float_of_int c));
+                         ("cached", result_json cached);
+                         ("uncached", result_json uncached);
+                       ])
+                   results) );
+          ]
+      in
+      let oc = open_out "BENCH_PR6.json" in
+      output_string oc (Bench_obs.pretty json);
+      close_out oc;
+      Printf.printf "wrote BENCH_PR6.json\n%!";
+      Bench_obs.write_metrics_out ())

@@ -7,9 +7,15 @@
      estimate          flow probability queries (incl. conditional)
      batch             answer a JSONL file of queries through the engine
      stream            maintain a live betaICM from a JSONL evidence log
+     serve             answer queries over TCP while evidence streams in
      impact            impact (dispersion) distribution of a source
-     calibrate         self-test a model with the bucket experiment *)
+     calibrate         self-test a model with the bucket experiment
+
+   Shared flag specs (seed, observability, MCMC, engine, checkpoint and
+   on-error knobs) live in Cli_config, so every subcommand parses the
+   same knob the same way. *)
 open Cmdliner
+module C = Cli_config
 module Rng = Iflow_stats.Rng
 module Digraph = Iflow_graph.Digraph
 module Gen = Iflow_graph.Gen
@@ -26,128 +32,15 @@ module Bucket = Iflow_bucket.Bucket
 module Model_io = Iflow_io.Model_io
 module Engine = Iflow_engine.Engine
 module Query = Iflow_engine.Query
+module Server = Iflow_serve.Server
+module Quota = Iflow_serve.Quota
 module Obs_log = Iflow_obs.Log
 module Obs_metrics = Iflow_obs.Metrics
 module Obs_prometheus = Iflow_obs.Prometheus
-module Obs_trace = Iflow_obs.Trace
 module Obs_clock = Iflow_obs.Clock
 open Iflow_twitter
 
-(* ----- shared options ----- *)
-
-let seed_term =
-  let doc = "Random seed (experiments are reproducible per seed)." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
-
-(* observability knobs shared by the sampling/streaming subcommands *)
-let obs_term =
-  let log_level =
-    Arg.(
-      value & opt string "warn"
-      & info [ "log-level" ]
-          ~doc:"Diagnostic verbosity on stderr: error, warn, info, or debug.")
-  in
-  let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics-out" ]
-          ~doc:
-            "Switch metrics recording on and write a Prometheus text \
-             exposition of everything recorded here on exit.")
-  in
-  let trace_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ]
-          ~doc:
-            "Write Chrome trace_event JSON here (open in chrome://tracing \
-             or Perfetto).")
-  in
-  let make log_level metrics_out trace_out = (log_level, metrics_out, trace_out) in
-  Term.(const make $ log_level $ metrics_out $ trace_out)
-
-(* Recording never perturbs estimates (no RNG involvement; pinned by a
-   regression test), so switching it on costs only the export on exit.
-   Teardown goes through [at_exit] so error paths still flush. *)
-let obs_setup (log_level, metrics_out, trace_out) =
-  (match Obs_log.level_of_string log_level with
-  | Ok l -> Obs_log.set_level l
-  | Error msg ->
-    Obs_log.err "%s" msg;
-    exit 1);
-  (match trace_out with Some path -> Obs_trace.to_file path | None -> ());
-  if metrics_out <> None then Obs_metrics.set_recording true;
-  at_exit (fun () ->
-      (match metrics_out with
-      | Some path -> (
-        try Obs_prometheus.write_file Obs_metrics.default path
-        with Sys_error msg -> Obs_log.err ~component:"obs" "%s" msg)
-      | None -> ());
-      Obs_trace.close ())
-
-(* Defaults mirror Estimator.default_config exactly — the CLI used to
-   ship its own (burn 1000, thin 10, samples 2000) and silently disagree
-   with the library. One source of truth now. *)
-let mcmc_term =
-  let d = Estimator.default_config in
-  let burn =
-    Arg.(
-      value & opt int d.Estimator.burn_in
-      & info [ "burn-in" ] ~doc:"Burn-in steps (library default).")
-  in
-  let thin =
-    Arg.(
-      value & opt int d.Estimator.thin
-      & info [ "thin" ] ~doc:"Steps between samples (library default).")
-  in
-  let samples =
-    Arg.(
-      value & opt int d.Estimator.samples
-      & info [ "samples" ] ~doc:"Retained samples per chain (library default).")
-  in
-  let make burn_in thin samples = { Estimator.burn_in; thin; samples } in
-  Term.(const make $ burn $ thin $ samples)
-
-(* engine knobs shared by `estimate` and `batch` *)
-let engine_term =
-  let chains =
-    Arg.(
-      value & opt int Engine.default_config.Engine.chains
-      & info [ "chains" ] ~doc:"Independent MH chains per query.")
-  in
-  let domains =
-    Arg.(
-      value & opt (some int) None
-      & info [ "domains" ]
-          ~doc:"Domain-pool size (default: recommended for this machine).")
-  in
-  let rhat =
-    Arg.(
-      value & opt float Engine.default_config.Engine.rhat_target
-      & info [ "rhat-target" ] ~doc:"Stop when split-R-hat falls below this.")
-  in
-  let mcse =
-    Arg.(
-      value & opt float Engine.default_config.Engine.mcse_target
-      & info [ "mcse-target" ]
-          ~doc:"... and the Monte-Carlo standard error below this.")
-  in
-  let make chains domains rhat_target mcse_target (config : Estimator.config) =
-    {
-      Engine.default_config with
-      Engine.chains;
-      domains;
-      rhat_target;
-      mcse_target;
-      burn_in = config.Estimator.burn_in;
-      thin = config.Estimator.thin;
-      round_samples = min 250 config.Estimator.samples;
-      max_samples = config.Estimator.samples * chains;
-    }
-  in
-  Term.(const make $ chains $ domains $ rhat $ mcse $ mcmc_term)
+let or_die = C.or_die
 
 (* ----- generate-model ----- *)
 
@@ -172,7 +65,7 @@ let generate_model_cmd =
   Cmd.v
     (Cmd.info "generate-model"
        ~doc:"Synthesise a random betaICM (paper Section IV-A).")
-    Term.(const generate_model $ seed_term $ nodes $ edges $ output)
+    Term.(const generate_model $ C.seed_term $ nodes $ edges $ output)
 
 (* ----- generate-corpus ----- *)
 
@@ -207,7 +100,7 @@ let generate_corpus_cmd =
   Cmd.v
     (Cmd.info "generate-corpus"
        ~doc:"Synthesise a raw tweet corpus with ground truth.")
-    Term.(const generate_corpus $ seed_term $ users $ originals $ output)
+    Term.(const generate_corpus $ C.seed_term $ users $ originals $ output)
 
 (* ----- train ----- *)
 
@@ -256,35 +149,9 @@ let train_cmd =
 
 (* ----- estimate ----- *)
 
-(* engine/config/file errors are user errors, not crashes *)
-let or_die f =
-  match f () with
-  | v -> v
-  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
-    Obs_log.err "%s" msg;
-    exit 1
-  | exception (Engine.Chains_failed _ as e) ->
-    Obs_log.err "%s" (Printexc.to_string e);
-    exit 1
-
-let condition_conv =
-  let parse s =
-    match String.split_on_char ':' s with
-    | [ u; v; a ] -> (
-      match (int_of_string_opt u, int_of_string_opt v, a) with
-      | Some u, Some v, "+" -> Ok (u, v, true)
-      | Some u, Some v, "-" -> Ok (u, v, false)
-      | _ -> Error (`Msg "expected SRC:DST:+ or SRC:DST:-"))
-    | _ -> Error (`Msg "expected SRC:DST:+ or SRC:DST:-")
-  in
-  let print ppf (u, v, a) =
-    Format.fprintf ppf "%d:%d:%s" u v (if a then "+" else "-")
-  in
-  Arg.conv (parse, print)
-
 let estimate seed model_path src dst conditions engine_config config nested
     deadline delay_mean obs =
-  obs_setup obs;
+  C.obs_setup obs;
   let rng = Rng.create seed in
   let model = Model_io.load_beta_icm model_path in
   let icm = Beta_icm.expected_icm model in
@@ -325,12 +192,6 @@ let estimate seed model_path src dst conditions engine_config config nested
       dst deadline delay_mean p
 
 let estimate_cmd =
-  let model =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "model" ] ~doc:"betaICM file.")
-  in
   let src =
     Arg.(required & opt (some int) None & info [ "src" ] ~doc:"Source node.")
   in
@@ -339,7 +200,7 @@ let estimate_cmd =
   in
   let conditions =
     Arg.(
-      value & opt_all condition_conv []
+      value & opt_all C.condition_conv []
       & info [ "c"; "condition" ]
           ~doc:
             "Flow condition SRC:DST:+ (flow known present) or SRC:DST:- \
@@ -372,13 +233,14 @@ let estimate_cmd =
          "Estimate a (conditional) flow probability with multi-chain \
           Metropolis-Hastings sampling and convergence diagnostics.")
     Term.(
-      const estimate $ seed_term $ model $ src $ dst $ conditions
-      $ engine_term $ mcmc_term $ nested $ deadline $ delay_mean $ obs_term)
+      const estimate $ C.seed_term $ C.model_required $ src $ dst $ conditions
+      $ C.engine_term $ C.mcmc_term $ nested $ deadline $ delay_mean
+      $ C.obs_term)
 
 (* ----- batch ----- *)
 
 let batch seed model_path queries_path engine_config obs =
-  obs_setup obs;
+  C.obs_setup obs;
   let model = Model_io.load_beta_icm model_path in
   let icm = Beta_icm.expected_icm model in
   let engine = or_die (fun () -> Engine.create ~config:engine_config ~seed icm) in
@@ -399,10 +261,10 @@ let batch seed model_path queries_path engine_config obs =
       (fun (lineno, line) ->
         if String.trim line = "" then None
         else
-          match Query.of_line line with
+          match Query.of_line ~lineno line with
           | Ok q -> Some q
           | Error msg ->
-            Obs_log.err ~component:"batch" "%s:%d: %s" queries_path lineno msg;
+            Obs_log.err ~component:"batch" "%s: %s" queries_path msg;
             exit 1)
       lines
   in
@@ -425,12 +287,6 @@ let batch seed model_path queries_path engine_config obs =
     (Engine.pool_size engine) Iflow_engine.Lru.pp_stats stats
 
 let batch_cmd =
-  let model =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "model" ] ~doc:"betaICM file.")
-  in
   let queries =
     Arg.(
       required
@@ -450,52 +306,25 @@ let batch_cmd =
           engine: multi-chain MH per query, adaptive stopping on R-hat and \
           MCSE, deduplication and an LRU result cache. Emits TSV with \
           diagnostics columns.")
-    Term.(const batch $ seed_term $ model $ queries $ engine_term $ obs_term)
+    Term.(
+      const batch $ C.seed_term $ C.model_required $ queries $ C.engine_term
+      $ C.obs_term)
 
 (* ----- stream ----- *)
 
-(* exit 3 is reserved for --max-quarantine-rate violations, so scripts
-   can tell "stream is garbage" from ordinary failures (exit 1) *)
-let exit_quarantine = 3
-
-let stream seed model_path resume events_path batch checkpoint checkpoint_every
-    keep_checkpoints on_error max_quarantine_rate forget drift_window
-    drift_delta drift_report probes output metrics_every obs =
-  obs_setup obs;
-  let _, metrics_out, _ = obs in
-  let model, skip, version =
-    match (resume, model_path) with
-    | Some ckpt, _ ->
-      let model, offset, version =
-        or_die (fun () ->
-            Iflow_stream.Snapshot.recover
-              ~on_skip:(fun ~path ~reason ->
-                Obs_log.warn ~component:"stream"
-                  "skipping damaged checkpoint %s: %s" path reason)
-              ckpt)
-      in
-      Obs_log.info ~component:"stream" "resuming from %s: version %d at offset %d"
-        ckpt version offset;
-      (model, offset, version)
-    | None, Some path -> (or_die (fun () -> Model_io.load_beta_icm path), 0, 0)
-    | None, None ->
-      Obs_log.err ~component:"stream" "provide --model or --resume";
-      exit 1
-  in
-  let drift =
-    {
-      Iflow_stream.Drift.default_config with
-      window = drift_window;
-      delta = drift_delta;
-    }
-  in
+let stream seed learner events_path drift_report quarantine_report probes
+    output metrics_every obs =
+  C.obs_setup obs;
+  let model, skip, version = C.load_initial ~component:"stream" learner in
   let online =
-    or_die (fun () -> Iflow_stream.Online.create ~forget ~drift model)
+    or_die (fun () ->
+        Iflow_stream.Online.create ~forget:learner.C.forget
+          ~drift:(C.drift_config learner) model)
   in
   let snapshot =
     or_die (fun () ->
-        Iflow_stream.Snapshot.create ?checkpoint_path:checkpoint
-          ~keep:keep_checkpoints ~id:version ~offset:skip model)
+        Iflow_stream.Snapshot.create ?checkpoint_path:learner.C.checkpoint
+          ~keep:learner.C.keep_checkpoints ~id:version ~offset:skip model)
   in
   let engine =
     (* only pay for an engine when there is something to serve *)
@@ -527,12 +356,12 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
   let publishes = ref 0 in
   let on_publish v =
     answer_probes v;
-    (match (metrics_out, metrics_every) with
+    match (obs.C.metrics_out, metrics_every) with
     | Some path, Some every ->
       incr publishes;
       if !publishes mod every = 0 then
         Obs_prometheus.write_file Obs_metrics.default path
-    | _ -> ())
+    | _ -> ()
   in
   let ic, close =
     if events_path = "-" then (stdin, fun () -> ())
@@ -543,7 +372,7 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
   let report =
     Fun.protect ~finally:close (fun () ->
         or_die (fun () ->
-            Iflow_stream.Runner.run ?engine ~skip ~on_error
+            Iflow_stream.Runner.run ?engine ~skip ~on_error:learner.C.on_error
               ~on_degraded:(fun ~stage e ->
                 Obs_log.warn ~component:"stream" "degraded (%s): %s" stage
                   (Printexc.to_string e))
@@ -551,8 +380,15 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
                 if drift_report then
                   Obs_log.warn ~component:"drift" "%a"
                     Iflow_stream.Drift.pp_alert a)
+              ~on_quarantine:(fun ~line ~reason ->
+                if quarantine_report then
+                  Obs_log.warn ~component:"stream" "%s:%d: quarantined: %s"
+                    events_path line reason)
               ~on_publish
-              { Iflow_stream.Runner.batch; checkpoint_every }
+              {
+                Iflow_stream.Runner.batch = learner.C.batch;
+                checkpoint_every = learner.C.checkpoint_every;
+              }
               online snapshot
               (Iflow_stream.Runner.lines_of_channel ic)))
   in
@@ -574,147 +410,35 @@ let stream seed model_path resume events_path batch checkpoint checkpoint_every
       Iflow_engine.Lru.pp_stats (Engine.cache_stats e)
   | None -> ());
   Obs_log.info ~component:"stream" "%a" Iflow_stream.Runner.pp_report report;
-  match max_quarantine_rate with
-  | None -> ()
-  | Some limit ->
-    let s = report.Iflow_stream.Runner.stats in
-    let quarantined = Iflow_stream.Online.quarantined s in
-    let rate =
-      if s.Iflow_stream.Online.applied = 0 then
-        if quarantined = 0 then 0.0 else Float.infinity
-      else float_of_int quarantined /. float_of_int s.Iflow_stream.Online.applied
-    in
-    if rate > limit then begin
-      Obs_log.err ~component:"stream"
-        "quarantine rate %.4f (%d quarantined / %d applied) exceeds limit %.4f"
-        rate quarantined s.Iflow_stream.Online.applied limit;
-      exit exit_quarantine
-    end
+  C.check_quarantine_rate ~component:"stream" learner
+    report.Iflow_stream.Runner.stats
+
+let events_term =
+  Arg.(
+    value & opt string "-"
+    & info [ "events" ]
+        ~doc:
+          "Append-only JSONL event log (attributed / trace evidence and \
+           add_nodes / add_edges / remove_edges graph changes); '-' reads \
+           stdin.")
+
+let drift_report_term =
+  Arg.(
+    value & flag
+    & info [ "drift-report" ] ~doc:"Print every drift alert as it fires.")
+
+let quarantine_report_term =
+  Arg.(
+    value & flag
+    & info [ "quarantine-report" ]
+        ~doc:
+          "Print every quarantined evidence line (with its line number and \
+           reason) as it is rejected.")
 
 let stream_cmd =
-  let model =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "model" ] ~doc:"Initial betaICM (e.g. the untrained prior).")
-  in
-  let resume =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "resume" ]
-          ~doc:
-            "Resume from a streaming checkpoint: load the model and skip \
-             the event-log lines it already absorbed. Digest mismatches \
-             fail loudly.")
-  in
-  let events =
-    Arg.(
-      value & opt string "-"
-      & info [ "events" ]
-          ~doc:
-            "Append-only JSONL event log (attributed / trace evidence and \
-             add_nodes / add_edges / remove_edges graph changes); '-' reads \
-             stdin.")
-  in
-  let batch =
-    Arg.(
-      value & opt int Iflow_stream.Runner.default_config.Iflow_stream.Runner.batch
-      & info [ "batch" ]
-          ~doc:"Applied events per published model version (and swap).")
-  in
-  let checkpoint =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "checkpoint" ] ~doc:"Checkpoint file to write periodically.")
-  in
-  let checkpoint_every =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "checkpoint-every" ]
-          ~doc:"Event-log lines between checkpoints (requires --checkpoint).")
-  in
-  let keep_checkpoints =
-    Arg.(
-      value & opt int 1
-      & info [ "keep-checkpoints" ]
-          ~doc:
-            "Rotated checkpoint generations to retain (FILE, FILE.1, ...). \
-             --resume falls back to the newest generation that still loads \
-             and verifies, so a crash mid-write costs one interval of \
-             replay, not the run.")
-  in
-  let on_error =
-    let policy_conv =
-      Arg.enum
-        [
-          ("fail", Iflow_stream.Runner.Fail_fast);
-          ("skip", Iflow_stream.Runner.Skip_line);
-          ("retry", Iflow_stream.Runner.Retry_reads Iflow_fault.Retry.default);
-        ]
-    in
-    Arg.(
-      value & opt policy_conv Iflow_stream.Runner.Fail_fast
-      & info [ "on-error" ]
-          ~doc:
-            "What to do when reading the event source fails: 'fail' stops \
-             the run, 'skip' drops the read and continues (up to 100 \
-             consecutive failures), 'retry' retries the read with \
-             exponential backoff before failing.")
-  in
-  let max_quarantine_rate =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "max-quarantine-rate" ]
-          ~doc:
-            "Exit with status 3 when quarantined/applied exceeds this rate \
-             at end of stream — the ingest ran, but the evidence looks \
-             wrong.")
-  in
-  let forget =
-    Arg.(
-      value & opt float 0.0
-      & info [ "forget" ]
-          ~doc:
-            "Exponential forgetting factor per published batch, in [0, 1): \
-             pseudo-counts are scaled by (1 - lambda) so old evidence fades \
-             on non-stationary streams. 0 disables.")
-  in
-  let drift_window =
-    Arg.(
-      value
-      & opt int Iflow_stream.Drift.default_config.Iflow_stream.Drift.window
-      & info [ "drift-window" ] ~doc:"Per-edge trials per drift-test window.")
-  in
-  let drift_delta =
-    Arg.(
-      value
-      & opt float Iflow_stream.Drift.default_config.Iflow_stream.Drift.delta
-      & info [ "drift-delta" ]
-          ~doc:"Significance of the Hoeffding drift test (smaller = stricter).")
-  in
-  let drift_report =
-    Arg.(
-      value & flag
-      & info [ "drift-report" ] ~doc:"Print every drift alert as it fires.")
-  in
-  let probe_conv =
-    let parse s =
-      match String.split_on_char ':' s with
-      | [ u; v ] -> (
-        match (int_of_string_opt u, int_of_string_opt v) with
-        | Some u, Some v -> Ok (u, v)
-        | _ -> Error (`Msg "expected SRC:DST"))
-      | _ -> Error (`Msg "expected SRC:DST")
-    in
-    Arg.conv (parse, fun ppf (u, v) -> Format.fprintf ppf "%d:%d" u v)
-  in
   let probes =
     Arg.(
-      value & opt_all probe_conv []
+      value & opt_all C.probe_conv []
       & info [ "probe" ]
           ~doc:
             "Flow query SRC:DST answered through the engine after every \
@@ -745,10 +469,170 @@ let stream_cmd =
           versioned checkpoints with replay-from-offset recovery, and \
           hot-swap of each published version into the query engine.")
     Term.(
-      const stream $ seed_term $ model $ resume $ events $ batch $ checkpoint
-      $ checkpoint_every $ keep_checkpoints $ on_error $ max_quarantine_rate
-      $ forget $ drift_window $ drift_delta $ drift_report $ probes $ output
-      $ metrics_every $ obs_term)
+      const stream $ C.seed_term $ C.learner_term $ events_term
+      $ drift_report_term $ quarantine_report_term $ probes $ output
+      $ metrics_every $ C.obs_term)
+
+(* ----- serve ----- *)
+
+let serve seed host port workers queue_capacity max_connections quota_rate
+    quota_burst learner engine_config obs =
+  C.obs_setup obs;
+  (* Graceful shutdown via sigwait: with every thread parked in a
+     blocking section (accept, condition waits), an ordinary
+     Signal_handle never gets a safepoint to run on. Mask the signals
+     before any thread spawns (they inherit the mask), then park one
+     dedicated thread in Thread.wait_signal. *)
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
+  let model, skip, version = C.load_initial ~component:"serve" learner in
+  ignore skip;
+  let engine =
+    or_die (fun () ->
+        Engine.create ~config:engine_config ~seed
+          (Beta_icm.expected_icm model))
+  in
+  let quota =
+    Option.map (fun rate -> { Quota.rate; burst = quota_burst }) quota_rate
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.host;
+      port;
+      workers;
+      queue_capacity;
+      max_connections;
+      quota;
+    }
+  in
+  let server =
+    or_die (fun () -> Server.create ~config ~initial_version:version ~engine ())
+  in
+  let online =
+    or_die (fun () ->
+        Iflow_stream.Online.create ~forget:learner.C.forget
+          ~drift:(C.drift_config learner) model)
+  in
+  (* the network stream has no replayable prefix: evidence offsets (and
+     checkpoints) restart at 0 even when --resume carried one over *)
+  let snapshot =
+    or_die (fun () ->
+        Iflow_stream.Snapshot.create ?checkpoint_path:learner.C.checkpoint
+          ~keep:learner.C.keep_checkpoints ~id:version ~offset:0 model)
+  in
+  let learner_report = ref None in
+  let learner_thread =
+    Thread.create
+      (fun () ->
+        match
+          Iflow_stream.Runner.run ~engine ~on_error:learner.C.on_error
+            ~on_degraded:(fun ~stage e -> Server.note_degraded server ~stage e)
+            ~on_publish:(Server.on_publish server)
+            ~on_quarantine:(fun ~line ~reason ->
+              Obs_log.warn ~component:"serve"
+                "evidence line %d quarantined: %s" line reason)
+            {
+              Iflow_stream.Runner.batch = learner.C.batch;
+              checkpoint_every = learner.C.checkpoint_every;
+            }
+            online snapshot
+            (Server.ingest_source server)
+        with
+        | report -> learner_report := Some report
+        | exception e ->
+          Obs_log.err ~component:"serve" "learner failed: %s"
+            (Printexc.to_string e))
+      ()
+  in
+  or_die (fun () -> Server.start server);
+  Printf.printf "infoflow serve: listening on %s:%d (model version %d)\n%!"
+    host (Server.port server) version;
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        let signal = Thread.wait_signal [ Sys.sigint; Sys.sigterm ] in
+        Obs_log.info ~component:"serve" "signal %d: shutting down" signal;
+        Server.stop server)
+      ()
+  in
+  Server.wait server;
+  Thread.join learner_thread;
+  let s = Server.stats server in
+  Obs_log.info ~component:"serve"
+    "served %d connections: %d requests, %d answered, %d shed (%d capacity, \
+     %d quota), %d bad, %d engine errors, %d evidence lines"
+    s.Server.connections s.Server.requests s.Server.answered
+    (s.Server.shed_capacity + s.Server.shed_quota)
+    s.Server.shed_capacity s.Server.shed_quota s.Server.bad_requests
+    s.Server.engine_errors s.Server.evidence_lines;
+  match !learner_report with
+  | Some report ->
+    Obs_log.info ~component:"serve" "%a" Iflow_stream.Runner.pp_report report;
+    C.check_quarantine_rate ~component:"serve" learner
+      report.Iflow_stream.Runner.stats
+  | None -> ()
+
+let serve_cmd =
+  let host =
+    Arg.(
+      value & opt string Server.default_config.Server.host
+      & info [ "host" ] ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7411
+      & info [ "port" ]
+          ~doc:"TCP port; 0 picks an ephemeral one (printed on startup).")
+  in
+  let workers =
+    Arg.(
+      value & opt int Server.default_config.Server.workers
+      & info [ "workers" ]
+          ~doc:"Executor threads draining the request queue.")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int Server.default_config.Server.queue_capacity
+      & info [ "queue-capacity" ]
+          ~doc:
+            "Bounded request-queue size; requests beyond it are shed \
+             immediately with an over_capacity response.")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int Server.default_config.Server.max_connections
+      & info [ "max-connections" ]
+          ~doc:"Concurrent connections before shedding at accept time.")
+  in
+  let quota_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quota-rate" ]
+          ~doc:
+            "Per-tenant sustained queries/second (token-bucket refill \
+             rate); unset disables quotas.")
+  in
+  let quota_burst =
+    Arg.(
+      value & opt float Quota.default_config.Quota.burst
+      & info [ "quota-burst" ]
+          ~doc:"Per-tenant burst size (token-bucket capacity).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve flow queries over TCP (raw JSONL sessions or HTTP POST \
+          /query) while JSONL evidence posted to /evidence streams through \
+          the online learner and hot-swaps model versions under live \
+          traffic. Admission control: bounded request queue with typed \
+          over_capacity shedding, optional per-tenant token-bucket quotas \
+          (X-Tenant header / \"tenant\" field). GET /metrics and /healthz \
+          expose the iflow_serve_* registry live.")
+    Term.(
+      const serve $ C.seed_term $ host $ port $ workers $ queue_capacity
+      $ max_connections $ quota_rate $ quota_burst $ C.learner_term
+      $ C.engine_term $ C.obs_term)
 
 (* ----- impact ----- *)
 
@@ -769,19 +653,13 @@ let impact seed model_path src config =
     (D.histogram ~lo:0.0 ~hi ~bins:(min 15 (int_of_float hi + 1)) floats)
 
 let impact_cmd =
-  let model =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "model" ] ~doc:"betaICM file.")
-  in
   let src =
     Arg.(required & opt (some int) None & info [ "src" ] ~doc:"Source node.")
   in
   Cmd.v
     (Cmd.info "impact"
        ~doc:"Sample the impact (number of reached nodes) distribution.")
-    Term.(const impact $ seed_term $ model $ src $ mcmc_term)
+    Term.(const impact $ C.seed_term $ C.model_required $ src $ C.mcmc_term)
 
 (* ----- train-unattributed ----- *)
 
@@ -893,12 +771,6 @@ let seeds seed model_path k runs =
     (Beta_icm.n_nodes model)
 
 let seeds_cmd =
-  let model =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "model" ] ~doc:"betaICM file.")
-  in
   let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Seed-set size.") in
   let runs =
     Arg.(
@@ -909,7 +781,7 @@ let seeds_cmd =
     (Cmd.info "seeds"
        ~doc:
          "Pick a seed set maximising expected spread (lazy greedy / CELF).")
-    Term.(const seeds $ seed_term $ model $ k $ runs)
+    Term.(const seeds $ C.seed_term $ C.model_required $ k $ runs)
 
 (* ----- calibrate ----- *)
 
@@ -937,12 +809,6 @@ let calibrate seed model_path trials config =
   Format.printf "%a@.%a@." Bucket.pp bucket Bucket.pp_summary bucket
 
 let calibrate_cmd =
-  let model =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "model" ] ~doc:"betaICM file.")
-  in
   let trials =
     Arg.(
       value & opt int 300
@@ -954,7 +820,7 @@ let calibrate_cmd =
          "Self-test a betaICM with the paper's bucket experiment: sample \
           outcomes from the model itself and check the estimator's \
           calibration.")
-    Term.(const calibrate $ seed_term $ model $ trials $ mcmc_term)
+    Term.(const calibrate $ C.seed_term $ C.model_required $ trials $ C.mcmc_term)
 
 (* ----- metrics ----- *)
 
@@ -979,12 +845,6 @@ let metrics seed model_path src dst engine_config json =
      else Obs_prometheus.to_string Obs_metrics.default)
 
 let metrics_cmd =
-  let model =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "model" ] ~doc:"betaICM file.")
-  in
   let src =
     Arg.(value & opt int 0 & info [ "src" ] ~doc:"Probe query source node.")
   in
@@ -1003,7 +863,9 @@ let metrics_cmd =
          "Run one probe flow query with metrics recording on and print the \
           resulting registry snapshot (Prometheus text exposition by \
           default) to stdout — a smoke test of the observability layer.")
-    Term.(const metrics $ seed_term $ model $ src $ dst $ engine_term $ json)
+    Term.(
+      const metrics $ C.seed_term $ C.model_required $ src $ dst
+      $ C.engine_term $ json)
 
 (* ----- prom-check ----- *)
 
@@ -1049,5 +911,6 @@ let () =
           [
             generate_model_cmd; generate_corpus_cmd; train_cmd;
             train_unattributed_cmd; estimate_cmd; batch_cmd; stream_cmd;
-            impact_cmd; seeds_cmd; calibrate_cmd; metrics_cmd; prom_check_cmd;
+            serve_cmd; impact_cmd; seeds_cmd; calibrate_cmd; metrics_cmd;
+            prom_check_cmd;
           ]))

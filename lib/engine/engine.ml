@@ -106,6 +106,7 @@ type result = {
   total_samples : int;
   chains_used : int;
   cached : bool;
+  model_digest : string;
 }
 
 exception
@@ -134,6 +135,9 @@ type t = {
   cache : (string, result) Lru.t;
   seed : int;
   mutable lru_flushed : Lru.stats; (* already exported to the registry *)
+  lock : Mutex.t;
+      (* guards [icm]/[digest]/[cache]/[lru_flushed]; never held while
+         sampling, so concurrent callers only serialise on the cache *)
 }
 
 (* [Lru] keeps its own lifetime counters; re-export their growth since
@@ -165,27 +169,35 @@ let create ?(config = default_config) ~seed icm =
     cache = Lru.create config.cache_capacity;
     seed;
     lru_flushed = { Lru.hits = 0; misses = 0; evictions = 0; entries = 0 };
+    lock = Mutex.create ();
   }
 
-let icm t = t.icm
-let digest t = t.digest
+let locked t f = Mutex.protect t.lock f
+
+let icm t = locked t (fun () -> t.icm)
+let digest t = locked t (fun () -> t.digest)
 let config t = t.config
 let pool_size t = Pool.size t.pool
-let cache_stats t = Lru.stats t.cache
+let cache_stats t = locked t (fun () -> Lru.stats t.cache)
 
-let cache_key t q =
+(* a query pins the (model, digest) pair it sees at entry: everything
+   downstream — seed derivation, cache key, sampling — uses the
+   captured pair, so a [swap] landing mid-query can never mix two model
+   versions inside one answer *)
+let capture t = locked t (fun () -> (t.icm, t.digest))
+
+let cache_key t ~digest q =
   (* (model digest, query, conditions, config, seed): conditions are
      part of Query.key *)
-  Printf.sprintf "%s/%s/%d/%s" t.digest (config_key t.config) t.seed
-    (Query.key q)
+  Printf.sprintf "%s/%s/%d/%s" digest (config_key t.config) t.seed (Query.key q)
 
 (* Per-query seed derived from (engine seed, model, query), so results
    are independent of the order queries arrive in — a cached result and
    a recomputed one can never disagree. *)
-let query_seed t q =
+let query_seed t ~digest q =
   let fp = Fingerprint.create () in
   Fingerprint.add_int fp t.seed;
-  Fingerprint.add_string fp t.digest;
+  Fingerprint.add_string fp digest;
   Fingerprint.add_string fp (Query.key q);
   Fingerprint.to_seed fp
 
@@ -205,20 +217,17 @@ let buffer_push b x =
 
 let buffer_contents b = Array.sub b.data 0 b.len
 
-let run_query t q =
+let run_query t ~icm ~digest q =
   Trace.with_span "engine.query" ~args:[ ("key", Trace.Str (Query.key q)) ]
   @@ fun () ->
   let t0 = if Metrics.recording () then Clock.now_ns () else 0 in
-  (* capture the model once: a query runs to completion against the
-     version current when it started, even if a [swap] lands meanwhile *)
-  let icm = t.icm in
   if Query.max_node q >= Icm.n_nodes icm then
     invalid_arg
       (Printf.sprintf "Engine: query %s references node >= %d" (Query.key q)
          (Icm.n_nodes icm));
   let c = t.config in
   let conditions = Conditions.v (Query.conditions q) in
-  let qrng = Rng.create (query_seed t q) in
+  let qrng = Rng.create (query_seed t ~digest q) in
   (* chain RNGs are fixed up front, so losing chain i to a fault never
      perturbs the draws of the survivors *)
   let chain_rngs = Array.init c.chains (fun _ -> Rng.split qrng) in
@@ -324,36 +333,44 @@ let run_query t q =
     total_samples = s.Diagnostics.n_total;
     chains_used;
     cached = false;
+    model_digest = digest;
   }
 
-let invalidate t ~digest =
+let invalidate_locked t ~digest =
   let prefix = digest ^ "/" in
   let plen = String.length prefix in
   Lru.evict_where t.cache (fun key ->
       String.length key >= plen && String.sub key 0 plen = prefix)
 
+let invalidate t ~digest = locked t (fun () -> invalidate_locked t ~digest)
+
 let swap t icm =
-  let retired = t.digest in
-  t.icm <- icm;
-  t.digest <- icm_digest icm;
-  let evicted = if t.digest = retired then 0 else invalidate t ~digest:retired in
-  sync_cache_metrics t;
-  evicted
+  locked t (fun () ->
+      let retired = t.digest in
+      t.icm <- icm;
+      t.digest <- icm_digest icm;
+      let evicted =
+        if t.digest = retired then 0 else invalidate_locked t ~digest:retired
+      in
+      sync_cache_metrics t;
+      evicted)
 
 let query t q =
   Metrics.inc m_queries;
-  let key = cache_key t q in
+  let icm, digest = capture t in
+  let key = cache_key t ~digest q in
   let r =
-    match Lru.find t.cache key with
+    match locked t (fun () -> Lru.find t.cache key) with
     | Some r -> { r with cached = true }
     | None ->
-      let r = run_query t q in
+      let r = run_query t ~icm ~digest q in
       (* a degraded answer reflects a transient fault, not the model:
          don't let it outlive the fault in the cache *)
-      if r.chains_used = t.config.chains then Lru.add t.cache key r;
+      if r.chains_used = t.config.chains then
+        locked t (fun () -> Lru.add t.cache key r);
       r
   in
-  sync_cache_metrics t;
+  locked t (fun () -> sync_cache_metrics t);
   r
 
 let query_all t qs =
@@ -368,11 +385,12 @@ let query_all t qs =
     List.map
       (fun q ->
         Metrics.inc m_queries;
-        let key = cache_key t q in
+        let icm, digest = capture t in
+        let key = cache_key t ~digest q in
         match Hashtbl.find_opt results key with
         | Some r -> { r with cached = true }
         | None ->
-          let r = run_query t q in
+          let r = run_query t ~icm ~digest q in
           if r.chains_used = t.config.chains then Hashtbl.replace results key r;
           r)
       qs

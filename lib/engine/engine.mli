@@ -15,8 +15,15 @@
     identical across runs, across query arrival orders, and across pool
     sizes — the domain count changes wall-clock time only.
 
-    An engine value is intended to be driven from one domain (the cache
-    is not thread-safe); the parallelism lives {e inside} [query]. *)
+    {b Thread safety.} An engine value may be driven by concurrent
+    callers (threads or domains): the cache and the current
+    (model, digest) pair sit behind one internal mutex, held only for
+    cache probes and swaps, never while sampling. Each query pins the
+    (model, digest) pair it sees at entry, so a {!swap} landing
+    mid-query never mixes model versions inside one answer — the
+    serving layer leans on exactly this to keep answering during
+    hot-swaps. Determinism is unaffected: per-query seeds depend only
+    on (engine seed, model digest, query), not on interleaving. *)
 
 type config = {
   chains : int;          (** independent MH chains per query *)
@@ -45,6 +52,9 @@ type result = {
                              below [config.chains] marks a degraded
                              answer (some chains were lost to faults) *)
   cached : bool;         (** served from the cache without sampling *)
+  model_digest : string;
+      (** digest of the model version this answer was computed against
+          — the serving layer maps it back to a published version id *)
 }
 
 exception

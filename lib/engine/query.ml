@@ -181,6 +181,11 @@ let of_json json =
   | q -> Ok q
   | exception Invalid_argument msg -> Error msg
 
-let of_line line =
-  let* json = Jsonl.parse line in
-  of_json json
+let of_line ?lineno line =
+  let r =
+    let* json = Jsonl.parse line in
+    of_json json
+  in
+  match (r, lineno) with
+  | Error msg, Some n -> Error (Printf.sprintf "line %d: %s" n msg)
+  | _ -> r

@@ -60,5 +60,9 @@ val of_json : Jsonl.value -> (t, string) result
     Any form takes an optional ["conditions"] field, a list of
     [[src, dst, sign]] with sign [true]/[false] or ["+"]/["-"]. *)
 
-val of_line : string -> (t, string) result
-(** [of_json] composed with {!Jsonl.parse} — one JSONL line. *)
+val of_line : ?lineno:int -> string -> (t, string) result
+(** [of_json] composed with {!Jsonl.parse} — one JSONL line. Parse
+    errors carry the byte offset of the damage within the line; when
+    [lineno] is given, errors are prefixed with ["line N: "] so a
+    quarantine report traces straight back to the offending input
+    line. *)

@@ -1,0 +1,94 @@
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type parse = Request of request | Malformed of string | Overflow of string
+
+let verbs = [ "GET"; "POST"; "HEAD"; "PUT"; "DELETE"; "OPTIONS"; "PATCH" ]
+
+let is_http_verb line =
+  List.exists
+    (fun v ->
+      let n = String.length v in
+      String.length line > n
+      && String.sub line 0 n = v
+      && line.[n] = ' ')
+    verbs
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c -> Printf.sprintf "Status %d" c
+
+let read_request ?(max_headers = 100) ?(max_body_bytes = 8 lsl 20) r
+    ~first_line =
+  match String.split_on_char ' ' first_line with
+  | [ meth; path; _version ] -> (
+    let rec read_headers acc n =
+      if n > max_headers then Error (Overflow "too many header lines")
+      else
+        match Sockio.read_line r with
+        | Sockio.Eof -> Error (Malformed "connection closed mid-headers")
+        | Sockio.Too_long -> Error (Overflow "header line too long")
+        | Sockio.Line "" -> Ok (List.rev acc)
+        | Sockio.Line h -> (
+          match String.index_opt h ':' with
+          | None -> Error (Malformed (Printf.sprintf "malformed header %S" h))
+          | Some i ->
+            let name = String.lowercase_ascii (String.sub h 0 i) in
+            let value =
+              String.trim (String.sub h (i + 1) (String.length h - i - 1))
+            in
+            read_headers ((name, value) :: acc) (n + 1))
+    in
+    match read_headers [] 0 with
+    | Error e -> e
+    | Ok headers -> (
+      let content_length =
+        match List.assoc_opt "content-length" headers with
+        | None -> Ok 0
+        | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n when n >= 0 -> Ok n
+          | _ -> Error (Malformed (Printf.sprintf "bad Content-Length %S" v)))
+      in
+      match content_length with
+      | Error e -> e
+      | Ok n when n > max_body_bytes ->
+        Overflow (Printf.sprintf "body of %d bytes exceeds limit" n)
+      | Ok n -> (
+        match if n = 0 then Some "" else Sockio.read_exactly r n with
+        | None -> Malformed "connection closed mid-body"
+        | Some body ->
+          Request { meth = String.uppercase_ascii meth; path; headers; body })))
+  | _ -> Malformed (Printf.sprintf "malformed request line %S" first_line)
+
+let response ?(headers = []) ?(content_type = "application/json") ~status body =
+  let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b

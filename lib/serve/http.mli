@@ -1,0 +1,44 @@
+(** Just enough HTTP/1.1 for the serving endpoints.
+
+    The server is not a general web server: it accepts one request per
+    connection (responses carry [Connection: close]), reads bodies by
+    [Content-Length] only, and bounds both header and body sizes. The
+    full HTTP surface is four routes ([POST /query],
+    [POST /evidence], [GET /metrics], [GET /healthz]); everything
+    richer speaks the raw JSONL dialect instead. *)
+
+type request = {
+  meth : string;                      (** uppercased, e.g. ["POST"] *)
+  path : string;                      (** as sent, query string included *)
+  headers : (string * string) list;   (** names lowercased *)
+  body : string;
+}
+
+type parse =
+  | Request of request
+  | Malformed of string   (** answer 400 and close *)
+  | Overflow of string    (** answer 431/413 and close *)
+
+val read_request :
+  ?max_headers:int -> ?max_body_bytes:int -> Sockio.reader ->
+  first_line:string -> parse
+(** Parse a request whose request-line, already consumed by the
+    protocol sniffer, is [first_line]; reads headers and body from the
+    reader. Defaults: 100 header lines, 8 MiB body. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val is_http_verb : string -> bool
+(** Does this first line look like an HTTP request-line? (The protocol
+    sniff: anything else is treated as a JSONL query line.) *)
+
+val response :
+  ?headers:(string * string) list -> ?content_type:string ->
+  status:int -> string -> string
+(** Serialise a full response (status line, headers, [Content-Length],
+    [Connection: close], body). *)
+
+val reason : int -> string
+(** Canonical reason phrase ([200 -> "OK"], [429 -> "Too Many
+    Requests"], ...). *)

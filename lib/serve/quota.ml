@@ -1,0 +1,62 @@
+type config = { rate : float; burst : float }
+
+let default_config = { rate = 100.0; burst = 200.0 }
+
+type decision = Granted | Denied of { retry_after_ns : int }
+
+type bucket = { mutable tokens : float; mutable last_ns : int }
+
+type t = {
+  config : config;
+  buckets : (string, bucket) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create config =
+  if not (config.rate > 0.0) then
+    invalid_arg "Quota.create: rate must be > 0";
+  if not (config.burst >= 1.0) then
+    invalid_arg "Quota.create: burst must be >= 1";
+  { config; buckets = Hashtbl.create 64; lock = Mutex.create () }
+
+let refill t b ~now_ns =
+  (* monotonic input assumed; clamp regardless so a caller mixing clock
+     sources cannot mint tokens from a negative interval *)
+  let dt_ns = max 0 (now_ns - b.last_ns) in
+  b.tokens <-
+    Float.min t.config.burst
+      (b.tokens +. (float_of_int dt_ns *. 1e-9 *. t.config.rate));
+  b.last_ns <- now_ns
+
+let bucket t ~now_ns tenant =
+  match Hashtbl.find_opt t.buckets tenant with
+  | Some b -> b
+  | None ->
+    let b = { tokens = t.config.burst; last_ns = now_ns } in
+    Hashtbl.add t.buckets tenant b;
+    b
+
+let admit t ~now_ns ~tenant =
+  Mutex.protect t.lock (fun () ->
+      let b = bucket t ~now_ns tenant in
+      refill t b ~now_ns;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        Granted
+      end
+      else
+        Denied
+          {
+            retry_after_ns =
+              int_of_float (Float.ceil ((1.0 -. b.tokens) /. t.config.rate *. 1e9));
+          })
+
+let tenants t = Mutex.protect t.lock (fun () -> Hashtbl.length t.buckets)
+
+let tokens t ~now_ns ~tenant =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.buckets tenant with
+      | None -> t.config.burst
+      | Some b ->
+        refill t b ~now_ns;
+        b.tokens)

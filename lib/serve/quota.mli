@@ -1,0 +1,41 @@
+(** Per-tenant token-bucket quotas.
+
+    Each tenant (the [X-Tenant] header or ["tenant"] field of a
+    request) owns one bucket holding at most [burst] tokens, refilled
+    continuously at [rate] tokens per second; a request costs one token
+    and is denied — with a retry hint — when the bucket is dry. Buckets
+    are created lazily on first sight of a tenant.
+
+    Time is passed in by the caller (monotonic nanoseconds from
+    {!Iflow_obs.Clock}), never read here, so quota decisions are a pure
+    function of the admit sequence — tests drive a synthetic clock and
+    get deterministic denials. Thread-safe. *)
+
+type config = {
+  rate : float;   (** sustained tokens (requests) per second per tenant *)
+  burst : float;  (** bucket capacity — the tolerated spike size *)
+}
+
+val default_config : config
+(** rate 100, burst 200. *)
+
+type decision =
+  | Granted
+  | Denied of { retry_after_ns : int }
+      (** earliest time the bucket will hold a full token again *)
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] unless [rate > 0] and [burst >= 1]. *)
+
+val admit : t -> now_ns:int -> tenant:string -> decision
+(** Refill the tenant's bucket to [now_ns], then spend one token or
+    deny. *)
+
+val tenants : t -> int
+(** Distinct tenants seen so far. *)
+
+val tokens : t -> now_ns:int -> tenant:string -> float
+(** Current bucket level (refilled to [now_ns]); [burst] for a tenant
+    never seen. *)

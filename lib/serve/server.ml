@@ -1,0 +1,681 @@
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Jsonl = Iflow_engine.Jsonl
+module Metrics = Iflow_obs.Metrics
+module Prometheus = Iflow_obs.Prometheus
+module Log = Iflow_obs.Log
+module Clock = Iflow_obs.Clock
+module Snapshot = Iflow_stream.Snapshot
+
+let m_connections =
+  Metrics.counter ~help:"Connections accepted" "iflow_serve_connections_total"
+
+let m_active =
+  Metrics.gauge ~help:"Connections open right now"
+    "iflow_serve_active_connections"
+
+let m_requests =
+  Metrics.counter ~help:"Query requests decoded (both dialects)"
+    "iflow_serve_requests_total"
+
+let m_answers =
+  Metrics.counter ~help:"Query requests answered with an estimate"
+    "iflow_serve_answers_total"
+
+let shed_counter reason =
+  Metrics.counter
+    ~labels:[ ("reason", reason) ]
+    ~help:"Requests refused by admission control"
+    "iflow_serve_shed_total"
+
+let m_shed_capacity = shed_counter "capacity"
+let m_shed_quota = shed_counter "quota"
+let m_shed_connections = shed_counter "connections"
+
+let m_bad =
+  Metrics.counter ~help:"Undecodable or unanswerable requests"
+    "iflow_serve_bad_requests_total"
+
+let m_engine_errors =
+  Metrics.counter ~help:"Queries failed in the engine (Chains_failed)"
+    "iflow_serve_engine_errors_total"
+
+let m_request_seconds =
+  Metrics.histogram ~scale:1e-9
+    ~help:"End-to-end request latency, admission to answer (the SLO \
+           histogram)"
+    "iflow_serve_request_seconds"
+
+let m_queue_wait_seconds =
+  Metrics.histogram ~scale:1e-9
+    ~help:"Time admitted requests waited in the bounded queue"
+    "iflow_serve_queue_wait_seconds"
+
+let m_queue_depth =
+  Metrics.gauge ~help:"Admission queue depth at last dequeue"
+    "iflow_serve_queue_depth"
+
+let m_degraded_answers =
+  Metrics.counter
+    ~help:"Answers completed from surviving chains only (degraded)"
+    "iflow_serve_degraded_answers_total"
+
+let m_degraded =
+  Metrics.gauge
+    ~help:"1 while the engine serves a stale model because a hot-swap \
+           failed, else 0"
+    "iflow_serve_degraded"
+
+let m_evidence =
+  Metrics.counter ~help:"Evidence lines accepted via POST /evidence"
+    "iflow_serve_evidence_lines_total"
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  queue_capacity : int;
+  workers : int;
+  max_connections : int;
+  quota : Quota.config option;
+  ingest_capacity : int;
+  max_line_bytes : int;
+  max_body_bytes : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backlog = 128;
+    queue_capacity = 64;
+    workers = 2;
+    max_connections = 1024;
+    quota = None;
+    ingest_capacity = 65_536;
+    max_line_bytes = 1 lsl 20;
+    max_body_bytes = 8 lsl 20;
+  }
+
+type reply =
+  | Answer of { result : Engine.result; version : int option; degraded : bool }
+  | Refused of {
+      code : Wire.error_code;
+      msg : string;
+      retry_after_ms : int option;
+    }
+
+type ivar = {
+  im : Mutex.t;
+  icv : Condition.t;
+  mutable value : reply option;
+}
+
+let ivar () = { im = Mutex.create (); icv = Condition.create (); value = None }
+
+let ivar_fill iv r =
+  Mutex.protect iv.im (fun () ->
+      iv.value <- Some r;
+      Condition.broadcast iv.icv)
+
+let ivar_wait iv =
+  Mutex.protect iv.im (fun () ->
+      let rec go () =
+        match iv.value with
+        | Some r -> r
+        | None ->
+          Condition.wait iv.icv iv.im;
+          go ()
+      in
+      go ())
+
+type work = { wq : Query.t; enqueue_ns : int; iv : ivar }
+
+type state = Idle | Running | Stopped
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  gate : (unit -> unit) option;
+  queue : work Bqueue.t;
+  ingest : string Bqueue.t;
+  quota : Quota.t option;
+  (* digest -> published version id, for the [version] response field *)
+  vlock : Mutex.t;
+  versions : (string, int) Hashtbl.t;
+  mutable current : int;
+  mutable swap_failed_pending : bool;
+  mutable is_degraded : bool;
+  (* lifecycle *)
+  lock : Mutex.t;
+  stopped_cv : Condition.t;
+  mutable state : state;
+  mutable listen_fd : Unix.file_descr option;
+  mutable bound_port : int;
+  mutable accept_thread : Thread.t option;
+  mutable workers : Thread.t list;
+  mutable conn_threads : Thread.t list;
+  conn_fds : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_conn : int;
+  t_start : int;
+  (* stats *)
+  s_connections : int Atomic.t;
+  s_active : int Atomic.t;
+  s_requests : int Atomic.t;
+  s_answered : int Atomic.t;
+  s_shed_capacity : int Atomic.t;
+  s_shed_quota : int Atomic.t;
+  s_bad : int Atomic.t;
+  s_engine_errors : int Atomic.t;
+  s_evidence : int Atomic.t;
+}
+
+let validate_config c =
+  let bad fmt = Printf.ksprintf invalid_arg ("Server: bad config: " ^^ fmt) in
+  if c.queue_capacity < 1 then
+    bad "queue_capacity must be >= 1 (got %d)" c.queue_capacity;
+  if c.workers < 1 then bad "workers must be >= 1 (got %d)" c.workers;
+  if c.max_connections < 1 then
+    bad "max_connections must be >= 1 (got %d)" c.max_connections;
+  if c.ingest_capacity < 1 then
+    bad "ingest_capacity must be >= 1 (got %d)" c.ingest_capacity;
+  if c.max_line_bytes < 64 then
+    bad "max_line_bytes must be >= 64 (got %d)" c.max_line_bytes;
+  if c.backlog < 1 then bad "backlog must be >= 1 (got %d)" c.backlog
+
+let create ?(config = default_config) ?gate ?(initial_version = 0) ~engine () =
+  validate_config config;
+  if initial_version < 0 then
+    invalid_arg "Server: negative initial_version";
+  let versions = Hashtbl.create 16 in
+  Hashtbl.replace versions (Engine.digest engine) initial_version;
+  {
+    config;
+    engine;
+    gate;
+    queue = Bqueue.create config.queue_capacity;
+    ingest = Bqueue.create config.ingest_capacity;
+    quota = Option.map Quota.create config.quota;
+    vlock = Mutex.create ();
+    versions;
+    current = initial_version;
+    swap_failed_pending = false;
+    is_degraded = false;
+    lock = Mutex.create ();
+    stopped_cv = Condition.create ();
+    state = Idle;
+    listen_fd = None;
+    bound_port = 0;
+    accept_thread = None;
+    workers = [];
+    conn_threads = [];
+    conn_fds = Hashtbl.create 64;
+    next_conn = 0;
+    t_start = Clock.now_ns ();
+    s_connections = Atomic.make 0;
+    s_active = Atomic.make 0;
+    s_requests = Atomic.make 0;
+    s_answered = Atomic.make 0;
+    s_shed_capacity = Atomic.make 0;
+    s_shed_quota = Atomic.make 0;
+    s_bad = Atomic.make 0;
+    s_engine_errors = Atomic.make 0;
+    s_evidence = Atomic.make 0;
+  }
+
+(* ----- version registry / learner integration ----- *)
+
+let version_of t digest =
+  Mutex.protect t.vlock (fun () -> Hashtbl.find_opt t.versions digest)
+
+let current_version t = Mutex.protect t.vlock (fun () -> t.current)
+let degraded t = Mutex.protect t.vlock (fun () -> t.is_degraded)
+
+let on_publish t (v : Snapshot.version) =
+  Mutex.protect t.vlock (fun () ->
+      if t.swap_failed_pending then
+        (* the swap preceding this publish failed: the engine still
+           serves the previous version, so the mapping must not move *)
+        t.swap_failed_pending <- false
+      else begin
+        (* the runner swaps before publishing, so the engine digest
+           read here is exactly the digest of version [v] *)
+        Hashtbl.replace t.versions (Engine.digest t.engine) v.Snapshot.id;
+        t.current <- v.Snapshot.id;
+        t.is_degraded <- false;
+        Metrics.set m_degraded 0.0
+      end)
+
+let note_degraded t ~stage e =
+  if stage = "swap" then
+    Mutex.protect t.vlock (fun () ->
+        t.swap_failed_pending <- true;
+        t.is_degraded <- true;
+        Metrics.set m_degraded 1.0);
+  Log.warn ~component:"serve" "degraded (%s): %s" stage (Printexc.to_string e)
+
+(* ----- ingest bridge ----- *)
+
+let ingest_line t line =
+  let ok = Bqueue.try_push t.ingest line in
+  if ok then begin
+    Atomic.incr t.s_evidence;
+    Metrics.inc m_evidence
+  end;
+  ok
+
+let ingest_source t () = Bqueue.pop t.ingest
+let ingest_pending t = Bqueue.length t.ingest
+
+(* ----- the admission pipeline ----- *)
+
+let ns_to_ms_ceil ns = (ns + 999_999) / 1_000_000
+
+let process_query t ~tenant q =
+  Atomic.incr t.s_requests;
+  Metrics.inc m_requests;
+  let t0 = Clock.now_ns () in
+  let quota_verdict =
+    match t.quota with
+    | None -> Quota.Granted
+    | Some quota -> Quota.admit quota ~now_ns:t0 ~tenant
+  in
+  match quota_verdict with
+  | Quota.Denied { retry_after_ns } ->
+    Atomic.incr t.s_shed_quota;
+    Metrics.inc m_shed_quota;
+    Refused
+      {
+        code = Wire.Quota_exceeded;
+        msg = Printf.sprintf "tenant %S over quota" tenant;
+        retry_after_ms = Some (max 1 (ns_to_ms_ceil retry_after_ns));
+      }
+  | Quota.Granted ->
+    let w = { wq = q; enqueue_ns = t0; iv = ivar () } in
+    if Bqueue.try_push t.queue w then begin
+      let reply = ivar_wait w.iv in
+      Metrics.observe m_request_seconds (Clock.now_ns () - t0);
+      reply
+    end
+    else if Bqueue.is_closed t.queue then
+      Refused
+        {
+          code = Wire.Shutting_down;
+          msg = "server is shutting down";
+          retry_after_ms = None;
+        }
+    else begin
+      Atomic.incr t.s_shed_capacity;
+      Metrics.inc m_shed_capacity;
+      Refused
+        {
+          code = Wire.Over_capacity;
+          msg =
+            Printf.sprintf "request queue full (%d waiting)"
+              (Bqueue.length t.queue);
+          retry_after_ms = None;
+        }
+    end
+
+let worker_loop t =
+  let chains = (Engine.config t.engine).Engine.chains in
+  let rec go () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some w ->
+      (match t.gate with Some g -> g () | None -> ());
+      let t_deq = Clock.now_ns () in
+      Metrics.observe m_queue_wait_seconds (t_deq - w.enqueue_ns);
+      Metrics.set m_queue_depth (float_of_int (Bqueue.length t.queue));
+      let reply =
+        match Engine.query t.engine w.wq with
+        | r ->
+          Atomic.incr t.s_answered;
+          Metrics.inc m_answers;
+          let degraded = r.Engine.chains_used < chains in
+          if degraded then Metrics.inc m_degraded_answers;
+          Answer { result = r; version = version_of t r.Engine.model_digest; degraded }
+        | exception Engine.Chains_failed _ ->
+          Atomic.incr t.s_engine_errors;
+          Metrics.inc m_engine_errors;
+          Refused
+            {
+              code = Wire.Chains_failed;
+              msg =
+                Printf.sprintf "query %s: too many chains failed"
+                  (Query.key w.wq);
+              retry_after_ms = None;
+            }
+        | exception (Invalid_argument msg | Failure msg) ->
+          Atomic.incr t.s_bad;
+          Metrics.inc m_bad;
+          Refused
+            { code = Wire.Bad_query; msg; retry_after_ms = None }
+      in
+      ivar_fill w.iv reply;
+      go ()
+  in
+  go ()
+
+let reply_line ?id = function
+  | Answer { result; version; degraded } ->
+    Wire.result_line ?id ?version ~degraded result
+  | Refused { code; msg; retry_after_ms } ->
+    Wire.error_line ?id ?retry_after_ms code msg
+
+(* Decode one request line: the query object itself, plus the serving
+   extensions ("id" echoed back, "tenant" for quota accounting). *)
+let handle_query_line t ~tenant_default ~lineno line =
+  if String.trim line = "" then None
+  else
+    Some
+      (match Jsonl.parse line with
+      | Error msg ->
+        Atomic.incr t.s_bad;
+        Metrics.inc m_bad;
+        Wire.error_line Wire.Bad_request
+          (Printf.sprintf "line %d: %s" lineno msg)
+      | Ok json -> (
+        let id =
+          match Jsonl.member "id" json with
+          | Some (Jsonl.Str s) -> Some s
+          | Some (Jsonl.Num f) when Float.is_integer f ->
+            Some (string_of_int (int_of_float f))
+          | _ -> None
+        in
+        let tenant =
+          match Jsonl.member "tenant" json with
+          | Some (Jsonl.Str s) -> s
+          | _ -> tenant_default
+        in
+        match Query.of_json json with
+        | Error msg ->
+          Atomic.incr t.s_bad;
+          Metrics.inc m_bad;
+          Wire.error_line ?id Wire.Bad_request
+            (Printf.sprintf "line %d: %s" lineno msg)
+        | Ok q -> reply_line ?id (process_query t ~tenant q)))
+
+(* ----- health ----- *)
+
+type stats = {
+  connections : int;
+  active : int;
+  requests : int;
+  answered : int;
+  shed_capacity : int;
+  shed_quota : int;
+  bad_requests : int;
+  engine_errors : int;
+  evidence_lines : int;
+}
+
+let stats t =
+  {
+    connections = Atomic.get t.s_connections;
+    active = Atomic.get t.s_active;
+    requests = Atomic.get t.s_requests;
+    answered = Atomic.get t.s_answered;
+    shed_capacity = Atomic.get t.s_shed_capacity;
+    shed_quota = Atomic.get t.s_shed_quota;
+    bad_requests = Atomic.get t.s_bad;
+    engine_errors = Atomic.get t.s_engine_errors;
+    evidence_lines = Atomic.get t.s_evidence;
+  }
+
+and queue_depth t = Bqueue.length t.queue
+
+let health_json t =
+  let s = stats t in
+  let degraded = degraded t in
+  Printf.sprintf
+    "{\"status\":%s,\"version\":%d,\"digest\":%s,\"uptime_s\":%.3f,\
+     \"queue_depth\":%d,\"queue_capacity\":%d,\"active_connections\":%d,\
+     \"requests\":%d,\"answered\":%d,\"shed_capacity\":%d,\"shed_quota\":%d,\
+     \"bad_requests\":%d,\"engine_errors\":%d,\"evidence_pending\":%d,\
+     \"workers\":%d}"
+    (Wire.escape (if degraded then "degraded" else "ok"))
+    (current_version t)
+    (Wire.escape (Engine.digest t.engine))
+    (Clock.seconds_of_ns (Clock.now_ns () - t.t_start))
+    (queue_depth t) t.config.queue_capacity s.active s.requests s.answered
+    s.shed_capacity s.shed_quota s.bad_requests s.engine_errors
+    (ingest_pending t) t.config.workers
+
+(* ----- connection handling ----- *)
+
+let handle_jsonl t fd r first_line =
+  let buf = Buffer.create 256 in
+  let respond line lineno =
+    match handle_query_line t ~tenant_default:"anonymous" ~lineno line with
+    | None -> ()
+    | Some resp ->
+      Buffer.clear buf;
+      Buffer.add_string buf resp;
+      Buffer.add_char buf '\n';
+      Sockio.write_all fd (Buffer.contents buf)
+  in
+  respond first_line 1;
+  let rec go lineno =
+    match Sockio.read_line r with
+    | Sockio.Eof -> ()
+    | Sockio.Too_long ->
+      Sockio.write_all fd
+        (Wire.error_line Wire.Bad_request
+           (Printf.sprintf "line %d exceeds %d bytes" lineno
+              t.config.max_line_bytes)
+        ^ "\n")
+    | Sockio.Line line ->
+      respond line lineno;
+      go (lineno + 1)
+  in
+  go 2
+
+let handle_http t fd r first_line =
+  let send ?headers ?content_type ~status body =
+    Sockio.write_all fd (Http.response ?headers ?content_type ~status body)
+  in
+  match
+    Http.read_request ~max_body_bytes:t.config.max_body_bytes r
+      ~first_line
+  with
+  | Http.Malformed msg ->
+    send ~status:400 (Wire.error_line Wire.Bad_request msg ^ "\n")
+  | Http.Overflow msg ->
+    send ~status:413 (Wire.error_line Wire.Bad_request msg ^ "\n")
+  | Http.Request req -> (
+    match (req.Http.meth, req.Http.path) with
+    | "GET", "/healthz" ->
+      let body = health_json t ^ "\n" in
+      send ~status:(if degraded t then 503 else 200) body
+    | "GET", "/metrics" ->
+      send ~status:200
+        ~content_type:"text/plain; version=0.0.4"
+        (Prometheus.to_string Metrics.default)
+    | "POST", "/query" ->
+      let tenant_default =
+        match Http.header req "x-tenant" with
+        | Some tn when tn <> "" -> tn
+        | _ -> "anonymous"
+      in
+      let lines = String.split_on_char '\n' req.Http.body in
+      let replies =
+        List.filter_map
+          (fun (i, line) ->
+            handle_query_line t ~tenant_default ~lineno:(i + 1) line)
+          (List.mapi (fun i line -> (i, line)) lines)
+      in
+      send ~status:200 (String.concat "\n" replies ^ "\n")
+    | "POST", "/evidence" ->
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' req.Http.body)
+      in
+      let accepted = List.fold_left
+          (fun n line -> if ingest_line t line then n + 1 else n)
+          0 lines
+      in
+      let total = List.length lines in
+      if accepted = total then
+        send ~status:202 (Printf.sprintf "{\"accepted\":%d}\n" accepted)
+      else
+        send ~status:429
+          (Printf.sprintf
+             "{\"accepted\":%d,\"error\":\"over_capacity\",\"message\":\
+              \"evidence queue full after %d of %d lines\"}\n"
+             accepted accepted total)
+    | meth, path ->
+      send ~status:404
+        (Wire.error_line Wire.Bad_request
+           (Printf.sprintf "no route %s %s" meth path)
+        ^ "\n"))
+
+let handle_conn t conn_id fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.protect t.lock (fun () -> Hashtbl.remove t.conn_fds conn_id);
+      Atomic.decr t.s_active;
+      Metrics.set m_active (float_of_int (Atomic.get t.s_active)))
+    (fun () ->
+      try
+        let r = Sockio.reader ~max_line_bytes:t.config.max_line_bytes fd in
+        match Sockio.read_line r with
+        | Sockio.Eof -> ()
+        | Sockio.Too_long ->
+          Sockio.write_all fd
+            (Wire.error_line Wire.Bad_request "first line too long" ^ "\n")
+        | Sockio.Line first ->
+          if Http.is_http_verb first then handle_http t fd r first
+          else handle_jsonl t fd r first
+      with
+      | Unix.Unix_error _ -> (* peer went away; nothing to salvage *) ()
+      | Sys_error _ -> ())
+
+let accept_loop t listen_fd =
+  let stopping () = Mutex.protect t.lock (fun () -> t.state <> Running) in
+  let rec go () =
+    match Unix.accept listen_fd with
+    | fd, _addr ->
+      Atomic.incr t.s_connections;
+      Metrics.inc m_connections;
+      if Atomic.get t.s_active >= t.config.max_connections then begin
+        Metrics.inc m_shed_connections;
+        (try
+           Sockio.write_all fd
+             (Wire.error_line Wire.Over_capacity "connection limit reached"
+             ^ "\n")
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        Atomic.incr t.s_active;
+        Metrics.set m_active (float_of_int (Atomic.get t.s_active));
+        let conn_id =
+          Mutex.protect t.lock (fun () ->
+              let id = t.next_conn in
+              t.next_conn <- id + 1;
+              Hashtbl.replace t.conn_fds id fd;
+              id)
+        in
+        let th = Thread.create (fun () -> handle_conn t conn_id fd) () in
+        Mutex.protect t.lock (fun () ->
+            t.conn_threads <- th :: t.conn_threads)
+      end;
+      go ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      go ()
+    | exception Unix.Unix_error _ when stopping () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Log.err ~component:"serve" "accept: %s" (Unix.error_message e)
+  in
+  go ()
+
+(* ----- lifecycle ----- *)
+
+let port t = Mutex.protect t.lock (fun () -> t.bound_port)
+
+let start t =
+  let listen_fd =
+    Mutex.protect t.lock (fun () ->
+        if t.state <> Idle then invalid_arg "Server.start: already started";
+        (* a peer closing mid-write must be an EPIPE error, not a
+           process-killing signal *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ -> ());
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           let addr =
+             Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, t.config.port)
+           in
+           Unix.bind fd addr;
+           Unix.listen fd t.config.backlog
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        (match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> t.bound_port <- p
+        | Unix.ADDR_UNIX _ -> ());
+        t.listen_fd <- Some fd;
+        t.state <- Running;
+        fd)
+  in
+  let workers =
+    List.init t.config.workers (fun _ -> Thread.create worker_loop t)
+  in
+  let acceptor = Thread.create (fun () -> accept_loop t listen_fd) () in
+  Mutex.protect t.lock (fun () ->
+      t.workers <- workers;
+      t.accept_thread <- Some acceptor);
+  Log.info ~component:"serve" "listening on %s:%d (%d workers, queue %d)"
+    t.config.host (port t) t.config.workers t.config.queue_capacity
+
+let stop t =
+  let to_stop =
+    Mutex.protect t.lock (fun () ->
+        match t.state with
+        | Running ->
+          t.state <- Stopped;
+          true
+        | Idle ->
+          t.state <- Stopped;
+          Condition.broadcast t.stopped_cv;
+          false
+        | Stopped -> false)
+  in
+  if to_stop then begin
+    (* 1. stop accepting — shutdown() before close(): closing a
+       listening fd does not wake a thread parked in accept(2), but
+       shutting it down makes accept fail immediately *)
+    (match t.listen_fd with
+    | Some fd ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* 2. refuse new work, drain what was admitted *)
+    Bqueue.close t.queue;
+    List.iter Thread.join t.workers;
+    (* 3. unblock connection threads parked in read_line *)
+    let fds =
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conn_fds [])
+    in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      fds;
+    let conns = Mutex.protect t.lock (fun () -> t.conn_threads) in
+    List.iter Thread.join conns;
+    (* 4. end the evidence stream so a Runner on [ingest_source] exits *)
+    Bqueue.close t.ingest;
+    Mutex.protect t.lock (fun () -> Condition.broadcast t.stopped_cv)
+  end
+
+let wait t =
+  Mutex.protect t.lock (fun () ->
+      while t.state <> Stopped do
+        Condition.wait t.stopped_cv t.lock
+      done)

@@ -1,0 +1,144 @@
+(** The network serving layer: a long-lived TCP front end over one
+    {!Iflow_engine.Engine}, answering flow queries while the streaming
+    learner hot-swaps model versions underneath it.
+
+    {b Dialects.} The server sniffs the first line of every connection:
+    an HTTP request-line gets the HTTP surface ([POST /query],
+    [POST /evidence], [GET /metrics], [GET /healthz], one request per
+    connection); anything else is a raw JSONL session — each line a
+    {!Iflow_engine.Query} object (plus optional ["id"]/["tenant"]
+    fields), each answer one {!Wire} line, connection held open
+    (netcat-friendly). Both dialects share the same admission path.
+
+    {b Admission pipeline.} Request lifecycle is
+    decode → quota → queue → execute → respond:
+    - a per-tenant token bucket ({!Quota}, keyed by the ["tenant"]
+      field or [X-Tenant] header) sheds sustained abusers with a typed
+      [quota_exceeded] response and a retry hint;
+    - a bounded queue ({!Bqueue}) is the {e only} place requests wait;
+      when it is full the request is refused {e immediately} with
+      [over_capacity] — latency under overload stays bounded because
+      backlog cannot grow;
+    - a small pool of executor threads drains the queue through
+      {!Iflow_engine.Engine.query} (whose chains fan out over the
+      domain pool). Answers are bit-identical to [infoflow batch] on
+      the same model and seed: the engine derives per-query seeds from
+      (seed, model digest, query) alone, so neither concurrency nor
+      arrival order can perturb an estimate.
+
+    {b Hot-swap consistency.} Each query runs against the (model,
+    digest) pair it captured at entry; the digest comes back in the
+    answer and is mapped to the published version id via
+    {!on_publish}. While a swap fails ({!note_degraded}), the engine
+    keeps serving the last-good version and [/healthz] reports
+    [degraded] — serving never stops because learning hiccuped.
+
+    {b Observability.} Every stage records into {!Iflow_obs.Metrics}
+    ([iflow_serve_*]: request/queue-wait SLO histograms, shed and
+    degraded counters, queue depth, active connections), scrapeable
+    live at [GET /metrics]. *)
+
+type config = {
+  host : string;            (** bind address, default 127.0.0.1 *)
+  port : int;               (** 0 picks an ephemeral port *)
+  backlog : int;            (** listen(2) backlog *)
+  queue_capacity : int;     (** bounded request queue — the knob that
+                                trades queueing delay for shed rate *)
+  workers : int;            (** executor threads draining the queue *)
+  max_connections : int;    (** concurrent connections before shedding
+                                at accept time *)
+  quota : Quota.config option;  (** per-tenant buckets; [None] = off *)
+  ingest_capacity : int;    (** bounded evidence queue for [POST /evidence] *)
+  max_line_bytes : int;     (** per-line cap, both dialects *)
+  max_body_bytes : int;     (** HTTP body cap *)
+}
+
+val default_config : config
+(** 127.0.0.1:0, backlog 128, queue 64, 2 workers, 1024 connections,
+    no quota, ingest queue 65536, 1 MiB lines, 8 MiB bodies. *)
+
+type t
+
+val create :
+  ?config:config -> ?gate:(unit -> unit) -> ?initial_version:int ->
+  engine:Iflow_engine.Engine.t -> unit -> t
+(** Wrap an engine. [initial_version] (default 0) is the version id of
+    the model the engine currently holds — a resumed checkpoint's id
+    when the CLI resumed one. [gate], when given, is called by every
+    executor after dequeuing and before running a request — a test
+    hook for deterministically stalling the executors (and thus
+    filling the queue). Raises [Invalid_argument] on a nonsensical
+    config. *)
+
+val start : t -> unit
+(** Bind, listen, and spawn the accept loop and executor threads;
+    returns immediately. Raises [Unix.Unix_error] when the port cannot
+    be bound, [Invalid_argument] when already started. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one when config said 0). Only valid
+    after {!start}. *)
+
+val wait : t -> unit
+(** Block until {!stop} completes (the CLI parks its main thread
+    here). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, close live connections, refuse
+    new work with [shutting_down], drain already-admitted requests,
+    join every thread, and close the ingest queue (ending a
+    {!ingest_source} consumer). Idempotent. *)
+
+(** {1 Ingest bridge} — evidence arriving over the network.
+
+    [POST /evidence] body lines land in a bounded queue;
+    {!ingest_source} adapts it to the line source
+    {!Iflow_stream.Runner.run} pulls from, so the CLI runs learner and
+    server in one process and models hot-swap under live traffic. *)
+
+val ingest_line : t -> string -> bool
+(** Offer one evidence line; [false] when the queue is full or closed
+    (the HTTP handler turns that into [over_capacity]). *)
+
+val ingest_source : t -> unit -> string option
+(** Blocking puller over the evidence queue; [None] after {!stop}. *)
+
+val ingest_pending : t -> int
+
+(** {1 Learner integration} *)
+
+val on_publish : t -> Iflow_stream.Snapshot.version -> unit
+(** Hook for {!Iflow_stream.Runner.run}'s [on_publish]: records the
+    digest the engine now serves under the published version id (the
+    runner swaps before publishing, so reading the engine digest here
+    is exact), and clears the degraded flag a failed swap set. When the
+    preceding swap failed, the mapping is {e not} updated — answers
+    keep reporting the version actually served. *)
+
+val note_degraded : t -> stage:string -> exn -> unit
+(** Hook for [on_degraded]: a ["swap"] failure marks the server
+    degraded (surfaced in [/healthz] and
+    [iflow_serve_degraded_total]) until a subsequent publish swaps
+    cleanly. *)
+
+val current_version : t -> int
+val degraded : t -> bool
+
+(** {1 Introspection} *)
+
+type stats = {
+  connections : int;     (** accepted since start *)
+  active : int;          (** open right now *)
+  requests : int;        (** decoded query requests *)
+  answered : int;        (** answered with an estimate *)
+  shed_capacity : int;   (** refused: queue full *)
+  shed_quota : int;      (** refused: tenant bucket dry *)
+  bad_requests : int;    (** undecodable or unanswerable *)
+  engine_errors : int;   (** [Chains_failed] surfaced as 500s *)
+  evidence_lines : int;  (** accepted via [POST /evidence] *)
+}
+
+val stats : t -> stats
+val queue_depth : t -> int
+val health_json : t -> string
+(** The [GET /healthz] body (also handy for tests). *)

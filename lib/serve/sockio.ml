@@ -1,0 +1,86 @@
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;          (* bytes received, not yet consumed *)
+  chunk : Bytes.t;
+  max_line_bytes : int;
+  mutable eof : bool;
+}
+
+let reader ?(max_line_bytes = 1 lsl 20) fd =
+  {
+    fd;
+    buf = Buffer.create 1024;
+    chunk = Bytes.create 8192;
+    max_line_bytes;
+    eof = false;
+  }
+
+type line = Line of string | Eof | Too_long
+
+let rec refill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 ->
+    r.eof <- true;
+    false
+  | n ->
+    Buffer.add_subbytes r.buf r.chunk 0 n;
+    true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r
+
+(* consume [n] bytes from the front of the buffer *)
+let take r n =
+  let s = Buffer.sub r.buf 0 n in
+  let rest = Buffer.sub r.buf n (Buffer.length r.buf - n) in
+  Buffer.clear r.buf;
+  Buffer.add_string r.buf rest;
+  s
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let read_line r =
+  let rec go scanned =
+    let data = Buffer.contents r.buf in
+    match String.index_from_opt data scanned '\n' with
+    | Some i ->
+      let line = take r (i + 1) in
+      Line (strip_cr (String.sub line 0 i))
+    | None ->
+      if Buffer.length r.buf > r.max_line_bytes then Too_long
+      else if r.eof then
+        if Buffer.length r.buf = 0 then Eof
+        else
+          (* final unterminated line: accept it (netcat-friendly) *)
+          Line (strip_cr (take r (Buffer.length r.buf)))
+      else begin
+        let scanned = Buffer.length r.buf in
+        ignore (refill r : bool);
+        go scanned
+      end
+  in
+  go 0
+
+let read_exactly r n =
+  let rec go () =
+    if Buffer.length r.buf >= n then Some (take r n)
+    else if r.eof then None
+    else begin
+      ignore (refill r : bool);
+      go ()
+    end
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then begin
+      let n =
+        try Unix.write fd b off (Bytes.length b - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n)
+    end
+  in
+  go 0

@@ -1,0 +1,30 @@
+(** Buffered reads and careful writes over a socket.
+
+    One reader per connection: a fixed read buffer plus a line
+    splitter, shared by both wire dialects (HTTP header lines and raw
+    JSONL), so the server can sniff the first line of a connection and
+    then keep reading in whichever dialect it turned out to be.
+
+    Lines are capped: a peer streaming an unbounded "line" is an
+    admission-control problem, not an out-of-memory one. *)
+
+type reader
+
+val reader : ?max_line_bytes:int -> Unix.file_descr -> reader
+(** Default cap 1 MiB per line. *)
+
+type line =
+  | Line of string     (** one line, terminator stripped (LF or CRLF) *)
+  | Eof                (** clean end of stream *)
+  | Too_long           (** line exceeded the cap; connection unusable *)
+
+val read_line : reader -> line
+(** Raises [Unix.Unix_error] on hard socket errors ([EINTR] retried). *)
+
+val read_exactly : reader -> int -> string option
+(** [read_exactly r n] returns [n] bytes (for Content-Length bodies) or
+    [None] when the stream ends first. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string ([EINTR]/short writes retried). Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) when the peer is gone. *)

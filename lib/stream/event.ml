@@ -114,9 +114,14 @@ let of_json json =
   | Some other -> Error (Printf.sprintf "unknown event type %S" other)
   | None -> Error "missing field \"type\""
 
-let of_line line =
-  let* json = Jsonl.parse line in
-  of_json json
+let of_line ?lineno line =
+  let r =
+    let* json = Jsonl.parse line in
+    of_json json
+  in
+  match (r, lineno) with
+  | Error msg, Some n -> Error (Printf.sprintf "line %d: %s" n msg)
+  | _ -> r
 
 (* ----- encoding ----- *)
 

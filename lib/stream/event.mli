@@ -47,9 +47,12 @@ val of_attributed :
 
 val of_trace : Iflow_core.Evidence.trace -> t
 
-val of_line : string -> (t, string) result
+val of_line : ?lineno:int -> string -> (t, string) result
 (** Decode one log line. [Error] carries a human-readable reason
-    (malformed JSON, unknown type, wrong field shape). *)
+    (malformed JSON, unknown type, wrong field shape); JSON parse
+    failures name the byte offset of the damage within the line, and
+    when [lineno] is given every error is prefixed with ["line N: "] so
+    quarantine reports trace straight back to the offending line. *)
 
 val to_line : t -> string
 (** Encode as a single JSON line, parseable by {!of_line}. *)

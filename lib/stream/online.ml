@@ -244,8 +244,8 @@ let apply t event =
     apply_graph_change t "remove_edges" (fun () ->
         Accum.remove_edges t.acc edges)
 
-let apply_line t line =
-  match Event.of_line line with
+let apply_line ?lineno t line =
+  match Event.of_line ?lineno line with
   | Ok event -> apply t event
   | Error msg ->
     t.parse_errors <- t.parse_errors + 1;

@@ -47,9 +47,11 @@ val create : ?forget:float -> ?drift:Drift.config -> Iflow_core.Beta_icm.t -> t
 
 val apply : t -> Event.t -> [ `Applied | `Quarantined of string ]
 
-val apply_line : t -> string -> [ `Applied | `Quarantined of string ]
+val apply_line : ?lineno:int -> t -> string -> [ `Applied | `Quarantined of string ]
 (** Decode then {!apply}; a parse failure is quarantined like any other
-    bad event. *)
+    bad event. Quarantine reasons carry the byte offset of malformed
+    JSON, and the ["line N: "] prefix when [lineno] is given (the
+    {!Runner} threads its running line count through here). *)
 
 val decay : t -> unit
 (** Apply one step of exponential forgetting,

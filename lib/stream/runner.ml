@@ -106,7 +106,7 @@ let lines_of_list lines =
 let max_consecutive_read_errors = 100
 
 let run ?engine ?(skip = 0) ?(on_error = Fail_fast) ?on_degraded ?on_alert
-    ?on_publish config online snapshot next =
+    ?on_publish ?on_quarantine config online snapshot next =
   if config.batch < 1 then invalid_arg "Runner.run: batch must be >= 1";
   (match config.checkpoint_every with
   | Some k when k < 1 -> invalid_arg "Runner.run: checkpoint_every must be >= 1"
@@ -249,9 +249,12 @@ let run ?engine ?(skip = 0) ?(on_error = Fail_fast) ?on_degraded ?on_alert
     | None -> ()
     | Some line ->
       incr lines;
-      (match Online.apply_line online line with
+      (match Online.apply_line ~lineno:!lines online line with
       | `Applied -> incr pending
-      | `Quarantined _ -> ());
+      | `Quarantined reason -> (
+        match on_quarantine with
+        | Some f -> f ~line:!lines ~reason
+        | None -> ()));
       drain_alerts ();
       if !pending >= config.batch then publish ();
       loop ()

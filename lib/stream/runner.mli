@@ -65,6 +65,7 @@ val run :
   ?on_degraded:(stage:string -> exn -> unit) ->
   ?on_alert:(Drift.alert -> unit) ->
   ?on_publish:(Snapshot.version -> unit) ->
+  ?on_quarantine:(line:int -> reason:string -> unit) ->
   config -> Online.t -> Snapshot.t -> (unit -> string option) -> report
 (** [run config online snapshot next] pulls lines until [next ()]
     returns [None]. [skip] discards that many leading lines first (the
@@ -73,7 +74,11 @@ val run :
     When [engine] is given it is swapped onto the current version up
     front and after every publish. [on_degraded ~stage e] fires once per
     absorbed fault with [stage] one of ["read"], ["swap"],
-    ["checkpoint"]. Failpoints: [runner.read] per pull, [runner.swap]
+    ["checkpoint"]. [on_quarantine ~line ~reason] fires once per
+    quarantined event with the 1-based line number of the event log —
+    [reason] already carries the same line number (and, for malformed
+    JSON, the byte offset of the damage) via {!Online.apply_line}.
+    Failpoints: [runner.read] per pull, [runner.swap]
     per engine swap. Raises [Invalid_argument] on [batch < 1] or a
     non-positive [checkpoint_every]. *)
 

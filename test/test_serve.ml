@@ -1,0 +1,946 @@
+(* Tests for the network serving layer (lib/serve) and the engine
+   thread-safety it rests on.
+
+   The acceptance criteria pinned here:
+   - serve ≡ batch: answers delivered over a socket parse back
+     bit-identical to Engine.query on the same model, seed, and config,
+     regardless of client concurrency;
+   - bounded backlog: with the executors stalled, exactly
+     queue_capacity requests wait and the next one is refused
+     immediately with a typed over_capacity response;
+   - quotas: a tenant's token bucket grants its burst and then denies
+     with quota_exceeded and a retry hint, without touching other
+     tenants;
+   - hot-swap consistency: under concurrent query traffic and live
+     evidence ingestion, every answer's (version, digest) pair is one
+     the learner actually published (no torn version), and a failed
+     swap degrades the server instead of killing it;
+   - concurrent Engine.query callers (threads sharing one engine,
+     racing cache hits against swaps) always observe one of the models
+     ever installed, bit for bit. *)
+
+module Rng = Iflow_stats.Rng
+module Beta = Iflow_stats.Dist.Beta
+module Gen = Iflow_graph.Gen
+module Digraph = Iflow_graph.Digraph
+module Icm = Iflow_core.Icm
+module Beta_icm = Iflow_core.Beta_icm
+module Cascade = Iflow_core.Cascade
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Jsonl = Iflow_engine.Jsonl
+module Event = Iflow_stream.Event
+module Online = Iflow_stream.Online
+module Snapshot = Iflow_stream.Snapshot
+module Runner = Iflow_stream.Runner
+module Fail = Iflow_fault.Fail
+module Bqueue = Iflow_serve.Bqueue
+module Quota = Iflow_serve.Quota
+module Sockio = Iflow_serve.Sockio
+module Http = Iflow_serve.Http
+module Wire = Iflow_serve.Wire
+module Server = Iflow_serve.Server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_float msg a b = Alcotest.(check (float 0.0)) msg a b
+
+(* a small model answering queries quickly under a tight MCMC budget *)
+let five_node_icm seed =
+  let rng = Rng.create seed in
+  let g = Gen.gnm rng ~nodes:5 ~edges:12 in
+  Icm.create g (Array.init 12 (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)))
+
+let fast_config =
+  {
+    Engine.default_config with
+    Engine.chains = 2;
+    burn_in = 50;
+    thin = 2;
+    round_samples = 100;
+    max_samples = 400;
+    rhat_target = 10.0;
+    (* effectively unreachable: every query runs to max_samples, so the
+       sample count is deterministic *)
+    mcse_target = 1e-12;
+  }
+
+let spin ?(timeout_s = 10.0) msg cond =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () -. t0 > timeout_s then
+      Alcotest.failf "timed out waiting for %s" msg
+    else begin
+      Thread.yield ();
+      go ()
+    end
+  in
+  go ()
+
+(* ---------- Bqueue ---------- *)
+
+let test_bqueue_order () =
+  let q = Bqueue.create 8 in
+  List.iter (fun i -> check_bool "push" true (Bqueue.try_push q i)) [ 1; 2; 3 ];
+  check_int "length" 3 (Bqueue.length q);
+  check_int "fifo 1" 1 (Option.get (Bqueue.pop q));
+  check_int "fifo 2" 2 (Option.get (Bqueue.pop q));
+  check_int "fifo 3" 3 (Option.get (Bqueue.pop q))
+
+let test_bqueue_bounded () =
+  let q = Bqueue.create 2 in
+  check_bool "1 fits" true (Bqueue.try_push q 1);
+  check_bool "2 fits" true (Bqueue.try_push q 2);
+  check_bool "3 refused" false (Bqueue.try_push q 3);
+  ignore (Bqueue.pop q);
+  check_bool "space again" true (Bqueue.try_push q 3);
+  check_int "capacity" 2 (Bqueue.capacity q)
+
+let test_bqueue_close () =
+  let q = Bqueue.create 4 in
+  ignore (Bqueue.try_push q 1);
+  Bqueue.close q;
+  check_bool "closed refuses pushes" false (Bqueue.try_push q 2);
+  check_bool "is_closed" true (Bqueue.is_closed q);
+  (* drains what was admitted, then reports end-of-stream *)
+  check_int "drains" 1 (Option.get (Bqueue.pop q));
+  check_bool "then None" true (Bqueue.pop q = None)
+
+let test_bqueue_blocking_pop () =
+  let q = Bqueue.create 4 in
+  let got = ref None in
+  let th = Thread.create (fun () -> got := Bqueue.pop q) () in
+  Thread.yield ();
+  ignore (Bqueue.try_push q 42);
+  Thread.join th;
+  check_int "woken with the value" 42 (Option.get !got);
+  (* close wakes a parked consumer too *)
+  let th = Thread.create (fun () -> got := Bqueue.pop q) () in
+  Thread.yield ();
+  Bqueue.close q;
+  Thread.join th;
+  check_bool "woken with None" true (!got = None)
+
+let test_bqueue_validation () =
+  match Bqueue.create 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted"
+
+(* ---------- Quota (synthetic clock: decisions are deterministic) ---------- *)
+
+let test_quota_burst_then_deny () =
+  let q = Quota.create { Quota.rate = 10.0; burst = 3.0 } in
+  let admit now = Quota.admit q ~now_ns:now ~tenant:"alice" in
+  for i = 1 to 3 do
+    match admit 0 with
+    | Quota.Granted -> ()
+    | Quota.Denied _ -> Alcotest.failf "burst request %d denied" i
+  done;
+  (match admit 0 with
+  | Quota.Denied { retry_after_ns } ->
+    (* an empty bucket at 10 tokens/s refills one token in 100 ms *)
+    check_int "retry hint" 100_000_000 retry_after_ns
+  | Quota.Granted -> Alcotest.fail "4th burst request granted");
+  (* 100 ms later exactly one token has refilled *)
+  (match admit 100_000_000 with
+  | Quota.Granted -> ()
+  | Quota.Denied _ -> Alcotest.fail "refilled token denied");
+  match admit 100_000_000 with
+  | Quota.Denied _ -> ()
+  | Quota.Granted -> Alcotest.fail "second token granted after one refill"
+
+let test_quota_tenants_independent () =
+  let q = Quota.create { Quota.rate = 1.0; burst = 1.0 } in
+  (match Quota.admit q ~now_ns:0 ~tenant:"a" with
+  | Quota.Granted -> ()
+  | Quota.Denied _ -> Alcotest.fail "a denied");
+  (match Quota.admit q ~now_ns:0 ~tenant:"a" with
+  | Quota.Denied _ -> ()
+  | Quota.Granted -> Alcotest.fail "a over-granted");
+  (match Quota.admit q ~now_ns:0 ~tenant:"b" with
+  | Quota.Granted -> ()
+  | Quota.Denied _ -> Alcotest.fail "b starved by a's bucket");
+  check_int "two buckets" 2 (Quota.tenants q)
+
+let test_quota_refill_caps_at_burst () =
+  let q = Quota.create { Quota.rate = 1000.0; burst = 2.0 } in
+  (* a long quiet period must not accumulate more than [burst] tokens *)
+  ignore (Quota.admit q ~now_ns:0 ~tenant:"t");
+  check_float "capped" 2.0
+    (Quota.tokens q ~now_ns:3_600_000_000_000 ~tenant:"t")
+
+let test_quota_validation () =
+  (match Quota.create { Quota.rate = 0.0; burst = 1.0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate 0 accepted");
+  match Quota.create { Quota.rate = 1.0; burst = 0.5 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "burst < 1 accepted"
+
+(* ---------- Sockio / Http over a pipe ---------- *)
+
+let with_pipe_reader ?max_line_bytes bytes f =
+  let r_fd, w_fd = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r_fd with Unix.Unix_error _ -> ());
+      try Unix.close w_fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Sockio.write_all w_fd bytes;
+      Unix.close w_fd;
+      f (Sockio.reader ?max_line_bytes r_fd))
+
+let test_sockio_lines () =
+  with_pipe_reader "a\nbb\r\n\nfinal" (fun r ->
+      check_string "lf" "a" (match Sockio.read_line r with
+        | Sockio.Line l -> l | _ -> "<eof>");
+      check_string "crlf stripped" "bb" (match Sockio.read_line r with
+        | Sockio.Line l -> l | _ -> "<eof>");
+      check_string "empty line" "" (match Sockio.read_line r with
+        | Sockio.Line l -> l | _ -> "<eof>");
+      check_string "unterminated tail" "final" (match Sockio.read_line r with
+        | Sockio.Line l -> l | _ -> "<eof>");
+      check_bool "then eof" true (Sockio.read_line r = Sockio.Eof))
+
+let test_sockio_too_long () =
+  (* no terminator: the reader must refuse once the accumulated bytes
+     exceed the cap rather than buffering without bound *)
+  with_pipe_reader ~max_line_bytes:8 (String.make 64 'x') (fun r ->
+      check_bool "refused" true (Sockio.read_line r = Sockio.Too_long))
+
+let test_http_parse () =
+  let body = {|{"type":"flow","src":0,"dst":1}|} in
+  let raw =
+    Printf.sprintf
+      "POST /query HTTP/1.1\r\nHost: x\r\nX-Tenant: Alice\r\n\
+       Content-Length: %d\r\n\r\n%s"
+      (String.length body) body
+  in
+  with_pipe_reader raw (fun r ->
+      match Sockio.read_line r with
+      | Sockio.Line first -> (
+        check_bool "verb sniffed" true (Http.is_http_verb first);
+        match Http.read_request r ~first_line:first with
+        | Http.Request req ->
+          check_string "method" "POST" req.Http.meth;
+          check_string "path" "/query" req.Http.path;
+          check_string "body" body req.Http.body;
+          check_string "header case-insensitive" "Alice"
+            (Option.get (Http.header req "x-TENANT"))
+        | Http.Malformed m | Http.Overflow m -> Alcotest.fail m)
+      | _ -> Alcotest.fail "no request line")
+
+let test_http_rejects () =
+  check_bool "jsonl is not http" false
+    (Http.is_http_verb {|{"type":"flow"}|});
+  with_pipe_reader "GET /x HTTP/1.1\r\nbroken header\r\n\r\n" (fun r ->
+      match Sockio.read_line r with
+      | Sockio.Line first -> (
+        match Http.read_request r ~first_line:first with
+        | Http.Malformed _ -> ()
+        | _ -> Alcotest.fail "accepted header without a colon")
+      | _ -> Alcotest.fail "no request line");
+  with_pipe_reader "POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nhi"
+    (fun r ->
+      match Sockio.read_line r with
+      | Sockio.Line first -> (
+        match Http.read_request ~max_body_bytes:10 r ~first_line:first with
+        | Http.Overflow _ -> ()
+        | _ -> Alcotest.fail "accepted oversized body")
+      | _ -> Alcotest.fail "no request line")
+
+(* ---------- Wire ---------- *)
+
+let test_wire_result_roundtrip () =
+  let r =
+    {
+      Engine.estimate = 0.1 +. 0.2;
+      rhat = 1.000000000000004;
+      ess = 1963.0960471382934;
+      mcse = Float.min_float;
+      total_samples = 4000;
+      chains_used = 4;
+      cached = true;
+      model_digest = "abc\"\\def";
+    }
+  in
+  let line = Wire.result_line ~id:"q-1" ~version:7 ~degraded:false r in
+  match Jsonl.parse line with
+  | Error msg -> Alcotest.failf "unparseable: %s" msg
+  | Ok json -> (
+    match Wire.parsed_result json with
+    | Error msg -> Alcotest.failf "decode: %s" msg
+    | Ok (r', version) ->
+      (* bit-for-bit, not approximately *)
+      check_bool "estimate bits" true
+        (Int64.equal (Int64.bits_of_float r.Engine.estimate)
+           (Int64.bits_of_float r'.Engine.estimate));
+      check_bool "rhat bits" true
+        (Int64.equal (Int64.bits_of_float r.Engine.rhat)
+           (Int64.bits_of_float r'.Engine.rhat));
+      check_bool "mcse bits" true
+        (Int64.equal (Int64.bits_of_float r.Engine.mcse)
+           (Int64.bits_of_float r'.Engine.mcse));
+      check_int "samples" r.Engine.total_samples r'.Engine.total_samples;
+      check_int "chains" r.Engine.chains_used r'.Engine.chains_used;
+      check_bool "cached" r.Engine.cached r'.Engine.cached;
+      check_string "digest escaping" r.Engine.model_digest
+        r'.Engine.model_digest;
+      check_int "version" 7 (Option.get version);
+      check_string "id echo" "q-1"
+        (match Jsonl.member "id" json with
+        | Some (Jsonl.Str s) -> s
+        | _ -> "<missing>"))
+
+let test_wire_nonfinite () =
+  (* rhat is nan when every sample agrees (unreachable pair); the line
+     must stay valid JSON and parse back as nan *)
+  let r =
+    {
+      Engine.estimate = 0.0;
+      rhat = Float.nan;
+      ess = Float.infinity;
+      mcse = 0.0;
+      total_samples = 400;
+      chains_used = 2;
+      cached = false;
+      model_digest = "d";
+    }
+  in
+  let line = Wire.result_line r in
+  match Jsonl.parse line with
+  | Error msg -> Alcotest.failf "non-finite result not valid JSON: %s" msg
+  | Ok json -> (
+    match Wire.parsed_result json with
+    | Error msg -> Alcotest.failf "decode: %s" msg
+    | Ok (r', _) ->
+      check_bool "rhat nan" true (Float.is_nan r'.Engine.rhat);
+      check_bool "ess nan" true (Float.is_nan r'.Engine.ess);
+      check_float "estimate" 0.0 r'.Engine.estimate)
+
+let test_wire_error_line () =
+  let line = Wire.error_line ~id:"x" ~retry_after_ms:250 Wire.Quota_exceeded
+      "tenant \"a\" over quota" in
+  match Jsonl.parse line with
+  | Error msg -> Alcotest.failf "unparseable: %s" msg
+  | Ok json ->
+    check_string "code" "quota_exceeded"
+      (match Jsonl.member "error" json with
+      | Some (Jsonl.Str s) -> s
+      | _ -> "<missing>");
+    check_int "retry hint" 250
+      (match Jsonl.member "retry_after_ms" json with
+      | Some (Jsonl.Num f) -> int_of_float f
+      | _ -> -1);
+    check_int "status mapping" 429 (Wire.http_status Wire.Quota_exceeded);
+    check_int "status mapping" 503 (Wire.http_status Wire.Shutting_down)
+
+let test_decode_errors_carry_line_numbers () =
+  (match Query.of_line ~lineno:41 "{\"type\":\"flow\"}" with
+  | Error msg ->
+    check_bool "query error has lineno" true
+      (String.length msg >= 8 && String.sub msg 0 8 = "line 41:")
+  | Ok _ -> Alcotest.fail "decoded a flow query without src/dst");
+  match Event.of_line ~lineno:7 "{\"type\":\"nonsense\"}" with
+  | Error msg ->
+    check_bool "event error has lineno" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 7:")
+  | Ok _ -> Alcotest.fail "decoded a nonsense event"
+
+(* ---------- loopback clients ---------- *)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let with_server ?config ?gate ?(engine_config = fast_config) ?(seed = 7)
+    ?(icm_seed = 3) f =
+  let icm = five_node_icm icm_seed in
+  let engine = Engine.create ~config:engine_config ~seed icm in
+  let server = Server.create ?config ?gate ~engine () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server engine)
+
+(* one JSONL round trip on an already-open session *)
+let ask r fd line =
+  Sockio.write_all fd (line ^ "\n");
+  match Sockio.read_line r with
+  | Sockio.Line l -> l
+  | Sockio.Eof -> Alcotest.fail "server closed the session"
+  | Sockio.Too_long -> Alcotest.fail "oversized response"
+
+let query_json ?id ~src ~dst () =
+  let id = match id with
+    | Some id -> Printf.sprintf "\"id\":\"%s\"," id
+    | None -> ""
+  in
+  Printf.sprintf {|{%s"type":"flow","src":%d,"dst":%d}|} id src dst
+
+let parse_ok line =
+  match Jsonl.parse line with
+  | Error msg -> Alcotest.failf "bad response %S: %s" line msg
+  | Ok json -> (
+    match Wire.parsed_result json with
+    | Ok (r, version) -> (r, version)
+    | Error msg -> Alcotest.failf "error response %S: %s" line msg)
+
+let same_result msg (a : Engine.result) (b : Engine.result) =
+  check_bool (msg ^ ": estimate") true
+    (Int64.equal (Int64.bits_of_float a.Engine.estimate)
+       (Int64.bits_of_float b.Engine.estimate));
+  check_bool (msg ^ ": rhat") true
+    (Int64.equal (Int64.bits_of_float a.Engine.rhat)
+       (Int64.bits_of_float b.Engine.rhat));
+  check_bool (msg ^ ": ess") true
+    (Int64.equal (Int64.bits_of_float a.Engine.ess)
+       (Int64.bits_of_float b.Engine.ess));
+  check_bool (msg ^ ": mcse") true
+    (Int64.equal (Int64.bits_of_float a.Engine.mcse)
+       (Int64.bits_of_float b.Engine.mcse));
+  check_int (msg ^ ": samples") a.Engine.total_samples b.Engine.total_samples;
+  check_string (msg ^ ": digest") a.Engine.model_digest b.Engine.model_digest
+
+(* ---------- serve ≡ batch ---------- *)
+
+let test_serve_bit_identical () =
+  with_server (fun server _engine ->
+      (* reference: a fresh engine, same model / seed / config *)
+      let reference = Engine.create ~config:fast_config ~seed:7
+          (five_node_icm 3) in
+      let queries = [ (0, 1); (0, 2); (1, 3); (2, 4); (3, 0); (4, 2) ] in
+      let expected =
+        List.map (fun (src, dst) ->
+            Engine.query reference (Query.flow ~src ~dst ())) queries
+      in
+      (* several clients, each asking every query over one session *)
+      let failures = Bqueue.create 64 in
+      let client i =
+        let fd = connect (Server.port server) in
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            let r = Sockio.reader fd in
+            List.iteri
+              (fun j (src, dst) ->
+                let id = Printf.sprintf "c%d-%d" i j in
+                let line = ask r fd (query_json ~id ~src ~dst ()) in
+                let got, _version = parse_ok line in
+                let want = List.nth expected j in
+                if
+                  Int64.bits_of_float got.Engine.estimate
+                  <> Int64.bits_of_float want.Engine.estimate
+                  || got.Engine.total_samples <> want.Engine.total_samples
+                then ignore (Bqueue.try_push failures (id, line)))
+              queries)
+      in
+      let threads = List.init 4 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      (match Bqueue.pop_opt failures with
+      | Some (id, line) ->
+        Alcotest.failf "query %s diverged from direct Engine.query: %s" id line
+      | None -> ());
+      (* spot-check full bit-identity on one parsed response *)
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let r = Sockio.reader fd in
+          let got, version = parse_ok (ask r fd (query_json ~src:0 ~dst:1 ())) in
+          same_result "serve vs direct" (List.hd expected)
+            { got with Engine.cached = (List.hd expected).Engine.cached };
+          check_int "initial version" 0 (Option.get version)))
+
+let test_serve_http_dialect () =
+  with_server (fun server engine ->
+      let expected = Engine.query engine (Query.flow ~src:0 ~dst:1 ()) in
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let body =
+            query_json ~src:0 ~dst:1 () ^ "\n" ^ "not json at all"
+          in
+          Sockio.write_all fd
+            (Printf.sprintf
+               "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s"
+               (String.length body) body);
+          let r = Sockio.reader fd in
+          (match Sockio.read_line r with
+          | Sockio.Line status ->
+            check_string "status line" "HTTP/1.1 200 OK" status
+          | _ -> Alcotest.fail "no status line");
+          (* skip headers *)
+          let rec skip () =
+            match Sockio.read_line r with
+            | Sockio.Line "" -> ()
+            | Sockio.Line _ -> skip ()
+            | _ -> Alcotest.fail "truncated headers"
+          in
+          skip ();
+          (match Sockio.read_line r with
+          | Sockio.Line l ->
+            let got, _ = parse_ok l in
+            same_result "http vs direct"
+              { expected with Engine.cached = got.Engine.cached }
+              got
+          | _ -> Alcotest.fail "no answer line");
+          match Sockio.read_line r with
+          | Sockio.Line l ->
+            check_bool "typed error for the bad line" true
+              (match Jsonl.parse l with
+              | Ok json -> (
+                match Jsonl.member "error" json with
+                | Some (Jsonl.Str "bad_request") -> (
+                  (* the message carries the body line number *)
+                  match Jsonl.member "message" json with
+                  | Some (Jsonl.Str m) ->
+                    String.length m >= 7 && String.sub m 0 7 = "line 2:"
+                  | _ -> false)
+                | _ -> false)
+              | Error _ -> false)
+          | _ -> Alcotest.fail "no error line"))
+
+let test_serve_healthz_and_metrics () =
+  with_server (fun server _engine ->
+      let health = Server.health_json server in
+      (match Jsonl.parse health with
+      | Error msg -> Alcotest.failf "healthz not JSON: %s" msg
+      | Ok json ->
+        check_string "status ok"
+          "ok"
+          (match Jsonl.member "status" json with
+          | Some (Jsonl.Str s) -> s
+          | _ -> "<missing>"));
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          Sockio.write_all fd "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n";
+          let r = Sockio.reader fd in
+          (match Sockio.read_line r with
+          | Sockio.Line status ->
+            check_string "metrics status" "HTTP/1.1 200 OK" status
+          | _ -> Alcotest.fail "no status line");
+          let content_length = ref 0 in
+          let rec skip () =
+            match Sockio.read_line r with
+            | Sockio.Line "" -> ()
+            | Sockio.Line h ->
+              (match String.index_opt h ':' with
+              | Some i when String.lowercase_ascii (String.sub h 0 i)
+                            = "content-length" ->
+                content_length :=
+                  int_of_string
+                    (String.trim
+                       (String.sub h (i + 1) (String.length h - i - 1)))
+              | _ -> ());
+              skip ()
+            | _ -> Alcotest.fail "truncated headers"
+          in
+          skip ();
+          let body = Option.get (Sockio.read_exactly r !content_length) in
+          (* the exposition must pass the same validator the CI gate uses *)
+          match Iflow_obs.Prometheus.check body with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "/metrics failed prom-check: %s" msg))
+
+(* ---------- admission control ---------- *)
+
+let test_serve_sheds_over_capacity () =
+  let gate_m = Mutex.create () in
+  let gate_cv = Condition.create () in
+  let gate_open = ref false in
+  let stalled = ref 0 in
+  let gate () =
+    Mutex.protect gate_m (fun () ->
+        incr stalled;
+        while not !gate_open do
+          Condition.wait gate_cv gate_m
+        done)
+  in
+  let config =
+    { Server.default_config with Server.queue_capacity = 2; workers = 1 }
+  in
+  with_server ~config ~gate (fun server _engine ->
+      let open_sessions = ref [] in
+      let submit src dst =
+        let fd = connect (Server.port server) in
+        open_sessions := fd :: !open_sessions;
+        Sockio.write_all fd (query_json ~src ~dst () ^ "\n");
+        fd
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.protect gate_m (fun () ->
+              gate_open := true;
+              Condition.broadcast gate_cv);
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            !open_sessions)
+        (fun () ->
+          (* occupy the lone executor… *)
+          let busy = submit 0 1 in
+          spin "executor stalled in gate" (fun () ->
+              Mutex.protect gate_m (fun () -> !stalled = 1));
+          (* …fill the whole queue… *)
+          let q1 = submit 0 2 in
+          let q2 = submit 0 3 in
+          spin "queue full" (fun () -> Server.queue_depth server = 2);
+          (* …and the next request must be refused, immediately and typed *)
+          let fd = connect (Server.port server) in
+          open_sessions := fd :: !open_sessions;
+          let r = Sockio.reader fd in
+          let line = ask r fd (query_json ~src:0 ~dst:4 ()) in
+          (match Jsonl.parse line with
+          | Ok json ->
+            check_string "typed shed" "over_capacity"
+              (match Jsonl.member "error" json with
+              | Some (Jsonl.Str s) -> s
+              | _ -> "<missing>")
+          | Error msg -> Alcotest.failf "unparseable shed response: %s" msg);
+          check_int "shed counted" 1 (Server.stats server).Server.shed_capacity;
+          (* release the executors: everything admitted still completes *)
+          Mutex.protect gate_m (fun () ->
+              gate_open := true;
+              Condition.broadcast gate_cv);
+          List.iter
+            (fun fd ->
+              let r = Sockio.reader fd in
+              match Sockio.read_line r with
+              | Sockio.Line l -> ignore (parse_ok l)
+              | _ -> Alcotest.fail "admitted request lost on release")
+            [ busy; q1; q2 ]))
+
+let test_serve_quota_shed () =
+  (* refill so slow it cannot interfere within the test's lifetime *)
+  let config =
+    {
+      Server.default_config with
+      Server.quota = Some { Quota.rate = 1e-6; burst = 2.0 };
+    }
+  in
+  with_server ~config (fun server _engine ->
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let r = Sockio.reader fd in
+          let tenant t src dst =
+            ask r fd
+              (Printf.sprintf
+                 {|{"tenant":"%s","type":"flow","src":%d,"dst":%d}|} t src dst)
+          in
+          ignore (parse_ok (tenant "a" 0 1));
+          ignore (parse_ok (tenant "a" 0 1));
+          (match Jsonl.parse (tenant "a" 0 1) with
+          | Ok json ->
+            check_string "typed quota shed" "quota_exceeded"
+              (match Jsonl.member "error" json with
+              | Some (Jsonl.Str s) -> s
+              | _ -> "<missing>");
+            check_bool "retry hint present" true
+              (match Jsonl.member "retry_after_ms" json with
+              | Some (Jsonl.Num ms) -> ms >= 1.0
+              | _ -> false)
+          | Error msg -> Alcotest.failf "unparseable: %s" msg);
+          (* a different tenant is unaffected *)
+          ignore (parse_ok (tenant "b" 0 1));
+          check_int "shed counted" 1 (Server.stats server).Server.shed_quota))
+
+(* ---------- hot-swap under live traffic ---------- *)
+
+(* a Beta-ICM substrate whose evidence the online learner accepts *)
+let beta_substrate seed =
+  let rng = Rng.create seed in
+  let g = Gen.gnm rng ~nodes:12 ~edges:40 in
+  let m = Digraph.n_edges g in
+  let model = Beta_icm.create g (Array.init m (fun _ -> Beta.v 1.0 1.0)) in
+  let icm =
+    Icm.create g (Array.init m (fun _ -> 0.2 +. (0.6 *. Rng.uniform rng)))
+  in
+  let lines n =
+    List.init n (fun _ ->
+        let src = Rng.int rng (Digraph.n_nodes g) in
+        Event.to_line (Event.of_attributed g (Cascade.run rng icm ~sources:[ src ])))
+  in
+  (g, model, lines)
+
+let run_learner server engine model ~batch =
+  let online = Online.create model in
+  let snapshot = Snapshot.create ~id:0 ~offset:0 model in
+  ignore engine;
+  Thread.create
+    (fun () ->
+      ignore
+        (Runner.run ~engine
+           ~on_degraded:(fun ~stage e -> Server.note_degraded server ~stage e)
+           ~on_publish:(Server.on_publish server)
+           { Runner.batch; checkpoint_every = None }
+           online snapshot
+           (Server.ingest_source server)))
+    ()
+
+let test_serve_hot_swap_under_load () =
+  let _g, model, lines = beta_substrate 17 in
+  let engine =
+    Engine.create ~config:fast_config ~seed:7 (Beta_icm.expected_icm model)
+  in
+  let server = Server.create ~engine () in
+  Server.start server;
+  (* record exactly what the learner publishes: digest -> version id *)
+  let published = Hashtbl.create 8 in
+  let pub_m = Mutex.create () in
+  Hashtbl.replace published (Engine.digest engine) 0;
+  let online = Online.create model in
+  let snapshot = Snapshot.create ~id:0 ~offset:0 model in
+  let learner =
+    Thread.create
+      (fun () ->
+        ignore
+          (Runner.run ~engine
+             ~on_degraded:(fun ~stage e ->
+               Server.note_degraded server ~stage e)
+             ~on_publish:(fun v ->
+               Server.on_publish server v;
+               Mutex.protect pub_m (fun () ->
+                   Hashtbl.replace published (Engine.digest engine)
+                     v.Snapshot.id))
+             { Runner.batch = 16; checkpoint_every = None }
+             online snapshot
+             (Server.ingest_source server)))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join learner)
+    (fun () ->
+      let torn = Bqueue.create 256 in
+      let stop_clients = ref false in
+      let client i =
+        let fd = connect (Server.port server) in
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            let r = Sockio.reader fd in
+            let n = ref 0 in
+            while not !stop_clients do
+              incr n;
+              let src = (i + !n) mod 12 and dst = (i + (2 * !n) + 1) mod 12 in
+              if src <> dst then begin
+                let line = ask r fd (query_json ~src ~dst ()) in
+                let got, version = parse_ok line in
+                let expect =
+                  Mutex.protect pub_m (fun () ->
+                      Hashtbl.find_opt published got.Engine.model_digest)
+                in
+                match (expect, version) with
+                | Some v, Some v' when v = v' -> ()
+                | _ ->
+                  ignore (Bqueue.try_push torn (line, expect, version))
+              end
+            done)
+      in
+      let clients = List.init 3 (fun i -> Thread.create client i) in
+      (* stream evidence under the running query load: 5 batches *)
+      List.iter
+        (fun line ->
+          spin "ingest accepted" (fun () -> Server.ingest_line server line))
+        (lines 80);
+      spin "several versions published" (fun () ->
+          Server.current_version server >= 4);
+      stop_clients := true;
+      List.iter Thread.join clients;
+      (match Bqueue.pop_opt torn with
+      | Some (line, expect, got) ->
+        Alcotest.failf
+          "torn answer %s: digest maps to version %s but response said %s"
+          line
+          (match expect with Some v -> string_of_int v | None -> "<none>")
+          (match got with Some v -> string_of_int v | None -> "<none>")
+      | None -> ());
+      check_bool "versions advanced" true (Server.current_version server >= 4);
+      check_bool "never degraded" false (Server.degraded server);
+      (* the live engine now answers bit-identically to a fresh engine
+         built on the final published model *)
+      let final = (Snapshot.current snapshot).Snapshot.model in
+      let fresh =
+        Engine.create ~config:fast_config ~seed:7 (Beta_icm.expected_icm final)
+      in
+      let q = Query.flow ~src:0 ~dst:5 () in
+      same_result "post-swap vs fresh engine" (Engine.query fresh q)
+        (Engine.query engine q))
+
+let test_serve_degraded_swap () =
+  let _g, model, lines = beta_substrate 23 in
+  let engine =
+    Engine.create ~config:fast_config ~seed:7 (Beta_icm.expected_icm model)
+  in
+  let server = Server.create ~engine () in
+  Server.start server;
+  let learner = run_learner server engine model ~batch:8 in
+  Fun.protect
+    ~finally:(fun () ->
+      Fail.reset ();
+      Server.stop server;
+      Thread.join learner)
+    (fun () ->
+      (* let the first batch publish cleanly — arming before the
+         learner's startup swap would consume the failure there *)
+      List.iter
+        (fun line ->
+          spin "ingest accepted" (fun () -> Server.ingest_line server line))
+        (lines 8);
+      spin "first publish" (fun () -> Server.current_version server >= 1);
+      let good_version = Server.current_version server in
+      let good_digest = Engine.digest engine in
+      (* the next publish fails its swap: the engine must keep serving
+         the last-good model and the server must report degraded *)
+      Fail.arm ~count:1 "runner.swap";
+      List.iter
+        (fun line ->
+          spin "ingest accepted" (fun () -> Server.ingest_line server line))
+        (lines 8);
+      spin "degraded surfaced" (fun () -> Server.degraded server);
+      check_string "still the last-good model" good_digest
+        (Engine.digest engine);
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let r = Sockio.reader fd in
+          let got, version = parse_ok (ask r fd (query_json ~src:0 ~dst:1 ())) in
+          check_string "answers from last-good digest" good_digest
+            got.Engine.model_digest;
+          check_int "answers from last-good version" good_version
+            (Option.get version));
+      (match Jsonl.parse (Server.health_json server) with
+      | Ok json ->
+        check_string "healthz degraded" "degraded"
+          (match Jsonl.member "status" json with
+          | Some (Jsonl.Str s) -> s
+          | _ -> "<missing>")
+      | Error msg -> Alcotest.failf "healthz: %s" msg);
+      (* the next batch swaps cleanly and recovery is automatic *)
+      List.iter
+        (fun line ->
+          spin "ingest accepted" (fun () -> Server.ingest_line server line))
+        (lines 8);
+      spin "recovered" (fun () -> not (Server.degraded server));
+      check_bool "version advanced past the failure" true
+        (Server.current_version server > good_version);
+      check_bool "digest moved" true (Engine.digest engine <> good_digest))
+
+(* ---------- concurrent Engine.query callers ---------- *)
+
+let test_engine_concurrent_queries_and_swaps () =
+  let icm_a = five_node_icm 3 in
+  let icm_b = five_node_icm 4 in
+  let engine = Engine.create ~config:fast_config ~seed:7 icm_a in
+  let queries = List.init 6 (fun i -> Query.flow ~src:(i mod 5)
+                                        ~dst:((i + 2) mod 5) ()) in
+  (* reference answers for both models, same seed and config *)
+  let reference icm =
+    let e = Engine.create ~config:fast_config ~seed:7 icm in
+    List.map (fun q -> (Query.key q, Engine.query e q)) queries
+  in
+  let ref_a = reference icm_a and ref_b = reference icm_b in
+  let digest_a = Engine.icm_digest icm_a and digest_b = Engine.icm_digest icm_b in
+  let mismatches = Bqueue.create 1024 in
+  let stop = ref false in
+  let worker _i =
+    while not !stop do
+      List.iter
+        (fun q ->
+          let r = Engine.query engine q in
+          let table =
+            if String.equal r.Engine.model_digest digest_a then Some ref_a
+            else if String.equal r.Engine.model_digest digest_b then Some ref_b
+            else None
+          in
+          match table with
+          | None -> ignore (Bqueue.try_push mismatches (Query.key q, "digest"))
+          | Some table ->
+            let want = List.assoc (Query.key q) table in
+            if
+              Int64.bits_of_float r.Engine.estimate
+              <> Int64.bits_of_float want.Engine.estimate
+              || r.Engine.total_samples <> want.Engine.total_samples
+              || Int64.bits_of_float r.Engine.rhat
+                 <> Int64.bits_of_float want.Engine.rhat
+            then ignore (Bqueue.try_push mismatches (Query.key q, "value")))
+        queries
+    done
+  in
+  let threads = List.init 4 (fun i -> Thread.create worker i) in
+  (* swap back and forth under the running queries: each swap
+     invalidates the cache, so hits and misses race with the swaps *)
+  for i = 1 to 20 do
+    ignore (Engine.swap engine (if i mod 2 = 0 then icm_a else icm_b));
+    Thread.yield ()
+  done;
+  stop := true;
+  List.iter Thread.join threads;
+  (match Bqueue.pop_opt mismatches with
+  | Some (key, kind) ->
+    Alcotest.failf
+      "concurrent query %s returned a %s not matching either installed model"
+      key kind
+  | None -> ());
+  (* cache still coherent after the storm: a repeat of every query on
+     the final model is a hit with identical bits *)
+  let final_ref = if Engine.digest engine = digest_a then ref_a else ref_b in
+  List.iter
+    (fun q ->
+      let r = Engine.query engine q in
+      same_result "post-storm cache" (List.assoc (Query.key q) final_ref)
+        { r with Engine.cached = (List.assoc (Query.key q) final_ref).Engine.cached })
+    queries
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_bqueue_order;
+          Alcotest.test_case "bounded" `Quick test_bqueue_bounded;
+          Alcotest.test_case "close semantics" `Quick test_bqueue_close;
+          Alcotest.test_case "blocking pop" `Quick test_bqueue_blocking_pop;
+          Alcotest.test_case "validation" `Quick test_bqueue_validation;
+        ] );
+      ( "quota",
+        [
+          Alcotest.test_case "burst then deny" `Quick test_quota_burst_then_deny;
+          Alcotest.test_case "tenants independent" `Quick
+            test_quota_tenants_independent;
+          Alcotest.test_case "refill caps at burst" `Quick
+            test_quota_refill_caps_at_burst;
+          Alcotest.test_case "validation" `Quick test_quota_validation;
+        ] );
+      ( "sockio-http",
+        [
+          Alcotest.test_case "line framing" `Quick test_sockio_lines;
+          Alcotest.test_case "line cap" `Quick test_sockio_too_long;
+          Alcotest.test_case "request parse" `Quick test_http_parse;
+          Alcotest.test_case "rejects" `Quick test_http_rejects;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "result round-trip" `Quick
+            test_wire_result_roundtrip;
+          Alcotest.test_case "non-finite diagnostics" `Quick
+            test_wire_nonfinite;
+          Alcotest.test_case "error line" `Quick test_wire_error_line;
+          Alcotest.test_case "decode errors carry line numbers" `Quick
+            test_decode_errors_carry_line_numbers;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serve = batch, bit for bit" `Slow
+            test_serve_bit_identical;
+          Alcotest.test_case "http dialect" `Slow test_serve_http_dialect;
+          Alcotest.test_case "healthz and metrics" `Quick
+            test_serve_healthz_and_metrics;
+          Alcotest.test_case "sheds over capacity" `Slow
+            test_serve_sheds_over_capacity;
+          Alcotest.test_case "quota shed" `Slow test_serve_quota_shed;
+          Alcotest.test_case "hot-swap under load" `Slow
+            test_serve_hot_swap_under_load;
+          Alcotest.test_case "degraded swap" `Slow test_serve_degraded_swap;
+        ] );
+      ( "engine-concurrency",
+        [
+          Alcotest.test_case "queries race swaps" `Slow
+            test_engine_concurrent_queries_and_swaps;
+        ] );
+    ]
