@@ -27,6 +27,9 @@ let or_die f =
   | exception (Engine.Chains_failed _ as e) ->
     Obs_log.err "%s" (Printexc.to_string e);
     exit 1
+  | exception Iflow_stream.Binlog.Corrupt msg ->
+    Obs_log.err "corrupt binary log: %s" msg;
+    exit 1
 
 (* exit 3 is reserved for --max-quarantine-rate violations, so scripts
    can tell "stream is garbage" from ordinary failures (exit 1) *)
@@ -323,6 +326,42 @@ let learner_term =
     const make $ model $ resume $ batch $ checkpoint $ checkpoint_every
     $ keep_checkpoints $ on_error $ max_quarantine_rate $ forget
     $ drift_window $ drift_delta)
+
+(* ----- event-log encoding ----- *)
+
+type format = Format_jsonl | Format_bin | Format_auto
+
+let format_term =
+  let fmt_conv =
+    Arg.enum
+      [
+        ("jsonl", Format_jsonl); ("bin", Format_bin); ("auto", Format_auto);
+      ]
+  in
+  Arg.(
+    value & opt fmt_conv Format_auto
+    & info [ "format" ]
+        ~doc:
+          "Event-log encoding: 'jsonl' (one JSON object per line), 'bin' \
+           (binary segments, see `infoflow convert`), or 'auto' (sniff the \
+           magic bytes; stdin is always jsonl).")
+
+let shards_term =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Worker domains for binary ingest — decode and accumulate both \
+           parallelize, and posteriors are bit-identical at any shard \
+           count. Ignored on the JSONL path.")
+
+(* the sniff: stdin can't be seeked, so it is always jsonl *)
+let resolve_format fmt path =
+  match fmt with
+  | Format_jsonl -> `Jsonl
+  | Format_bin -> `Bin
+  | Format_auto ->
+    if path <> "-" && Iflow_stream.Binlog.is_binlog path then `Bin else `Jsonl
 
 (* Model/--resume resolution shared by `stream` and `serve`: returns the
    initial model plus the event-log offset and version id it was

@@ -312,15 +312,15 @@ let batch_cmd =
 
 (* ----- stream ----- *)
 
-let stream seed learner events_path drift_report quarantine_report probes
-    output metrics_every obs =
+let stream seed learner events_path format shards drift_report
+    quarantine_report probes output metrics_every obs =
   C.obs_setup obs;
   let model, skip, version = C.load_initial ~component:"stream" learner in
-  let online =
-    or_die (fun () ->
-        Iflow_stream.Online.create ~forget:learner.C.forget
-          ~drift:(C.drift_config learner) model)
-  in
+  let fmt = C.resolve_format format events_path in
+  (if fmt = `Bin && events_path = "-" then begin
+     Obs_log.err ~component:"stream" "binary ingest cannot read stdin";
+     exit 1
+   end);
   let snapshot =
     or_die (fun () ->
         Iflow_stream.Snapshot.create ?checkpoint_path:learner.C.checkpoint
@@ -363,34 +363,62 @@ let stream seed learner events_path drift_report quarantine_report probes
         Obs_prometheus.write_file Obs_metrics.default path
     | _ -> ()
   in
-  let ic, close =
-    if events_path = "-" then (stdin, fun () -> ())
-    else
-      let ic = or_die (fun () -> open_in events_path) in
-      (ic, fun () -> close_in_noerr ic)
+  let on_degraded ~stage e =
+    Obs_log.warn ~component:"stream" "degraded (%s): %s" stage
+      (Printexc.to_string e)
+  in
+  let on_quarantine ~line ~reason =
+    if quarantine_report then
+      Obs_log.warn ~component:"stream" "%s:%d: quarantined: %s" events_path
+        line reason
+  in
+  let config =
+    {
+      Iflow_stream.Runner.batch = learner.C.batch;
+      checkpoint_every = learner.C.checkpoint_every;
+    }
   in
   let report =
-    Fun.protect ~finally:close (fun () ->
+    match fmt with
+    | `Bin ->
+      (* the sharded path has no drift detector (see Sharded) *)
+      if drift_report then
+        Obs_log.warn ~component:"stream"
+          "--drift-report has no effect on binary ingest";
+      let sharded =
         or_die (fun () ->
-            Iflow_stream.Runner.run ?engine ~skip ~on_error:learner.C.on_error
-              ~on_degraded:(fun ~stage e ->
-                Obs_log.warn ~component:"stream" "degraded (%s): %s" stage
-                  (Printexc.to_string e))
-              ~on_alert:(fun a ->
-                if drift_report then
-                  Obs_log.warn ~component:"drift" "%a"
-                    Iflow_stream.Drift.pp_alert a)
-              ~on_quarantine:(fun ~line ~reason ->
-                if quarantine_report then
-                  Obs_log.warn ~component:"stream" "%s:%d: quarantined: %s"
-                    events_path line reason)
-              ~on_publish
-              {
-                Iflow_stream.Runner.batch = learner.C.batch;
-                checkpoint_every = learner.C.checkpoint_every;
-              }
-              online snapshot
-              (Iflow_stream.Runner.lines_of_channel ic)))
+            Iflow_stream.Sharded.create ~shards ~forget:learner.C.forget model)
+      in
+      Fun.protect
+        ~finally:(fun () -> Iflow_stream.Sharded.close sharded)
+        (fun () ->
+          or_die (fun () ->
+              let reader = Iflow_stream.Binlog.Reader.open_ events_path in
+              Iflow_stream.Runner.run_binlog ?engine ~skip
+                ~on_error:learner.C.on_error ~on_degraded ~on_quarantine
+                ~on_publish config sharded snapshot reader))
+    | `Jsonl ->
+      let online =
+        or_die (fun () ->
+            Iflow_stream.Online.create ~forget:learner.C.forget
+              ~drift:(C.drift_config learner) model)
+      in
+      let ic, close =
+        if events_path = "-" then (stdin, fun () -> ())
+        else
+          let ic = or_die (fun () -> open_in events_path) in
+          (ic, fun () -> close_in_noerr ic)
+      in
+      Fun.protect ~finally:close (fun () ->
+          or_die (fun () ->
+              Iflow_stream.Runner.run ?engine ~skip
+                ~on_error:learner.C.on_error ~on_degraded
+                ~on_alert:(fun a ->
+                  if drift_report then
+                    Obs_log.warn ~component:"drift" "%a"
+                      Iflow_stream.Drift.pp_alert a)
+                ~on_quarantine ~on_publish config online snapshot
+                (Iflow_stream.Runner.lines_of_channel ic)))
   in
   (match output with
   | Some path ->
@@ -463,15 +491,147 @@ let stream_cmd =
   Cmd.v
     (Cmd.info "stream"
        ~doc:
-         "Consume an append-only JSONL evidence log and maintain a live \
-          betaICM: batched conjugate updates, optional exponential \
-          forgetting, graph-change events, Hoeffding drift alerts, \
-          versioned checkpoints with replay-from-offset recovery, and \
-          hot-swap of each published version into the query engine.")
+         "Consume an append-only evidence log (JSONL or binary segments, \
+          sniffed by default) and maintain a live betaICM: batched \
+          conjugate updates, optional exponential forgetting, graph-change \
+          events, Hoeffding drift alerts (JSONL path), domain-sharded \
+          binary ingest with bit-identical posteriors, versioned \
+          checkpoints with replay-from-offset recovery, and hot-swap of \
+          each published version into the query engine.")
     Term.(
       const stream $ C.seed_term $ C.learner_term $ events_term
-      $ drift_report_term $ quarantine_report_term $ probes $ output
-      $ metrics_every $ C.obs_term)
+      $ C.format_term $ C.shards_term $ drift_report_term
+      $ quarantine_report_term $ probes $ output $ metrics_every $ C.obs_term)
+
+(* ----- convert ----- *)
+
+let convert input output segment_bytes strict obs =
+  C.obs_setup obs;
+  let bad = ref 0 in
+  let skip_or_die what msg =
+    if strict then begin
+      Obs_log.err ~component:"convert" "%s: %s" what msg;
+      exit 1
+    end
+    else begin
+      incr bad;
+      Obs_log.warn ~component:"convert" "skipping %s: %s" what msg
+    end
+  in
+  if Iflow_stream.Binlog.is_binlog input then begin
+    (* binary -> jsonl: the audit direction *)
+    let oc, close =
+      if output = "-" then (stdout, fun () -> ())
+      else
+        let oc = or_die (fun () -> open_out output) in
+        (oc, fun () -> close_out oc)
+    in
+    let events = ref 0 in
+    Fun.protect ~finally:close (fun () ->
+        or_die (fun () ->
+            let r = Iflow_stream.Binlog.Reader.open_ input in
+            let rec go () =
+              match Iflow_stream.Binlog.Reader.next r with
+              | None -> ()
+              | Some (Ok ev) ->
+                output_string oc (Iflow_stream.Event.to_line ev);
+                output_char oc '\n';
+                incr events;
+                go ()
+              | Some (Error e) ->
+                skip_or_die "damaged record"
+                  (Iflow_stream.Binlog.error_message e);
+                go ()
+            in
+            go ()));
+    Obs_log.info ~component:"convert" "decoded %d events (%d damaged)"
+      !events !bad
+  end
+  else begin
+    (* jsonl -> binary: the fast-ingest direction *)
+    let ic, close =
+      if input = "-" then (stdin, fun () -> ())
+      else
+        let ic = or_die (fun () -> open_in input) in
+        (ic, fun () -> close_in_noerr ic)
+    in
+    let w =
+      or_die (fun () ->
+          Iflow_stream.Binlog.Writer.create ?segment_bytes output)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        close ();
+        Iflow_stream.Binlog.Writer.close w)
+      (fun () ->
+        let lineno = ref 0 in
+        let rec go () =
+          match Iflow_stream.Runner.lines_of_channel ic () with
+          | None -> ()
+          | Some line ->
+            incr lineno;
+            (match Iflow_stream.Event.of_line ~lineno:!lineno line with
+            | Ok ev -> (
+              try Iflow_stream.Binlog.Writer.append w ev
+              with Invalid_argument msg ->
+                skip_or_die (Printf.sprintf "line %d" !lineno) msg)
+            | Error msg -> skip_or_die "line" msg);
+            go ()
+        in
+        go ());
+    Obs_log.info ~component:"convert" "encoded %d events in %d segments \
+                                       (%d lines skipped)"
+      (Iflow_stream.Binlog.Writer.events w)
+      (Iflow_stream.Binlog.Writer.segments w)
+      !bad
+  end;
+  if !bad > 0 then
+    Printf.printf "converted with %d damaged inputs skipped\n" !bad
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "Source log. Binary inputs (sniffed by magic bytes) decode to \
+             JSONL; anything else encodes JSONL to binary segments. '-' \
+             reads stdin (JSONL only).")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT"
+          ~doc:
+            "Destination: the JSONL file ('-' for stdout) or the binary \
+             segment base path (OUTPUT, OUTPUT.1, ...).")
+  in
+  let segment_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "segment-bytes" ]
+          ~doc:"Roll binary segments at this size (default 64 MiB).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail on the first damaged input line/record instead of \
+             skipping it.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Transcode an event log between JSONL and the binary segment \
+          format, in either direction (direction is sniffed from the \
+          input). Damaged inputs are skipped and counted unless --strict. \
+          Replaying either encoding yields bit-identical posteriors.")
+    Term.(
+      const convert $ input $ output $ segment_bytes $ strict $ C.obs_term)
 
 (* ----- serve ----- *)
 
@@ -911,6 +1071,6 @@ let () =
           [
             generate_model_cmd; generate_corpus_cmd; train_cmd;
             train_unattributed_cmd; estimate_cmd; batch_cmd; stream_cmd;
-            serve_cmd; impact_cmd; seeds_cmd; calibrate_cmd; metrics_cmd;
-            prom_check_cmd;
+            convert_cmd; serve_cmd; impact_cmd; seeds_cmd; calibrate_cmd;
+            metrics_cmd; prom_check_cmd;
           ]))

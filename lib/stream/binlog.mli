@@ -1,0 +1,209 @@
+(** The binary event log: a compact, CRC-framed, segmented encoding of
+    {!Event} streams for high-rate ingest.
+
+    The JSONL log is the auditable source of truth; this codec is its
+    fast twin — {!Writer}/{!Reader} round-trip every event exactly
+    (`infoflow convert` transcodes in either direction), and replaying
+    either encoding of the same stream produces bit-identical
+    posteriors (pinned by the cross-codec tests).
+
+    {b On-disk format} (DESIGN.md §2g). A log is a chain of segments:
+    [path], [path.1], [path.2], ... Each segment starts with a 28-byte
+    self-describing header
+
+    {v
+      bytes 0..3    magic "IBL1"
+      byte  4       format version (1)
+      bytes 5..7    zero padding
+      bytes 8..15   segment index, u64 LE
+      bytes 16..23  base event offset, u64 LE (events in prior segments)
+      bytes 24..27  CRC-32 of bytes 0..23, u32 LE
+    v}
+
+    followed by frames, back to back:
+
+    {v [payload length: varint] [payload] [CRC-32 of payload: u32 LE] v}
+
+    A payload is one tag byte (1 attributed, 2 trace, 3 add_nodes,
+    4 add_edges, 5 remove_edges) followed by the event body as unsigned
+    LEB128 varints in original list order (lists are length-prefixed;
+    edges travel as (src, dst) node pairs so the log is self-contained;
+    [add_edges] priors are two f64 LE). Unknown {e tags} are a
+    quarantinable record error; unknown {e versions} and damaged
+    headers are structural ({!Corrupt}) — a reader that does not
+    understand the segment must refuse it loudly rather than guess.
+
+    {b Corruption policy.} Record-level damage never kills a read: a
+    bad payload CRC quarantines that one record (framing was intact, so
+    the reader resyncs at the next frame); a truncated or unframeable
+    record quarantines once and skips to the next segment boundary.
+    Every {!error} carries the segment path and byte offset. *)
+
+type reason =
+  | Bad_crc      (** payload CRC-32 mismatch — the frame was readable *)
+  | Truncated    (** record runs past the end of its segment/payload *)
+  | Bad_varint   (** malformed varint, implausible length, bad value *)
+  | Unknown_tag  (** well-formed record of an unknown event kind *)
+
+type error = {
+  segment : string;  (** segment file the damage is in *)
+  offset : int;      (** byte offset of the frame start *)
+  reason : reason;
+  detail : string;
+}
+
+val reason_label : reason -> string
+(** ["bad_crc"], ["truncated"], ["bad_varint"], ["unknown_tag"] — the
+    [reason] label values of [iflow_stream_quarantined_total]. *)
+
+val error_message : error -> string
+(** ["SEGMENT@OFFSET: REASON (DETAIL)"]. *)
+
+exception Corrupt of string
+(** Structural damage: missing/short/bad-magic/bad-version header, or
+    a segment chain whose indices do not line up. Unlike record damage
+    this is never quarantined — the file is not a usable log. *)
+
+val magic : string
+val header_size : int
+
+val segment_path : string -> int -> string
+(** [segment_path base k] is [base] for [k = 0], [base.k] after. *)
+
+val is_binlog : string -> bool
+(** True when the file exists and starts with the magic bytes — the
+    format sniff used by [--format=auto]. *)
+
+(** {1 Writing} *)
+
+module Writer : sig
+  type t
+
+  val create : ?segment_bytes:int -> string -> t
+  (** Truncate/create a log at the given base path. A new segment is
+      rolled when the current one would exceed [segment_bytes]
+      (default 64 MiB; a frame never spans segments). Raises
+      [Invalid_argument] when [segment_bytes] cannot hold a header and
+      one small frame. *)
+
+  val append : t -> Event.t -> unit
+  (** Raises [Invalid_argument] on events the format cannot carry
+      (negative ids/counts/times — such events would only ever be
+      quarantined downstream). *)
+
+  val events : t -> int
+  val segments : t -> int
+
+  val close : t -> unit
+end
+
+(** {1 Reading} *)
+
+(** A decoded run of frames, reused across reads (zero steady-state
+    allocation: the arrays grow to the high-water mark and stay). Each
+    slot is either a readable frame or a framing-error placeholder —
+    both count as one event towards offsets. *)
+module Batch : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+end
+
+val frame_len : Batch.t -> int -> int
+(** Payload length, or [-1] for a framing-error slot. *)
+
+val frame_tag : Batch.t -> int -> int
+(** First payload byte. Only valid when [frame_len >= 1]. *)
+
+val frame_bytes : Batch.t -> int -> Bytes.t
+val frame_off : Batch.t -> int -> int
+val frame_segment : Batch.t -> int -> string
+val frame_offset : Batch.t -> int -> int
+(** Backing buffer, payload offset in it, and the segment path / byte
+    offset of the frame (for error reports). *)
+
+val frame_error : Batch.t -> int -> error option
+(** The framing error of an error slot ([frame_len] = -1). *)
+
+val check_crc : Batch.t -> int -> bool
+(** Recompute the payload CRC-32 and compare with the stored one. *)
+
+val crc_error : Batch.t -> int -> error
+(** The {!Bad_crc} error describing frame [i] (for reporting after
+    {!check_crc} fails). *)
+
+val decode_frame : Batch.t -> int -> (Event.t, error) result
+(** Full allocating decode of one frame: CRC check, tag dispatch, body
+    decode, trailing-byte check. This is the slow, convenient path
+    (`infoflow convert`, tests); the sharded ingest decodes in place. *)
+
+val tag_attributed : int
+val tag_trace : int
+val tag_add_nodes : int
+val tag_add_edges : int
+val tag_remove_edges : int
+
+val is_graph_change_tag : int -> bool
+
+module Reader : sig
+  type t
+
+  val open_ : string -> t
+  (** Loads the first segment; raises [Sys_error] when the file is
+      missing and {!Corrupt} on structural damage. Segments are read
+      whole into memory (they are bounded by the writer's
+      [segment_bytes]), so batch extraction is pure pointer walking. *)
+
+  val read_batch : t -> Batch.t -> max:int -> bool
+  (** Fill [batch] with up to [max] event slots, crossing segment
+      boundaries transparently; false at end of log (batch empty).
+      Framing errors become error slots: a bad length varint or a
+      truncated record consumes the rest of its segment as one
+      quarantined event (the frame chain is unrecoverable there), a
+      bad payload CRC consumes just that record. *)
+
+  val next : t -> (Event.t, error) result option
+  (** One-event convenience wrapper ([read_batch] of 1 +
+      {!decode_frame}). *)
+
+  val skip : t -> int -> int
+  (** [skip r n] consumes up to [n] event slots (the resume path —
+      mirrors line skipping, framing errors included) and returns the
+      number actually skipped. *)
+
+  val events_seen : t -> int
+  (** Event slots consumed so far (the replay offset). *)
+
+  val segment : t -> string
+  (** Path of the segment currently being read. *)
+end
+
+(** {1 Zero-allocation decode primitives}
+
+    Used by the sharded ingest path to decode payloads in place. *)
+
+exception Malformed of reason * string
+(** Raised by {!Cursor} reads on damaged payloads; only ever raised on
+    corrupt input, so the happy path stays allocation-free. *)
+
+module Cursor : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> Bytes.t -> pos:int -> limit:int -> unit
+  val pos : t -> int
+  val remaining : t -> int
+  val at_end : t -> bool
+
+  val varint : t -> int
+  (** Unsigned LEB128; raises {!Malformed} ([Truncated] past the
+      limit, [Bad_varint] on > 63 bits / negative). *)
+
+  val float64 : t -> float
+end
+
+module Varint : sig
+  val write : Buffer.t -> int -> unit
+  (** Unsigned LEB128; raises [Invalid_argument] on negatives. *)
+end

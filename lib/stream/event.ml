@@ -39,85 +39,89 @@ let of_trace (tr : Iflow_core.Evidence.trace) =
   Trace
     { sources = tr.Iflow_core.Evidence.trace_sources; times = List.rev !times }
 
-(* ----- decoding ----- *)
+(* ----- decoding -----
 
-let ( let* ) r f = Result.bind r f
+   Errors travel as an exception raised from shared top-level helpers:
+   the happy path builds no [Printf] closure, bind continuation, or
+   intermediate [result] per valid line (per-line closure construction
+   showed up in ingest profiles). Error branches allocate freely. *)
 
-let int_list_field name json =
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let rec int_items name acc = function
+  | [] -> List.rev acc
+  | v :: rest -> (
+    match Jsonl.to_int v with
+    | Some i -> int_items name (i :: acc) rest
+    | None -> bad "field %S: expected integers" name)
+
+let rec pair_items name acc = function
+  | [] -> List.rev acc
+  | Jsonl.List [ a; b ] :: rest -> (
+    match Jsonl.to_int a with
+    | None -> bad "field %S: expected [int, int] pairs" name
+    | Some x -> (
+      match Jsonl.to_int b with
+      | None -> bad "field %S: expected [int, int] pairs" name
+      | Some y -> pair_items name ((x, y) :: acc) rest))
+  | _ :: _ -> bad "field %S: expected [int, int] pairs" name
+
+let list_field name json =
   match Jsonl.member name json with
-  | None -> Error (Printf.sprintf "missing field %S" name)
-  | Some (Jsonl.List vs) ->
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | v :: rest -> (
-        match Jsonl.to_int v with
-        | Some i -> go (i :: acc) rest
-        | None -> Error (Printf.sprintf "field %S: expected integers" name))
-    in
-    go [] vs
-  | Some _ -> Error (Printf.sprintf "field %S: expected a list" name)
+  | Some (Jsonl.List vs) -> vs
+  | Some _ -> bad "field %S: expected a list" name
+  | None -> bad "missing field %S" name
 
-let pair_list_field name json =
-  match Jsonl.member name json with
-  | None -> Error (Printf.sprintf "missing field %S" name)
-  | Some (Jsonl.List vs) ->
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | Jsonl.List [ a; b ] :: rest -> (
-        match (Jsonl.to_int a, Jsonl.to_int b) with
-        | Some x, Some y -> go ((x, y) :: acc) rest
-        | _ -> Error (Printf.sprintf "field %S: expected [int, int] pairs" name))
-      | _ :: _ ->
-        Error (Printf.sprintf "field %S: expected [int, int] pairs" name)
-    in
-    go [] vs
-  | Some _ -> Error (Printf.sprintf "field %S: expected a list" name)
+let int_list_field name json = int_items name [] (list_field name json)
+let pair_list_field name json = pair_items name [] (list_field name json)
 
 let float_field_default name default json =
   match Jsonl.member name json with
-  | None -> Ok default
-  | Some (Jsonl.Num f) -> Ok f
-  | Some _ -> Error (Printf.sprintf "field %S: expected a number" name)
+  | None -> default
+  | Some (Jsonl.Num f) -> f
+  | Some _ -> bad "field %S: expected a number" name
 
 let int_field name json =
   match Jsonl.member name json with
-  | None -> Error (Printf.sprintf "missing field %S" name)
+  | None -> bad "missing field %S" name
   | Some v -> (
     match Jsonl.to_int v with
-    | Some i -> Ok i
-    | None -> Error (Printf.sprintf "field %S: expected an integer" name))
+    | Some i -> i
+    | None -> bad "field %S: expected an integer" name)
 
-let of_json json =
+let of_json_exn json =
   match Option.bind (Jsonl.member "type" json) Jsonl.to_string with
   | Some "attributed" ->
-    let* sources = int_list_field "sources" json in
-    let* nodes = int_list_field "nodes" json in
-    let* edges = pair_list_field "edges" json in
-    Ok (Attributed { sources; nodes; edges })
+    let sources = int_list_field "sources" json in
+    let nodes = int_list_field "nodes" json in
+    let edges = pair_list_field "edges" json in
+    Attributed { sources; nodes; edges }
   | Some "trace" ->
-    let* sources = int_list_field "sources" json in
-    let* times = pair_list_field "times" json in
-    Ok (Trace { sources; times })
-  | Some "add_nodes" ->
-    let* count = int_field "count" json in
-    Ok (Add_nodes { count })
+    let sources = int_list_field "sources" json in
+    let times = pair_list_field "times" json in
+    Trace { sources; times }
+  | Some "add_nodes" -> Add_nodes { count = int_field "count" json }
   | Some "add_edges" ->
-    let* edges = pair_list_field "edges" json in
-    let* alpha = float_field_default "alpha" 1.0 json in
-    let* beta = float_field_default "beta" 1.0 json in
+    let edges = pair_list_field "edges" json in
+    let alpha = float_field_default "alpha" 1.0 json in
+    let beta = float_field_default "beta" 1.0 json in
     if alpha > 0.0 && beta > 0.0 then
-      Ok (Add_edges { edges; prior = Beta.v alpha beta })
-    else Error "add_edges: prior parameters must be > 0"
-  | Some "remove_edges" ->
-    let* edges = pair_list_field "edges" json in
-    Ok (Remove_edges { edges })
-  | Some other -> Error (Printf.sprintf "unknown event type %S" other)
-  | None -> Error "missing field \"type\""
+      Add_edges { edges; prior = Beta.v alpha beta }
+    else raise (Bad "add_edges: prior parameters must be > 0")
+  | Some "remove_edges" -> Remove_edges { edges = pair_list_field "edges" json }
+  | Some other -> bad "unknown event type %S" other
+  | None -> raise (Bad "missing field \"type\"")
+
+let of_json json =
+  match of_json_exn json with
+  | ev -> Ok ev
+  | exception Bad msg -> Error msg
 
 let of_line ?lineno line =
   let r =
-    let* json = Jsonl.parse line in
-    of_json json
+    match Jsonl.parse line with Ok json -> of_json json | Error _ as e -> e
   in
   match (r, lineno) with
   | Error msg, Some n -> Error (Printf.sprintf "line %d: %s" n msg)

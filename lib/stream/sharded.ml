@@ -1,0 +1,726 @@
+module Digraph = Iflow_graph.Digraph
+module Beta_icm = Iflow_core.Beta_icm
+module Beta = Iflow_stats.Dist.Beta
+module Metrics = Iflow_obs.Metrics
+
+(* Registered under the same names as Online's counters — registration
+   is idempotent by (name, labels), so both paths feed one series. *)
+let m_applied =
+  Metrics.counter ~help:"Evidence events applied to the online model"
+    "iflow_stream_events_applied_total"
+
+let m_observations =
+  Metrics.counter ~help:"Per-edge Bernoulli trials absorbed"
+    "iflow_stream_observations_total"
+
+let m_graph_changes =
+  Metrics.counter ~help:"Graph-change events applied"
+    "iflow_stream_graph_changes_total"
+
+let quarantined_counter reason =
+  Metrics.counter ~labels:[ ("reason", reason) ]
+    ~help:"Events quarantined instead of applied"
+    "iflow_stream_quarantined_total"
+
+let m_quar_inconsistent = quarantined_counter "inconsistent"
+let m_quar_unknown = quarantined_counter "unknown_ref"
+let m_quar_bad_crc = quarantined_counter (Binlog.reason_label Binlog.Bad_crc)
+let m_quar_truncated = quarantined_counter (Binlog.reason_label Binlog.Truncated)
+
+let m_quar_bad_varint =
+  quarantined_counter (Binlog.reason_label Binlog.Bad_varint)
+
+let m_quar_unknown_tag =
+  quarantined_counter (Binlog.reason_label Binlog.Unknown_tag)
+
+(* ----- workers ----- *)
+
+(* Per-shard scratch. All arrays are sized to the graph and epoch
+   stamped ([stamp.(v) = epoch] means marked for the current event;
+   resetting is one integer increment), so steady-state decode
+   allocates nothing — the reach-workspace discipline. *)
+type worker = {
+  id : int;
+  cur : Binlog.Cursor.t;
+  mutable node_stamp : int array; (* n: active this event *)
+  mutable src_stamp : int array; (* n: a source this event *)
+  mutable time_stamp : int array; (* n: has an activation time *)
+  mutable time_val : int array; (* n: the time, valid when stamped *)
+  mutable edge_stamp : int array; (* m: traversed this event *)
+  mutable node_list : int array; (* n: actives in mark order *)
+  mutable nnodes : int;
+  mutable edge_list : int array; (* m: traversed edges, first-marked order *)
+  mutable nedges : int;
+  mutable epoch : int;
+  (* packed observations: (edge lsl 1) lor fired, in event order *)
+  mutable obs : int array;
+  mutable obs_n : int;
+  (* closure scratch (the closures below are allocated once per graph) *)
+  mutable found : bool;
+  mutable cmp_t : int;
+  mutable emit_attr : int -> unit;
+  mutable emit_trace : int -> unit;
+  mutable check_in : int -> unit;
+  mutable check_parent : int -> unit;
+  (* phase assignments *)
+  mutable a_lo : int;
+  mutable a_hi : int;
+  mutable e_lo : int;
+  mutable e_hi : int;
+  (* per-batch tallies, merged by the coordinator *)
+  mutable applied : int;
+  mutable parse_errors : int;
+  mutable inconsistent : int;
+  mutable unknown_refs : int;
+  mutable n_bad_crc : int;
+  mutable n_truncated : int;
+  mutable n_bad_varint : int;
+  mutable n_unknown_tag : int;
+  mutable quarantines : (int * string) list; (* frame index, reason *)
+  mutable failure : exn option;
+}
+
+let make_worker id =
+  {
+    id;
+    cur = Binlog.Cursor.create ();
+    node_stamp = [||];
+    src_stamp = [||];
+    time_stamp = [||];
+    time_val = [||];
+    edge_stamp = [||];
+    node_list = [||];
+    nnodes = 0;
+    edge_list = [||];
+    nedges = 0;
+    epoch = 0;
+    obs = [||];
+    obs_n = 0;
+    found = false;
+    cmp_t = 0;
+    emit_attr = ignore;
+    emit_trace = ignore;
+    check_in = ignore;
+    check_parent = ignore;
+    a_lo = 0;
+    a_hi = 0;
+    e_lo = 0;
+    e_hi = 0;
+    applied = 0;
+    parse_errors = 0;
+    inconsistent = 0;
+    unknown_refs = 0;
+    n_bad_crc = 0;
+    n_truncated = 0;
+    n_bad_varint = 0;
+    n_unknown_tag = 0;
+    quarantines = [];
+    failure = None;
+  }
+
+let push_obs w x =
+  if w.obs_n >= Array.length w.obs then begin
+    let ncap = max 1024 (2 * Array.length w.obs) in
+    let na = Array.make ncap 0 in
+    Array.blit w.obs 0 na 0 w.obs_n;
+    w.obs <- na
+  end;
+  Array.unsafe_set w.obs w.obs_n x;
+  w.obs_n <- w.obs_n + 1
+
+(* ----- the shared accumulator ----- *)
+
+(* Phase barrier for the persistent worker domains: the coordinator
+   publishes a job under the mutex and broadcasts; workers run it once
+   (sequence-numbered) and count themselves back in. Spawning domains
+   per batch would cost more than a small batch's decode, hence the
+   pool lives as long as the ingest run. *)
+type pool = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable seq : int;
+  mutable job : int -> unit;
+  mutable pending : int;
+  mutable quit : bool;
+  mutable domains : unit Domain.t array;
+}
+
+type t = {
+  mutable graph : Digraph.t;
+  mutable alpha : float array;
+  mutable beta : float array;
+  mutable observed : int;
+  forget : float;
+  nshards : int;
+  workers : worker array;
+  mutable pool : pool option;
+  mutable applied : int;
+  mutable graph_changes : int;
+  mutable parse_errors : int;
+  mutable inconsistent : int;
+  mutable unknown_refs : int;
+  mutable closed : bool;
+}
+
+let set_closures t w =
+  let g = t.graph in
+  w.emit_attr <-
+    (fun e ->
+      push_obs w
+        ((e lsl 1)
+        lor if Array.unsafe_get w.edge_stamp e = w.epoch then 1 else 0));
+  w.emit_trace <-
+    (fun e ->
+      let dv = Digraph.edge_dst g e in
+      let tv =
+        if Array.unsafe_get w.time_stamp dv = w.epoch then
+          Array.unsafe_get w.time_val dv
+        else -1
+      in
+      if tv = w.cmp_t + 1 then push_obs w ((e lsl 1) lor 1)
+      else if tv < 0 || tv > w.cmp_t + 1 then push_obs w (e lsl 1));
+  w.check_in <-
+    (fun e ->
+      if Array.unsafe_get w.edge_stamp e = w.epoch then w.found <- true);
+  w.check_parent <-
+    (fun e ->
+      let u = Digraph.edge_src g e in
+      let tu =
+        if Array.unsafe_get w.time_stamp u = w.epoch then
+          Array.unsafe_get w.time_val u
+        else -1
+      in
+      if tu >= 0 && tu < w.cmp_t then w.found <- true)
+
+let rebuild_workspaces t =
+  let n = Digraph.n_nodes t.graph and m = Digraph.n_edges t.graph in
+  let ns = t.nshards in
+  Array.iteri
+    (fun k w ->
+      w.node_stamp <- Array.make n 0;
+      w.src_stamp <- Array.make n 0;
+      w.time_stamp <- Array.make n 0;
+      w.time_val <- Array.make n 0;
+      w.edge_stamp <- Array.make m 0;
+      w.node_list <- Array.make n 0;
+      w.edge_list <- Array.make m 0;
+      w.nnodes <- 0;
+      w.nedges <- 0;
+      w.epoch <- 0;
+      w.e_lo <- k * m / ns;
+      w.e_hi <- (k + 1) * m / ns;
+      set_closures t w)
+    t.workers
+
+let worker_loop t p id =
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock p.mutex;
+    while p.seq = !seen && not p.quit do
+      Condition.wait p.cond p.mutex
+    done;
+    if p.quit then begin
+      live := false;
+      Mutex.unlock p.mutex
+    end
+    else begin
+      seen := p.seq;
+      let job = p.job in
+      Mutex.unlock p.mutex;
+      (try job id with e -> t.workers.(id).failure <- Some e);
+      Mutex.lock p.mutex;
+      p.pending <- p.pending - 1;
+      if p.pending = 0 then Condition.broadcast p.cond;
+      Mutex.unlock p.mutex
+    end
+  done
+
+let create ?(shards = 1) ?(forget = 0.0) model =
+  if shards < 1 then invalid_arg "Sharded.create: shards must be >= 1";
+  if not (forget >= 0.0 && forget < 1.0) then
+    invalid_arg "Sharded.create: forget outside [0, 1)";
+  let m = Beta_icm.n_edges model in
+  let t =
+    {
+      graph = Beta_icm.graph model;
+      alpha =
+        Array.init m (fun e -> (Beta_icm.edge_beta model e).Beta.alpha);
+      beta = Array.init m (fun e -> (Beta_icm.edge_beta model e).Beta.beta);
+      observed = 0;
+      forget;
+      nshards = shards;
+      workers = Array.init shards make_worker;
+      pool = None;
+      applied = 0;
+      graph_changes = 0;
+      parse_errors = 0;
+      inconsistent = 0;
+      unknown_refs = 0;
+      closed = false;
+    }
+  in
+  rebuild_workspaces t;
+  if shards > 1 then begin
+    let p =
+      {
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        seq = 0;
+        job = ignore;
+        pending = 0;
+        quit = false;
+        domains = [||];
+      }
+    in
+    t.pool <- Some p;
+    p.domains <-
+      Array.init (shards - 1) (fun k ->
+          Domain.spawn (fun () -> worker_loop t p (k + 1)))
+  end;
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.pool with
+    | None -> ()
+    | Some p ->
+      Mutex.lock p.mutex;
+      p.quit <- true;
+      Condition.broadcast p.cond;
+      Mutex.unlock p.mutex;
+      Array.iter Domain.join p.domains;
+      t.pool <- None
+  end
+
+let shards t = t.nshards
+let graph t = t.graph
+
+let run_phase t job =
+  match t.pool with
+  | None -> job 0
+  | Some p ->
+    Mutex.lock p.mutex;
+    p.job <- job;
+    p.seq <- p.seq + 1;
+    p.pending <- t.nshards - 1;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mutex;
+    (* the coordinating domain is worker 0; defer its failure until the
+       barrier is down so the pool is never left mid-phase *)
+    let main_exn = (match job 0 with () -> None | exception e -> Some e) in
+    Mutex.lock p.mutex;
+    while p.pending > 0 do
+      Condition.wait p.cond p.mutex
+    done;
+    Mutex.unlock p.mutex;
+    (match main_exn with Some e -> raise e | None -> ());
+    Array.iter
+      (fun w ->
+        match w.failure with
+        | Some e ->
+          w.failure <- None;
+          raise e
+        | None -> ())
+      t.workers
+
+(* ----- phase A: decode + validate one chunk ----- *)
+
+let mark_node w v =
+  if Array.unsafe_get w.node_stamp v <> w.epoch then begin
+    Array.unsafe_set w.node_stamp v w.epoch;
+    Array.unsafe_set w.node_list w.nnodes v;
+    w.nnodes <- w.nnodes + 1
+  end
+
+let guard_list c k ~bytes_per_item =
+  if k * bytes_per_item > Binlog.Cursor.remaining c then
+    raise (Binlog.Malformed (Binlog.Truncated, "list length exceeds the payload"))
+
+let check_trailing c =
+  if not (Binlog.Cursor.at_end c) then
+    raise
+      (Binlog.Malformed (Binlog.Bad_varint, "trailing bytes after the event body"))
+
+(* Mirrors Online.apply_attributed byte for byte on the model: same
+   check order (format > node range > unknown edge > consistency), same
+   reasons, same observation set. The payload is walked to the end
+   before classifying, so damage anywhere in the record wins over
+   semantics — exactly as a JSONL parse error precedes all semantic
+   checks. *)
+let decode_attributed t w batch i =
+  let g = t.graph in
+  let n = Digraph.n_nodes g in
+  let c = w.cur in
+  let off = Binlog.frame_off batch i in
+  Binlog.Cursor.set c (Binlog.frame_bytes batch i) ~pos:(off + 1)
+    ~limit:(off + Binlog.frame_len batch i);
+  w.epoch <- w.epoch + 1;
+  w.nnodes <- 0;
+  w.nedges <- 0;
+  let ep = w.epoch in
+  let bad_range = ref false in
+  let unknown = ref None in
+  let nsrc = Binlog.Cursor.varint c in
+  guard_list c nsrc ~bytes_per_item:1;
+  for _ = 1 to nsrc do
+    let v = Binlog.Cursor.varint c in
+    if v >= n then bad_range := true
+    else begin
+      Array.unsafe_set w.src_stamp v ep;
+      mark_node w v
+    end
+  done;
+  let nnode = Binlog.Cursor.varint c in
+  guard_list c nnode ~bytes_per_item:1;
+  for _ = 1 to nnode do
+    let v = Binlog.Cursor.varint c in
+    if v >= n then bad_range := true else mark_node w v
+  done;
+  let nedge = Binlog.Cursor.varint c in
+  guard_list c nedge ~bytes_per_item:2;
+  for _ = 1 to nedge do
+    let s = Binlog.Cursor.varint c in
+    let d = Binlog.Cursor.varint c in
+    if s >= n || d >= n then begin
+      if !unknown = None then unknown := Some (s, d)
+    end
+    else
+      match Digraph.find_edge g ~src:s ~dst:d with
+      | Some e ->
+        if Array.unsafe_get w.edge_stamp e <> ep then begin
+          Array.unsafe_set w.edge_stamp e ep;
+          Array.unsafe_set w.edge_list w.nedges e;
+          w.nedges <- w.nedges + 1
+        end
+      | None -> if !unknown = None then unknown := Some (s, d)
+  done;
+  check_trailing c;
+  if !bad_range then `Quarantined (`Unknown, "attributed: node id out of range")
+  else
+    match !unknown with
+    | Some (s, d) ->
+      `Quarantined
+        (`Unknown, Printf.sprintf "attributed: unknown edge (%d, %d)" s d)
+    | None ->
+      let ok = ref true in
+      for j = 0 to w.nedges - 1 do
+        let e = Array.unsafe_get w.edge_list j in
+        if
+          Array.unsafe_get w.node_stamp (Digraph.edge_src g e) <> ep
+          || Array.unsafe_get w.node_stamp (Digraph.edge_dst g e) <> ep
+        then ok := false
+      done;
+      if !ok then begin
+        let j = ref 0 in
+        while !ok && !j < w.nnodes do
+          let v = Array.unsafe_get w.node_list !j in
+          if Array.unsafe_get w.src_stamp v <> ep then begin
+            w.found <- false;
+            Digraph.iter_in g v w.check_in;
+            if not w.found then ok := false
+          end;
+          incr j
+        done
+      end;
+      if not !ok then `Quarantined (`Inconsistent, "attributed: inconsistent object")
+      else begin
+        for j = 0 to w.nnodes - 1 do
+          Digraph.iter_out g (Array.unsafe_get w.node_list j) w.emit_attr
+        done;
+        `Applied
+      end
+
+(* Mirrors Online.apply_trace / Evidence.trace_of_active /
+   trace_is_consistent: times entries overwrite in list order, sources
+   override to time 0 afterwards, every non-source active needs an
+   in-neighbour strictly earlier, and the counting rule is
+   success at t+1 / failure when provably missed. *)
+let decode_trace t w batch i =
+  let g = t.graph in
+  let n = Digraph.n_nodes g in
+  let c = w.cur in
+  let off = Binlog.frame_off batch i in
+  Binlog.Cursor.set c (Binlog.frame_bytes batch i) ~pos:(off + 1)
+    ~limit:(off + Binlog.frame_len batch i);
+  w.epoch <- w.epoch + 1;
+  w.nnodes <- 0;
+  let ep = w.epoch in
+  let bad_range = ref false in
+  let nsrc = Binlog.Cursor.varint c in
+  guard_list c nsrc ~bytes_per_item:1;
+  for _ = 1 to nsrc do
+    let v = Binlog.Cursor.varint c in
+    if v >= n then bad_range := true
+    else begin
+      Array.unsafe_set w.src_stamp v ep;
+      mark_node w v
+    end
+  done;
+  let nt = Binlog.Cursor.varint c in
+  guard_list c nt ~bytes_per_item:2;
+  for _ = 1 to nt do
+    let v = Binlog.Cursor.varint c in
+    let tm = Binlog.Cursor.varint c in
+    if v >= n then bad_range := true
+    else begin
+      Array.unsafe_set w.time_val v tm;
+      Array.unsafe_set w.time_stamp v ep;
+      mark_node w v
+    end
+  done;
+  check_trailing c;
+  if !bad_range then
+    `Quarantined (`Unknown, "trace: node id or time out of range")
+  else begin
+    (* sources activate at time 0, overriding any listed time *)
+    for j = 0 to w.nnodes - 1 do
+      let v = Array.unsafe_get w.node_list j in
+      if Array.unsafe_get w.src_stamp v = ep then begin
+        Array.unsafe_set w.time_val v 0;
+        Array.unsafe_set w.time_stamp v ep
+      end
+    done;
+    let ok = ref true in
+    let j = ref 0 in
+    while !ok && !j < w.nnodes do
+      let v = Array.unsafe_get w.node_list !j in
+      if Array.unsafe_get w.src_stamp v <> ep then begin
+        w.cmp_t <- Array.unsafe_get w.time_val v;
+        w.found <- false;
+        Digraph.iter_in g v w.check_parent;
+        if not w.found then ok := false
+      end;
+      incr j
+    done;
+    if not !ok then
+      `Quarantined (`Inconsistent, "trace: inconsistent activation times")
+    else begin
+      for j = 0 to w.nnodes - 1 do
+        let u = Array.unsafe_get w.node_list j in
+        w.cmp_t <- Array.unsafe_get w.time_val u;
+        Digraph.iter_out g u w.emit_trace
+      done;
+      `Applied
+    end
+  end
+
+let quarantine_bin (w : worker) i (e : Binlog.error) =
+  w.parse_errors <- w.parse_errors + 1;
+  (match e.Binlog.reason with
+  | Binlog.Bad_crc -> w.n_bad_crc <- w.n_bad_crc + 1
+  | Binlog.Truncated -> w.n_truncated <- w.n_truncated + 1
+  | Binlog.Bad_varint -> w.n_bad_varint <- w.n_bad_varint + 1
+  | Binlog.Unknown_tag -> w.n_unknown_tag <- w.n_unknown_tag + 1);
+  w.quarantines <- (i, Binlog.error_message e) :: w.quarantines
+
+let decode_chunk t batch w =
+  for i = w.a_lo to w.a_hi - 1 do
+    if Binlog.frame_len batch i < 0 then (
+      match Binlog.frame_error batch i with
+      | Some e -> quarantine_bin w i e
+      | None -> assert false)
+    else if not (Binlog.check_crc batch i) then
+      quarantine_bin w i (Binlog.crc_error batch i)
+    else begin
+      let tag = Binlog.frame_tag batch i in
+      match
+        if tag = Binlog.tag_attributed then decode_attributed t w batch i
+        else if tag = Binlog.tag_trace then decode_trace t w batch i
+        else
+          raise
+            (Binlog.Malformed
+               ( Binlog.Unknown_tag,
+                 Printf.sprintf "unknown event tag %d" tag ))
+      with
+      | `Applied -> w.applied <- w.applied + 1
+      | `Quarantined (`Unknown, reason) ->
+        w.unknown_refs <- w.unknown_refs + 1;
+        w.quarantines <- (i, reason) :: w.quarantines
+      | `Quarantined (`Inconsistent, reason) ->
+        w.inconsistent <- w.inconsistent + 1;
+        w.quarantines <- (i, reason) :: w.quarantines
+      | exception Binlog.Malformed (reason, detail) ->
+        quarantine_bin w i
+          {
+            Binlog.segment = Binlog.frame_segment batch i;
+            offset = Binlog.frame_offset batch i;
+            reason;
+            detail;
+          }
+    end
+  done
+
+(* ----- phase B: apply one edge range over all chunks ----- *)
+
+let apply_range t w =
+  let lo = w.e_lo and hi = w.e_hi in
+  let alpha = t.alpha and beta = t.beta in
+  let workers = t.workers in
+  for c = 0 to Array.length workers - 1 do
+    let wc = workers.(c) in
+    let obs = wc.obs in
+    for j = 0 to wc.obs_n - 1 do
+      let x = Array.unsafe_get obs j in
+      let e = x lsr 1 in
+      if e >= lo && e < hi then
+        if x land 1 = 1 then
+          Array.unsafe_set alpha e (Array.unsafe_get alpha e +. 1.0)
+        else Array.unsafe_set beta e (Array.unsafe_get beta e +. 1.0)
+    done
+  done
+
+(* ----- coordination ----- *)
+
+let reset_worker_outputs w =
+  w.obs_n <- 0;
+  w.applied <- 0;
+  w.parse_errors <- 0;
+  w.inconsistent <- 0;
+  w.unknown_refs <- 0;
+  w.n_bad_crc <- 0;
+  w.n_truncated <- 0;
+  w.n_bad_varint <- 0;
+  w.n_unknown_tag <- 0;
+  w.quarantines <- []
+
+let process_evidence t batch lo hi ~on_quarantine ~first_line =
+  let cnt = hi - lo in
+  let ns = t.nshards in
+  let per = cnt / ns and rem = cnt mod ns in
+  let start = ref lo in
+  Array.iteri
+    (fun k w ->
+      reset_worker_outputs w;
+      let sz = per + if k < rem then 1 else 0 in
+      w.a_lo <- !start;
+      w.a_hi <- !start + sz;
+      start := !start + sz)
+    t.workers;
+  run_phase t (fun k -> decode_chunk t batch t.workers.(k));
+  run_phase t (fun k -> apply_range t t.workers.(k));
+  Array.iter
+    (fun (w : worker) ->
+      t.applied <- t.applied + w.applied;
+      t.observed <- t.observed + w.obs_n;
+      t.parse_errors <- t.parse_errors + w.parse_errors;
+      t.inconsistent <- t.inconsistent + w.inconsistent;
+      t.unknown_refs <- t.unknown_refs + w.unknown_refs;
+      Metrics.add m_applied w.applied;
+      Metrics.add m_observations w.obs_n;
+      Metrics.add m_quar_inconsistent w.inconsistent;
+      Metrics.add m_quar_unknown w.unknown_refs;
+      Metrics.add m_quar_bad_crc w.n_bad_crc;
+      Metrics.add m_quar_truncated w.n_truncated;
+      Metrics.add m_quar_bad_varint w.n_bad_varint;
+      Metrics.add m_quar_unknown_tag w.n_unknown_tag;
+      match on_quarantine with
+      | Some f ->
+        List.iter
+          (fun (i, reason) -> f ~line:(first_line + i) ~reason)
+          (List.rev w.quarantines)
+      | None -> ())
+    t.workers
+
+let freeze t =
+  Beta_icm.create t.graph
+    (Array.init (Array.length t.alpha) (fun e ->
+         Beta.v t.alpha.(e) t.beta.(e)))
+
+let reload t model =
+  t.graph <- Beta_icm.graph model;
+  let m = Beta_icm.n_edges model in
+  t.alpha <- Array.init m (fun e -> (Beta_icm.edge_beta model e).Beta.alpha);
+  t.beta <- Array.init m (fun e -> (Beta_icm.edge_beta model e).Beta.beta);
+  rebuild_workspaces t
+
+let process_graph t batch i ~on_quarantine ~first_line =
+  let outcome =
+    match Binlog.decode_frame batch i with
+    | Error e ->
+      t.parse_errors <- t.parse_errors + 1;
+      (match e.Binlog.reason with
+      | Binlog.Bad_crc -> Metrics.inc m_quar_bad_crc
+      | Binlog.Truncated -> Metrics.inc m_quar_truncated
+      | Binlog.Bad_varint -> Metrics.inc m_quar_bad_varint
+      | Binlog.Unknown_tag -> Metrics.inc m_quar_unknown_tag);
+      Some (Binlog.error_message e)
+    | Ok ev -> (
+      let what, change =
+        match ev with
+        | Event.Add_nodes { count } ->
+          ( "add_nodes",
+            fun m -> Beta_icm.grow m ~new_nodes:count ~new_edges:[] )
+        | Event.Add_edges { edges; prior } ->
+          ( "add_edges",
+            fun m ->
+              Beta_icm.grow m ~new_nodes:0
+                ~new_edges:(List.map (fun (s, d) -> (s, d, prior)) edges) )
+        | Event.Remove_edges { edges } ->
+          ("remove_edges", fun m -> Beta_icm.remove_edges m edges)
+        | Event.Attributed _ | Event.Trace _ -> assert false
+      in
+      match change (freeze t) with
+      | model ->
+        reload t model;
+        t.applied <- t.applied + 1;
+        t.graph_changes <- t.graph_changes + 1;
+        Metrics.inc m_applied;
+        Metrics.inc m_graph_changes;
+        None
+      | exception Invalid_argument msg ->
+        t.unknown_refs <- t.unknown_refs + 1;
+        Metrics.inc m_quar_unknown;
+        Some (Printf.sprintf "%s: %s" what msg))
+  in
+  match (outcome, on_quarantine) with
+  | Some reason, Some f -> f ~line:(first_line + i) ~reason
+  | _ -> ()
+
+let is_graph_frame batch j =
+  Binlog.frame_len batch j >= 1
+  && Binlog.is_graph_change_tag (Binlog.frame_tag batch j)
+
+let apply_batch ?on_quarantine t batch ~first_line =
+  if t.closed then invalid_arg "Sharded.apply_batch: closed";
+  let nb = Binlog.Batch.length batch in
+  let applied0 = t.applied in
+  let i = ref 0 in
+  while !i < nb do
+    (* graph changes are barriers: evidence runs go through the two
+       parallel phases, the change itself is applied sequentially and
+       re-partitions the edge ranges *)
+    let j = ref !i in
+    while !j < nb && not (is_graph_frame batch !j) do
+      incr j
+    done;
+    if !j > !i then process_evidence t batch !i !j ~on_quarantine ~first_line;
+    if !j < nb then begin
+      process_graph t batch !j ~on_quarantine ~first_line;
+      incr j
+    end;
+    i := !j
+  done;
+  t.applied - applied0
+
+let model t = freeze t
+
+let decay t =
+  if t.forget > 0.0 then begin
+    let keep = 1.0 -. t.forget in
+    for e = 0 to Array.length t.alpha - 1 do
+      t.alpha.(e) <- keep *. t.alpha.(e);
+      t.beta.(e) <- keep *. t.beta.(e)
+    done
+  end
+
+let stats t : Online.stats =
+  {
+    Online.applied = t.applied;
+    observations = t.observed;
+    graph_changes = t.graph_changes;
+    parse_errors = t.parse_errors;
+    inconsistent = t.inconsistent;
+    unknown_refs = t.unknown_refs;
+  }

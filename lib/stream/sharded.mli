@@ -1,0 +1,73 @@
+(** Domain-sharded ingest of binary event batches: the parallel
+    counterpart of {!Online} for {!Binlog} streams, with posteriors
+    {e bit-identical} to the sequential JSONL path.
+
+    {b Why edge-range partitioning is exact.} Each per-edge posterior
+    cell is a float pair updated by [+. 1.0] per observation, and any
+    one event observes an edge at most once (an edge has one source
+    node). Partitioning {e edges} into contiguous ranges — one range
+    per shard — means every cell is written by exactly one shard, which
+    applies that edge's observations in event order. The per-edge
+    operation sequence is therefore exactly the sequential one, so the
+    result is bit-identical at any shard count — including after
+    {!decay} makes the counts fractional, where merging per-shard
+    deltas by addition would {e not} be exact.
+
+    {b Two-phase batches.} Phase A partitions a batch's records into
+    contiguous chunks, one per shard: each worker decodes and validates
+    its chunk into a packed observation buffer (epoch-stamped
+    workspaces, zero steady-state allocation — the discipline of
+    {!Iflow_graph.Reach}). Phase B partitions the {e edges}: each
+    worker scans all chunks' buffers in order and applies exactly the
+    observations in its edge range. Both decode and accumulate
+    parallelize; record order is preserved per edge. Rare graph-change
+    records are barriers: the batch is split around them and they are
+    applied sequentially (ranges re-partition on the new edge set).
+
+    {b Quarantine.} Semantic checks replicate {!Online} exactly
+    (unknown refs, inconsistent evidence — same reasons, same
+    counters). Binary decode errors quarantine per reason — [bad_crc],
+    [truncated], [bad_varint], [unknown_tag] on
+    [iflow_stream_quarantined_total] — and count as [parse_errors] in
+    {!Online.stats}, so the [--max-quarantine-rate] gate applies
+    unchanged. One deliberate deviation: an attributed edge pair naming
+    an out-of-range endpoint quarantines as an unknown edge here
+    (the JSONL path's [find_edge] would raise on it).
+
+    The drift detector is not available on this path (it is inherently
+    sequential per edge window; digests never depend on it). *)
+
+type t
+
+val create : ?shards:int -> ?forget:float -> Iflow_core.Beta_icm.t -> t
+(** [shards] (default 1) fixes the worker count; [shards - 1] domains
+    are spawned immediately and live until {!close} — create once per
+    ingest run. [forget] as in {!Online.create}. Raises
+    [Invalid_argument] on [shards < 1] or a bad lambda. *)
+
+val close : t -> unit
+(** Join the worker domains. Idempotent; {!apply_batch} after [close]
+    raises. *)
+
+val shards : t -> int
+
+val apply_batch :
+  ?on_quarantine:(line:int -> reason:string -> unit) ->
+  t -> Binlog.Batch.t -> first_line:int -> int
+(** Apply one decoded batch; returns the number of events applied (the
+    publish-cadence delta). [on_quarantine] fires once per quarantined
+    record, in record order, after the batch is absorbed; [line] is
+    [first_line + index-in-batch] (1-based log offsets, framing-error
+    slots included, mirroring JSONL line numbers). *)
+
+val model : t -> Iflow_core.Beta_icm.t
+(** Freeze the current posterior (bit-identical to the sequential
+    {!Online.model} over the same event sequence). *)
+
+val graph : t -> Iflow_graph.Digraph.t
+
+val decay : t -> unit
+(** One step of exponential forgetting, as {!Online.decay}. *)
+
+val stats : t -> Online.stats
+(** Binary decode errors are reported as [parse_errors]. *)
