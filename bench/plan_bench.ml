@@ -1,0 +1,209 @@
+(* Query-planner benchmark: exact closed-form answers vs the MH
+   sampler on the paper's timing substrate (~6K nodes) — the PR 8
+   acceptance measurement.
+
+   Three measurements on a 6000-node random tree (every flow query is
+   exact-eligible):
+   - exact: per-query latency through Engine.query with the planner on
+     and the cache off — the full route (plan + cone + certify +
+     closed form) paid on every ask;
+   - mh: per-query latency with the planner off, on an MH config that
+     actually mixes at this edge count (thinning on the order of the
+     edge count — a proposal touches one edge in ~6000, so anything
+     less reads the same coin state over and over);
+   - agreement: the exact answer must sit within 5 MCSE of the MH
+     estimate on every timed query.
+
+   Plus the cost of failing: on a dense G(n,m) graph every query is
+   refused (unsound joins), and the planner's refusal latency is the
+   pure overhead the MH path inherits from this PR.
+
+   Results go to BENCH_PR8.json (committed from a full run). --quick
+   (or IFLOW_BENCH_QUICK=1) shortens the run for CI. *)
+
+module Rng = Iflow_stats.Rng
+module Gen = Iflow_graph.Gen
+module Digraph = Iflow_graph.Digraph
+module Icm = Iflow_core.Icm
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Planner = Iflow_plan.Planner
+module Clock = Iflow_obs.Clock
+
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv
+  || Sys.getenv_opt "IFLOW_BENCH_QUICK" <> None
+
+let nodes = 6000
+let n_exact_queries = if quick then 50 else 500
+let n_mh_queries = if quick then 2 else 10
+
+let timed f =
+  let t0 = Clock.now_ns () in
+  let x = f () in
+  (x, Clock.seconds_of_ns (Clock.elapsed_ns t0))
+
+(* random tree rooted at 0: node v >= 1 gets one parent among 0..v-1 *)
+let tree_icm rng ~nodes =
+  let edges = Array.init (nodes - 1) (fun i -> (Rng.int rng (i + 1), i + 1)) in
+  let g = Digraph.of_edges ~nodes (Array.to_list edges) in
+  Icm.create g
+    (Array.init (nodes - 1) (fun _ -> 0.2 +. (0.75 *. Rng.uniform rng)))
+
+let () =
+  let rng = Rng.create 20120402 in
+  let icm = tree_icm rng ~nodes in
+  Printf.printf "plan bench: %d-node tree (quick=%b)\n%!" nodes quick;
+
+  (* depth-2/3 sinks so the MH estimates are comfortably away from 0 *)
+  let first_child v =
+    let c = ref None in
+    Digraph.iter_out (Icm.graph icm) v (fun e ->
+        if !c = None then c := Some (Digraph.edge_dst (Icm.graph icm) e));
+    !c
+  in
+  let shallow_sinks =
+    List.filter_map
+      (fun v -> Option.bind (first_child v) first_child)
+      (List.init 400 (fun i -> i))
+  in
+  let mh_sinks =
+    List.filteri (fun i _ -> i < n_mh_queries) shallow_sinks
+  in
+  let exact_sinks =
+    List.init n_exact_queries (fun _ -> 1 + Rng.int rng (nodes - 1))
+  in
+
+  (* no cache: every ask pays the full route *)
+  let exact_engine =
+    Engine.create
+      ~config:{ Engine.default_config with Engine.cache_capacity = 0 }
+      ~seed:7 icm
+  in
+  let exact_dt_of sinks =
+    let (), dt =
+      timed (fun () ->
+          List.iter
+            (fun dst ->
+              match
+                (Engine.query exact_engine (Query.flow ~src:0 ~dst ()))
+                  .Engine.plan
+              with
+              | Engine.Plan_exact _ -> ()
+              | Engine.Plan_mh _ ->
+                Printf.eprintf "FATAL: tree query 0 ~> %d not exact\n%!" dst;
+                exit 1)
+            sinks)
+    in
+    dt
+  in
+  (* warm up code paths once, then measure *)
+  ignore (exact_dt_of [ List.hd exact_sinks ]);
+  let exact_dt = exact_dt_of exact_sinks in
+  let exact_mean_s = exact_dt /. float_of_int n_exact_queries in
+  Printf.printf "  exact:     %10.1f queries/s (%.3f ms/query, %d queries)\n%!"
+    (1.0 /. exact_mean_s) (1000.0 *. exact_mean_s) n_exact_queries;
+
+  (* MH on the same model, planner off, thinning matched to edge count *)
+  let mh_config =
+    {
+      Engine.default_config with
+      Engine.planner = false;
+      cache_capacity = 0;
+      chains = 4;
+      burn_in = 30_000;
+      thin = 3_000;
+      round_samples = 100;
+      max_samples = (if quick then 400 else 600);
+      rhat_target = 1.2;
+      mcse_target = 0.005;
+    }
+  in
+  let mh_engine = Engine.create ~config:mh_config ~seed:7 icm in
+  let mh_results, mh_dt =
+    timed (fun () ->
+        List.map
+          (fun dst -> (dst, Engine.query mh_engine (Query.flow ~src:0 ~dst ())))
+          mh_sinks)
+  in
+  let mh_mean_s = mh_dt /. float_of_int n_mh_queries in
+  Printf.printf "  mh:        %10.1f queries/s (%.1f ms/query, %d queries)\n%!"
+    (1.0 /. mh_mean_s) (1000.0 *. mh_mean_s) n_mh_queries;
+
+  (* agreement within the sampler's own error bar *)
+  let agreed =
+    List.for_all
+      (fun (dst, (mh : Engine.result)) ->
+        let exact = Engine.query exact_engine (Query.flow ~src:0 ~dst ()) in
+        let tol = (5.0 *. mh.Engine.mcse) +. 1e-9 in
+        let ok = Float.abs (exact.Engine.estimate -. mh.Engine.estimate) <= tol in
+        if not ok then
+          Printf.eprintf "DISAGREE 0 ~> %d: exact %.6f vs mh %.6f (mcse %.6f)\n%!"
+            dst exact.Engine.estimate mh.Engine.estimate mh.Engine.mcse;
+        ok)
+      mh_results
+  in
+  if not agreed then exit 1;
+  Printf.printf "  agreement: every exact answer within 5 MCSE of MH\n%!";
+
+  let speedup = mh_mean_s /. exact_mean_s in
+  Printf.printf "  speedup:   %10.0fx per exact-eligible query\n%!" speedup;
+
+  (* refusal overhead: a dense graph where certification always fails *)
+  let dense =
+    let rng = Rng.create 7 in
+    let g = Gen.gnm rng ~nodes ~edges:(4 * nodes) in
+    Icm.create g
+      (Array.init (4 * nodes) (fun _ -> 0.05 +. (0.9 *. Rng.uniform rng)))
+  in
+  let n_refusals = if quick then 50 else 500 in
+  let refusal_targets =
+    List.init n_refusals (fun _ ->
+        (Rng.int rng nodes, Rng.int rng nodes))
+  in
+  let refused, refusal_dt =
+    timed (fun () ->
+        List.fold_left
+          (fun acc (src, dst) ->
+            if src = dst then acc
+            else
+              match Planner.plan dense ~targets:[ (src, dst) ] ~conditions:[] with
+              | Error _ -> acc + 1
+              | Ok _ -> acc)
+          0 refusal_targets)
+  in
+  let refusal_mean_us = 1e6 *. refusal_dt /. float_of_int n_refusals in
+  Printf.printf
+    "  refusal:   %10.1f us/query planning overhead on unsound graphs (%d/%d \
+     refused)\n\
+     %!"
+    refusal_mean_us refused n_refusals;
+
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"query_planner\",\n\
+      \  \"pr\": 8,\n\
+      \  \"graph\": {\"nodes\": %d, \"edges\": %d, \"generator\": \
+       \"random_tree\", \"seed\": 20120402},\n\
+      \  \"quick\": %b,\n\
+      \  \"measured\": {\n\
+      \    \"exact_queries_per_sec\": %.1f,\n\
+      \    \"exact_mean_ms\": %.4f,\n\
+      \    \"mh_queries_per_sec\": %.2f,\n\
+      \    \"mh_mean_ms\": %.1f,\n\
+      \    \"speedup_exact_vs_mh\": %.0f,\n\
+      \    \"exact_within_5_mcse_of_mh\": %b,\n\
+      \    \"refusal_overhead_us\": %.1f,\n\
+      \    \"refusals_checked\": %d\n\
+      \  }\n\
+       }\n"
+      nodes (Icm.n_edges icm) quick (1.0 /. exact_mean_s)
+      (1000.0 *. exact_mean_s) (1.0 /. mh_mean_s) (1000.0 *. mh_mean_s)
+      speedup agreed refusal_mean_us n_refusals
+  in
+  let oc = open_out "BENCH_PR8.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_PR8.json\n%!";
+  Bench_obs.write_metrics_out ()

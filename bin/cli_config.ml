@@ -145,7 +145,34 @@ let engine_term =
       & info [ "mcse-target" ]
           ~doc:"... and the Monte-Carlo standard error below this.")
   in
-  let make chains domains rhat_target mcse_target (config : Estimator.config) =
+  let no_planner =
+    Arg.(
+      value & flag
+      & info [ "no-planner" ]
+          ~doc:
+            "Disable the exact-oracle query planner: every query takes the \
+             Metropolis-Hastings path, even when a closed-form answer is \
+             available.")
+  in
+  let plan_budget =
+    Arg.(
+      value & opt int Engine.default_config.Engine.plan_budget
+      & info [ "plan-budget" ]
+          ~doc:
+            "Planner work budget per query (certification + evaluation \
+             units); queries that exceed it fall back to sampling.")
+  in
+  let plan_validate =
+    Arg.(
+      value & flag
+      & info [ "plan-validate" ]
+          ~doc:
+            "Cross-check every exact-planned answer against a full MH run \
+             (within 5 MCSE); disagreements are logged and counted. The \
+             exact answer is still returned.")
+  in
+  let make chains domains rhat_target mcse_target no_planner plan_budget
+      plan_validate (config : Estimator.config) =
     {
       Engine.default_config with
       Engine.chains;
@@ -156,9 +183,14 @@ let engine_term =
       thin = config.Estimator.thin;
       round_samples = min 250 config.Estimator.samples;
       max_samples = config.Estimator.samples * chains;
+      planner = not no_planner;
+      plan_budget;
+      plan_validate;
     }
   in
-  Term.(const make $ chains $ domains $ rhat $ mcse $ mcmc_term)
+  Term.(
+    const make $ chains $ domains $ rhat $ mcse $ no_planner $ plan_budget
+    $ plan_validate $ mcmc_term)
 
 (* ----- argument converters ----- *)
 

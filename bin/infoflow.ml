@@ -32,6 +32,7 @@ module Bucket = Iflow_bucket.Bucket
 module Model_io = Iflow_io.Model_io
 module Engine = Iflow_engine.Engine
 module Query = Iflow_engine.Query
+module Planner = Iflow_plan.Planner
 module Server = Iflow_serve.Server
 module Quota = Iflow_serve.Quota
 module Obs_log = Iflow_obs.Log
@@ -149,8 +150,27 @@ let train_cmd =
 
 (* ----- estimate ----- *)
 
+(* one-line rendering of how an answer was produced, for --explain *)
+let plan_string (r : Engine.result) =
+  match r.Engine.plan with
+  | Engine.Plan_exact { cone_nodes; validated } ->
+    Printf.sprintf "exact (cone %d nodes%s)" cone_nodes
+      (if validated then ", validated against MH" else "")
+  | Engine.Plan_mh { fallback = Some reason } ->
+    Printf.sprintf "mh (fallback: %s)" reason
+  | Engine.Plan_mh { fallback = None } -> "mh"
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Also report how each answer was produced: 'exact' with the \
+           evaluated cone size when the query planner certified a \
+           closed-form answer, 'mh' with the fallback reason otherwise.")
+
 let estimate seed model_path src dst conditions engine_config config nested
-    deadline delay_mean obs =
+    deadline delay_mean explain obs =
   C.obs_setup obs;
   let rng = Rng.create seed in
   let model = Model_io.load_beta_icm model_path in
@@ -163,10 +183,16 @@ let estimate seed model_path src dst conditions engine_config config nested
     (if Conditions.is_empty conditions then ""
      else Format.asprintf " | %a" Conditions.pp conditions)
     r.Engine.estimate;
-  Printf.printf
-    "  R-hat %.4f, ESS %.0f, MCSE %.5f (%d samples, %d chains, %d domains)\n"
-    r.Engine.rhat r.Engine.ess r.Engine.mcse r.Engine.total_samples
-    r.Engine.chains_used (Engine.pool_size engine);
+  (match r.Engine.plan with
+  | Engine.Plan_exact { cone_nodes; _ } ->
+    Printf.printf "  exact (closed form, no sampling; %d cone nodes)\n"
+      cone_nodes
+  | Engine.Plan_mh _ ->
+    Printf.printf
+      "  R-hat %.4f, ESS %.0f, MCSE %.5f (%d samples, %d chains, %d domains)\n"
+      r.Engine.rhat r.Engine.ess r.Engine.mcse r.Engine.total_samples
+      r.Engine.chains_used (Engine.pool_size engine));
+  if explain then Printf.printf "  plan: %s\n" (plan_string r);
   if nested > 0 then begin
     let samples =
       Nested.flow_samples ~conditions rng model config ~reps:nested ~src ~dst
@@ -235,11 +261,11 @@ let estimate_cmd =
     Term.(
       const estimate $ C.seed_term $ C.model_required $ src $ dst $ conditions
       $ C.engine_term $ C.mcmc_term $ nested $ deadline $ delay_mean
-      $ C.obs_term)
+      $ explain_flag $ C.obs_term)
 
 (* ----- batch ----- *)
 
-let batch seed model_path queries_path engine_config obs =
+let batch seed model_path queries_path engine_config explain obs =
   C.obs_setup obs;
   let model = Model_io.load_beta_icm model_path in
   let icm = Beta_icm.expected_icm model in
@@ -271,13 +297,15 @@ let batch seed model_path queries_path engine_config obs =
   let t0 = Obs_clock.now_ns () in
   let results = or_die (fun () -> Engine.query_all engine queries) in
   let elapsed = Obs_clock.seconds_of_ns (Obs_clock.now_ns () - t0) in
-  Printf.printf "query\testimate\trhat\tess\tmcse\tsamples\tcached\n";
+  Printf.printf "query\testimate\trhat\tess\tmcse\tsamples\tcached%s\n"
+    (if explain then "\tplan" else "");
   List.iter2
     (fun q (r : Engine.result) ->
-      Printf.printf "%s\t%.5f\t%.4f\t%.0f\t%.5f\t%d\t%s\n" (Query.key q)
+      Printf.printf "%s\t%.5f\t%.4f\t%.0f\t%.5f\t%d\t%s%s\n" (Query.key q)
         r.Engine.estimate r.Engine.rhat r.Engine.ess r.Engine.mcse
         r.Engine.total_samples
-        (if r.Engine.cached then "yes" else "no"))
+        (if r.Engine.cached then "yes" else "no")
+        (if explain then "\t" ^ plan_string r else ""))
     queries results;
   let stats = Engine.cache_stats engine in
   Obs_log.info ~component:"batch"
@@ -308,7 +336,112 @@ let batch_cmd =
           diagnostics columns.")
     Term.(
       const batch $ C.seed_term $ C.model_required $ queries $ C.engine_term
-      $ C.obs_term)
+      $ explain_flag $ C.obs_term)
+
+(* ----- explain ----- *)
+
+(* The planner's own view of a query, without answering it: what the
+   engine would decide, and why. Runs no sampling at all. *)
+let explain_query icm ~planner ~budget q =
+  let targets =
+    match Query.kind q with
+    | Query.Flow { src; dst } -> [ (src, dst) ]
+    | Query.Community { src; sinks } -> List.map (fun s -> (src, s)) sinks
+    | Query.Joint { flows } -> flows
+  in
+  Printf.printf "%s\n" (Query.key q);
+  if not planner then
+    Printf.printf "  plan: mh — %s\n" (Planner.describe Planner.Disabled)
+  else
+    match
+      Planner.plan ~budget icm ~targets ~conditions:(Query.conditions q)
+    with
+    | exception (Failure msg | Invalid_argument msg) ->
+      Printf.printf "  error: %s\n" msg
+    | Error reason ->
+      Printf.printf "  plan: mh (fallback %s)\n    %s\n"
+        (Planner.reason_label reason)
+        (Planner.describe reason)
+    | Ok e ->
+      Printf.printf "  plan: exact — Pr = %.6f (%d cone nodes, %d edges, %d \
+                     work units%s)\n"
+        e.Planner.value e.Planner.cone_nodes e.Planner.cone_edges
+        e.Planner.work
+        (if e.Planner.dropped_conditions > 0 then
+           Printf.sprintf ", %d vacuous conditions dropped"
+             e.Planner.dropped_conditions
+         else "");
+      List.iter
+        (fun (tp : Planner.target_plan) ->
+          Printf.printf "  target %d ~> %d: Pr = %.6f, cone %d nodes / %d \
+                         edges%s\n"
+            tp.Planner.t_src tp.Planner.t_dst tp.Planner.probability
+            tp.Planner.cone_nodes tp.Planner.cone_edges
+            (match tp.Planner.path with
+            | Some path ->
+              ", path " ^ String.concat " -> " (List.map string_of_int path)
+            | None -> ""))
+        e.Planner.targets
+
+let explain seed model_path src dst conditions queries_path engine_config obs =
+  C.obs_setup obs;
+  ignore seed;
+  let model = Model_io.load_beta_icm model_path in
+  let icm = Beta_icm.expected_icm model in
+  let planner = engine_config.Engine.planner in
+  let budget = engine_config.Engine.plan_budget in
+  match (queries_path, src, dst) with
+  | Some path, _, _ ->
+    let ic = or_die (fun () -> open_in path) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go lineno =
+          match input_line ic with
+          | line ->
+            (if String.trim line <> "" then
+               match Query.of_line ~lineno line with
+               | Ok q -> explain_query icm ~planner ~budget q
+               | Error msg -> Obs_log.err ~component:"explain" "%s" msg);
+            go (lineno + 1)
+          | exception End_of_file -> ()
+        in
+        go 1)
+  | None, Some src, Some dst ->
+    explain_query icm ~planner ~budget (Query.flow ~conditions ~src ~dst ())
+  | None, _, _ ->
+    Obs_log.err ~component:"explain" "provide --src and --dst, or --queries";
+    exit 1
+
+let explain_cmd =
+  let src =
+    Arg.(value & opt (some int) None & info [ "src" ] ~doc:"Source node.")
+  in
+  let dst =
+    Arg.(value & opt (some int) None & info [ "dst" ] ~doc:"Sink node.")
+  in
+  let conditions =
+    Arg.(
+      value & opt_all C.condition_conv []
+      & info [ "c"; "condition" ]
+          ~doc:"Flow condition SRC:DST:+ or SRC:DST:-; repeatable.")
+  in
+  let queries =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "queries" ]
+          ~doc:"Explain every query in this JSONL file (same format as batch).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show how the query planner would answer a query without sampling: \
+          'exact' with the closed-form value, evaluated cone and (on tree \
+          cones) the unique path, or 'mh' with the typed fallback reason.")
+    Term.(
+      const explain $ C.seed_term $ C.model_required $ src $ dst $ conditions
+      $ queries $ C.engine_term $ C.obs_term)
 
 (* ----- stream ----- *)
 
@@ -1070,7 +1203,7 @@ let () =
        (Cmd.group info
           [
             generate_model_cmd; generate_corpus_cmd; train_cmd;
-            train_unattributed_cmd; estimate_cmd; batch_cmd; stream_cmd;
-            convert_cmd; serve_cmd; impact_cmd; seeds_cmd; calibrate_cmd;
-            metrics_cmd; prom_check_cmd;
+            train_unattributed_cmd; estimate_cmd; batch_cmd; explain_cmd;
+            stream_cmd; convert_cmd; serve_cmd; impact_cmd; seeds_cmd;
+            calibrate_cmd; metrics_cmd; prom_check_cmd;
           ]))

@@ -6,12 +6,11 @@ module Digraph = Iflow_graph.Digraph
            (1 - Pr[ s ~> l ex. X + {k} ] * p_{l,k})
    with Pr[ s ~> s ex. _ ] = 1. Sinks accumulate in X, so the recursion
    terminates; X is a bitmask over nodes. *)
-let flow_probability icm ~src ~dst =
+let node_limit = 62
+
+(* The raw recursion, unchecked: callers guard size and range. *)
+let eq2 icm ~src ~dst =
   let g = Icm.graph icm in
-  let n = Digraph.n_nodes g in
-  if n > 62 then invalid_arg "Exact.flow_probability: more than 62 nodes";
-  if src < 0 || src >= n || dst < 0 || dst >= n then
-    invalid_arg "Exact.flow_probability: node out of range";
   let memo = Hashtbl.create 1024 in
   let rec pr target exclude =
     if target = src then 1.0
@@ -32,6 +31,116 @@ let flow_probability icm ~src ~dst =
     end
   in
   pr dst 0
+
+let check_range name icm ~src ~dst =
+  let n = Icm.n_nodes icm in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg ("Exact." ^ name ^ ": node out of range")
+
+let flow_probability icm ~src ~dst =
+  if Icm.n_nodes icm > node_limit then
+    invalid_arg "Exact.flow_probability: more than 62 nodes";
+  check_range "flow_probability" icm ~src ~dst;
+  eq2 icm ~src ~dst
+
+type error = Too_large of { nodes : int; limit : int } | Unsound of { join : int }
+
+let pp_error ppf = function
+  | Too_large { nodes; limit } ->
+    Format.fprintf ppf "graph too large for bitmask recursion (%d > %d nodes)"
+      nodes limit
+  | Unsound { join } ->
+    Format.fprintf ppf "parent flows share ancestry at node %d" join
+
+(* Same recursion, but refusing (typed, not stringly) the two ways it
+   can go wrong: graphs past the bitmask limit, and joins whose parent
+   flows share ancestry inside the (src, dst) reachability cone — the
+   shapes where Eq. 2's independence assumption fails (DESIGN.md §1 /
+   §2h). [Iflow_plan] runs the same certificate with scalable bitsets;
+   here n <= 62 so plain int masks do. *)
+let flow_probability_checked icm ~src ~dst =
+  let g = Icm.graph icm in
+  let n = Digraph.n_nodes g in
+  check_range "flow_probability_checked" icm ~src ~dst;
+  if n > node_limit then Error (Too_large { nodes = n; limit = node_limit })
+  else begin
+    let pos e = Icm.prob icm e > 0.0 in
+    let down = Array.make n false in
+    let rec go_down v =
+      if not down.(v) then begin
+        down.(v) <- true;
+        Digraph.iter_out g v (fun e -> if pos e then go_down (Digraph.edge_dst g e))
+      end
+    in
+    go_down src;
+    let up = Array.make n false in
+    let rec go_up v =
+      if not up.(v) then begin
+        up.(v) <- true;
+        Digraph.iter_in g v (fun e -> if pos e then go_up (Digraph.edge_src g e))
+      end
+    in
+    go_up dst;
+    let in_cone v = down.(v) && up.(v) in
+    if src = dst then Ok 1.0
+    else if not down.(dst) then Ok 0.0
+    else begin
+      (* per-node ancestor masks within the cone, self included *)
+      let anc = Array.make n (-1) in
+      let ancestors v =
+        if anc.(v) >= 0 then anc.(v)
+        else begin
+          let mask = ref (1 lsl v) in
+          let stack = ref [ v ] in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | u :: rest ->
+              stack := rest;
+              Digraph.iter_in g u (fun e ->
+                  if pos e then begin
+                    let w = Digraph.edge_src g e in
+                    if in_cone w && !mask land (1 lsl w) = 0 then begin
+                      mask := !mask lor (1 lsl w);
+                      stack := w :: !stack
+                    end
+                  end)
+          done;
+          anc.(v) <- !mask;
+          !mask
+        end
+      in
+      let src_bit = 1 lsl src in
+      let unsound = ref (-1) in
+      for k = 0 to n - 1 do
+        if !unsound < 0 && in_cone k && k <> src then begin
+          let parents = ref [] in
+          Digraph.iter_in g k (fun e ->
+              if pos e then begin
+                let l = Digraph.edge_src g e in
+                if in_cone l then parents := l :: !parents
+              end);
+          let rec pairs = function
+            | [] -> ()
+            | p :: rest ->
+              List.iter
+                (fun q ->
+                  if !unsound < 0 then
+                    if p = q then begin
+                      if p <> src then unsound := k
+                    end
+                    else if ancestors p land ancestors q land lnot src_bit <> 0
+                    then unsound := k)
+                rest;
+              pairs rest
+          in
+          pairs !parents
+        end
+      done;
+      if !unsound >= 0 then Error (Unsound { join = !unsound })
+      else Ok (eq2 icm ~src ~dst)
+    end
+  end
 
 (* Shared brute-force loop: fold a function over every pseudo-state with
    its probability. *)

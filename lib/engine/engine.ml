@@ -7,6 +7,8 @@ module Metrics = Iflow_obs.Metrics
 module Trace = Iflow_obs.Trace
 module Clock = Iflow_obs.Clock
 module Fail = Iflow_fault.Fail
+module Planner = Iflow_plan.Planner
+module Obs_log = Iflow_obs.Log
 
 let m_queries =
   Metrics.counter ~help:"Flow queries answered (cache hits included)"
@@ -64,6 +66,9 @@ type config = {
   rhat_target : float;
   mcse_target : float;
   cache_capacity : int;
+  planner : bool;
+  plan_budget : int;
+  plan_validate : bool;
 }
 
 let default_config =
@@ -77,6 +82,9 @@ let default_config =
     rhat_target = 1.05;
     mcse_target = 0.01;
     cache_capacity = 256;
+    planner = true;
+    plan_budget = Planner.default_budget;
+    plan_validate = false;
   }
 
 let validate_config c =
@@ -94,9 +102,15 @@ let validate_config c =
     bad "mcse_target must be > 0 (got %g)" c.mcse_target;
   if c.cache_capacity < 0 then
     bad "cache_capacity must be >= 0 (got %d)" c.cache_capacity;
+  if c.plan_budget < 1 then
+    bad "plan_budget must be >= 1 (got %d)" c.plan_budget;
   match c.domains with
   | Some d when d < 1 -> bad "domains must be >= 1 (got %d)" d
   | _ -> ()
+
+type plan =
+  | Plan_exact of { cone_nodes : int; validated : bool }
+  | Plan_mh of { fallback : string option }
 
 type result = {
   estimate : float;
@@ -107,6 +121,7 @@ type result = {
   chains_used : int;
   cached : bool;
   model_digest : string;
+  plan : plan;
 }
 
 exception
@@ -156,8 +171,11 @@ let sync_cache_metrics t =
 let icm_digest = Icm.digest
 
 let config_key c =
-  Printf.sprintf "k%d b%d t%d r%d n%d rh%h mc%h" c.chains c.burn_in c.thin
-    c.round_samples c.max_samples c.rhat_target c.mcse_target
+  Printf.sprintf "k%d b%d t%d r%d n%d rh%h mc%h p%d g%d v%d" c.chains c.burn_in
+    c.thin c.round_samples c.max_samples c.rhat_target c.mcse_target
+    (if c.planner then 1 else 0)
+    c.plan_budget
+    (if c.plan_validate then 1 else 0)
 
 let create ?(config = default_config) ~seed icm =
   validate_config config;
@@ -334,7 +352,84 @@ let run_query t ~icm ~digest q =
     chains_used;
     cached = false;
     model_digest = digest;
+    plan = Plan_mh { fallback = None };
   }
+
+let targets_of_query q =
+  match Query.kind q with
+  | Query.Flow { src; dst } -> [ (src, dst) ]
+  | Query.Community { src; sinks } -> List.map (fun s -> (src, s)) sinks
+  | Query.Joint { flows } -> flows
+
+(* Degraded sampled answers reflect a transient fault, not the model,
+   and must not outlive it in the cache; exact answers have no chains
+   to lose and always cache. *)
+let cacheable t r =
+  match r.plan with
+  | Plan_exact _ -> true
+  | Plan_mh _ -> r.chains_used = t.config.chains
+
+(* Plan, then answer: closed form when the planner certifies the whole
+   query, the MH sampler (tagged with the fallback reason) otherwise.
+   Planning is RNG-free and run_query is untouched, so answers on the
+   MH path stay bit-for-bit what they were without a planner. *)
+let compute t ~icm ~digest q =
+  if Query.max_node q >= Icm.n_nodes icm then
+    invalid_arg
+      (Printf.sprintf "Engine: query %s references node >= %d" (Query.key q)
+         (Icm.n_nodes icm));
+  if not t.config.planner then begin
+    Planner.record_fallback Planner.Disabled;
+    {
+      (run_query t ~icm ~digest q) with
+      plan = Plan_mh { fallback = Some (Planner.reason_label Planner.Disabled) };
+    }
+  end
+  else
+    match
+      Planner.plan ~budget:t.config.plan_budget icm
+        ~targets:(targets_of_query q) ~conditions:(Query.conditions q)
+    with
+    | Error reason ->
+      Planner.record_fallback reason;
+      {
+        (run_query t ~icm ~digest q) with
+        plan = Plan_mh { fallback = Some (Planner.reason_label reason) };
+      }
+    | Ok e ->
+      Planner.record_exact ();
+      let r =
+        {
+          estimate = e.Planner.value;
+          rhat = 1.0;
+          ess = 0.0;
+          mcse = 0.0;
+          total_samples = 0;
+          chains_used = 0;
+          cached = false;
+          model_digest = digest;
+          plan =
+            Plan_exact
+              {
+                cone_nodes = e.Planner.cone_nodes;
+                validated = t.config.plan_validate;
+              };
+        }
+      in
+      if t.config.plan_validate then begin
+        (* Exact_then_validate: also run the full MH path and cross
+           check within its own error bar; the answer stays exact *)
+        let mh = run_query t ~icm ~digest q in
+        let tol = (5.0 *. mh.mcse) +. 1e-9 in
+        let agreed = Float.abs (mh.estimate -. r.estimate) <= tol in
+        Planner.record_validation ~agreed;
+        if not agreed then
+          Obs_log.warn ~component:"engine"
+            "plan validation disagreement on %s: exact %.6f vs MH %.6f \
+             (mcse %.6f)"
+            (Query.key q) r.estimate mh.estimate mh.mcse
+      end;
+      r
 
 let invalidate_locked t ~digest =
   let prefix = digest ^ "/" in
@@ -363,11 +458,8 @@ let query t q =
     match locked t (fun () -> Lru.find t.cache key) with
     | Some r -> { r with cached = true }
     | None ->
-      let r = run_query t ~icm ~digest q in
-      (* a degraded answer reflects a transient fault, not the model:
-         don't let it outlive the fault in the cache *)
-      if r.chains_used = t.config.chains then
-        locked t (fun () -> Lru.add t.cache key r);
+      let r = compute t ~icm ~digest q in
+      if cacheable t r then locked t (fun () -> Lru.add t.cache key r);
       r
   in
   locked t (fun () -> sync_cache_metrics t);
@@ -390,14 +482,20 @@ let query_all t qs =
         match Hashtbl.find_opt results key with
         | Some r -> { r with cached = true }
         | None ->
-          let r = run_query t ~icm ~digest q in
-          if r.chains_used = t.config.chains then Hashtbl.replace results key r;
+          let r = compute t ~icm ~digest q in
+          if cacheable t r then Hashtbl.replace results key r;
           r)
       qs
   end
 
 let pp_result ppf r =
-  Format.fprintf ppf
-    "%.5f (R-hat %.4f, ESS %.0f, MCSE %.5f, n %d, chains %d%s)" r.estimate
-    r.rhat r.ess r.mcse r.total_samples r.chains_used
-    (if r.cached then ", cached" else "")
+  match r.plan with
+  | Plan_exact { cone_nodes; validated } ->
+    Format.fprintf ppf "%.5f (exact, cone %d nodes%s%s)" r.estimate cone_nodes
+      (if validated then ", validated" else "")
+      (if r.cached then ", cached" else "")
+  | Plan_mh _ ->
+    Format.fprintf ppf
+      "%.5f (R-hat %.4f, ESS %.0f, MCSE %.5f, n %d, chains %d%s)" r.estimate
+      r.rhat r.ess r.mcse r.total_samples r.chains_used
+      (if r.cached then ", cached" else "")

@@ -35,12 +35,32 @@ type config = {
   rhat_target : float;   (** stop when split-R̂ falls below this *)
   mcse_target : float;   (** ... and the Monte-Carlo SE below this *)
   cache_capacity : int;  (** LRU entries; 0 disables caching *)
+  planner : bool;
+      (** route queries through the exact-oracle planner
+          ({!Iflow_plan.Planner}) first; [false] forces the MH path *)
+  plan_budget : int;     (** planner work budget (certification +
+                             evaluation units) per query *)
+  plan_validate : bool;
+      (** exact-then-validate mode: exact answers are cross-checked
+          against a full MH run (within [5 × MCSE]); disagreements are
+          logged and counted, the exact answer is still returned *)
 }
 
 val default_config : config
 (** chains 4, recommended domains, burn-in 1000, thin 20 (matching
     {!Iflow_mcmc.Estimator.default_config}), rounds of 250, cap 20000,
-    R̂ ≤ 1.05, MCSE ≤ 0.01, cache 256. *)
+    R̂ ≤ 1.05, MCSE ≤ 0.01, cache 256, planner on with
+    {!Iflow_plan.Planner.default_budget}, validation off. *)
+
+type plan =
+  | Plan_exact of { cone_nodes : int; validated : bool }
+      (** answered in closed form by the planner; [cone_nodes] is the
+          total size of the evaluated reachability cones *)
+  | Plan_mh of { fallback : string option }
+      (** answered by Metropolis-Hastings sampling; [fallback] is the
+          planner's {!Iflow_plan.Planner.reason_label} when the planner
+          was consulted and refused, [None] for pre-planner answers
+          (e.g. parsed off the wire from an older peer) *)
 
 type result = {
   estimate : float;      (** pooled flow-probability estimate *)
@@ -55,6 +75,11 @@ type result = {
   model_digest : string;
       (** digest of the model version this answer was computed against
           — the serving layer maps it back to a published version id *)
+  plan : plan;
+      (** how the answer was produced. Exact answers carry
+          [rhat = 1.0], [ess = 0.0], [mcse = 0.0],
+          [total_samples = 0], [chains_used = 0] — all finite, so the
+          wire codec round-trips them bit-exactly. *)
 }
 
 exception
@@ -101,6 +126,16 @@ val query : t -> Query.t -> result
 (** Answer one query, consulting the cache first. Raises
     [Invalid_argument] when the query mentions a node outside the
     model, [Failure] when its conditions cannot be satisfied.
+
+    {b Planning.} With [config.planner] on (the default) the query is
+    first offered to {!Iflow_plan.Planner}: queries whose reachability
+    cones certify as edge-disjoint (trees, in-stars, the paper's
+    triangle and cycle motifs) are answered exactly, in closed form,
+    with no sampling — [plan] records [Plan_exact] and the answer is
+    cached under the same key a sampled one would use. Everything else
+    falls back to MH with the refusal reason in [plan]. The planner is
+    deterministic and RNG-free, so MH-path answers are bit-for-bit
+    identical to a planner-less engine.
 
     {b Fault tolerance.} A chain that raises mid-query (including the
     [engine.chain] failpoint) is dropped — its partial round is

@@ -1,0 +1,58 @@
+module Digraph = Iflow_graph.Digraph
+module Reach = Iflow_graph.Reach
+module Icm = Iflow_core.Icm
+
+(* The reachability cone of (src, dst): every node on at least one
+   src -> dst path through edges of positive probability, as an induced
+   subgraph with id maps back to the full model. Restricting the flow
+   event to the cone is exact — every src -> dst path lies inside it,
+   and so does every src -> l sub-path for any cone node l, so the
+   exclusion recursion never needs a node outside. Zero-probability
+   edges can never fire and carry no dependence, so they are left out
+   of the membership BFS (they may still appear as induced sub-edges;
+   the evaluator skips them by probability). *)
+
+type t = {
+  sub : Digraph.t;
+  probs : float array; (* per sub-edge activation probability *)
+  node_of_sub : int array; (* sub node id -> model node id (ascending) *)
+  edge_of_sub : int array; (* sub edge id -> model edge id *)
+  src : int; (* cone-local endpoints *)
+  dst : int;
+}
+
+let n_nodes c = Digraph.n_nodes c.sub
+let n_edges c = Digraph.n_edges c.sub
+
+let local c v =
+  let a = c.node_of_sub in
+  let rec go lo hi =
+    if lo > hi then raise Not_found
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then mid
+      else if a.(mid) < v then go (mid + 1) hi
+      else go lo (mid - 1)
+    end
+  in
+  go 0 (Array.length a - 1)
+
+let extract icm ~src ~dst =
+  let g = Icm.graph icm in
+  let n = Digraph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Cone.extract: node out of range";
+  if src = dst then invalid_arg "Cone.extract: src = dst has no cone";
+  let active e = Icm.prob icm e > 0.0 in
+  let ws = Reach.workspace n in
+  Reach.bfs ws ~active g ~src;
+  if not (Reach.marked ws dst) then None
+  else begin
+    let fwd = Reach.snapshot ws in
+    Reach.bfs_rev ws ~active g ~dst;
+    let keep = Array.init n (fun v -> fwd.(v) && Reach.marked ws v) in
+    let sub, node_of_sub, edge_of_sub = Digraph.induced g ~keep in
+    let probs = Array.map (fun e -> Icm.prob icm e) edge_of_sub in
+    let c = { sub; probs; node_of_sub; edge_of_sub; src = 0; dst = 0 } in
+    Some { c with src = local c src; dst = local c dst }
+  end

@@ -1,0 +1,33 @@
+(** Reachability cones: the subgraph a flow event actually depends on.
+
+    [extract icm ~src ~dst] is the induced subgraph on
+    {e descendants(src) ∩ ancestors(dst)} over positive-probability
+    edges — every node on at least one [src -> dst] path that can fire.
+    Restricting the flow event (and the paper's Eq. 2 recursion) to the
+    cone is exact: any realised [src -> dst] path lies inside it, and so
+    does any [src -> l] sub-path for a cone node [l]. The cone is what
+    the {!Exact_eval} certifier and evaluator operate on, keeping their
+    cost proportional to the query, not the model. *)
+
+type t = {
+  sub : Iflow_graph.Digraph.t;  (** induced subgraph on the cone *)
+  probs : float array;  (** per sub-edge activation probability *)
+  node_of_sub : int array;
+      (** sub node id -> model node id, ascending *)
+  edge_of_sub : int array;  (** sub edge id -> model edge id *)
+  src : int;  (** cone-local source *)
+  dst : int;  (** cone-local sink *)
+}
+
+val extract : Iflow_core.Icm.t -> src:int -> dst:int -> t option
+(** [None] when [dst] is unreachable from [src] through edges that can
+    fire (the flow probability is exactly 0). Raises [Invalid_argument]
+    on out-of-range nodes or [src = dst] (a trivial flow has no cone —
+    callers special-case it to probability 1). *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val local : t -> int -> int
+(** Cone-local id of a model node (binary search over [node_of_sub]).
+    Raises [Not_found] when the node is outside the cone. *)

@@ -1,0 +1,222 @@
+module Digraph = Iflow_graph.Digraph
+
+(* Certify-then-evaluate on an extracted cone.
+
+   Eq. 2 multiplies one factor per in-edge of the target as if the
+   flows to different parents were independent events; DESIGN.md §1
+   shows that is exact iff those parent flows are edge-disjoint.  The
+   certificate checked here: for every cone node k with two or more
+   live (positive-probability) in-cone in-edges (l1,k), (l2,k), the
+   cone ancestor sets anc(l1) and anc(l2) — each including its own
+   endpoint — intersect in at most {src}.  Vertex-disjointness away
+   from src forces edge-disjointness (a shared edge u->w would put
+   w <> src in both sets), so the parent flows are functions of
+   disjoint, independent edge coins and the product form is exact.
+   Excluding nodes only shrinks in-neighbourhoods and path sets, so the
+   certificate survives every recursive call. Parallel edges from the
+   same parent are the degenerate shared-ancestry case (sound only when
+   that parent is src itself, where both "flows" are constant 1).
+
+   Two tiers:
+   - tree: every non-src cone node has exactly one live in-edge, so the
+     cone is the unique src -> dst path and the probability is the
+     product of its edge probabilities. O(path), no ancestor machinery.
+   - general: lazily computed per-node ancestor bitsets certify the
+     joins, then the Eq. 2 recursion runs with hash-consed exclusion
+     sets pruned to the target's ancestors. The pruning is what makes
+     this scale: in a certified DAG cone the pruned exclusion set is
+     always empty (a recursion-path node in anc(l) would close a
+     cycle), so every node memoises on (node, ∅) and evaluation is
+     linear in the cone; certified cycles keep small non-empty sets.
+   Every edge visit and bitset word spends one unit of the caller's
+   work budget; blowing the budget aborts cleanly to an MH fallback. *)
+
+type outcome =
+  | Value of { p : float; work : int; path : int list option }
+      (* [path]: cone-local node ids src..dst when the cone is a tree *)
+  | Unsound of { join : int } (* cone-local id of the violating join *)
+  | Budget of { work : int }
+
+exception Out_of_budget
+
+let eval ?(budget = max_int) (c : Cone.t) =
+  let g = c.Cone.sub in
+  let n = Digraph.n_nodes g in
+  let src = c.Cone.src and dst = c.Cone.dst in
+  let work = ref 0 in
+  let spend k =
+    work := !work + k;
+    if !work > budget then raise Out_of_budget
+  in
+  (* live in-degree, and the one live in-edge where it is unique *)
+  let indeg = Array.make n 0 in
+  let only_in = Array.make n (-1) in
+  for e = 0 to Digraph.n_edges g - 1 do
+    if c.Cone.probs.(e) > 0.0 then begin
+      let k = Digraph.edge_dst g e in
+      indeg.(k) <- indeg.(k) + 1;
+      only_in.(k) <- e
+    end
+  done;
+  let tree = ref true in
+  for v = 0 to n - 1 do
+    if v <> src && indeg.(v) <> 1 then tree := false
+  done;
+  try
+    if !tree then begin
+      (* the cone is the unique src -> dst path: walking up the unique
+         live in-edges must reach src (a cycle of unique in-edges would
+         be unreachable from src, contradicting cone membership) *)
+      spend n;
+      let p = ref 1.0 in
+      let path = ref [ dst ] in
+      let v = ref dst in
+      let steps = ref 0 in
+      while !v <> src do
+        incr steps;
+        assert (!steps <= n);
+        let e = only_in.(!v) in
+        p := !p *. c.Cone.probs.(e);
+        v := Digraph.edge_src g e;
+        path := !v :: !path
+      done;
+      Value { p = !p; work = !work; path = Some !path }
+    end
+    else begin
+      (* --- general tier --- *)
+      let nw = (n + 62) / 63 in
+      let bit b v = b.(v / 63) <- b.(v / 63) lor (1 lsl (v mod 63)) in
+      let mem b v = b.(v / 63) land (1 lsl (v mod 63)) <> 0 in
+      (* lazy per-node ancestor bitsets (self included), by reverse BFS
+         over live cone edges *)
+      let anc : int array option array = Array.make n None in
+      let queue = Array.make n 0 in
+      let ancestors v =
+        match anc.(v) with
+        | Some b -> b
+        | None ->
+          let b = Array.make nw 0 in
+          let head = ref 0 and tail = ref 0 in
+          let push u =
+            queue.(!tail) <- u;
+            incr tail
+          in
+          bit b v;
+          push v;
+          while !head < !tail do
+            let u = queue.(!head) in
+            incr head;
+            Digraph.iter_in g u (fun e ->
+                spend 1;
+                if c.Cone.probs.(e) > 0.0 then begin
+                  let w = Digraph.edge_src g e in
+                  if not (mem b w) then begin
+                    bit b w;
+                    push w
+                  end
+                end)
+          done;
+          anc.(v) <- Some b;
+          b
+      in
+      let src_mask = Array.make nw 0 in
+      bit src_mask src;
+      let disjoint_but_src b1 b2 =
+        let ok = ref true in
+        for w = 0 to nw - 1 do
+          if b1.(w) land b2.(w) land lnot src_mask.(w) <> 0 then ok := false
+        done;
+        spend nw;
+        !ok
+      in
+      (* certify every join *)
+      (* src is skipped: Pr[s ~> s] = 1 whatever feeds back into it, so
+         in-edges of src never enter the recursion *)
+      let unsound = ref (-1) in
+      for k = 0 to n - 1 do
+        if !unsound < 0 && k <> src && indeg.(k) >= 2 then begin
+          let parents = ref [] in
+          Digraph.iter_in g k (fun e ->
+              if c.Cone.probs.(e) > 0.0 then
+                parents := Digraph.edge_src g e :: !parents);
+          let rec pairs = function
+            | [] -> ()
+            | p :: rest ->
+              List.iter
+                (fun q ->
+                  if !unsound < 0 then
+                    if p = q then begin
+                      if p <> src then unsound := k
+                    end
+                    else if not (disjoint_but_src (ancestors p) (ancestors q))
+                    then unsound := k)
+                rest;
+              pairs rest
+          in
+          pairs !parents
+        end
+      done;
+      if !unsound >= 0 then Unsound { join = !unsound }
+      else begin
+        (* Eq. 2 with hash-consed exclusion sets. Sets are sorted node
+           lists interned to ids; an exclusion passed to [pr target] is
+           always pre-pruned to anc(target) (pruning never drops a
+           parent of target, and a flow src ~> target ex X only depends
+           on X ∩ anc(target)), so structurally different recursion
+           paths that agree on the relevant exclusions share one memo
+           cell. *)
+        let set_ids : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+        Hashtbl.add set_ids [] 0;
+        let next_id = ref 1 in
+        let intern lst =
+          match Hashtbl.find_opt set_ids lst with
+          | Some id -> id
+          | None ->
+            let id = !next_id in
+            incr next_id;
+            Hashtbl.add set_ids lst id;
+            id
+        in
+        let memo : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+        let rec insert v = function
+          | [] -> [ v ]
+          | x :: _ as l when v < x -> v :: l
+          | x :: rest when v = x -> x :: rest
+          | x :: rest -> x :: insert v rest
+        in
+        let prune b lst =
+          List.filter
+            (fun v ->
+              spend 1;
+              mem b v)
+            lst
+        in
+        let rec pr target excl =
+          if target = src then 1.0
+          else begin
+            let id = intern excl in
+            match Hashtbl.find_opt memo (target, id) with
+            | Some p -> p
+            | None ->
+              let excl' = insert target excl in
+              let product = ref 1.0 in
+              Digraph.iter_in g target (fun e ->
+                  spend 1;
+                  let p_e = c.Cone.probs.(e) in
+                  if p_e > 0.0 then begin
+                    let l = Digraph.edge_src g e in
+                    if not (List.mem l excl) then begin
+                      let sub = pr l (prune (ancestors l) excl') in
+                      product := !product *. (1.0 -. (sub *. p_e))
+                    end
+                  end);
+              let p = 1.0 -. !product in
+              Hashtbl.add memo (target, id) p;
+              p
+          end
+        in
+        let p = pr dst [] in
+        Value { p; work = !work; path = None }
+      end
+    end
+  with Out_of_budget -> Budget { work = !work }

@@ -1,0 +1,28 @@
+(** Certified closed-form flow evaluation on an extracted {!Cone}.
+
+    Generalises {!Iflow_core.Exact.flow_probability} (the paper's Eq. 2
+    exclusion-set recursion) past its 62-node bitmask limit: exclusion
+    sets are hash-consed sorted node lists pruned to the target's
+    ancestor set, so certified DAG cones evaluate in linear time and
+    certified cycles keep small sets. Before evaluating, the soundness
+    certificate is checked — at every join, the parents' cone ancestor
+    sets must be pairwise disjoint apart from [src], which forces the
+    parent flows onto disjoint (hence independent) edge sets and makes
+    the Eq. 2 product form exact (DESIGN.md §2h). Unsound cones are
+    refused, never approximated. *)
+
+type outcome =
+  | Value of { p : float; work : int; path : int list option }
+      (** The exact probability; [path] holds the cone-local node ids
+          of the unique [src -> dst] path when the cone is a tree (one
+          live in-edge per non-source node). *)
+  | Unsound of { join : int }
+      (** Parent flows share ancestry at this cone-local node: Eq. 2
+          would overestimate — fall back to MH. *)
+  | Budget of { work : int }
+      (** The work budget ran out mid-certification or mid-recursion. *)
+
+val eval : ?budget:int -> Cone.t -> outcome
+(** [budget] bounds total work (edge visits, bitset words, exclusion
+    filtering); default unlimited. Deterministic: equal cones give
+    bit-equal probabilities. *)

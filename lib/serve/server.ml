@@ -332,7 +332,12 @@ let worker_loop t =
         | r ->
           Atomic.incr t.s_answered;
           Metrics.inc m_answers;
-          let degraded = r.Engine.chains_used < chains in
+          (* exact-planned answers have no chains to lose *)
+          let degraded =
+            match r.Engine.plan with
+            | Engine.Plan_exact _ -> false
+            | Engine.Plan_mh _ -> r.Engine.chains_used < chains
+          in
           if degraded then Metrics.inc m_degraded_answers;
           Answer { result = r; version = version_of t r.Engine.model_digest; degraded }
         | exception Engine.Chains_failed _ ->

@@ -69,6 +69,18 @@ let result_line ?id ?version ?(degraded = false) (r : Engine.result) =
   Buffer.add_string b (Printf.sprintf "\"chains\":%d," r.Engine.chains_used);
   Buffer.add_string b
     (Printf.sprintf "\"cached\":%b," r.Engine.cached);
+  (match r.Engine.plan with
+  | Engine.Plan_exact { cone_nodes; validated } ->
+    Buffer.add_string b "\"plan\":\"exact\",";
+    Buffer.add_string b (Printf.sprintf "\"plan_cone\":%d," cone_nodes);
+    Buffer.add_string b (Printf.sprintf "\"plan_validated\":%b," validated)
+  | Engine.Plan_mh { fallback } ->
+    Buffer.add_string b "\"plan\":\"mh\",";
+    (match fallback with
+    | Some reason ->
+      Buffer.add_string b
+        (Printf.sprintf "\"plan_fallback\":%s," (escape reason))
+    | None -> ()));
   Buffer.add_string b (Printf.sprintf "\"degraded\":%b," degraded);
   (match version with
   | Some v -> Buffer.add_string b (Printf.sprintf "\"version\":%d," v)
@@ -124,6 +136,30 @@ let parsed_result json =
       | Some (Jsonl.Num v) when Float.is_integer v -> Some (int_of_float v)
       | _ -> None
     in
+    (* lines from pre-planner peers carry no "plan" field: treat them
+       as MH answers with no fallback tag *)
+    let plan =
+      match Jsonl.member "plan" json with
+      | Some (Jsonl.Str "exact") ->
+        let cone_nodes =
+          match Jsonl.member "plan_cone" json with
+          | Some (Jsonl.Num v) when Float.is_integer v -> int_of_float v
+          | _ -> 0
+        in
+        let validated =
+          match Jsonl.member "plan_validated" json with
+          | Some (Jsonl.Bool v) -> v
+          | _ -> false
+        in
+        Engine.Plan_exact { cone_nodes; validated }
+      | _ ->
+        let fallback =
+          match Jsonl.member "plan_fallback" json with
+          | Some (Jsonl.Str s) -> Some s
+          | _ -> None
+        in
+        Engine.Plan_mh { fallback }
+    in
     Ok
       ( {
           Engine.estimate;
@@ -134,5 +170,6 @@ let parsed_result json =
           chains_used = int_of_float chains;
           cached;
           model_digest = digest;
+          plan;
         },
         version )

@@ -40,7 +40,10 @@ val result_line :
     published model version the answer's digest maps to; [degraded]
     (default false) marks answers completed from surviving chains
     only — the server computes it from the engine's configured chain
-    count. *)
+    count (exact-planned answers are never degraded). The answer's
+    {!Iflow_engine.Engine.plan} is carried as ["plan":"exact"] with
+    ["plan_cone"] / ["plan_validated"], or ["plan":"mh"] with an
+    optional ["plan_fallback"] reason label. *)
 
 val error_line :
   ?id:string -> ?retry_after_ms:int -> error_code -> string -> string

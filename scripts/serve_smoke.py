@@ -12,6 +12,9 @@ only. Asserts:
     across a hot-swap;
   - POSTed evidence is accepted and the served model version advances
     while the query load is still running;
+  - every answer carries a "plan" tag ("exact" or "mh"), a self-flow
+    query is answered by the exact planner (plan "exact", estimate 1.0,
+    not degraded), and the iflow_plan_exact_hits_total counter moved;
   - /healthz reports ok and /metrics scrapes non-trivially (saved for
     the exposition format check and artifact upload).
 
@@ -76,6 +79,8 @@ class Recorder:
         with self.lock:
             self.latencies.append(dt)
             self.answers += 1
+            if reply.get("plan") not in ("exact", "mh"):
+                fail(f"answer without a plan tag: {reply}")
             v, d = reply.get("version"), reply.get("digest")
             if v is None or d is None:
                 fail(f"answer without version/digest: {reply}")
@@ -252,10 +257,37 @@ def main():
                  f"{sorted(post.version_digest)}; expected "
                  f">= {swapped['version']}")
 
+    # a self-flow is certainty: the planner must answer it exactly over
+    # HTTP, tagged as such and never degraded
+    status, text = http(host, port, "POST", "/query",
+                        json.dumps({"type": "flow", "src": 0, "dst": 0}))
+    if status != 200:
+        fail(f"self-flow POST /query -> {status}")
+    else:
+        reply = json.loads(text.splitlines()[0])
+        if reply.get("plan") != "exact":
+            fail(f"self-flow not planned exact: {reply}")
+        if reply.get("estimate") != 1.0:
+            fail(f"self-flow estimate is not 1.0: {reply}")
+        if reply.get("degraded"):
+            fail(f"exact answer marked degraded: {reply}")
+        print(f"self-flow answered exactly: {text.splitlines()[0]}")
+
     # scrape /metrics for the format check + latency histogram artifact
     status, exposition = http(host, port, "GET", "/metrics")
     if status != 200 or "iflow_serve_request_seconds" not in exposition:
         fail(f"/metrics scrape unusable (status {status})")
+    # the exact-planned answer above must have moved the planner counter
+    # (the CI job runs the server with metrics recording on)
+    hits = [
+        line.split()[-1]
+        for line in exposition.splitlines()
+        if line.startswith("iflow_plan_exact_hits_total")
+    ]
+    if not hits:
+        fail("iflow_plan_exact_hits_total missing from /metrics")
+    elif float(hits[0]) < 1:
+        fail(f"iflow_plan_exact_hits_total = {hits[0]}, expected >= 1")
     with open(args.metrics_out, "w") as f:
         f.write(exposition)
     print(f"wrote {args.metrics_out} ({len(exposition)} bytes)")

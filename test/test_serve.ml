@@ -264,6 +264,7 @@ let test_wire_result_roundtrip () =
       chains_used = 4;
       cached = true;
       model_digest = "abc\"\\def";
+      plan = Engine.Plan_mh { fallback = Some "unsound_join" };
     }
   in
   let line = Wire.result_line ~id:"q-1" ~version:7 ~degraded:false r in
@@ -288,6 +289,7 @@ let test_wire_result_roundtrip () =
       check_bool "cached" r.Engine.cached r'.Engine.cached;
       check_string "digest escaping" r.Engine.model_digest
         r'.Engine.model_digest;
+      check_bool "plan round-trips" true (r'.Engine.plan = r.Engine.plan);
       check_int "version" 7 (Option.get version);
       check_string "id echo" "q-1"
         (match Jsonl.member "id" json with
@@ -307,6 +309,7 @@ let test_wire_nonfinite () =
       chains_used = 2;
       cached = false;
       model_digest = "d";
+      plan = Engine.Plan_exact { cone_nodes = 3; validated = false };
     }
   in
   let line = Wire.result_line r in
@@ -318,7 +321,8 @@ let test_wire_nonfinite () =
     | Ok (r', _) ->
       check_bool "rhat nan" true (Float.is_nan r'.Engine.rhat);
       check_bool "ess nan" true (Float.is_nan r'.Engine.ess);
-      check_float "estimate" 0.0 r'.Engine.estimate)
+      check_float "estimate" 0.0 r'.Engine.estimate;
+      check_bool "exact plan round-trips" true (r'.Engine.plan = r.Engine.plan))
 
 let test_wire_error_line () =
   let line = Wire.error_line ~id:"x" ~retry_after_ms:250 Wire.Quota_exceeded
