@@ -1,0 +1,270 @@
+(* Flight-recorder / request-id overhead benchmark: the ISSUE 9
+   acceptance number. Measures the serving path end to end (loopback
+   TCP, cached requests — the worst case for relative overhead, since
+   there is no sampling to hide behind) in three arms:
+
+   - off:     flight recorder disabled, metrics recording off — the
+              PR 6 baseline path plus the always-on rid plumbing;
+   - flight:  flight recorder on (ring 4096) — every answer writes one
+              record into the domain-sharded ring;
+   - metrics: flight off, metrics recording on — the pre-existing
+              (PR 4/PR 6) recording cost, the baseline for "full";
+   - full:    flight recorder AND metrics recording on — adds the new
+              phase histograms (queue_wait/plan/sample/serialize, per
+              tenant) observing on every request.
+
+   The two numbers the PR pins (< 3% each): flight vs off, and full vs
+   metrics — i.e. the marginal cost of this PR's observability in both
+   recording regimes, not the long-pinned cost of metrics itself.
+
+   Arms alternate across rounds and the best round per arm is kept, so
+   scheduler noise hits all arms alike. A direct-call microbench
+   (cache-hit Engine.query with and without ?rid/?phases) isolates the
+   engine-side threading cost from the socket path.
+
+   Results go to BENCH_PR9.json with the overhead percentages the PR
+   pins (< 3%). --quick / IFLOW_BENCH_QUICK=1 shortens for CI. *)
+
+module Rng = Iflow_stats.Rng
+module Digraph = Iflow_graph.Digraph
+module Beta_icm = Iflow_core.Beta_icm
+module Generator = Iflow_core.Generator
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Clock = Iflow_obs.Clock
+module Metrics = Iflow_obs.Metrics
+module Flight = Iflow_obs.Flight
+module Jsonl = Iflow_engine.Jsonl
+module Sockio = Iflow_serve.Sockio
+module Server = Iflow_serve.Server
+
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv
+  || Sys.getenv_opt "IFLOW_BENCH_QUICK" <> None
+
+let rounds = 3
+let clients = 8
+let requests_per_round = if quick then 2_000 else 20_000
+let direct_calls = if quick then 50_000 else 500_000
+let warm_set = 32
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let ask r fd line =
+  Sockio.write_all fd (line ^ "\n");
+  match Sockio.read_line r with
+  | Sockio.Line l -> l
+  | Sockio.Eof | Sockio.Too_long -> failwith "flight_bench: session lost"
+
+let assert_answer line =
+  match Jsonl.parse line with
+  | Ok json when Jsonl.member "estimate" json <> None -> ()
+  | Ok _ -> failwith ("flight_bench: refused: " ^ line)
+  | Error msg -> failwith ("flight_bench: bad response: " ^ msg)
+
+let query_line (src, dst) =
+  Printf.sprintf {|{"type":"flow","src":%d,"dst":%d}|} src dst
+
+(* closed-loop cached storm: [clients] sessions splitting [total]
+   requests drawn round-robin from the warm set; returns qps *)
+let run_storm server ~total lines =
+  let per = max 1 (total / clients) in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let go = ref false in
+  let ready = ref 0 in
+  let client _i =
+    let fd = connect (Server.port server) in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let r = Sockio.reader fd in
+        Mutex.protect m (fun () ->
+            incr ready;
+            Condition.broadcast cv;
+            while not !go do
+              Condition.wait cv m
+            done);
+        for j = 0 to per - 1 do
+          assert_answer (ask r fd lines.(j mod Array.length lines))
+        done)
+  in
+  let threads = List.init clients (fun i -> Thread.create client i) in
+  Mutex.protect m (fun () ->
+      while !ready < clients do
+        Condition.wait cv m
+      done);
+  let t0 = Clock.now_ns () in
+  Mutex.protect m (fun () ->
+      go := true;
+      Condition.broadcast cv);
+  List.iter Thread.join threads;
+  let wall = Clock.seconds_of_ns (Clock.elapsed_ns t0) in
+  float_of_int (per * clients) /. wall
+
+let () =
+  let rng = Rng.create 20120402 in
+  let model = Generator.default_beta_icm rng ~nodes:6000 ~edges:12000 in
+  let icm = Beta_icm.expected_icm model in
+  let g = Beta_icm.graph model in
+  let n = Digraph.n_nodes g in
+  let light =
+    {
+      Engine.default_config with
+      Engine.chains = 2;
+      burn_in = 50;
+      thin = 2;
+      round_samples = 50;
+      max_samples = 100;
+      rhat_target = 10.0;
+      cache_capacity = 4096;
+    }
+  in
+  Printf.printf
+    "flight_bench: %d nodes, %d edges; %d clients, %d cached requests \
+     per round, %d rounds per arm%s\n%!"
+    n (Digraph.n_edges g) clients requests_per_round rounds
+    (if quick then " (quick)" else "");
+
+  (* ---- direct-call microbench: ?rid/?phases threading cost ---- *)
+  let engine = Engine.create ~config:light ~seed:7 icm in
+  let q = Query.flow ~src:0 ~dst:(n / 2) () in
+  ignore (Engine.query engine q) (* warm the cache *);
+  let direct label f =
+    (* one warm-up pass, then timed *)
+    for _ = 1 to direct_calls / 10 do
+      f ()
+    done;
+    let t0 = Clock.now_ns () in
+    for _ = 1 to direct_calls do
+      f ()
+    done;
+    let ns = Clock.elapsed_ns t0 in
+    let per_call = float_of_int ns /. float_of_int direct_calls in
+    Printf.printf "  direct %-10s %8.1f ns/call (cache hit)\n%!" label
+      per_call;
+    per_call
+  in
+  let bare_ns = direct "bare" (fun () -> ignore (Engine.query engine q)) in
+  let threaded_ns =
+    let ph = Engine.phases () in
+    direct "rid+phases" (fun () ->
+        ignore (Engine.query ~rid:"bench-1" ~phases:ph engine q))
+  in
+
+  (* ---- serving-path arms ---- *)
+  let serve_arm ~flight ~recording =
+    let config =
+      {
+        Server.default_config with
+        Server.queue_capacity = 256;
+        workers = 4;
+        flight_capacity = (if flight then 4096 else 0);
+      }
+    in
+    if not flight then Flight.disable ();
+    Metrics.set_recording recording;
+    let server = Server.create ~config ~engine () in
+    Server.start server;
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop server;
+        Metrics.set_recording false)
+      (fun () ->
+        let warm =
+          Array.init warm_set (fun i -> query_line (i, (i + n / 2) mod n))
+        in
+        let fd = connect (Server.port server) in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let r = Sockio.reader fd in
+            Array.iter (fun line -> assert_answer (ask r fd line)) warm);
+        run_storm server ~total:requests_per_round warm)
+  in
+  let arms =
+    [
+      ("off", false, false);
+      ("flight", true, false);
+      ("metrics", false, true);
+      ("full", true, true);
+    ]
+  in
+  let best = Hashtbl.create 4 in
+  for round = 1 to rounds do
+    List.iter
+      (fun (label, flight, recording) ->
+        let qps = serve_arm ~flight ~recording in
+        Printf.printf "  round %d %-6s %10.0f qps\n%!" round label qps;
+        let prev =
+          Option.value ~default:0.0 (Hashtbl.find_opt best label)
+        in
+        Hashtbl.replace best label (Float.max prev qps))
+      arms
+  done;
+  let qps label = Hashtbl.find best label in
+  let overhead label ~vs = 100.0 *. (1.0 -. (qps label /. qps vs)) in
+  let flight_overhead = overhead "flight" ~vs:"off" in
+  let full_overhead = overhead "full" ~vs:"metrics" in
+  Printf.printf
+    "best: off %.0f qps, flight %.0f qps (%.2f%% vs off); metrics %.0f \
+     qps, full %.0f qps (%.2f%% vs metrics)\n%!"
+    (qps "off") (qps "flight") flight_overhead (qps "metrics") (qps "full")
+    full_overhead;
+  Printf.printf "direct cache hit: bare %.1f ns, rid+phases %.1f ns\n%!"
+    bare_ns threaded_ns;
+
+  let json =
+    Jsonl.Obj
+      [
+        ("bench", Jsonl.Str "flight_overhead");
+        ("pr", Jsonl.Num 9.0);
+        ("quick", Jsonl.Bool quick);
+        ( "workload",
+          Jsonl.Obj
+            [
+              ("nodes", Jsonl.Num (float_of_int n));
+              ("edges", Jsonl.Num (float_of_int (Digraph.n_edges g)));
+              ("clients", Jsonl.Num (float_of_int clients));
+              ( "requests_per_round",
+                Jsonl.Num (float_of_int requests_per_round) );
+              ("rounds", Jsonl.Num (float_of_int rounds));
+              ("dialect", Jsonl.Str "jsonl_cached");
+            ] );
+        ( "note",
+          Jsonl.Str
+            "cached loopback storm, best round per arm (arms alternate \
+             within each round); off = flight ring disabled, flight = \
+             ring 4096, metrics = recording on without the ring, full = \
+             ring + recording (adds the phase histograms). Pinned \
+             overheads are marginal: flight vs off, full vs metrics. \
+             direct = cache-hit Engine.query ns/call" );
+        ( "serve",
+          Jsonl.Obj
+            [
+              ("off_qps", Jsonl.Num (qps "off"));
+              ("flight_qps", Jsonl.Num (qps "flight"));
+              ("metrics_qps", Jsonl.Num (qps "metrics"));
+              ("full_qps", Jsonl.Num (qps "full"));
+              ( "flight_overhead_percent_vs_off",
+                Jsonl.Num flight_overhead );
+              ( "full_overhead_percent_vs_metrics",
+                Jsonl.Num full_overhead );
+              ("budget_percent", Jsonl.Num 3.0);
+            ] );
+        ( "direct",
+          Jsonl.Obj
+            [
+              ("bare_ns_per_call", Jsonl.Num bare_ns);
+              ("rid_phases_ns_per_call", Jsonl.Num threaded_ns);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_PR9.json" in
+  output_string oc (Bench_obs.pretty json);
+  close_out oc;
+  Printf.printf "wrote BENCH_PR9.json\n%!";
+  Bench_obs.write_metrics_out ()

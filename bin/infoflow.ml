@@ -8,6 +8,7 @@
      batch             answer a JSONL file of queries through the engine
      stream            maintain a live betaICM from a JSONL evidence log
      serve             answer queries over TCP while evidence streams in
+     requests          fetch a running server's flight recorder
      impact            impact (dispersion) distribution of a source
      calibrate         self-test a model with the bucket experiment
 
@@ -35,6 +36,8 @@ module Query = Iflow_engine.Query
 module Planner = Iflow_plan.Planner
 module Server = Iflow_serve.Server
 module Quota = Iflow_serve.Quota
+module Sockio = Iflow_serve.Sockio
+module Jsonl = Iflow_engine.Jsonl
 module Obs_log = Iflow_obs.Log
 module Obs_metrics = Iflow_obs.Metrics
 module Obs_prometheus = Iflow_obs.Prometheus
@@ -178,7 +181,12 @@ let estimate seed model_path src dst conditions engine_config config nested
   let engine = or_die (fun () -> Engine.create ~config:engine_config ~seed icm) in
   let query = Query.flow ~conditions ~src ~dst () in
   let conditions = Conditions.v conditions in
-  let r = or_die (fun () -> Engine.query engine query) in
+  let rid = Printf.sprintf "cli-%d-1" (Unix.getpid ()) in
+  let ph = Engine.phases () in
+  let r = or_die (fun () -> Engine.query ~rid ~phases:ph engine query) in
+  Obs_log.debug ~component:"estimate" ~rid
+    "phases: plan %dns, sample %dns (%d rounds)" ph.Engine.plan_ns
+    ph.Engine.sample_ns ph.Engine.rounds;
   Printf.printf "Pr(%d ~> %d%s) = %.5f\n" src dst
     (if Conditions.is_empty conditions then ""
      else Format.asprintf " | %a" Conditions.pp conditions)
@@ -294,8 +302,13 @@ let batch seed model_path queries_path engine_config explain obs =
             exit 1)
       lines
   in
+  let rids =
+    let pid = Unix.getpid () in
+    Array.init (List.length queries) (fun i ->
+        Printf.sprintf "cli-%d-%d" pid (i + 1))
+  in
   let t0 = Obs_clock.now_ns () in
-  let results = or_die (fun () -> Engine.query_all engine queries) in
+  let results = or_die (fun () -> Engine.query_all ~rids engine queries) in
   let elapsed = Obs_clock.seconds_of_ns (Obs_clock.now_ns () - t0) in
   Printf.printf "query\testimate\trhat\tess\tmcse\tsamples\tcached%s\n"
     (if explain then "\tplan" else "");
@@ -769,7 +782,7 @@ let convert_cmd =
 (* ----- serve ----- *)
 
 let serve seed host port workers queue_capacity max_connections quota_rate
-    quota_burst learner engine_config obs =
+    quota_burst flight_capacity slow_query_ms learner engine_config obs =
   C.obs_setup obs;
   (* Graceful shutdown via sigwait: with every thread parked in a
      blocking section (accept, condition waits), an ordinary
@@ -796,6 +809,8 @@ let serve seed host port workers queue_capacity max_connections quota_rate
       queue_capacity;
       max_connections;
       quota;
+      flight_capacity;
+      slow_query_ms;
     }
   in
   let server =
@@ -912,6 +927,26 @@ let serve_cmd =
       & info [ "quota-burst" ]
           ~doc:"Per-tenant burst size (token-bucket capacity).")
   in
+  let flight_capacity =
+    Arg.(
+      value & opt int Server.default_config.Server.flight_capacity
+      & info [ "flight-capacity" ]
+          ~doc:
+            "Flight-recorder ring size: the last N requests stay \
+             reconstructible via GET /debug/requests (id, answer path, \
+             version, phase-decomposed latency). 0 disables the ring \
+             (slow-query logging still works).")
+  in
+  let slow_query_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-query-ms" ]
+          ~doc:
+            "Log a structured slow-query line (with the full flight \
+             record) for any request whose admission-to-serialized wall \
+             time reaches this many milliseconds; unset disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -920,12 +955,16 @@ let serve_cmd =
           the online learner and hot-swaps model versions under live \
           traffic. Admission control: bounded request queue with typed \
           over_capacity shedding, optional per-tenant token-bucket quotas \
-          (X-Tenant header / \"tenant\" field). GET /metrics and /healthz \
-          expose the iflow_serve_* registry live.")
+          (X-Tenant header / \"tenant\" field). Every request carries a \
+          request id (client-supplied X-Request-Id / \"request_id\", or \
+          server-minted), echoed on every answer; the last N requests are \
+          reconstructible via GET /debug/requests or `infoflow requests`. \
+          GET /metrics and /healthz expose the iflow_serve_* registry \
+          live.")
     Term.(
       const serve $ C.seed_term $ host $ port $ workers $ queue_capacity
-      $ max_connections $ quota_rate $ quota_burst $ C.learner_term
-      $ C.engine_term $ C.obs_term)
+      $ max_connections $ quota_rate $ quota_burst $ flight_capacity
+      $ slow_query_ms $ C.learner_term $ C.engine_term $ C.obs_term)
 
 (* ----- impact ----- *)
 
@@ -1160,6 +1199,152 @@ let metrics_cmd =
       const metrics $ C.seed_term $ C.model_required $ src $ dst
       $ C.engine_term $ json)
 
+(* ----- requests ----- *)
+
+(* raw one-request HTTP client over Sockio: GET /debug/requests from a
+   running `infoflow serve` and return (status line, body). The server
+   closes after one HTTP exchange, so reading to EOF delimits the
+   body without parsing Content-Length. *)
+let fetch_requests ~host ~port ~n =
+  let addr =
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+    | ai :: _ -> ai.Unix.ai_addr
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      Sockio.write_all fd
+        (Printf.sprintf
+           "GET /debug/requests?n=%d HTTP/1.1\r\n\
+            Host: %s:%d\r\nConnection: close\r\n\r\n"
+           n host port);
+      let r = Sockio.reader fd in
+      let status =
+        match Sockio.read_line r with
+        | Sockio.Line l -> l
+        | Sockio.Eof | Sockio.Too_long -> failwith "no HTTP status line"
+      in
+      let rec skip_headers () =
+        match Sockio.read_line r with
+        | Sockio.Line "" -> ()
+        | Sockio.Line _ -> skip_headers ()
+        | Sockio.Eof | Sockio.Too_long -> failwith "truncated HTTP response"
+      in
+      skip_headers ();
+      let b = Buffer.create 4096 in
+      let rec body () =
+        match Sockio.read_line r with
+        | Sockio.Line l ->
+          Buffer.add_string b l;
+          Buffer.add_char b '\n';
+          body ()
+        | Sockio.Eof -> ()
+        | Sockio.Too_long -> failwith "over-long line in HTTP body"
+      in
+      body ();
+      (status, Buffer.contents b))
+
+let requests host port n json =
+  let status, body =
+    try or_die (fun () -> fetch_requests ~host ~port ~n) with
+    | Unix.Unix_error (e, _, _) ->
+      Obs_log.err ~component:"requests" "cannot reach %s:%d: %s" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  (match String.split_on_char ' ' status with
+  | _ :: "200" :: _ -> ()
+  | _ ->
+    Obs_log.err ~component:"requests" "%s:%d answered %S" host port status;
+    exit 1);
+  if json then print_string body
+  else
+    let records =
+      match Jsonl.parse body with
+      | Ok (Jsonl.List l) -> l
+      | Ok _ ->
+        Obs_log.err ~component:"requests" "body is not a JSON array";
+        exit 1
+      | Error msg ->
+        Obs_log.err ~component:"requests" "bad JSON body: %s" msg;
+        exit 1
+    in
+    let str k o =
+      Option.value ~default:""
+        (Option.bind (Jsonl.member k o) Jsonl.to_string)
+    in
+    let int_ k o =
+      Option.value ~default:0 (Option.bind (Jsonl.member k o) Jsonl.to_int)
+    in
+    let num k o =
+      match Jsonl.member k o with Some (Jsonl.Num f) -> f | _ -> Float.nan
+    in
+    let ms ns = float_of_int ns /. 1e6 in
+    Printf.printf "%-5s %-18s %-8s %-6s %3s %9s %8s %9s %7s %6s %7s %-6s %s\n"
+      "seq" "id" "tenant" "path" "ver" "queue_ms" "plan_ms" "sample_ms"
+      "ser_ms" "rounds" "samples" "rhat" "query";
+    List.iter
+      (fun o ->
+        let path = str "path" o in
+        let note =
+          match (str "error" o, str "fallback" o) with
+          | "", "" -> ""
+          | err, "" -> Printf.sprintf "  error=%s" err
+          | _, fb -> Printf.sprintf "  fallback=%s" fb
+        in
+        let rhat = num "rhat" o in
+        Printf.printf
+          "%-5d %-18s %-8s %-6s %3d %9.3f %8.3f %9.3f %7.3f %6d %7d %-6s %s%s\n"
+          (int_ "seq" o) (str "request_id" o) (str "tenant" o) path
+          (int_ "version" o)
+          (ms (int_ "queue_wait_ns" o))
+          (ms (int_ "plan_ns" o))
+          (ms (int_ "sample_ns" o))
+          (ms (int_ "serialize_ns" o))
+          (int_ "rounds" o) (int_ "samples" o)
+          (if Float.is_nan rhat then "-" else Printf.sprintf "%.3f" rhat)
+          (str "kind" o) note)
+      records;
+    Printf.printf "%d record%s\n" (List.length records)
+      (if List.length records = 1 then "" else "s")
+
+let requests_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 7411 & info [ "port" ] ~doc:"Server port.")
+  in
+  let n =
+    Arg.(
+      value & opt int 32
+      & info [ "n" ]
+          ~doc:"How many recent requests to fetch (newest first).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Dump the raw JSON records instead of the table.")
+  in
+  Cmd.v
+    (Cmd.info "requests"
+       ~doc:
+         "Fetch the flight recorder of a running `infoflow serve` (GET \
+          /debug/requests) and print the last N requests: request id, \
+          tenant, answer path (cache/exact/mh/error), model version, and \
+          the phase-decomposed latency (queue wait, plan, sample, \
+          serialize), plus sampler diagnostics for MH answers.")
+    Term.(const requests $ host $ port $ n $ json)
+
 (* ----- prom-check ----- *)
 
 let prom_check path =
@@ -1204,6 +1389,6 @@ let () =
           [
             generate_model_cmd; generate_corpus_cmd; train_cmd;
             train_unattributed_cmd; estimate_cmd; batch_cmd; explain_cmd;
-            stream_cmd; convert_cmd; serve_cmd; impact_cmd; seeds_cmd;
-            calibrate_cmd; metrics_cmd; prom_check_cmd;
+            stream_cmd; convert_cmd; serve_cmd; requests_cmd; impact_cmd;
+            seeds_cmd; calibrate_cmd; metrics_cmd; prom_check_cmd;
           ]))

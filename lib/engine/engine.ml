@@ -112,6 +112,14 @@ type plan =
   | Plan_exact of { cone_nodes : int; validated : bool }
   | Plan_mh of { fallback : string option }
 
+(* Phase timings live OUTSIDE [result] on purpose: results are cached
+   in the LRU and must stay bit-identical whether or not anyone is
+   measuring, so callers that want the decomposition pass a side
+   channel the engine fills in place. *)
+type phases = { mutable plan_ns : int; mutable sample_ns : int; mutable rounds : int }
+
+let phases () = { plan_ns = 0; sample_ns = 0; rounds = 0 }
+
 type result = {
   estimate : float;
   rhat : float;
@@ -235,10 +243,24 @@ let buffer_push b x =
 
 let buffer_contents b = Array.sub b.data 0 b.len
 
-let run_query t ~icm ~digest q =
-  Trace.with_span "engine.query" ~args:[ ("key", Trace.Str (Query.key q)) ]
+let run_query ?rid ?phases t ~icm ~digest q =
+  let span_args =
+    ("key", Trace.Str (Query.key q))
+    ::
+    (match rid with Some r -> [ ("rid", Trace.Str r) ] | None -> [])
+  in
+  (* the numeric flow id ties this query's spans (conn thread, worker
+     thread, pool domains) into one arrowed chain in the trace viewer *)
+  let flow =
+    match rid with
+    | Some r when Trace.enabled () -> Some (Trace.flow_id r)
+    | _ -> None
+  in
+  let flow_linked = Atomic.make false in
+  Trace.with_span "engine.query" ~args:span_args
   @@ fun () ->
   let t0 = if Metrics.recording () then Clock.now_ns () else 0 in
+  let ps0 = match phases with Some _ -> Clock.now_ns () | None -> 0 in
   if Query.max_node q >= Icm.n_nodes icm then
     invalid_arg
       (Printf.sprintf "Engine: query %s references node >= %d" (Query.key q)
@@ -293,6 +315,13 @@ let run_query t ~icm ~digest q =
       Pool.run_results t.pool
         (fun i ->
           Fail.point "engine.chain";
+          (match flow with
+          | Some id ->
+            (* one step event per query, from whichever pool domain
+               picks a chain up first — this is the cross-domain hop *)
+            if not (Atomic.exchange flow_linked true) then
+              Trace.flow_step "request" ~id
+          | None -> ());
           let st =
             match streams.(i) with
             | Some st -> st
@@ -343,6 +372,11 @@ let run_query t ~icm ~digest q =
     Metrics.set m_last_mcse s.Diagnostics.mcse;
     Metrics.observe m_query_seconds (Clock.now_ns () - t0)
   end;
+  (match phases with
+  | Some p ->
+    p.sample_ns <- p.sample_ns + (Clock.now_ns () - ps0);
+    p.rounds <- p.rounds + !rounds
+  | None -> ());
   {
     estimate = s.Diagnostics.mean;
     rhat = s.Diagnostics.rhat;
@@ -373,7 +407,7 @@ let cacheable t r =
    query, the MH sampler (tagged with the fallback reason) otherwise.
    Planning is RNG-free and run_query is untouched, so answers on the
    MH path stay bit-for-bit what they were without a planner. *)
-let compute t ~icm ~digest q =
+let compute ?rid ?phases t ~icm ~digest q =
   if Query.max_node q >= Icm.n_nodes icm then
     invalid_arg
       (Printf.sprintf "Engine: query %s references node >= %d" (Query.key q)
@@ -381,19 +415,24 @@ let compute t ~icm ~digest q =
   if not t.config.planner then begin
     Planner.record_fallback Planner.Disabled;
     {
-      (run_query t ~icm ~digest q) with
+      (run_query ?rid ?phases t ~icm ~digest q) with
       plan = Plan_mh { fallback = Some (Planner.reason_label Planner.Disabled) };
     }
   end
-  else
-    match
+  else begin
+    let tp0 = match phases with Some _ -> Clock.now_ns () | None -> 0 in
+    let planned =
       Planner.plan ~budget:t.config.plan_budget icm
         ~targets:(targets_of_query q) ~conditions:(Query.conditions q)
-    with
+    in
+    (match phases with
+    | Some p -> p.plan_ns <- p.plan_ns + (Clock.now_ns () - tp0)
+    | None -> ());
+    match planned with
     | Error reason ->
       Planner.record_fallback reason;
       {
-        (run_query t ~icm ~digest q) with
+        (run_query ?rid ?phases t ~icm ~digest q) with
         plan = Plan_mh { fallback = Some (Planner.reason_label reason) };
       }
     | Ok e ->
@@ -419,7 +458,7 @@ let compute t ~icm ~digest q =
       if t.config.plan_validate then begin
         (* Exact_then_validate: also run the full MH path and cross
            check within its own error bar; the answer stays exact *)
-        let mh = run_query t ~icm ~digest q in
+        let mh = run_query ?rid ?phases t ~icm ~digest q in
         let tol = (5.0 *. mh.mcse) +. 1e-9 in
         let agreed = Float.abs (mh.estimate -. r.estimate) <= tol in
         Planner.record_validation ~agreed;
@@ -430,6 +469,7 @@ let compute t ~icm ~digest q =
             (Query.key q) r.estimate mh.estimate mh.mcse
       end;
       r
+  end
 
 let invalidate_locked t ~digest =
   let prefix = digest ^ "/" in
@@ -450,7 +490,7 @@ let swap t icm =
       sync_cache_metrics t;
       evicted)
 
-let query t q =
+let query ?rid ?phases t q =
   Metrics.inc m_queries;
   let icm, digest = capture t in
   let key = cache_key t ~digest q in
@@ -458,31 +498,36 @@ let query t q =
     match locked t (fun () -> Lru.find t.cache key) with
     | Some r -> { r with cached = true }
     | None ->
-      let r = compute t ~icm ~digest q in
+      let r = compute ?rid ?phases t ~icm ~digest q in
       if cacheable t r then locked t (fun () -> Lru.add t.cache key r);
       r
   in
   locked t (fun () -> sync_cache_metrics t);
   r
 
-let query_all t qs =
+let query_all ?rids t qs =
+  let rid i =
+    match rids with
+    | Some a when i < Array.length a -> Some a.(i)
+    | _ -> None
+  in
   (* duplicate queries sample once; each unique query then fans its
      chains out across the pool *)
   if Lru.capacity t.cache > 0 then
     (* the cache already dedups (per-query seeds make this sound), and
        its hit counter then reflects the batch's duplicates *)
-    List.map (query t) qs
+    List.mapi (fun i q -> query ?rid:(rid i) t q) qs
   else begin
     let results = Hashtbl.create 16 in
-    List.map
-      (fun q ->
+    List.mapi
+      (fun i q ->
         Metrics.inc m_queries;
         let icm, digest = capture t in
         let key = cache_key t ~digest q in
         match Hashtbl.find_opt results key with
         | Some r -> { r with cached = true }
         | None ->
-          let r = compute t ~icm ~digest q in
+          let r = compute ?rid:(rid i) t ~icm ~digest q in
           if cacheable t r then Hashtbl.replace results key r;
           r)
       qs

@@ -82,6 +82,21 @@ type result = {
           wire codec round-trips them bit-exactly. *)
 }
 
+type phases = {
+  mutable plan_ns : int;   (** time inside {!Iflow_plan.Planner.plan} *)
+  mutable sample_ns : int; (** time inside the MH sampling loop *)
+  mutable rounds : int;    (** adaptive rounds the sampler ran *)
+}
+(** Per-query phase decomposition, reported through a caller-provided
+    side channel (see {!phases} and the [?phases] argument of {!query})
+    rather than in {!result} — results are cached and must stay
+    bit-identical whether or not anyone measures them. Fields
+    accumulate, so validation reruns add into the same cells; a cache
+    hit leaves all three at their initial value. *)
+
+val phases : unit -> phases
+(** A fresh all-zero record for one {!query} call. *)
+
 exception
   Chains_failed of {
     query : string;   (** {!Query.key} of the failing query *)
@@ -122,10 +137,19 @@ val invalidate : t -> digest:string -> int
     returning how many entries were dropped. The drops are counted in
     {!cache_stats} evictions. *)
 
-val query : t -> Query.t -> result
+val query : ?rid:string -> ?phases:phases -> t -> Query.t -> result
 (** Answer one query, consulting the cache first. Raises
     [Invalid_argument] when the query mentions a node outside the
     model, [Failure] when its conditions cannot be satisfied.
+
+    [?rid] names the request for observability only: it is added to the
+    [engine.query] trace span and, when a trace sink is installed,
+    hashed into a flow id so the first chain task on a pool domain
+    emits the flow-step event linking the caller's spans to the
+    sampling work. [?phases] receives the plan/sample time split (see
+    {!phases}). Neither argument can reach the RNG, the cache key, or
+    the result — answers are bit-for-bit identical with or without
+    them.
 
     {b Planning.} With [config.planner] on (the default) the query is
     first offered to {!Iflow_plan.Planner}: queries whose reachability
@@ -147,10 +171,12 @@ val query : t -> Query.t -> result
     {!Chains_failed}. Degraded results are never cached, so the next
     ask re-samples at full strength. *)
 
-val query_all : t -> Query.t list -> result list
+val query_all : ?rids:string array -> t -> Query.t list -> result list
 (** Batch entry point: deduplicates by cache key so repeated queries
     are sampled once, then answers in input order ([cached] marks the
-    duplicates and cache hits). *)
+    duplicates and cache hits). [?rids.(i)] is the request id for the
+    [i]-th query (same observability-only contract as {!query}'s
+    [?rid]); a short or missing array leaves the rest unnamed. *)
 
 val cache_stats : t -> Lru.stats
 

@@ -1,0 +1,265 @@
+type path = Cache | Exact | Mh | Err
+
+let string_of_path = function
+  | Cache -> "cache"
+  | Exact -> "exact"
+  | Mh -> "mh"
+  | Err -> "error"
+
+type record = {
+  mutable seq : int;
+  mutable id : string;
+  mutable tenant : string;
+  mutable kind : string;
+  mutable path : path;
+  mutable fallback : string;
+  mutable error : string;
+  mutable version : int;
+  mutable digest : string;
+  mutable queue_wait_ns : int;
+  mutable plan_ns : int;
+  mutable sample_ns : int;
+  mutable serialize_ns : int;
+  mutable rounds : int;
+  mutable samples : int;
+  mutable rhat : float;
+  mutable mcse : float;
+  mutable ts_ns : int;
+}
+
+let empty_cell () =
+  {
+    seq = -1;
+    id = "";
+    tenant = "";
+    kind = "";
+    path = Err;
+    fallback = "";
+    error = "";
+    version = -1;
+    digest = "";
+    queue_wait_ns = 0;
+    plan_ns = 0;
+    sample_ns = 0;
+    serialize_ns = 0;
+    rounds = 0;
+    samples = 0;
+    rhat = Float.nan;
+    mcse = Float.nan;
+    ts_ns = 0;
+  }
+
+(* 8 shards: enough that serve workers on distinct domains rarely
+   contend, small enough that tiny capacities still spread sanely *)
+let shard_bits = 3
+let nshards = 1 lsl shard_bits
+
+type shard = {
+  m : Mutex.t;
+  mutable cells : record array; (* [||] while disabled *)
+  mutable cursor : int;
+}
+
+let shards =
+  Array.init nshards (fun _ -> { m = Mutex.create (); cells = [||]; cursor = 0 })
+
+(* the one-load-one-branch gate on the hot path; flipped only under
+   every shard lock so [note] never sees a half-built ring *)
+let on = Atomic.make false
+let seq = Atomic.make 0
+
+let enabled () = Atomic.get on
+
+let with_all_shards f =
+  Array.iter (fun s -> Mutex.lock s.m) shards;
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun s -> Mutex.unlock s.m) shards)
+    f
+
+let configure ?(capacity = 1024) () =
+  let per = max 1 ((capacity + nshards - 1) / nshards) in
+  with_all_shards (fun () ->
+      Array.iter
+        (fun s ->
+          s.cells <- Array.init per (fun _ -> empty_cell ());
+          s.cursor <- 0)
+        shards;
+      Atomic.set seq 0;
+      Atomic.set on true)
+
+let disable () =
+  with_all_shards (fun () ->
+      Atomic.set on false;
+      Array.iter
+        (fun s ->
+          s.cells <- [||];
+          s.cursor <- 0)
+        shards)
+
+let capacity () =
+  if not (Atomic.get on) then 0
+  else Array.fold_left (fun acc s -> acc + Array.length s.cells) 0 shards
+
+let clear () =
+  with_all_shards (fun () ->
+      Array.iter
+        (fun s ->
+          Array.iter (fun c -> c.seq <- -1) s.cells;
+          s.cursor <- 0)
+        shards;
+      Atomic.set seq 0)
+
+let note ~id ~tenant ~kind ~path ?(fallback = "") ?(error = "") ?(version = -1)
+    ?(digest = "") ?(queue_wait_ns = 0) ?(plan_ns = 0) ?(sample_ns = 0)
+    ?(serialize_ns = 0) ?(rounds = 0) ?(samples = 0) ?(rhat = Float.nan)
+    ?(mcse = Float.nan) () =
+  if Atomic.get on then begin
+    let sh = shards.((Domain.self () :> int) land (nshards - 1)) in
+    let n = Atomic.fetch_and_add seq 1 in
+    let ts = Clock.now_ns () in
+    Mutex.lock sh.m;
+    (* [disable] may have raced us past the gate; the ring may be gone *)
+    if Array.length sh.cells > 0 then begin
+      let c = sh.cells.(sh.cursor) in
+      sh.cursor <- (sh.cursor + 1) mod Array.length sh.cells;
+      c.seq <- n;
+      c.id <- id;
+      c.tenant <- tenant;
+      c.kind <- kind;
+      c.path <- path;
+      c.fallback <- fallback;
+      c.error <- error;
+      c.version <- version;
+      c.digest <- digest;
+      c.queue_wait_ns <- queue_wait_ns;
+      c.plan_ns <- plan_ns;
+      c.sample_ns <- sample_ns;
+      c.serialize_ns <- serialize_ns;
+      c.rounds <- rounds;
+      c.samples <- samples;
+      c.rhat <- rhat;
+      c.mcse <- mcse;
+      c.ts_ns <- ts
+    end;
+    Mutex.unlock sh.m
+  end
+
+let submit r =
+  r.ts_ns <- Clock.now_ns ();
+  if Atomic.get on then begin
+    r.seq <- Atomic.fetch_and_add seq 1;
+    let sh = shards.((Domain.self () :> int) land (nshards - 1)) in
+    Mutex.lock sh.m;
+    if Array.length sh.cells > 0 then begin
+      let c = sh.cells.(sh.cursor) in
+      sh.cursor <- (sh.cursor + 1) mod Array.length sh.cells;
+      c.seq <- r.seq;
+      c.id <- r.id;
+      c.tenant <- r.tenant;
+      c.kind <- r.kind;
+      c.path <- r.path;
+      c.fallback <- r.fallback;
+      c.error <- r.error;
+      c.version <- r.version;
+      c.digest <- r.digest;
+      c.queue_wait_ns <- r.queue_wait_ns;
+      c.plan_ns <- r.plan_ns;
+      c.sample_ns <- r.sample_ns;
+      c.serialize_ns <- r.serialize_ns;
+      c.rounds <- r.rounds;
+      c.samples <- r.samples;
+      c.rhat <- r.rhat;
+      c.mcse <- r.mcse;
+      c.ts_ns <- r.ts_ns
+    end;
+    Mutex.unlock sh.m
+  end
+
+let copy c = { c with id = c.id }
+
+let all_filled () =
+  with_all_shards (fun () ->
+      Array.fold_left
+        (fun acc s ->
+          Array.fold_left
+            (fun acc c -> if c.seq >= 0 then copy c :: acc else acc)
+            acc s.cells)
+        [] shards)
+
+let recent n =
+  let all = all_filled () in
+  let sorted = List.sort (fun a b -> compare b.seq a.seq) all in
+  List.filteri (fun i _ -> i < n) sorted
+
+let find id =
+  let all = all_filled () in
+  List.fold_left
+    (fun best c ->
+      if c.id <> id then best
+      else
+        match best with
+        | Some b when b.seq >= c.seq -> best
+        | _ -> Some c)
+    None all
+
+let escape buf s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s
+
+let add_str buf k v =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf k;
+  Buffer.add_string buf "\":\"";
+  escape buf v;
+  Buffer.add_string buf "\","
+
+let add_int buf k v =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf k;
+  Buffer.add_string buf "\":";
+  Buffer.add_string buf (string_of_int v);
+  Buffer.add_char buf ','
+
+let add_float buf k v =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf k;
+  Buffer.add_string buf "\":";
+  Buffer.add_string buf
+    (if Float.is_finite v then Printf.sprintf "%.17g" v else "null");
+  Buffer.add_char buf ','
+
+let to_json r =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  add_int buf "seq" r.seq;
+  add_str buf "request_id" r.id;
+  add_str buf "tenant" r.tenant;
+  add_str buf "kind" r.kind;
+  add_str buf "path" (string_of_path r.path);
+  if r.fallback <> "" then add_str buf "fallback" r.fallback;
+  if r.error <> "" then add_str buf "error" r.error;
+  add_int buf "version" r.version;
+  add_str buf "digest" r.digest;
+  add_int buf "queue_wait_ns" r.queue_wait_ns;
+  add_int buf "plan_ns" r.plan_ns;
+  add_int buf "sample_ns" r.sample_ns;
+  add_int buf "serialize_ns" r.serialize_ns;
+  add_int buf "rounds" r.rounds;
+  add_int buf "samples" r.samples;
+  add_float buf "rhat" r.rhat;
+  add_float buf "mcse" r.mcse;
+  add_int buf "ts_ns" r.ts_ns;
+  (* drop the trailing comma *)
+  Buffer.truncate buf (Buffer.length buf - 1);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -22,17 +22,44 @@ let level_of_string s =
       (Printf.sprintf "unknown log level %S (expected error|warn|info|debug)"
          other)
 
-let log lvl ?component fmt =
-  if severity lvl <= severity !current then begin
-    let ppf = Format.err_formatter in
-    (match component with
-    | Some c -> Format.fprintf ppf "%s [%s] " (string_of_level lvl) c
-    | None -> Format.fprintf ppf "%s " (string_of_level lvl));
-    Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") ppf fmt
-  end
+(* One writer at a time: domains and server threads log concurrently,
+   and unserialised Format output interleaves partial lines. The whole
+   line is built first so the lock covers only one write + flush. *)
+let mu = Mutex.create ()
+
+let log lvl ?component ?rid fmt =
+  if severity lvl <= severity !current then
+    Format.kasprintf
+      (fun msg ->
+        let ts = Clock.now_ns () in
+        let b = Buffer.create (64 + String.length msg) in
+        Buffer.add_string b
+          (Printf.sprintf "%.6f " (float_of_int ts /. 1e9));
+        Buffer.add_string b (string_of_level lvl);
+        (match component with
+        | Some c ->
+          Buffer.add_string b " [";
+          Buffer.add_string b c;
+          Buffer.add_char b ']'
+        | None -> ());
+        (match rid with
+        | Some r ->
+          Buffer.add_string b " rid=";
+          Buffer.add_string b r
+        | None -> ());
+        Buffer.add_char b ' ';
+        Buffer.add_string b msg;
+        Buffer.add_char b '\n';
+        Mutex.lock mu;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock mu)
+          (fun () ->
+            output_string stderr (Buffer.contents b);
+            flush stderr))
+      fmt
   else Format.ifprintf Format.err_formatter fmt
 
-let err ?component fmt = log Error ?component fmt
-let warn ?component fmt = log Warn ?component fmt
-let info ?component fmt = log Info ?component fmt
-let debug ?component fmt = log Debug ?component fmt
+let err ?component ?rid fmt = log Error ?component ?rid fmt
+let warn ?component ?rid fmt = log Warn ?component ?rid fmt
+let info ?component ?rid fmt = log Info ?component ?rid fmt
+let debug ?component ?rid fmt = log Debug ?component ?rid fmt

@@ -19,12 +19,21 @@ let close_locked () =
 
 let close () = locked close_locked
 
+(* A crashed or non-closing run used to leave an unterminated JSON
+   array; registering the close once per process (not once per
+   [to_file]) keeps repeated re-installs from stacking exit hooks. *)
+let exit_hook = ref false
+
 let to_file path =
   let oc = open_out path in
   locked (fun () ->
       close_locked ();
       output_string oc "[";
-      sink := Some { oc; first = true })
+      sink := Some { oc; first = true };
+      if not !exit_hook then begin
+        exit_hook := true;
+        at_exit close
+      end)
 
 let enabled () = !sink <> None
 
@@ -60,7 +69,7 @@ let add_arg buf (k, v) =
    viewers expect *)
 let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e3)
 
-let emit ~name ~ph ?(args = []) ~ts_ns ?dur_ns () =
+let emit ~name ~ph ?flow ?(args = []) ~ts_ns ?dur_ns () =
   let tid = (Domain.self () :> int) in
   let buf = Buffer.create 160 in
   Buffer.add_string buf "{\"name\": \"";
@@ -73,6 +82,13 @@ let emit ~name ~ph ?(args = []) ~ts_ns ?dur_ns () =
   Buffer.add_string buf
     (Printf.sprintf ", \"pid\": %d, \"tid\": %d" (Unix.getpid ()) tid);
   if ph = "i" then Buffer.add_string buf ", \"s\": \"t\"";
+  (match flow with
+  | Some id ->
+    (* flow events need a category and a numeric id; a finish binds to
+       its enclosing slice so viewers draw the arrow into the span *)
+    Buffer.add_string buf (Printf.sprintf ", \"cat\": \"request\", \"id\": %d" id);
+    if ph = "f" then Buffer.add_string buf ", \"bp\": \"e\""
+  | None -> ());
   if args <> [] then begin
     Buffer.add_string buf ", \"args\": {";
     List.iteri
@@ -106,3 +122,16 @@ let with_span name ?args f =
         emit ~name ~ph:"X" ?args ~ts_ns:t0 ~dur_ns:(Clock.now_ns () - t0) ())
       f
   end
+
+(* flow ids hash the request id into the numeric id field trace viewers
+   key arrows on; collisions only cross two arrows in the UI *)
+let flow_id rid = Hashtbl.hash rid land 0x3fffffff
+
+let flow_start ?args name ~id =
+  if enabled () then emit ~name ~ph:"s" ~flow:id ?args ~ts_ns:(Clock.now_ns ()) ()
+
+let flow_step ?args name ~id =
+  if enabled () then emit ~name ~ph:"t" ~flow:id ?args ~ts_ns:(Clock.now_ns ()) ()
+
+let flow_finish ?args name ~id =
+  if enabled () then emit ~name ~ph:"f" ~flow:id ?args ~ts_ns:(Clock.now_ns ()) ()

@@ -17,7 +17,10 @@ type arg = Int of int | Float of float | Str of string
 
 val to_file : string -> unit
 (** Install a sink writing to [path] (truncates). Replaces (and
-    closes) any previous sink. Raises [Sys_error] like [open_out]. *)
+    closes) any previous sink, and registers an [at_exit] {!close}
+    exactly once per process — repeated installs are idempotent about
+    the hook, so normal exits always terminate the JSON array. Raises
+    [Sys_error] like [open_out]. *)
 
 val close : unit -> unit
 (** Terminate the JSON array and close the sink. Idempotent; a no-op
@@ -36,3 +39,19 @@ val instant : string -> ?args:(string * arg) list -> unit -> unit
 val complete : ?args:(string * arg) list -> string -> ts_ns:int ->
   dur_ns:int -> unit
 (** Emit a complete event from an externally measured interval. *)
+
+val flow_id : string -> int
+(** Hash a request id into the numeric flow id viewers key arrows on. *)
+
+val flow_start : ?args:(string * arg) list -> string -> id:int -> unit
+(** Emit a flow-start ("ph":"s") event. Emit it from inside the span
+    where the request is admitted; the matching {!flow_finish} on
+    another domain draws the cross-thread arrow. *)
+
+val flow_step : ?args:(string * arg) list -> string -> id:int -> unit
+(** Emit a flow-step ("ph":"t") event — an intermediate hop (e.g. the
+    first MH chain task picking the request up on a pool domain). *)
+
+val flow_finish : ?args:(string * arg) list -> string -> id:int -> unit
+(** Emit a flow-finish ("ph":"f", binding to the enclosing slice) event
+    from the domain that completed the request's work. *)

@@ -22,6 +22,27 @@ let header req name =
   let name = String.lowercase_ascii name in
   List.assoc_opt name req.headers
 
+(* target = path['?'query]; the router matches on the path alone *)
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, "")
+  | Some i ->
+    ( String.sub target 0 i,
+      String.sub target (i + 1) (String.length target - i - 1) )
+
+let query_param query name =
+  if query = "" then None
+  else
+    List.find_map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | None -> if kv = name then Some "" else None
+        | Some i ->
+          if String.sub kv 0 i = name then
+            Some (String.sub kv (i + 1) (String.length kv - i - 1))
+          else None)
+      (String.split_on_char '&' query)
+
 let reason = function
   | 200 -> "OK"
   | 202 -> "Accepted"

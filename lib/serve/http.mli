@@ -3,8 +3,8 @@
     The server is not a general web server: it accepts one request per
     connection (responses carry [Connection: close]), reads bodies by
     [Content-Length] only, and bounds both header and body sizes. The
-    full HTTP surface is four routes ([POST /query],
-    [POST /evidence], [GET /metrics], [GET /healthz]); everything
+    full HTTP surface is five routes ([POST /query], [POST /evidence],
+    [GET /metrics], [GET /healthz], [GET /debug/requests]); everything
     richer speaks the raw JSONL dialect instead. *)
 
 type request = {
@@ -28,6 +28,15 @@ val read_request :
 
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
+
+val split_target : string -> string * string
+(** Split a request target into (path, query string); the query is
+    [""] when there is no ['?']. *)
+
+val query_param : string -> string -> string option
+(** [query_param query name] finds [name]'s value in an
+    ["a=1&b=2"]-style query string ([Some ""] for a bare key). No
+    percent-decoding — the debug endpoints only take small integers. *)
 
 val is_http_verb : string -> bool
 (** Does this first line look like an HTTP request-line? (The protocol

@@ -5,6 +5,8 @@ module Metrics = Iflow_obs.Metrics
 module Prometheus = Iflow_obs.Prometheus
 module Log = Iflow_obs.Log
 module Clock = Iflow_obs.Clock
+module Trace = Iflow_obs.Trace
+module Flight = Iflow_obs.Flight
 module Snapshot = Iflow_stream.Snapshot
 
 let m_connections =
@@ -70,6 +72,65 @@ let m_evidence =
   Metrics.counter ~help:"Evidence lines accepted via POST /evidence"
     "iflow_serve_evidence_lines_total"
 
+let m_slow =
+  Metrics.counter ~help:"Requests over the --slow-query-ms threshold"
+    "iflow_serve_slow_queries_total"
+
+(* Per-tenant, per-phase latency decomposition. A tenant's four
+   histogram handles live together in an immutable assoc list swapped
+   through an Atomic, so the per-request path is one lock-free lookup;
+   the mutex only serialises the rare first sight of a tenant. Tenant
+   cardinality is capped so a label-spraying client cannot grow the
+   registry without bound — tenants past the cap account under
+   "overflow" (and pay the slow path, which stays bounded too). *)
+let max_phase_tenants = 64
+
+type phase_handles = {
+  ph_queue_wait : Metrics.histogram;
+  ph_plan : Metrics.histogram;
+  ph_sample : Metrics.histogram;
+  ph_serialize : Metrics.histogram;
+}
+
+let phase_handles =
+  let table : (string * phase_handles) list Atomic.t = Atomic.make [] in
+  let mu = Mutex.create () in
+  let mk tenant phase =
+    Metrics.histogram ~scale:1e-9
+      ~labels:[ ("tenant", tenant); ("phase", phase) ]
+      ~help:
+        "Request latency decomposed by phase (queue_wait / plan / sample / \
+         serialize)"
+      "iflow_serve_phase_seconds"
+  in
+  let register tenant =
+    Mutex.protect mu (fun () ->
+        let t = Atomic.get table in
+        match List.assoc_opt tenant t with
+        | Some h -> h
+        | None -> (
+          let tenant =
+            if List.length t < max_phase_tenants then tenant else "overflow"
+          in
+          match List.assoc_opt tenant t with
+          | Some h -> h
+          | None ->
+            let h =
+              {
+                ph_queue_wait = mk tenant "queue_wait";
+                ph_plan = mk tenant "plan";
+                ph_sample = mk tenant "sample";
+                ph_serialize = mk tenant "serialize";
+              }
+            in
+            Atomic.set table ((tenant, h) :: t);
+            h))
+  in
+  fun tenant ->
+    match List.assoc_opt tenant (Atomic.get table) with
+    | Some h -> h
+    | None -> register tenant
+
 type config = {
   host : string;
   port : int;
@@ -81,6 +142,8 @@ type config = {
   ingest_capacity : int;
   max_line_bytes : int;
   max_body_bytes : int;
+  flight_capacity : int;
+  slow_query_ms : int option;
 }
 
 let default_config =
@@ -95,6 +158,8 @@ let default_config =
     ingest_capacity = 65_536;
     max_line_bytes = 1 lsl 20;
     max_body_bytes = 8 lsl 20;
+    flight_capacity = 1024;
+    slow_query_ms = None;
   }
 
 type reply =
@@ -129,7 +194,15 @@ let ivar_wait iv =
       in
       go ())
 
-type work = { wq : Query.t; enqueue_ns : int; iv : ivar }
+type work = {
+  wq : Query.t;
+  enqueue_ns : int;
+  rid : string;
+  tenant : string;
+  ph : Engine.phases; (* filled by the engine on the worker thread *)
+  mutable queue_wait_ns : int;
+  iv : ivar;
+}
 
 type state = Idle | Running | Stopped
 
@@ -168,6 +241,7 @@ type t = {
   s_bad : int Atomic.t;
   s_engine_errors : int Atomic.t;
   s_evidence : int Atomic.t;
+  next_rid : int Atomic.t;
 }
 
 let validate_config c =
@@ -181,7 +255,12 @@ let validate_config c =
     bad "ingest_capacity must be >= 1 (got %d)" c.ingest_capacity;
   if c.max_line_bytes < 64 then
     bad "max_line_bytes must be >= 64 (got %d)" c.max_line_bytes;
-  if c.backlog < 1 then bad "backlog must be >= 1 (got %d)" c.backlog
+  if c.backlog < 1 then bad "backlog must be >= 1 (got %d)" c.backlog;
+  if c.flight_capacity < 0 then
+    bad "flight_capacity must be >= 0 (got %d)" c.flight_capacity;
+  match c.slow_query_ms with
+  | Some ms when ms < 1 -> bad "slow_query_ms must be >= 1 (got %d)" ms
+  | _ -> ()
 
 let create ?(config = default_config) ?gate ?(initial_version = 0) ~engine () =
   validate_config config;
@@ -221,6 +300,7 @@ let create ?(config = default_config) ?gate ?(initial_version = 0) ~engine () =
     s_bad = Atomic.make 0;
     s_engine_errors = Atomic.make 0;
     s_evidence = Atomic.make 0;
+    next_rid = Atomic.make 1;
   }
 
 (* ----- version registry / learner integration ----- *)
@@ -271,7 +351,13 @@ let ingest_pending t = Bqueue.length t.ingest
 
 let ns_to_ms_ceil ns = (ns + 999_999) / 1_000_000
 
-let process_query t ~tenant q =
+let mint_rid t =
+  Printf.sprintf "r%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add t.next_rid 1)
+
+(* Returns the reply plus the work entry when the request actually ran
+   (carrying its queue-wait and engine phase timings); [None] for
+   refusals at admission, which never waited anywhere. *)
+let process_query t ~tenant ~rid q =
   Atomic.incr t.s_requests;
   Metrics.inc m_requests;
   let t0 = Clock.now_ns () in
@@ -284,37 +370,53 @@ let process_query t ~tenant q =
   | Quota.Denied { retry_after_ns } ->
     Atomic.incr t.s_shed_quota;
     Metrics.inc m_shed_quota;
-    Refused
-      {
-        code = Wire.Quota_exceeded;
-        msg = Printf.sprintf "tenant %S over quota" tenant;
-        retry_after_ms = Some (max 1 (ns_to_ms_ceil retry_after_ns));
-      }
+    ( Refused
+        {
+          code = Wire.Quota_exceeded;
+          msg = Printf.sprintf "tenant %S over quota" tenant;
+          retry_after_ms = Some (max 1 (ns_to_ms_ceil retry_after_ns));
+        },
+      None )
   | Quota.Granted ->
-    let w = { wq = q; enqueue_ns = t0; iv = ivar () } in
+    let w =
+      {
+        wq = q;
+        enqueue_ns = t0;
+        rid;
+        tenant;
+        ph = Engine.phases ();
+        queue_wait_ns = 0;
+        iv = ivar ();
+      }
+    in
+    if Trace.enabled () then
+      Trace.flow_start "request" ~id:(Trace.flow_id rid)
+        ~args:[ ("rid", Trace.Str rid) ];
     if Bqueue.try_push t.queue w then begin
       let reply = ivar_wait w.iv in
       Metrics.observe m_request_seconds (Clock.now_ns () - t0);
-      reply
+      (reply, Some w)
     end
     else if Bqueue.is_closed t.queue then
-      Refused
-        {
-          code = Wire.Shutting_down;
-          msg = "server is shutting down";
-          retry_after_ms = None;
-        }
+      ( Refused
+          {
+            code = Wire.Shutting_down;
+            msg = "server is shutting down";
+            retry_after_ms = None;
+          },
+        None )
     else begin
       Atomic.incr t.s_shed_capacity;
       Metrics.inc m_shed_capacity;
-      Refused
-        {
-          code = Wire.Over_capacity;
-          msg =
-            Printf.sprintf "request queue full (%d waiting)"
-              (Bqueue.length t.queue);
-          retry_after_ms = None;
-        }
+      ( Refused
+          {
+            code = Wire.Over_capacity;
+            msg =
+              Printf.sprintf "request queue full (%d waiting)"
+                (Bqueue.length t.queue);
+            retry_after_ms = None;
+          },
+        None )
     end
 
 let worker_loop t =
@@ -325,10 +427,11 @@ let worker_loop t =
     | Some w ->
       (match t.gate with Some g -> g () | None -> ());
       let t_deq = Clock.now_ns () in
-      Metrics.observe m_queue_wait_seconds (t_deq - w.enqueue_ns);
+      w.queue_wait_ns <- t_deq - w.enqueue_ns;
+      Metrics.observe m_queue_wait_seconds w.queue_wait_ns;
       Metrics.set m_queue_depth (float_of_int (Bqueue.length t.queue));
       let reply =
-        match Engine.query t.engine w.wq with
+        match Engine.query ~rid:w.rid ~phases:w.ph t.engine w.wq with
         | r ->
           Atomic.incr t.s_answered;
           Metrics.inc m_answers;
@@ -357,29 +460,155 @@ let worker_loop t =
           Refused
             { code = Wire.Bad_query; msg; retry_after_ms = None }
       in
+      if Metrics.recording () then begin
+        let h = phase_handles w.tenant in
+        Metrics.observe h.ph_queue_wait w.queue_wait_ns;
+        Metrics.observe h.ph_plan w.ph.Engine.plan_ns;
+        Metrics.observe h.ph_sample w.ph.Engine.sample_ns
+      end;
       ivar_fill w.iv reply;
       go ()
   in
   go ()
 
-let reply_line ?id = function
+let reply_line ?id ~rid = function
   | Answer { result; version; degraded } ->
-    Wire.result_line ?id ?version ~degraded result
+    Wire.result_line ?id ~request_id:rid ?version ~degraded result
   | Refused { code; msg; retry_after_ms } ->
-    Wire.error_line ?id ?retry_after_ms code msg
+    Wire.error_line ?id ~request_id:rid ?retry_after_ms code msg
+
+(* One flight record per answered-or-refused line. The record is built
+   on the connection thread after serialisation (the last phase it
+   measures), submitted to the ring, and reused verbatim for the
+   slow-query log line, so the log and /debug/requests can never
+   disagree about a request. *)
+let finish_request t ~rid ~tenant ~kind ~reply ~work ~serialize_ns ~total_ns =
+  if Metrics.recording () then
+    Metrics.observe (phase_handles tenant).ph_serialize serialize_ns;
+  if Trace.enabled () then
+    Trace.flow_finish "request" ~id:(Trace.flow_id rid);
+  let slow =
+    match t.config.slow_query_ms with
+    | Some ms -> total_ns >= ms * 1_000_000
+    | None -> false
+  in
+  if Flight.enabled () || slow then begin
+    let queue_wait_ns, plan_ns, sample_ns, rounds =
+      match work with
+      | Some w ->
+        (w.queue_wait_ns, w.ph.Engine.plan_ns, w.ph.Engine.sample_ns,
+         w.ph.Engine.rounds)
+      | None -> (0, 0, 0, 0)
+    in
+    let r =
+      match reply with
+      | Answer { result = res; version; degraded = _ } ->
+        let path =
+          if res.Engine.cached then Flight.Cache
+          else
+            match res.Engine.plan with
+            | Engine.Plan_exact _ -> Flight.Exact
+            | Engine.Plan_mh _ -> Flight.Mh
+        in
+        let fallback =
+          match res.Engine.plan with
+          | Engine.Plan_mh { fallback = Some f } -> f
+          | _ -> ""
+        in
+        {
+          Flight.seq = -1;
+          id = rid;
+          tenant;
+          kind;
+          path;
+          fallback;
+          error = "";
+          version = Option.value version ~default:(-1);
+          digest = res.Engine.model_digest;
+          queue_wait_ns;
+          plan_ns;
+          sample_ns;
+          serialize_ns;
+          rounds;
+          samples = res.Engine.total_samples;
+          rhat = res.Engine.rhat;
+          mcse = res.Engine.mcse;
+          ts_ns = 0;
+        }
+      | Refused { code; _ } ->
+        {
+          Flight.seq = -1;
+          id = rid;
+          tenant;
+          kind;
+          path = Flight.Err;
+          fallback = "";
+          error = Wire.code_string code;
+          version = -1;
+          digest = "";
+          queue_wait_ns;
+          plan_ns;
+          sample_ns;
+          serialize_ns;
+          rounds;
+          samples = 0;
+          rhat = Float.nan;
+          mcse = Float.nan;
+          ts_ns = 0;
+        }
+    in
+    Flight.submit r;
+    if slow then begin
+      Metrics.inc m_slow;
+      Log.warn ~component:"serve" ~rid "slow query (%d ms >= %d ms): %s"
+        (ns_to_ms_ceil total_ns)
+        (Option.value t.config.slow_query_ms ~default:0)
+        (Flight.to_json r)
+    end
+  end
 
 (* Decode one request line: the query object itself, plus the serving
-   extensions ("id" echoed back, "tenant" for quota accounting). *)
-let handle_query_line t ~tenant_default ~lineno line =
+   extensions ("id" echoed back, "tenant" for quota accounting,
+   "request_id" client-supplied or minted here — [?rid] carries the
+   HTTP dialect's X-Request-Id assignment). *)
+let handle_query_line t ~tenant_default ?rid ~lineno line =
   if String.trim line = "" then None
-  else
+  else begin
+    let t_admit = Clock.now_ns () in
+    let parsed = Jsonl.parse line in
+    let member_rid json =
+      match Jsonl.member "request_id" json with
+      | Some (Jsonl.Str s) when s <> "" -> Some s
+      | _ -> None
+    in
+    let rid =
+      match (Result.to_option parsed, rid) with
+      | Some json, _ when member_rid json <> None -> Option.get (member_rid json)
+      | _, Some r -> r
+      | _, None -> mint_rid t
+    in
+    let finish ~tenant ~kind ~reply ~work build =
+      let t_ser = Clock.now_ns () in
+      let resp = build () in
+      let t_done = Clock.now_ns () in
+      finish_request t ~rid ~tenant ~kind ~reply ~work
+        ~serialize_ns:(t_done - t_ser) ~total_ns:(t_done - t_admit);
+      resp
+    in
+    let bad msg =
+      Atomic.incr t.s_bad;
+      Metrics.inc m_bad;
+      msg
+    in
     Some
-      (match Jsonl.parse line with
+      (match parsed with
       | Error msg ->
-        Atomic.incr t.s_bad;
-        Metrics.inc m_bad;
-        Wire.error_line Wire.Bad_request
-          (Printf.sprintf "line %d: %s" lineno msg)
+        let msg = bad (Printf.sprintf "line %d: %s" lineno msg) in
+        let reply =
+          Refused { code = Wire.Bad_request; msg; retry_after_ms = None }
+        in
+        finish ~tenant:tenant_default ~kind:"" ~reply ~work:None (fun () ->
+            Wire.error_line ~request_id:rid Wire.Bad_request msg)
       | Ok json -> (
         let id =
           match Jsonl.member "id" json with
@@ -395,11 +624,17 @@ let handle_query_line t ~tenant_default ~lineno line =
         in
         match Query.of_json json with
         | Error msg ->
-          Atomic.incr t.s_bad;
-          Metrics.inc m_bad;
-          Wire.error_line ?id Wire.Bad_request
-            (Printf.sprintf "line %d: %s" lineno msg)
-        | Ok q -> reply_line ?id (process_query t ~tenant q)))
+          let msg = bad (Printf.sprintf "line %d: %s" lineno msg) in
+          let reply =
+            Refused { code = Wire.Bad_request; msg; retry_after_ms = None }
+          in
+          finish ~tenant ~kind:"" ~reply ~work:None (fun () ->
+              Wire.error_line ?id ~request_id:rid Wire.Bad_request msg)
+        | Ok q ->
+          let reply, work = process_query t ~tenant ~rid q in
+          finish ~tenant ~kind:(Query.key q) ~reply ~work (fun () ->
+              reply_line ?id ~rid reply)))
+  end
 
 (* ----- health ----- *)
 
@@ -489,7 +724,8 @@ let handle_http t fd r first_line =
   | Http.Overflow msg ->
     send ~status:413 (Wire.error_line Wire.Bad_request msg ^ "\n")
   | Http.Request req -> (
-    match (req.Http.meth, req.Http.path) with
+    let path, query = Http.split_target req.Http.path in
+    match (req.Http.meth, path) with
     | "GET", "/healthz" ->
       let body = health_json t ^ "\n" in
       send ~status:(if degraded t then 503 else 200) body
@@ -497,6 +733,22 @@ let handle_http t fd r first_line =
       send ~status:200
         ~content_type:"text/plain; version=0.0.4"
         (Prometheus.to_string Metrics.default)
+    | "GET", "/debug/requests" ->
+      let n =
+        match Http.query_param query "n" with
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> n
+          | _ -> 64)
+        | None -> 64
+      in
+      let body =
+        match Flight.recent n with
+        | [] -> "[]\n"
+        | recs ->
+          "[" ^ String.concat ",\n " (List.map Flight.to_json recs) ^ "]\n"
+      in
+      send ~status:200 body
     | "POST", "/query" ->
       let tenant_default =
         match Http.header req "x-tenant" with
@@ -504,13 +756,34 @@ let handle_http t fd r first_line =
         | _ -> "anonymous"
       in
       let lines = String.split_on_char '\n' req.Http.body in
+      (* a client-supplied X-Request-Id names a single-line body
+         verbatim; batched lines get a -<lineno> suffix so every
+         answer (and flight record) still has its own id *)
+      let client_rid =
+        match Http.header req "x-request-id" with
+        | Some r when r <> "" -> Some r
+        | _ -> None
+      in
+      let single = List.length lines = 1 in
+      let rid_for i =
+        Option.map
+          (fun base ->
+            if single then base else Printf.sprintf "%s-%d" base (i + 1))
+          client_rid
+      in
       let replies =
         List.filter_map
           (fun (i, line) ->
-            handle_query_line t ~tenant_default ~lineno:(i + 1) line)
+            handle_query_line t ~tenant_default ?rid:(rid_for i)
+              ~lineno:(i + 1) line)
           (List.mapi (fun i line -> (i, line)) lines)
       in
-      send ~status:200 (String.concat "\n" replies ^ "\n")
+      let headers =
+        match client_rid with
+        | Some r -> [ ("X-Request-Id", r) ]
+        | None -> []
+      in
+      send ~headers ~status:200 (String.concat "\n" replies ^ "\n")
     | "POST", "/evidence" ->
       let lines =
         List.filter
@@ -627,6 +900,8 @@ let start t =
         t.state <- Running;
         fd)
   in
+  if t.config.flight_capacity > 0 then
+    Flight.configure ~capacity:t.config.flight_capacity ();
   let workers =
     List.init t.config.workers (fun _ -> Thread.create worker_loop t)
   in

@@ -35,8 +35,28 @@
 
     {b Observability.} Every stage records into {!Iflow_obs.Metrics}
     ([iflow_serve_*]: request/queue-wait SLO histograms, shed and
-    degraded counters, queue depth, active connections), scrapeable
-    live at [GET /metrics]. *)
+    degraded counters, queue depth, active connections, and the
+    per-tenant [iflow_serve_phase_seconds] decomposition with phases
+    [queue_wait] / [plan] / [sample] / [serialize]), scrapeable live at
+    [GET /metrics].
+
+    {b Request ids and the flight recorder.} Every decoded query line
+    gets a request id — client-supplied via a ["request_id"] field
+    (JSONL) or [X-Request-Id] header (HTTP; batched bodies suffix
+    [-<lineno>] per line), server-minted otherwise — echoed on every
+    answer and error line as ["request_id"] (and back in the
+    [X-Request-Id] response header when the client supplied one). The
+    id is threaded through the queue entry into
+    {!Iflow_engine.Engine.query}, which tags the [engine.query] trace
+    span and links the connection thread, worker thread, and pool
+    domains with Chrome-trace flow events. One {!Iflow_obs.Flight}
+    record per line — answer path, version/digest, the full phase
+    decomposition in nanoseconds, convergence diagnostics or typed
+    error — lands in the ring served by [GET /debug/requests?n=], and
+    requests over [slow_query_ms] additionally log a structured
+    slow-query line carrying the same record. None of this can perturb
+    answers: ids and timings never reach the RNG, the cache key, or the
+    result. *)
 
 type config = {
   host : string;            (** bind address, default 127.0.0.1 *)
@@ -51,11 +71,21 @@ type config = {
   ingest_capacity : int;    (** bounded evidence queue for [POST /evidence] *)
   max_line_bytes : int;     (** per-line cap, both dialects *)
   max_body_bytes : int;     (** HTTP body cap *)
+  flight_capacity : int;    (** flight-recorder ring size; {!start}
+                                (re)configures the process-global
+                                {!Iflow_obs.Flight} ring to this many
+                                records; 0 leaves the recorder alone
+                                (off unless someone else enabled it) *)
+  slow_query_ms : int option;
+      (** log a structured slow-query line (level [warn], full flight
+          record attached) for any request whose admission-to-serialized
+          wall time reaches this many milliseconds; [None] = off *)
 }
 
 val default_config : config
 (** 127.0.0.1:0, backlog 128, queue 64, 2 workers, 1024 connections,
-    no quota, ingest queue 65536, 1 MiB lines, 8 MiB bodies. *)
+    no quota, ingest queue 65536, 1 MiB lines, 8 MiB bodies, flight
+    ring 1024, slow-query logging off. *)
 
 type t
 

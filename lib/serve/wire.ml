@@ -55,11 +55,16 @@ let f17 x =
     Printf.sprintf "%.1f" x
   else Printf.sprintf "%.17g" x
 
-let result_line ?id ?version ?(degraded = false) (r : Engine.result) =
+let result_line ?id ?request_id ?version ?(degraded = false) (r : Engine.result)
+    =
   let b = Buffer.create 256 in
   Buffer.add_char b '{';
   (match id with
   | Some id -> Buffer.add_string b (Printf.sprintf "\"id\":%s," (escape id))
+  | None -> ());
+  (match request_id with
+  | Some rid ->
+    Buffer.add_string b (Printf.sprintf "\"request_id\":%s," (escape rid))
   | None -> ());
   Buffer.add_string b (Printf.sprintf "\"estimate\":%s," (f17 r.Engine.estimate));
   Buffer.add_string b (Printf.sprintf "\"rhat\":%s," (f17 r.Engine.rhat));
@@ -89,11 +94,15 @@ let result_line ?id ?version ?(degraded = false) (r : Engine.result) =
     (Printf.sprintf "\"digest\":%s}" (escape r.Engine.model_digest));
   Buffer.contents b
 
-let error_line ?id ?retry_after_ms code msg =
+let error_line ?id ?request_id ?retry_after_ms code msg =
   let b = Buffer.create 128 in
   Buffer.add_char b '{';
   (match id with
   | Some id -> Buffer.add_string b (Printf.sprintf "\"id\":%s," (escape id))
+  | None -> ());
+  (match request_id with
+  | Some rid ->
+    Buffer.add_string b (Printf.sprintf "\"request_id\":%s," (escape rid))
   | None -> ());
   Buffer.add_string b
     (Printf.sprintf "\"error\":%s," (escape (code_string code)));

@@ -34,9 +34,13 @@ val http_status : error_code -> int
 (** 400 / 422 / 429 / 429 / 500 / 503 respectively. *)
 
 val result_line :
-  ?id:string -> ?version:int -> ?degraded:bool ->
+  ?id:string -> ?request_id:string -> ?version:int -> ?degraded:bool ->
   Iflow_engine.Engine.result -> string
-(** Serialise an answer (no trailing newline). [version] is the
+(** Serialise an answer (no trailing newline). [request_id] is the
+    server-side request id (client-supplied via the ["request_id"]
+    field / [X-Request-Id] header, or minted at admission), echoed as
+    ["request_id"] so a wire line can be joined to its
+    {!Iflow_obs.Flight} record and trace flow. [version] is the
     published model version the answer's digest maps to; [degraded]
     (default false) marks answers completed from surviving chains
     only — the server computes it from the engine's configured chain
@@ -46,7 +50,8 @@ val result_line :
     optional ["plan_fallback"] reason label. *)
 
 val error_line :
-  ?id:string -> ?retry_after_ms:int -> error_code -> string -> string
+  ?id:string -> ?request_id:string -> ?retry_after_ms:int ->
+  error_code -> string -> string
 
 val parsed_result :
   Iflow_engine.Jsonl.value ->

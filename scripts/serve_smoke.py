@@ -15,8 +15,14 @@ only. Asserts:
   - every answer carries a "plan" tag ("exact" or "mh"), a self-flow
     query is answered by the exact planner (plan "exact", estimate 1.0,
     not degraded), and the iflow_plan_exact_hits_total counter moved;
-  - /healthz reports ok and /metrics scrapes non-trivially (saved for
-    the exposition format check and artifact upload).
+  - every answer echoes a non-empty "request_id" (server-minted when
+    the client sent none), a client-supplied X-Request-Id comes back in
+    both the body and the response header, and GET /debug/requests
+    shows flight records for both exact-planned and MH answers with
+    the phase decomposition filled in;
+  - /healthz reports ok and /metrics scrapes non-trivially, including
+    the iflow_serve_phase_seconds histograms (saved for the exposition
+    format check and artifact upload).
 
 Writes client-side latency percentiles to --latency-out and the raw
 /metrics exposition (including the iflow_serve_request_seconds
@@ -81,6 +87,8 @@ class Recorder:
             self.answers += 1
             if reply.get("plan") not in ("exact", "mh"):
                 fail(f"answer without a plan tag: {reply}")
+            if not reply.get("request_id"):
+                fail(f"answer without a request_id: {reply}")
             v, d = reply.get("version"), reply.get("digest")
             if v is None or d is None:
                 fail(f"answer without version/digest: {reply}")
@@ -273,10 +281,56 @@ def main():
             fail(f"exact answer marked degraded: {reply}")
         print(f"self-flow answered exactly: {text.splitlines()[0]}")
 
+    # client-supplied request ids round-trip: body field and header
+    req = urllib.request.Request(
+        f"http://{host}:{port}/query",
+        data=json.dumps({"type": "flow", "src": 0, "dst": 3}).encode(),
+        method="POST",
+        headers={"X-Request-Id": "smoke-rid-1"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        echoed = resp.headers.get("X-Request-Id")
+        reply = json.loads(resp.read().decode().splitlines()[0])
+    if echoed != "smoke-rid-1":
+        fail(f"X-Request-Id header not echoed: {echoed!r}")
+    if reply.get("request_id") != "smoke-rid-1":
+        fail(f"client request_id not echoed in body: {reply}")
+    print("request id round-trip: OK")
+
+    # the flight recorder must hold records for both answer paths of
+    # the storm above: MH-sampled flows and the exact-planned self-flow
+    status, body = http(host, port, "GET", "/debug/requests?n=256")
+    if status != 200:
+        fail(f"GET /debug/requests -> {status}")
+    else:
+        records = json.loads(body)
+        paths = {}
+        for r in records:
+            paths.setdefault(r.get("path"), 0)
+            paths[r.get("path")] += 1
+            if not r.get("request_id"):
+                fail(f"flight record without request_id: {r}")
+            for field in ("queue_wait_ns", "plan_ns", "sample_ns",
+                          "serialize_ns", "seq", "version"):
+                if not isinstance(r.get(field), int):
+                    fail(f"flight record missing {field}: {r}")
+        if not paths.get("mh"):
+            fail(f"no MH answers in the flight recorder: {paths}")
+        if not paths.get("exact"):
+            fail(f"no exact-planned answers in the flight recorder: {paths}")
+        mine = [r for r in records if r.get("request_id") == "smoke-rid-1"]
+        if not mine:
+            fail("smoke-rid-1 not found in /debug/requests")
+        elif mine[0].get("serialize_ns", 0) <= 0:
+            fail(f"smoke-rid-1 record has no serialize time: {mine[0]}")
+        print(f"flight recorder: {len(records)} records, paths {paths}")
+
     # scrape /metrics for the format check + latency histogram artifact
     status, exposition = http(host, port, "GET", "/metrics")
     if status != 200 or "iflow_serve_request_seconds" not in exposition:
         fail(f"/metrics scrape unusable (status {status})")
+    if "iflow_serve_phase_seconds" not in exposition:
+        fail("iflow_serve_phase_seconds missing from /metrics")
     # the exact-planned answer above must have moved the planner counter
     # (the CI job runs the server with metrics recording on)
     hits = [

@@ -24,6 +24,7 @@ module Metrics = Iflow_obs.Metrics
 module Prometheus = Iflow_obs.Prometheus
 module Trace = Iflow_obs.Trace
 module Log = Iflow_obs.Log
+module Flight = Iflow_obs.Flight
 
 let qcheck tests =
   List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0 |])) tests
@@ -187,6 +188,49 @@ let test_bit_for_bit_engine () =
   let on = with_recording true run in
   check_float "engine estimate identical with metrics on" off on
 
+let test_bit_for_bit_flight_and_rid () =
+  (* the full per-request observability stack — flight recorder on,
+     trace sink installed, rid + phases threaded — must not move a
+     single bit of the estimate *)
+  let rng = Rng.create 13 in
+  let g = Gen.gnm rng ~nodes:15 ~edges:60 in
+  let icm =
+    Icm.create g (Array.init 60 (fun _ -> 0.1 +. (0.8 *. Rng.uniform rng)))
+  in
+  let config =
+    {
+      Engine.default_config with
+      Engine.chains = 2;
+      burn_in = 100;
+      round_samples = 100;
+      max_samples = 400;
+    }
+  in
+  let bare () =
+    let e = Engine.create ~config ~seed:5 icm in
+    (Engine.query e (Query.flow ~src:0 ~dst:9 ())).Engine.estimate
+  in
+  let observed () =
+    let path = Filename.temp_file "iflow_obs_flight" ".json" in
+    Flight.configure ~capacity:16 ();
+    Trace.to_file path;
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.close ();
+        Flight.disable ();
+        Sys.remove path)
+      (fun () ->
+        let e = Engine.create ~config ~seed:5 icm in
+        let ph = Engine.phases () in
+        let r = Engine.query ~rid:"obs-1" ~phases:ph e (Query.flow ~src:0 ~dst:9 ()) in
+        check_bool "sample phase measured" true (ph.Engine.sample_ns > 0);
+        check_bool "rounds counted" true (ph.Engine.rounds > 0);
+        r.Engine.estimate)
+  in
+  let off = with_recording false bare in
+  let on = with_recording true observed in
+  check_float "estimate identical with flight + trace + rid on" off on
+
 (* ---------- Prometheus exposition ---------- *)
 
 let test_prometheus_well_formed () =
@@ -320,6 +364,130 @@ let test_trace_round_trip () =
   check_int "span args survive" 3
     (Option.get (Jsonl.to_int (field "k" (field "args" x))))
 
+let test_trace_reinstall_closes_previous () =
+  (* replacing the sink must terminate the previous file's JSON array,
+     so a long-lived process rotating trace files never leaves the old
+     one truncated *)
+  with_temp_file @@ fun a ->
+  with_temp_file @@ fun b ->
+  Trace.to_file a;
+  Trace.instant "in-a" ();
+  Trace.to_file b (* closes a *);
+  Trace.instant "in-b" ();
+  Trace.close ();
+  List.iter
+    (fun (path, name) ->
+      let doc = read_file path in
+      check_bool (name ^ " array terminated") true (contains doc "\n]\n");
+      match Jsonl.parse doc with
+      | Ok v ->
+        let events = Option.get (Jsonl.to_list v) in
+        check_int (name ^ " has one event") 1 (List.length events);
+        check_string (name ^ " right event") name
+          (Option.get (Jsonl.to_string (field "name" (List.hd events))))
+      | Error msg -> Alcotest.failf "%s does not parse: %s" path msg)
+    [ (a, "in-a"); (b, "in-b") ]
+
+(* ---------- flight recorder ---------- *)
+
+let test_flight_note_and_find () =
+  Flight.configure ~capacity:32 ();
+  Fun.protect ~finally:Flight.disable (fun () ->
+      check_bool "enabled" true (Flight.enabled ());
+      check_int "capacity" 32 (Flight.capacity ());
+      Flight.note ~id:"q-1" ~tenant:"a" ~kind:"flow 0 1" ~path:Flight.Exact
+        ~version:3 ~digest:"d1" ~plan_ns:1000 ~serialize_ns:2000 ();
+      Flight.note ~id:"q-2" ~tenant:"b" ~kind:"flow 1 2" ~path:Flight.Mh
+        ~fallback:"cyclic" ~queue_wait_ns:10 ~sample_ns:5000 ~rounds:2
+        ~samples:800 ~rhat:1.01 ~mcse:0.004 ();
+      (match Flight.recent 10 with
+      | [ r2; r1 ] ->
+        check_string "newest first" "q-2" r2.Flight.id;
+        check_string "oldest last" "q-1" r1.Flight.id;
+        check_bool "seq ordered" true (r2.Flight.seq > r1.Flight.seq);
+        check_string "tenant" "b" r2.Flight.tenant;
+        check_string "fallback" "cyclic" r2.Flight.fallback;
+        check_int "samples" 800 r2.Flight.samples;
+        check_int "version default" (-1) r2.Flight.version;
+        check_int "version recorded" 3 r1.Flight.version;
+        check_bool "ts stamped" true (r1.Flight.ts_ns > 0)
+      | l -> Alcotest.failf "expected 2 records, got %d" (List.length l));
+      (match Flight.find "q-1" with
+      | Some r ->
+        check_string "find by id" "q-1" r.Flight.id;
+        check_string "path" "exact" (Flight.string_of_path r.Flight.path)
+      | None -> Alcotest.fail "q-1 not found");
+      check_bool "miss is None" true (Flight.find "nope" = None);
+      (* records are copies: recording more never mutates them *)
+      let held = List.hd (Flight.recent 1) in
+      Flight.note ~id:"q-3" ~tenant:"c" ~kind:"k" ~path:Flight.Err
+        ~error:"bad_request" ();
+      check_string "held copy untouched" "q-2" held.Flight.id;
+      Flight.clear ();
+      check_int "clear empties" 0 (List.length (Flight.recent 10));
+      check_bool "still enabled after clear" true (Flight.enabled ()))
+
+let test_flight_ring_overwrites () =
+  (* capacity is a hard bound: old records fall off, the newest N
+     survive, and every surviving record is intact *)
+  Flight.configure ~capacity:8 ();
+  Fun.protect ~finally:Flight.disable (fun () ->
+      for i = 1 to 100 do
+        Flight.note ~id:(Printf.sprintf "q-%d" i) ~tenant:"t" ~kind:"k"
+          ~path:Flight.Cache ~queue_wait_ns:i ()
+      done;
+      let recs = Flight.recent 1000 in
+      check_bool "bounded" true (List.length recs <= Flight.capacity ());
+      check_bool "kept some" true (List.length recs > 0);
+      (* everything surviving is from the recent tail, in seq order *)
+      let seqs = List.map (fun r -> r.Flight.seq) recs in
+      check_bool "newest first" true
+        (List.sort (fun a b -> compare b a) seqs = seqs);
+      List.iter
+        (fun r ->
+          let n = int_of_string (String.sub r.Flight.id 2
+                                   (String.length r.Flight.id - 2)) in
+          check_bool "tail records only" true (n > 100 - (2 * Flight.capacity ()));
+          check_int "fields consistent" n r.Flight.queue_wait_ns)
+        recs)
+
+let test_flight_disabled_gate () =
+  Flight.disable ();
+  check_bool "disabled" false (Flight.enabled ());
+  check_int "no capacity" 0 (Flight.capacity ());
+  Flight.note ~id:"x" ~tenant:"t" ~kind:"k" ~path:Flight.Mh ();
+  check_int "note is a no-op" 0 (List.length (Flight.recent 10));
+  check_bool "find misses" true (Flight.find "x" = None)
+
+let test_flight_to_json () =
+  Flight.configure ~capacity:4 ();
+  Fun.protect ~finally:Flight.disable (fun () ->
+      Flight.note ~id:"j\"1" ~tenant:"t" ~kind:"flow 0 1" ~path:Flight.Mh
+        ~fallback:"cyclic" ~version:2 ~digest:"ab" ~queue_wait_ns:5
+        ~plan_ns:6 ~sample_ns:7 ~serialize_ns:8 ~rounds:1 ~samples:100
+        ~rhat:1.5 ~mcse:0.25 ();
+      Flight.note ~id:"j2" ~tenant:"t" ~kind:"k" ~path:Flight.Err
+        ~error:"over_capacity" ();
+      List.iter
+        (fun r ->
+          let s = Flight.to_json r in
+          match Jsonl.parse s with
+          | Error msg -> Alcotest.failf "to_json unparseable %S: %s" s msg
+          | Ok json ->
+            check_string "id round-trips (escaped)" r.Flight.id
+              (Option.get
+                 (Jsonl.to_string (field "request_id" json)));
+            check_string "path" (Flight.string_of_path r.Flight.path)
+              (Option.get (Jsonl.to_string (field "path" json))))
+        (Flight.recent 10);
+      (* nan diagnostics serialise as null, keeping the JSON valid *)
+      let err = List.hd (Flight.recent 1) in
+      check_bool "nan -> null" true
+        (match Jsonl.member "rhat" (Result.get_ok
+                                      (Jsonl.parse (Flight.to_json err))) with
+        | Some Jsonl.Null -> true
+        | _ -> false))
+
 (* ---------- logger ---------- *)
 
 let test_log_levels () =
@@ -345,6 +513,90 @@ let test_log_levels () =
       Log.debug ~component:"test" "dropped %d" 1;
       Log.err ~component:"test" "kept (stderr) %d" 2)
 
+(* capture stderr into a file across [f] — the logger writes (and
+   flushes) whole lines to stderr under its mutex, so redirecting the
+   fd sees exactly what a terminal would *)
+let with_captured_stderr f =
+  let path = Filename.temp_file "iflow_log_capture" ".txt" in
+  flush stderr;
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stderr;
+      Unix.dup2 saved Unix.stderr;
+      Unix.close saved)
+    f;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () -> read_file path)
+
+let test_log_line_format () =
+  let prev = Log.level () in
+  Fun.protect ~finally:(fun () -> Log.set_level prev) (fun () ->
+      Log.set_level Log.Info;
+      let out =
+        with_captured_stderr (fun () ->
+            Log.info ~component:"fmt" ~rid:"r-9" "payload %d" 42)
+      in
+      let line = String.trim out in
+      (* <seconds>.<micros> info [fmt] rid=r-9 payload 42 *)
+      (match String.index_opt line ' ' with
+      | Some i ->
+        let ts = String.sub line 0 i in
+        check_bool "monotonic timestamp prefix" true
+          (match float_of_string_opt ts with
+          | Some t -> t >= 0.0 && String.contains ts '.'
+          | None -> false)
+      | None -> Alcotest.failf "no timestamp prefix in %S" line);
+      check_bool "level" true (contains line " info ");
+      check_bool "component" true (contains line "[fmt]");
+      check_bool "rid key" true (contains line "rid=r-9");
+      check_bool "message last" true (contains line "payload 42"))
+
+let test_log_concurrent_writers_never_interleave () =
+  let prev = Log.level () in
+  Fun.protect ~finally:(fun () -> Log.set_level prev) (fun () ->
+      Log.set_level Log.Info;
+      let domains = 4 and per_domain = 250 in
+      let out =
+        with_captured_stderr (fun () ->
+            let workers =
+              List.init domains (fun d ->
+                  Domain.spawn (fun () ->
+                      for i = 1 to per_domain do
+                        Log.info ~component:"race"
+                          ~rid:(Printf.sprintf "d%d-%d" d i)
+                          "begin-%d-%d-end" d i
+                      done))
+            in
+            List.iter Domain.join workers)
+      in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+      in
+      check_int "every line arrived whole"
+        (domains * per_domain)
+        (List.length lines);
+      (* a torn write would split the begin-…-end marker across lines,
+         or fuse two records onto one *)
+      let count needle hay =
+        let nn = String.length needle and nh = String.length hay in
+        let c = ref 0 in
+        for i = 0 to nh - nn do
+          if String.sub hay i nn = needle then incr c
+        done;
+        !c
+      in
+      List.iter
+        (fun l ->
+          check_bool "line intact" true
+            (contains l "[race]" && contains l "-end");
+          check_int "exactly one record per line" 1 (count "begin-" l))
+        lines)
+
 let () =
   Alcotest.run "obs"
     [
@@ -364,6 +616,8 @@ let () =
             test_bit_for_bit_estimator;
           Alcotest.test_case "engine bit-for-bit" `Quick
             test_bit_for_bit_engine;
+          Alcotest.test_case "flight + trace + rid bit-for-bit" `Quick
+            test_bit_for_bit_flight_and_rid;
         ] );
       ( "prometheus",
         [
@@ -375,6 +629,25 @@ let () =
             test_prometheus_check_rejects;
         ] );
       ( "trace",
-        [ Alcotest.test_case "JSONL round-trip" `Quick test_trace_round_trip ] );
-      ("log", [ Alcotest.test_case "levels" `Quick test_log_levels ]);
+        [
+          Alcotest.test_case "JSONL round-trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "reinstall closes the previous sink" `Quick
+            test_trace_reinstall_closes_previous;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "note, recent, find, clear" `Quick
+            test_flight_note_and_find;
+          Alcotest.test_case "ring overwrites, stays bounded" `Quick
+            test_flight_ring_overwrites;
+          Alcotest.test_case "disabled gate" `Quick test_flight_disabled_gate;
+          Alcotest.test_case "to_json round-trips" `Quick test_flight_to_json;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels" `Quick test_log_levels;
+          Alcotest.test_case "line format" `Quick test_log_line_format;
+          Alcotest.test_case "concurrent writers never interleave" `Quick
+            test_log_concurrent_writers_never_interleave;
+        ] );
     ]

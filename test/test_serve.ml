@@ -40,6 +40,8 @@ module Sockio = Iflow_serve.Sockio
 module Http = Iflow_serve.Http
 module Wire = Iflow_serve.Wire
 module Server = Iflow_serve.Server
+module Flight = Iflow_obs.Flight
+module Trace = Iflow_obs.Trace
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -825,6 +827,225 @@ let test_serve_degraded_swap () =
         (Server.current_version server > good_version);
       check_bool "digest moved" true (Engine.digest engine <> good_digest))
 
+(* ---------- request ids and the flight recorder ---------- *)
+
+let member_str name json =
+  match Jsonl.member name json with
+  | Some (Jsonl.Str s) -> Some s
+  | _ -> None
+
+let test_serve_request_id_echo () =
+  with_server (fun server _engine ->
+      (* JSONL: a client-supplied request_id comes back verbatim *)
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let r = Sockio.reader fd in
+          let line =
+            ask r fd {|{"request_id":"mine-1","type":"flow","src":0,"dst":1}|}
+          in
+          (match Jsonl.parse line with
+          | Ok json ->
+            check_string "jsonl echo" "mine-1"
+              (Option.value ~default:"<missing>"
+                 (member_str "request_id" json))
+          | Error msg -> Alcotest.failf "unparseable: %s" msg);
+          (* an unnamed request gets a server-minted id, also echoed *)
+          let line = ask r fd (query_json ~src:0 ~dst:1 ()) in
+          (* errors carry the id too *)
+          let err_line = ask r fd {|{"request_id":"broken","type":"flow"}|} in
+          (match Jsonl.parse line with
+          | Ok json ->
+            check_bool "minted id nonempty" true
+              (match member_str "request_id" json with
+              | Some s -> String.length s > 0
+              | None -> false)
+          | Error msg -> Alcotest.failf "unparseable: %s" msg);
+          match Jsonl.parse err_line with
+          | Ok json ->
+            check_bool "typed error" true (Jsonl.member "error" json <> None);
+            check_string "error echoes the id" "broken"
+              (Option.value ~default:"<missing>"
+                 (member_str "request_id" json))
+          | Error msg -> Alcotest.failf "unparseable: %s" msg);
+      (* HTTP: X-Request-Id honoured per body line and echoed in the
+         response header; batched bodies get a -<lineno> suffix *)
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let body =
+            query_json ~src:0 ~dst:1 () ^ "\n" ^ query_json ~src:0 ~dst:2 ()
+          in
+          Sockio.write_all fd
+            (Printf.sprintf
+               "POST /query HTTP/1.1\r\nHost: t\r\nX-Request-Id: req-9\r\n\
+                Content-Length: %d\r\n\r\n%s"
+               (String.length body) body);
+          let r = Sockio.reader fd in
+          (match Sockio.read_line r with
+          | Sockio.Line status ->
+            check_string "status" "HTTP/1.1 200 OK" status
+          | _ -> Alcotest.fail "no status line");
+          let header_echo = ref "<missing>" in
+          let rec skip () =
+            match Sockio.read_line r with
+            | Sockio.Line "" -> ()
+            | Sockio.Line h ->
+              (match String.index_opt h ':' with
+              | Some i when
+                  String.lowercase_ascii (String.sub h 0 i) = "x-request-id"
+                ->
+                header_echo :=
+                  String.trim (String.sub h (i + 1) (String.length h - i - 1))
+              | _ -> ());
+              skip ()
+            | _ -> Alcotest.fail "truncated headers"
+          in
+          skip ();
+          check_string "header echo" "req-9" !header_echo;
+          let line_id () =
+            match Sockio.read_line r with
+            | Sockio.Line l -> (
+              match Jsonl.parse l with
+              | Ok json ->
+                Option.value ~default:"<missing>"
+                  (member_str "request_id" json)
+              | Error msg -> Alcotest.failf "unparseable: %s" msg)
+            | _ -> Alcotest.fail "missing answer line"
+          in
+          check_string "batched line 1" "req-9-1" (line_id ());
+          check_string "batched line 2" "req-9-2" (line_id ())))
+
+let test_serve_minted_ids_unique () =
+  (* 64 concurrent sessions, no client ids: every answer must carry a
+     distinct server-minted id *)
+  with_server (fun server _engine ->
+      let ids = Bqueue.create 128 in
+      let client _i =
+        let fd = connect (Server.port server) in
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            let r = Sockio.reader fd in
+            let line = ask r fd (query_json ~src:0 ~dst:1 ()) in
+            match Jsonl.parse line with
+            | Ok json -> (
+              match member_str "request_id" json with
+              | Some s -> ignore (Bqueue.try_push ids s)
+              | None -> ())
+            | Error _ -> ())
+      in
+      let threads = List.init 64 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      let tbl = Hashtbl.create 64 in
+      let n = ref 0 in
+      let rec drain () =
+        match Bqueue.pop_opt ids with
+        | Some id ->
+          incr n;
+          Hashtbl.replace tbl id ();
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      check_int "64 answers carried ids" 64 !n;
+      check_int "all ids distinct" 64 (Hashtbl.length tbl))
+
+let test_serve_flight_record_matches_answer () =
+  (* Server.start configures the process-global ring from config
+     (default capacity 1024), so records land without further setup *)
+  with_server (fun server _engine ->
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let r = Sockio.reader fd in
+          let line =
+            ask r fd
+              {|{"request_id":"flight-1","type":"flow","src":0,"dst":1}|}
+          in
+          let got, version = parse_ok line in
+          let rc =
+            match Flight.find "flight-1" with
+            | Some rc -> rc
+            | None -> Alcotest.fail "no flight record for flight-1"
+          in
+          check_string "digest matches answer" got.Engine.model_digest
+            rc.Flight.digest;
+          check_int "version matches answer" (Option.get version)
+            rc.Flight.version;
+          let expected_path =
+            if got.Engine.cached then Flight.Cache
+            else
+              match got.Engine.plan with
+              | Engine.Plan_exact _ -> Flight.Exact
+              | Engine.Plan_mh _ -> Flight.Mh
+          in
+          check_string "path matches answer"
+            (Flight.string_of_path expected_path)
+            (Flight.string_of_path rc.Flight.path);
+          check_int "samples match answer" got.Engine.total_samples
+            rc.Flight.samples;
+          check_bool "serialize phase timed" true (rc.Flight.serialize_ns > 0);
+          (* a refused request still gets a record, on the error path *)
+          let err_line = ask r fd {|{"request_id":"flight-2","type":"flow"}|} in
+          (match Jsonl.parse err_line with
+          | Ok json ->
+            check_bool "typed error" true (Jsonl.member "error" json <> None)
+          | Error msg -> Alcotest.failf "unparseable: %s" msg);
+          match Flight.find "flight-2" with
+          | Some rc ->
+            check_string "error path" "error"
+              (Flight.string_of_path rc.Flight.path);
+            check_string "error code recorded" "bad_request" rc.Flight.error
+          | None -> Alcotest.fail "no flight record for the refusal"))
+
+let test_serve_observability_bit_identity () =
+  (* the PR 4 invariant extended: answers over the wire with the flight
+     recorder AND the trace sink on are bit-identical to a plain
+     Engine.query with both off *)
+  let reference =
+    Engine.create ~config:fast_config ~seed:7 (five_node_icm 3)
+  in
+  let queries = [ (0, 1); (1, 3); (2, 4) ] in
+  let baseline =
+    List.map
+      (fun (src, dst) -> Engine.query reference (Query.flow ~src ~dst ()))
+      queries
+  in
+  let tmp = Filename.temp_file "iflow_serve_trace" ".json" in
+  Trace.to_file tmp;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.close ();
+      Flight.disable ();
+      Sys.remove tmp)
+    (fun () ->
+      with_server (fun server _engine ->
+          let fd = connect (Server.port server) in
+          Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+              let r = Sockio.reader fd in
+              List.iteri
+                (fun i (src, dst) ->
+                  let id = Printf.sprintf "bit-%d" i in
+                  let got, _ = parse_ok (ask r fd (query_json ~id ~src ~dst ())) in
+                  let want = List.nth baseline i in
+                  same_result "observed vs bare"
+                    { want with Engine.cached = got.Engine.cached }
+                    got)
+                queries));
+      Trace.close ();
+      check_bool "trace recorded request flow events" true
+        (let ic = open_in tmp in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () ->
+             let len = in_channel_length ic in
+             let s = really_input_string ic len in
+             (* flow phases s/t/f all present *)
+             let has needle =
+               let nl = String.length needle and sl = String.length s in
+               let rec go i =
+                 i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+               in
+               go 0
+             in
+             has {|"ph": "s"|} && has {|"ph": "t"|} && has {|"ph": "f"|})))
+
 (* ---------- concurrent Engine.query callers ---------- *)
 
 let test_engine_concurrent_queries_and_swaps () =
@@ -941,6 +1162,17 @@ let () =
           Alcotest.test_case "hot-swap under load" `Slow
             test_serve_hot_swap_under_load;
           Alcotest.test_case "degraded swap" `Slow test_serve_degraded_swap;
+        ] );
+      ( "request-ids",
+        [
+          Alcotest.test_case "request_id echo, both dialects" `Slow
+            test_serve_request_id_echo;
+          Alcotest.test_case "minted ids unique across 64 sessions" `Slow
+            test_serve_minted_ids_unique;
+          Alcotest.test_case "flight record matches the wire answer" `Slow
+            test_serve_flight_record_matches_answer;
+          Alcotest.test_case "bit-identical with flight + trace on" `Slow
+            test_serve_observability_bit_identity;
         ] );
       ( "engine-concurrency",
         [
