@@ -1,0 +1,289 @@
+(* Deadline-machinery overhead benchmark: the ISSUE 10 acceptance
+   number. Every request now rides a Cancel token through the queue
+   and into the engine; this measures what that costs when deadlines
+   are NOT doing anything — the steady state for clients that never
+   set one, and for clients whose budgets are ample.
+
+   Serving-path arms (loopback TCP, cached requests — the worst case
+   for relative overhead, since there is no sampling to hide behind):
+
+   - off:    no deadline on any request — the shared disarmed token
+             plus one status check at dequeue;
+   - armed:  every request carries deadline_ms=60000 — an armed,
+             never-tripping token: absolute-deadline arithmetic at
+             decode, the admission floor check, the dequeue status
+             check, and the engine's round-boundary polls.
+
+   The PR pins the disarmed token's direct-call overhead < 1%: for
+   requests that never asked for a deadline the machinery must be
+   invisible. Arms alternate within each round and are compared as
+   paired ratios, so scheduler noise hits both arms alike. A
+   direct-call microbench (cache-hit Engine.query bare / with the
+   shared disarmed token / with an armed token) isolates the
+   engine-side cost from the socket path.
+
+   Results go to BENCH_PR10.json. --quick / IFLOW_BENCH_QUICK=1
+   shortens for CI. *)
+
+module Rng = Iflow_stats.Rng
+module Digraph = Iflow_graph.Digraph
+module Beta_icm = Iflow_core.Beta_icm
+module Generator = Iflow_core.Generator
+module Cancel = Iflow_mcmc.Cancel
+module Engine = Iflow_engine.Engine
+module Query = Iflow_engine.Query
+module Clock = Iflow_obs.Clock
+module Flight = Iflow_obs.Flight
+module Jsonl = Iflow_engine.Jsonl
+module Sockio = Iflow_serve.Sockio
+module Server = Iflow_serve.Server
+
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv
+  || Sys.getenv_opt "IFLOW_BENCH_QUICK" <> None
+
+let rounds = 5
+let clients = 8
+let requests_per_round = if quick then 2_000 else 20_000
+
+(* the direct deltas are a few ns on a ~2us call, so the floor is
+   estimated as the min over many short interleaved reps — one long
+   rep per arm cannot resolve sub-1% at this machine's noise level *)
+let direct_reps = if quick then 3 else 15
+let direct_calls = if quick then 20_000 else 200_000
+let warm_set = 32
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let ask r fd line =
+  Sockio.write_all fd (line ^ "\n");
+  match Sockio.read_line r with
+  | Sockio.Line l -> l
+  | Sockio.Eof | Sockio.Too_long | Sockio.Timeout ->
+    failwith "deadline_bench: session lost"
+
+let assert_answer line =
+  match Jsonl.parse line with
+  | Ok json when Jsonl.member "estimate" json <> None -> ()
+  | Ok _ -> failwith ("deadline_bench: refused: " ^ line)
+  | Error msg -> failwith ("deadline_bench: bad response: " ^ msg)
+
+let query_line ?deadline_ms (src, dst) =
+  match deadline_ms with
+  | None -> Printf.sprintf {|{"type":"flow","src":%d,"dst":%d}|} src dst
+  | Some ms ->
+    Printf.sprintf {|{"deadline_ms":%d,"type":"flow","src":%d,"dst":%d}|} ms
+      src dst
+
+(* closed-loop cached storm: [clients] sessions splitting [total]
+   requests drawn round-robin from the warm set; returns qps *)
+let run_storm server ~total lines =
+  let per = max 1 (total / clients) in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let go = ref false in
+  let ready = ref 0 in
+  let client _i =
+    let fd = connect (Server.port server) in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let r = Sockio.reader fd in
+        Mutex.protect m (fun () ->
+            incr ready;
+            Condition.broadcast cv;
+            while not !go do
+              Condition.wait cv m
+            done);
+        for j = 0 to per - 1 do
+          assert_answer (ask r fd lines.(j mod Array.length lines))
+        done)
+  in
+  let threads = List.init clients (fun i -> Thread.create client i) in
+  Mutex.protect m (fun () ->
+      while !ready < clients do
+        Condition.wait cv m
+      done);
+  let t0 = Clock.now_ns () in
+  Mutex.protect m (fun () ->
+      go := true;
+      Condition.broadcast cv);
+  List.iter Thread.join threads;
+  let wall = Clock.seconds_of_ns (Clock.elapsed_ns t0) in
+  float_of_int (per * clients) /. wall
+
+let () =
+  let rng = Rng.create 20120402 in
+  let model = Generator.default_beta_icm rng ~nodes:6000 ~edges:12000 in
+  let icm = Beta_icm.expected_icm model in
+  let g = Beta_icm.graph model in
+  let n = Digraph.n_nodes g in
+  let light =
+    {
+      Engine.default_config with
+      Engine.chains = 2;
+      burn_in = 50;
+      thin = 2;
+      round_samples = 50;
+      max_samples = 100;
+      rhat_target = 10.0;
+      cache_capacity = 4096;
+    }
+  in
+  Printf.printf
+    "deadline_bench: %d nodes, %d edges; %d clients, %d cached requests \
+     per round, %d rounds per arm%s\n%!"
+    n (Digraph.n_edges g) clients requests_per_round rounds
+    (if quick then " (quick)" else "");
+
+  (* ---- direct-call microbench: token cost on the engine path ---- *)
+  let engine = Engine.create ~config:light ~seed:7 icm in
+  let q = Query.flow ~src:0 ~dst:(n / 2) () in
+  ignore (Engine.query engine q) (* warm the cache *);
+  (* each arm runs [direct_reps] interleaved reps and keeps its
+     fastest — the rep least disturbed by whatever else the machine
+     was doing *)
+  let timed f =
+    let t0 = Clock.now_ns () in
+    for _ = 1 to direct_calls do
+      f ()
+    done;
+    float_of_int (Clock.elapsed_ns t0) /. float_of_int direct_calls
+  in
+  let f_bare () = ignore (Engine.query engine q) in
+  (* what the server does for a deadline-free request: the shared
+     disarmed token — one atomic load per poll, no allocation *)
+  let f_disarmed () = ignore (Engine.query ~cancel:Cancel.none engine q) in
+  let f_armed =
+    let cancel = Cancel.with_budget ~budget_ns:(3_600 * 1_000_000_000) () in
+    fun () -> ignore (Engine.query ~cancel ~on_deadline:`Partial engine q)
+  in
+  let arms = [| ("bare", f_bare); ("disarmed", f_disarmed); ("armed", f_armed) |] in
+  Array.iter (fun (_, f) -> for _ = 1 to direct_calls / 10 do f () done) arms;
+  let mins = Array.map (fun _ -> infinity) arms in
+  for _rep = 1 to direct_reps do
+    Array.iteri
+      (fun i (_, f) -> mins.(i) <- Float.min mins.(i) (timed f))
+      arms
+  done;
+  Array.iteri
+    (fun i (label, _) ->
+      Printf.printf "  direct %-10s %8.1f ns/call (cache hit, min of %d)\n%!"
+        label mins.(i) direct_reps)
+    arms;
+  let bare_ns = mins.(0) and disarmed_ns = mins.(1) and armed_ns = mins.(2) in
+
+  (* ---- serving-path arms: one server, two line sets ---- *)
+  let config =
+    { Server.default_config with Server.queue_capacity = 256; workers = 4 }
+  in
+  let server = Server.create ~config ~engine () in
+  Server.start server;
+  let best = Hashtbl.create 2 in
+  let ratios = ref [] in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let pairs = Array.init warm_set (fun i -> (i, (i + (n / 2)) mod n)) in
+      let lines_off = Array.map (fun p -> query_line p) pairs in
+      let lines_armed =
+        Array.map (fun p -> query_line ~deadline_ms:60_000 p) pairs
+      in
+      (* warm the cache through the server once *)
+      let fd = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let r = Sockio.reader fd in
+          Array.iter (fun line -> assert_answer (ask r fd line)) lines_off);
+      for round = 1 to rounds do
+        let one (label, lines) =
+          let qps = run_storm server ~total:requests_per_round lines in
+          Printf.printf "  round %d %-6s %10.0f qps\n%!" round label qps;
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt best label) in
+          Hashtbl.replace best label (Float.max prev qps);
+          qps
+        in
+        let off = one ("off", lines_off) in
+        let armed = one ("armed", lines_armed) in
+        ratios := (armed /. off) :: !ratios
+      done);
+  let qps label = Hashtbl.find best label in
+  (* machine drift between rounds dwarfs the effect being measured, so
+     compare arms within each round and take the median ratio — paired,
+     so a slow patch of wall-clock hits both arms alike *)
+  let median_ratio =
+    let a = Array.of_list !ratios in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let armed_overhead = 100.0 *. (1.0 -. median_ratio) in
+  (* the pinned number: what the machinery costs requests that never
+     asked for a deadline — the shared disarmed token on the engine's
+     cache-hit path, where there is nothing to hide behind *)
+  let disarmed_overhead = 100.0 *. ((disarmed_ns /. bare_ns) -. 1.0) in
+  Printf.printf
+    "best: off %.0f qps, armed %.0f qps (%.2f%% vs off)\n%!"
+    (qps "off") (qps "armed") armed_overhead;
+  Printf.printf
+    "direct cache hit: bare %.1f ns, disarmed token %.1f ns (%.2f%% — \
+     budget 1%%), armed token %.1f ns\n%!"
+    bare_ns disarmed_ns disarmed_overhead armed_ns;
+
+  let json =
+    Jsonl.Obj
+      [
+        ("bench", Jsonl.Str "deadline_overhead");
+        ("pr", Jsonl.Num 10.0);
+        ("quick", Jsonl.Bool quick);
+        ( "workload",
+          Jsonl.Obj
+            [
+              ("nodes", Jsonl.Num (float_of_int n));
+              ("edges", Jsonl.Num (float_of_int (Digraph.n_edges g)));
+              ("clients", Jsonl.Num (float_of_int clients));
+              ( "requests_per_round",
+                Jsonl.Num (float_of_int requests_per_round) );
+              ("rounds", Jsonl.Num (float_of_int rounds));
+              ("dialect", Jsonl.Str "jsonl_cached");
+            ] );
+        ( "note",
+          Jsonl.Str
+            "cached loopback storm, best round per arm (arms alternate \
+             within each round); off = no deadline on any request \
+             (shared disarmed token), armed = deadline_ms=60000 \
+             on every request (armed, never-tripping token: decode \
+             arithmetic + admission floor check + dequeue status check \
+             + engine round polls). Pinned: the disarmed token's \
+             direct-call overhead < 1%, the cost paid by requests \
+             that never set a deadline. The serve-path armed-vs-off \
+             delta is reported alongside as the median of per-round \
+             paired ratios (machine drift between rounds dwarfs the \
+             effect at these qps; pairing cancels it)." );
+        ( "serve",
+          Jsonl.Obj
+            [
+              ("off_qps", Jsonl.Num (qps "off"));
+              ("armed_qps", Jsonl.Num (qps "armed"));
+              ("armed_overhead_percent_vs_off", Jsonl.Num armed_overhead);
+            ] );
+        ( "direct",
+          Jsonl.Obj
+            [
+              ("bare_ns_per_call", Jsonl.Num bare_ns);
+              ("disarmed_token_ns_per_call", Jsonl.Num disarmed_ns);
+              ("armed_token_ns_per_call", Jsonl.Num armed_ns);
+              ( "disarmed_overhead_percent_vs_bare",
+                Jsonl.Num disarmed_overhead );
+              ("budget_percent", Jsonl.Num 1.0);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_PR10.json" in
+  output_string oc (Bench_obs.pretty json);
+  close_out oc;
+  Printf.printf "wrote BENCH_PR10.json\n%!";
+  Bench_obs.write_metrics_out ()

@@ -57,7 +57,8 @@ let ask r fd line =
   Sockio.write_all fd (line ^ "\n");
   match Sockio.read_line r with
   | Sockio.Line l -> l
-  | Sockio.Eof | Sockio.Too_long -> failwith "flight_bench: session lost"
+  | Sockio.Eof | Sockio.Too_long | Sockio.Timeout ->
+    failwith "flight_bench: session lost"
 
 let assert_answer line =
   match Jsonl.parse line with

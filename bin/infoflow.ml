@@ -26,6 +26,7 @@ module Generator = Iflow_core.Generator
 module Cascade = Iflow_core.Cascade
 module Pseudo_state = Iflow_core.Pseudo_state
 module Estimator = Iflow_mcmc.Estimator
+module Cancel = Iflow_mcmc.Cancel
 module Conditions = Iflow_mcmc.Conditions
 module Nested = Iflow_mcmc.Nested
 module Measures = Iflow_stats.Measures
@@ -173,7 +174,7 @@ let explain_flag =
            closed-form answer, 'mh' with the fallback reason otherwise.")
 
 let estimate seed model_path src dst conditions engine_config config nested
-    deadline delay_mean explain obs =
+    deadline deadline_ms delay_mean explain obs =
   C.obs_setup obs;
   let rng = Rng.create seed in
   let model = Model_io.load_beta_icm model_path in
@@ -183,7 +184,22 @@ let estimate seed model_path src dst conditions engine_config config nested
   let conditions = Conditions.v conditions in
   let rid = Printf.sprintf "cli-%d-1" (Unix.getpid ()) in
   let ph = Engine.phases () in
-  let r = or_die (fun () -> Engine.query ~rid ~phases:ph engine query) in
+  let cancel =
+    match deadline_ms with
+    | Some ms -> Cancel.with_budget ~budget_ns:(ms * 1_000_000) ()
+    | None -> Cancel.none
+  in
+  let r =
+    or_die (fun () ->
+        try Engine.query ~rid ~phases:ph ~cancel ~on_deadline:`Partial engine query
+        with Engine.Deadline_exceeded { rounds; _ } ->
+          Printf.eprintf
+            "infoflow estimate: deadline_exceeded — %d ms elapsed before any \
+             usable round (%d completed)\n"
+            (Option.value deadline_ms ~default:0)
+            rounds;
+          exit 2)
+  in
   Obs_log.debug ~component:"estimate" ~rid
     "phases: plan %dns, sample %dns (%d rounds)" ph.Engine.plan_ns
     ph.Engine.sample_ns ph.Engine.rounds;
@@ -200,6 +216,10 @@ let estimate seed model_path src dst conditions engine_config config nested
       "  R-hat %.4f, ESS %.0f, MCSE %.5f (%d samples, %d chains, %d domains)\n"
       r.Engine.rhat r.Engine.ess r.Engine.mcse r.Engine.total_samples
       r.Engine.chains_used (Engine.pool_size engine));
+  if r.Engine.partial then
+    Printf.printf
+      "  partial: the %d ms deadline cut sampling short of convergence\n"
+      (Option.value deadline_ms ~default:0);
   if explain then Printf.printf "  plan: %s\n" (plan_string r);
   if nested > 0 then begin
     let samples =
@@ -261,6 +281,18 @@ let estimate_cmd =
       & info [ "delay-mean" ]
           ~doc:"Mean per-edge latency used with --deadline.")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Wall-clock budget for answering the query itself. Sampling is \
+             cancelled at the deadline: with at least one completed round \
+             the partial estimate is printed (flagged), otherwise the \
+             command exits 2 with deadline_exceeded. (Distinct from \
+             --deadline, which asks about flow arrival time.)")
+  in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:
@@ -268,12 +300,12 @@ let estimate_cmd =
           Metropolis-Hastings sampling and convergence diagnostics.")
     Term.(
       const estimate $ C.seed_term $ C.model_required $ src $ dst $ conditions
-      $ C.engine_term $ C.mcmc_term $ nested $ deadline $ delay_mean
-      $ explain_flag $ C.obs_term)
+      $ C.engine_term $ C.mcmc_term $ nested $ deadline $ deadline_ms
+      $ delay_mean $ explain_flag $ C.obs_term)
 
 (* ----- batch ----- *)
 
-let batch seed model_path queries_path engine_config explain obs =
+let batch seed model_path queries_path engine_config deadline_ms explain obs =
   C.obs_setup obs;
   let model = Model_io.load_beta_icm model_path in
   let icm = Beta_icm.expected_icm model in
@@ -308,17 +340,48 @@ let batch seed model_path queries_path engine_config explain obs =
         Printf.sprintf "cli-%d-%d" pid (i + 1))
   in
   let t0 = Obs_clock.now_ns () in
-  let results = or_die (fun () -> Engine.query_all ~rids engine queries) in
+  (* without --deadline-ms, the plain query_all path — answers stay
+     bit-for-bit identical to every release before deadlines existed *)
+  let results =
+    match deadline_ms with
+    | None ->
+      or_die (fun () ->
+          List.map Result.ok (Engine.query_all ~rids engine queries))
+    | Some ms ->
+      (* each query gets its own fresh budget; an exhausted one answers
+         typed instead of poisoning the rest of the file *)
+      or_die (fun () ->
+          List.mapi
+            (fun i q ->
+              let cancel = Cancel.with_budget ~budget_ns:(ms * 1_000_000) () in
+              match
+                Engine.query ~rid:rids.(i) ~cancel ~on_deadline:`Partial engine
+                  q
+              with
+              | r -> Ok r
+              | exception Engine.Deadline_exceeded { rounds; _ } ->
+                Error rounds)
+            queries)
+  in
   let elapsed = Obs_clock.seconds_of_ns (Obs_clock.now_ns () - t0) in
   Printf.printf "query\testimate\trhat\tess\tmcse\tsamples\tcached%s\n"
     (if explain then "\tplan" else "");
   List.iter2
-    (fun q (r : Engine.result) ->
-      Printf.printf "%s\t%.5f\t%.4f\t%.0f\t%.5f\t%d\t%s%s\n" (Query.key q)
-        r.Engine.estimate r.Engine.rhat r.Engine.ess r.Engine.mcse
-        r.Engine.total_samples
-        (if r.Engine.cached then "yes" else "no")
-        (if explain then "\t" ^ plan_string r else ""))
+    (fun q result ->
+      match result with
+      | Ok (r : Engine.result) ->
+        Printf.printf "%s\t%.5f\t%.4f\t%.0f\t%.5f\t%d\t%s%s\n" (Query.key q)
+          r.Engine.estimate r.Engine.rhat r.Engine.ess r.Engine.mcse
+          r.Engine.total_samples
+          (if r.Engine.cached then "yes"
+           else if r.Engine.partial then "partial"
+           else "no")
+          (if explain then "\t" ^ plan_string r else "")
+      | Error rounds ->
+        Printf.printf "%s\t-\t-\t-\t-\t0\tdeadline_exceeded%s\n" (Query.key q)
+          (if explain then
+             Printf.sprintf "\tcancelled after %d rounds" rounds
+           else ""))
     queries results;
   let stats = Engine.cache_stats engine in
   Obs_log.info ~component:"batch"
@@ -340,6 +403,18 @@ let batch_cmd =
              {\"type\":\"community\",\"src\":0,\"sinks\":[3,4]}, or \
              {\"type\":\"joint\",\"flows\":[[0,3],[1,4]]}.")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-query wall-clock budget. Sampling is cancelled at the \
+             deadline: queries with at least one completed round report \
+             their partial estimate (cached column reads 'partial'), \
+             queries with none report 'deadline_exceeded'. Without this \
+             flag, answers are bit-for-bit identical to previous releases.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -349,7 +424,7 @@ let batch_cmd =
           diagnostics columns.")
     Term.(
       const batch $ C.seed_term $ C.model_required $ queries $ C.engine_term
-      $ explain_flag $ C.obs_term)
+      $ deadline_ms $ explain_flag $ C.obs_term)
 
 (* ----- explain ----- *)
 
@@ -782,7 +857,8 @@ let convert_cmd =
 (* ----- serve ----- *)
 
 let serve seed host port workers queue_capacity max_connections quota_rate
-    quota_burst flight_capacity slow_query_ms learner engine_config obs =
+    quota_burst flight_capacity slow_query_ms default_deadline_ms
+    max_deadline_ms read_timeout_ms learner engine_config obs =
   C.obs_setup obs;
   (* Graceful shutdown via sigwait: with every thread parked in a
      blocking section (accept, condition waits), an ordinary
@@ -800,6 +876,10 @@ let serve seed host port workers queue_capacity max_connections quota_rate
   let quota =
     Option.map (fun rate -> { Quota.rate; burst = quota_burst }) quota_rate
   in
+  (* --read-timeout-ms 0 switches the guard (and the reaper) off *)
+  let read_timeout_ms =
+    match read_timeout_ms with Some 0 -> None | v -> v
+  in
   let config =
     {
       Server.default_config with
@@ -811,6 +891,9 @@ let serve seed host port workers queue_capacity max_connections quota_rate
       quota;
       flight_capacity;
       slow_query_ms;
+      default_deadline_ms;
+      max_deadline_ms;
+      read_timeout_ms;
     }
   in
   let server =
@@ -868,11 +951,11 @@ let serve seed host port workers queue_capacity max_connections quota_rate
   let s = Server.stats server in
   Obs_log.info ~component:"serve"
     "served %d connections: %d requests, %d answered, %d shed (%d capacity, \
-     %d quota), %d bad, %d engine errors, %d evidence lines"
+     %d quota, %d deadline), %d bad, %d engine errors, %d evidence lines"
     s.Server.connections s.Server.requests s.Server.answered
-    (s.Server.shed_capacity + s.Server.shed_quota)
-    s.Server.shed_capacity s.Server.shed_quota s.Server.bad_requests
-    s.Server.engine_errors s.Server.evidence_lines;
+    (s.Server.shed_capacity + s.Server.shed_quota + s.Server.shed_deadline)
+    s.Server.shed_capacity s.Server.shed_quota s.Server.shed_deadline
+    s.Server.bad_requests s.Server.engine_errors s.Server.evidence_lines;
   match !learner_report with
   | Some report ->
     Obs_log.info ~component:"serve" "%a" Iflow_stream.Runner.pp_report report;
@@ -947,6 +1030,37 @@ let serve_cmd =
              record) for any request whose admission-to-serialized wall \
              time reaches this many milliseconds; unset disables.")
   in
+  let default_deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-deadline-ms" ]
+          ~doc:
+            "Deadline applied to requests that do not carry their own \
+             (deadline_ms field or X-Deadline-Ms header); unset means no \
+             implicit deadline.")
+  in
+  let max_deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-deadline-ms" ]
+          ~doc:
+            "Clamp client-supplied deadlines down to this cap; unset \
+             leaves them unclamped.")
+  in
+  let read_timeout_ms =
+    Arg.(
+      value
+      & opt (some int)
+          Server.default_config.Server.read_timeout_ms
+      & info [ "read-timeout-ms" ]
+          ~doc:
+            "Per-connection socket receive timeout (the slow-loris \
+             guard): a peer sending nothing inside one window gets a \
+             typed error and is disconnected; one never completing a \
+             request line is reaped after ~4 idle windows. 0 disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -964,7 +1078,8 @@ let serve_cmd =
     Term.(
       const serve $ C.seed_term $ host $ port $ workers $ queue_capacity
       $ max_connections $ quota_rate $ quota_burst $ flight_capacity
-      $ slow_query_ms $ C.learner_term $ C.engine_term $ C.obs_term)
+      $ slow_query_ms $ default_deadline_ms $ max_deadline_ms
+      $ read_timeout_ms $ C.learner_term $ C.engine_term $ C.obs_term)
 
 (* ----- impact ----- *)
 
@@ -1228,13 +1343,15 @@ let fetch_requests ~host ~port ~n =
       let status =
         match Sockio.read_line r with
         | Sockio.Line l -> l
-        | Sockio.Eof | Sockio.Too_long -> failwith "no HTTP status line"
+        | Sockio.Eof | Sockio.Too_long | Sockio.Timeout ->
+          failwith "no HTTP status line"
       in
       let rec skip_headers () =
         match Sockio.read_line r with
         | Sockio.Line "" -> ()
         | Sockio.Line _ -> skip_headers ()
-        | Sockio.Eof | Sockio.Too_long -> failwith "truncated HTTP response"
+        | Sockio.Eof | Sockio.Too_long | Sockio.Timeout ->
+          failwith "truncated HTTP response"
       in
       skip_headers ();
       let b = Buffer.create 4096 in
@@ -1244,7 +1361,7 @@ let fetch_requests ~host ~port ~n =
           Buffer.add_string b l;
           Buffer.add_char b '\n';
           body ()
-        | Sockio.Eof -> ()
+        | Sockio.Eof | Sockio.Timeout -> ()
         | Sockio.Too_long -> failwith "over-long line in HTTP body"
       in
       body ();

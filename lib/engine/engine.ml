@@ -3,6 +3,7 @@ module Rng = Iflow_stats.Rng
 module Fingerprint = Iflow_stats.Fingerprint
 module Estimator = Iflow_mcmc.Estimator
 module Conditions = Iflow_mcmc.Conditions
+module Cancel = Iflow_mcmc.Cancel
 module Metrics = Iflow_obs.Metrics
 module Trace = Iflow_obs.Trace
 module Clock = Iflow_obs.Clock
@@ -55,6 +56,16 @@ let m_degraded_queries =
   Metrics.counter
     ~help:"Queries completed from surviving chains after chain failures"
     "iflow_engine_degraded_queries_total"
+
+let m_cancelled_rounds =
+  Metrics.counter
+    ~help:"Sampling rounds abandoned mid-draw by a tripped cancel token"
+    "iflow_engine_cancelled_rounds_total"
+
+let m_deadline_queries =
+  Metrics.counter
+    ~help:"Queries stopped by a tripped cancel token (partial or failed)"
+    "iflow_engine_deadline_queries_total"
 
 type config = {
   chains : int;
@@ -128,6 +139,7 @@ type result = {
   total_samples : int;
   chains_used : int;
   cached : bool;
+  partial : bool;
   model_digest : string;
   plan : plan;
 }
@@ -140,6 +152,13 @@ exception
     reason : string;
   }
 
+exception
+  Deadline_exceeded of {
+    query : string;
+    reason : string; (* "deadline expired" or the explicit fire reason *)
+    rounds : int; (* full rounds completed before the token tripped *)
+  }
+
 let () =
   Printexc.register_printer (function
     | Chains_failed { query; failed; chains; reason } ->
@@ -148,6 +167,12 @@ let () =
            "Engine.Chains_failed: query %s lost %d of %d chains (first \
             failure: %s)"
            query failed chains reason)
+    | Deadline_exceeded { query; reason; rounds } ->
+      Some
+        (Printf.sprintf
+           "Engine.Deadline_exceeded: query %s cancelled (%s) after %d \
+            complete rounds"
+           query reason rounds)
     | _ -> None)
 
 type t = {
@@ -243,7 +268,8 @@ let buffer_push b x =
 
 let buffer_contents b = Array.sub b.data 0 b.len
 
-let run_query ?rid ?phases t ~icm ~digest q =
+let run_query ?rid ?phases ?(cancel = Cancel.none) ?(on_deadline = `Fail) t
+    ~icm ~digest q =
   let span_args =
     ("key", Trace.Str (Query.key q))
     ::
@@ -303,9 +329,13 @@ let run_query ?rid ?phases t ~icm ~digest q =
   in
   let total = ref 0 in
   let finished = ref false in
+  let cancelled = ref false in
   let last_summary = ref None in
   let rounds = ref 0 in
-  while not !finished do
+  (* shed before burn-in: a token already tripped at entry costs zero
+     sampler work *)
+  if Cancel.cancelled cancel then cancelled := true;
+  while not (!finished || !cancelled) do
     let live_chains = live () in
     let k = Array.length live_chains in
     let per_chain =
@@ -327,7 +357,7 @@ let run_query ?rid ?phases t ~icm ~digest q =
             | Some st -> st
             | None ->
               let st =
-                Estimator.stream ~conditions chain_rngs.(i) icm
+                Estimator.stream ~cancel ~conditions chain_rngs.(i) icm
                   ~burn_in:c.burn_in ~thin:c.thin
               in
               streams.(i) <- Some st;
@@ -341,53 +371,98 @@ let run_query ?rid ?phases t ~icm ~digest q =
                   if Query.indicator_ws ws icm q state then 1.0 else 0.0)))
         live_chains
     in
-    Array.iteri
-      (fun slot r ->
-        let i = live_chains.(slot) in
-        match r with
-        | Ok xs ->
-          Array.iter (buffer_push buffers.(i)) xs;
-          total := !total + Array.length xs
-        | Error e -> fail_chain i e)
-      draws;
-    incr rounds;
-    let s =
-      Diagnostics.summary
-        (Array.map (fun i -> buffer_contents buffers.(i)) (live ()))
-    in
-    last_summary := Some s;
+    (* a token tripping mid-round aborts the whole round: the draws of
+       chains that did finish it are discarded, so any partial answer
+       stands only on rounds every live chain completed — the same
+       whole-round footing a converged answer has *)
     if
-      Diagnostics.converged ~rhat_target:c.rhat_target
-        ~mcse_target:c.mcse_target s
-      || !total >= c.max_samples
-    then finished := true
+      Array.exists
+        (function Error Estimator.Cancelled -> true | _ -> false)
+        draws
+    then begin
+      cancelled := true;
+      Metrics.inc m_cancelled_rounds
+    end
+    else begin
+      Array.iteri
+        (fun slot r ->
+          let i = live_chains.(slot) in
+          match r with
+          | Ok xs ->
+            Array.iter (buffer_push buffers.(i)) xs;
+            total := !total + Array.length xs
+          | Error e -> fail_chain i e)
+        draws;
+      incr rounds;
+      let s =
+        Diagnostics.summary
+          (Array.map (fun i -> buffer_contents buffers.(i)) (live ()))
+      in
+      last_summary := Some s;
+      if
+        Diagnostics.converged ~rhat_target:c.rhat_target
+          ~mcse_target:c.mcse_target s
+        || !total >= c.max_samples
+      then finished := true
+      else if Cancel.cancelled cancel then
+        (* the round-boundary check: stop between rounds, keeping the
+           round that just completed *)
+        cancelled := true
+    end
   done;
-  let s = Option.get !last_summary in
-  let chains_used = survivors () in
-  if chains_used < c.chains then Metrics.inc m_degraded_queries;
-  if Metrics.recording () then begin
-    Metrics.add m_rounds !rounds;
-    Metrics.add m_samples s.Diagnostics.n_total;
-    Metrics.set m_last_rhat s.Diagnostics.rhat;
-    Metrics.set m_last_mcse s.Diagnostics.mcse;
-    Metrics.observe m_query_seconds (Clock.now_ns () - t0)
-  end;
-  (match phases with
-  | Some p ->
-    p.sample_ns <- p.sample_ns + (Clock.now_ns () - ps0);
-    p.rounds <- p.rounds + !rounds
-  | None -> ());
-  {
-    estimate = s.Diagnostics.mean;
-    rhat = s.Diagnostics.rhat;
-    ess = s.Diagnostics.ess;
-    mcse = s.Diagnostics.mcse;
-    total_samples = s.Diagnostics.n_total;
-    chains_used;
-    cached = false;
-    model_digest = digest;
-    plan = Plan_mh { fallback = None };
-  }
+  let finish ~partial =
+    let s = Option.get !last_summary in
+    let chains_used = survivors () in
+    if chains_used < c.chains then Metrics.inc m_degraded_queries;
+    if Metrics.recording () then begin
+      Metrics.add m_rounds !rounds;
+      Metrics.add m_samples s.Diagnostics.n_total;
+      Metrics.set m_last_rhat s.Diagnostics.rhat;
+      Metrics.set m_last_mcse s.Diagnostics.mcse;
+      Metrics.observe m_query_seconds (Clock.now_ns () - t0)
+    end;
+    (match phases with
+    | Some p ->
+      p.sample_ns <- p.sample_ns + (Clock.now_ns () - ps0);
+      p.rounds <- p.rounds + !rounds
+    | None -> ());
+    {
+      estimate = s.Diagnostics.mean;
+      rhat = s.Diagnostics.rhat;
+      ess = s.Diagnostics.ess;
+      mcse = s.Diagnostics.mcse;
+      total_samples = s.Diagnostics.n_total;
+      chains_used;
+      cached = false;
+      partial;
+      model_digest = digest;
+      plan = Plan_mh { fallback = None };
+    }
+  in
+  if not !cancelled then finish ~partial:false
+  else begin
+    Metrics.inc m_deadline_queries;
+    match on_deadline with
+    | `Partial when !rounds >= 1 && !last_summary <> None ->
+      (* anytime answer: the estimate over every complete round, with
+         its real (possibly unconverged) diagnostics, flagged partial *)
+      finish ~partial:true
+    | _ ->
+      if Metrics.recording () then Metrics.add m_rounds !rounds;
+      (match phases with
+      | Some p ->
+        p.sample_ns <- p.sample_ns + (Clock.now_ns () - ps0);
+        p.rounds <- p.rounds + !rounds
+      | None -> ());
+      raise
+        (Deadline_exceeded
+           {
+             query = Query.key q;
+             reason =
+               Option.value (Cancel.reason cancel) ~default:"cancelled";
+             rounds = !rounds;
+           })
+  end
 
 let targets_of_query q =
   match Query.kind q with
@@ -398,16 +473,18 @@ let targets_of_query q =
 (* Degraded sampled answers reflect a transient fault, not the model,
    and must not outlive it in the cache; exact answers have no chains
    to lose and always cache. *)
+(* ... and partial (deadline-cut) answers likewise reflect the
+   deadline, not the model: never cached. *)
 let cacheable t r =
   match r.plan with
   | Plan_exact _ -> true
-  | Plan_mh _ -> r.chains_used = t.config.chains
+  | Plan_mh _ -> (not r.partial) && r.chains_used = t.config.chains
 
 (* Plan, then answer: closed form when the planner certifies the whole
    query, the MH sampler (tagged with the fallback reason) otherwise.
    Planning is RNG-free and run_query is untouched, so answers on the
    MH path stay bit-for-bit what they were without a planner. *)
-let compute ?rid ?phases t ~icm ~digest q =
+let compute ?rid ?phases ?cancel ?on_deadline t ~icm ~digest q =
   if Query.max_node q >= Icm.n_nodes icm then
     invalid_arg
       (Printf.sprintf "Engine: query %s references node >= %d" (Query.key q)
@@ -415,7 +492,7 @@ let compute ?rid ?phases t ~icm ~digest q =
   if not t.config.planner then begin
     Planner.record_fallback Planner.Disabled;
     {
-      (run_query ?rid ?phases t ~icm ~digest q) with
+      (run_query ?rid ?phases ?cancel ?on_deadline t ~icm ~digest q) with
       plan = Plan_mh { fallback = Some (Planner.reason_label Planner.Disabled) };
     }
   end
@@ -432,7 +509,7 @@ let compute ?rid ?phases t ~icm ~digest q =
     | Error reason ->
       Planner.record_fallback reason;
       {
-        (run_query ?rid ?phases t ~icm ~digest q) with
+        (run_query ?rid ?phases ?cancel ?on_deadline t ~icm ~digest q) with
         plan = Plan_mh { fallback = Some (Planner.reason_label reason) };
       }
     | Ok e ->
@@ -446,6 +523,7 @@ let compute ?rid ?phases t ~icm ~digest q =
           total_samples = 0;
           chains_used = 0;
           cached = false;
+          partial = false;
           model_digest = digest;
           plan =
             Plan_exact
@@ -458,15 +536,20 @@ let compute ?rid ?phases t ~icm ~digest q =
       if t.config.plan_validate then begin
         (* Exact_then_validate: also run the full MH path and cross
            check within its own error bar; the answer stays exact *)
-        let mh = run_query ?rid ?phases t ~icm ~digest q in
-        let tol = (5.0 *. mh.mcse) +. 1e-9 in
-        let agreed = Float.abs (mh.estimate -. r.estimate) <= tol in
-        Planner.record_validation ~agreed;
-        if not agreed then
-          Obs_log.warn ~component:"engine"
-            "plan validation disagreement on %s: exact %.6f vs MH %.6f \
-             (mcse %.6f)"
-            (Query.key q) r.estimate mh.estimate mh.mcse
+        match run_query ?rid ?phases ?cancel t ~icm ~digest q with
+        | mh ->
+          let tol = (5.0 *. mh.mcse) +. 1e-9 in
+          let agreed = Float.abs (mh.estimate -. r.estimate) <= tol in
+          Planner.record_validation ~agreed;
+          if not agreed then
+            Obs_log.warn ~component:"engine"
+              "plan validation disagreement on %s: exact %.6f vs MH %.6f \
+               (mcse %.6f)"
+              (Query.key q) r.estimate mh.estimate mh.mcse
+        | exception Deadline_exceeded _ ->
+          (* the deadline tripped inside the optional cross-check; the
+             exact answer stands unvalidated *)
+          ()
       end;
       r
   end
@@ -490,7 +573,7 @@ let swap t icm =
       sync_cache_metrics t;
       evicted)
 
-let query ?rid ?phases t q =
+let query ?rid ?phases ?cancel ?on_deadline t q =
   Metrics.inc m_queries;
   let icm, digest = capture t in
   let key = cache_key t ~digest q in
@@ -498,7 +581,7 @@ let query ?rid ?phases t q =
     match locked t (fun () -> Lru.find t.cache key) with
     | Some r -> { r with cached = true }
     | None ->
-      let r = compute ?rid ?phases t ~icm ~digest q in
+      let r = compute ?rid ?phases ?cancel ?on_deadline t ~icm ~digest q in
       if cacheable t r then locked t (fun () -> Lru.add t.cache key r);
       r
   in
@@ -541,6 +624,7 @@ let pp_result ppf r =
       (if r.cached then ", cached" else "")
   | Plan_mh _ ->
     Format.fprintf ppf
-      "%.5f (R-hat %.4f, ESS %.0f, MCSE %.5f, n %d, chains %d%s)" r.estimate
+      "%.5f (R-hat %.4f, ESS %.0f, MCSE %.5f, n %d, chains %d%s%s)" r.estimate
       r.rhat r.ess r.mcse r.total_samples r.chains_used
+      (if r.partial then ", partial" else "")
       (if r.cached then ", cached" else "")

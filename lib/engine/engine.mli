@@ -72,6 +72,11 @@ type result = {
                              below [config.chains] marks a degraded
                              answer (some chains were lost to faults) *)
   cached : bool;         (** served from the cache without sampling *)
+  partial : bool;
+      (** an anytime answer: a cancel token stopped the adaptive loop
+          before convergence, so the estimate pools only the rounds
+          that completed and [rhat]/[mcse] are its real (possibly
+          unconverged) diagnostics. Never cached. *)
   model_digest : string;
       (** digest of the model version this answer was computed against
           — the serving layer maps it back to a published version id *)
@@ -109,6 +114,20 @@ exception
     to vouch for the estimate. Never a crash: the engine itself stays
     usable. *)
 
+exception
+  Deadline_exceeded of {
+    query : string;   (** {!Query.key} of the cancelled query *)
+    reason : string;  (** ["deadline expired"], or the explicit
+                          {!Iflow_mcmc.Cancel.fire} reason *)
+    rounds : int;     (** complete rounds at the stop (always 0 when
+                          [?on_deadline:`Partial] was requested — with
+                          a round in hand a partial answer is returned
+                          instead) *)
+  }
+(** Raised by {!query} when its cancel token trips and no answer can
+    be returned under the caller's [?on_deadline] policy. The engine
+    stays usable; nothing is cached. *)
+
 type t
 
 val create : ?config:config -> seed:int -> Iflow_core.Icm.t -> t
@@ -137,7 +156,10 @@ val invalidate : t -> digest:string -> int
     returning how many entries were dropped. The drops are counted in
     {!cache_stats} evictions. *)
 
-val query : ?rid:string -> ?phases:phases -> t -> Query.t -> result
+val query :
+  ?rid:string -> ?phases:phases ->
+  ?cancel:Iflow_mcmc.Cancel.t -> ?on_deadline:[ `Fail | `Partial ] ->
+  t -> Query.t -> result
 (** Answer one query, consulting the cache first. Raises
     [Invalid_argument] when the query mentions a node outside the
     model, [Failure] when its conditions cannot be satisfied.
@@ -150,6 +172,23 @@ val query : ?rid:string -> ?phases:phases -> t -> Query.t -> result
     {!phases}). Neither argument can reach the RNG, the cache key, or
     the result — answers are bit-for-bit identical with or without
     them.
+
+    {b Deadlines.} [?cancel] (default {!Iflow_mcmc.Cancel.none})
+    threads a cooperative cancellation token into the sampler: every
+    chain polls it per retained draw and inside the burn-in (128-step
+    chunks), and the adaptive loop polls it at round boundaries. A
+    token already tripped at entry stops the query before any burn-in
+    (cache hits and exact-planned answers are still returned — they
+    cost nothing). When the token trips mid-query, [?on_deadline]
+    decides the outcome: [`Fail] (default) raises
+    {!Deadline_exceeded}; [`Partial] returns the anytime answer over
+    the rounds that completed — flagged [partial], carrying its real
+    R̂/MCSE, and never cached — falling back to {!Deadline_exceeded}
+    when not even one round finished. A round interrupted mid-draw is
+    discarded whole, so partial answers stand on the same whole-round
+    footing as converged ones. An armed token that never trips changes
+    nothing: answers are bit-for-bit identical to an uncancelled run
+    (the checks read the clock, never the RNG).
 
     {b Planning.} With [config.planner] on (the default) the query is
     first offered to {!Iflow_plan.Planner}: queries whose reachability

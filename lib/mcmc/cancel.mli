@@ -1,0 +1,53 @@
+(** Cooperative cancellation tokens for deadline-bounded sampling.
+
+    A token carries an absolute monotonic deadline
+    ({!Iflow_obs.Clock} base) fixed at creation, plus an explicit
+    {!fire} used for client-disconnect and shutdown drain. Consumers
+    ({!Estimator}, the engine's adaptive round loop) poll {!cancelled}
+    at step and round boundaries; nothing is preempted, so work that
+    completes before the token trips is bit-for-bit identical to an
+    uncancelled run — the abandoned RNG streams are simply never read.
+
+    Checking a {!none}/unarmed token costs one atomic load plus an
+    integer compare (no clock read), so threading tokens through every
+    query is effectively free for deadline-less traffic. *)
+
+type t
+
+val none : t
+(** The shared disarmed token: never expires, must never be
+    {!fire}d. [cancelled none] is [false] forever. *)
+
+val create : ?deadline_ns:int -> unit -> t
+(** A fresh token expiring at the given absolute
+    {!Iflow_obs.Clock.now_ns} instant (omit for a fire-only token). *)
+
+val with_budget : budget_ns:int -> unit -> t
+(** [create ~deadline_ns:(now + budget_ns)]. Raises [Invalid_argument]
+    on a negative budget ([budget_ns = 0] is an already-expired
+    token). *)
+
+val cancelled : t -> bool
+(** True once the deadline has passed or {!fire} was called. Monotone:
+    never becomes false again. *)
+
+val fire : ?reason:string -> t -> unit
+(** Trip the token now, recording [reason] (default ["cancelled"]).
+    Idempotent; the first reason wins and outranks later expiry. *)
+
+type status = Live | Expired | Fired of string
+
+val status : t -> status
+(** Distinguishes deadline expiry from an explicit fire — the serving
+    layer maps [Expired] to [deadline_exceeded] and
+    [Fired "shutdown"] to [shutting_down]. *)
+
+val reason : t -> string option
+(** Human-readable cause when cancelled, [None] while live. *)
+
+val deadline_ns : t -> int option
+(** The absolute deadline, [None] for fire-only / disarmed tokens. *)
+
+val remaining_ns : t -> int option
+(** Budget left until the deadline (negative once past); [None] when
+    no deadline is set. *)

@@ -12,17 +12,45 @@ let validate { burn_in; thin; samples } =
   if burn_in < 0 || thin < 1 || samples < 1 then
     invalid_arg "Estimator: bad config"
 
-type stream = { chain : Chain.t; stream_rng : Rng.t; stream_thin : int }
+exception Cancelled
 
-let stream ?conditions rng icm ~burn_in ~thin =
+let () =
+  Printexc.register_printer (function
+    | Cancelled -> Some "Iflow_mcmc.Estimator.Cancelled"
+    | _ -> None)
+
+type stream = {
+  chain : Chain.t;
+  stream_rng : Rng.t;
+  stream_thin : int;
+  stream_cancel : Cancel.t;
+}
+
+(* Cancellation granularity inside the burn-in: the token is polled
+   every [burnin_chunk] MH steps. Chunking [Chain.advance] is exact —
+   the step/RNG sequence is identical to one big advance (the only
+   repeated work is the metrics flush) — so an unexpired token cannot
+   perturb the chain. *)
+let burnin_chunk = 128
+
+let stream ?(cancel = Cancel.none) ?conditions rng icm ~burn_in ~thin =
   if burn_in < 0 || thin < 1 then invalid_arg "Estimator.stream: bad config";
+  if Cancel.cancelled cancel then raise Cancelled;
   let chain = Chain.create ?conditions rng icm in
   Iflow_obs.Trace.with_span "mcmc.burnin"
     ~args:[ ("steps", Iflow_obs.Trace.Int burn_in) ]
-    (fun () -> Chain.advance rng chain burn_in);
-  { chain; stream_rng = rng; stream_thin = thin }
+    (fun () ->
+      let remaining = ref burn_in in
+      while !remaining > 0 do
+        let k = min burnin_chunk !remaining in
+        Chain.advance rng chain k;
+        remaining := !remaining - k;
+        if !remaining > 0 && Cancel.cancelled cancel then raise Cancelled
+      done);
+  { chain; stream_rng = rng; stream_thin = thin; stream_cancel = cancel }
 
 let stream_next st ~f =
+  if Cancel.cancelled st.stream_cancel then raise Cancelled;
   Chain.advance st.stream_rng st.chain st.stream_thin;
   f (Chain.state st.chain)
 

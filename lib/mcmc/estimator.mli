@@ -33,6 +33,12 @@ val fold_samples_ws :
     nothing. The workspace marks are only valid inside that call of
     [f]; every built-in estimator goes through this. *)
 
+exception Cancelled
+(** Raised by {!stream} / {!stream_next} when the stream's
+    {!Cancel.t} token has tripped — between whole MH steps only, so a
+    chain that is {e not} cancelled is bit-for-bit unaffected by the
+    checks. *)
+
 type stream
 (** An open-ended per-chain sample stream: one burnt-in chain that hands
     out retained samples on demand, [thin] steps apart. This is the
@@ -43,15 +49,24 @@ type stream
     state; it must only be used from one domain at a time. *)
 
 val stream :
+  ?cancel:Cancel.t ->
   ?conditions:Conditions.t ->
   Iflow_stats.Rng.t -> Iflow_core.Icm.t -> burn_in:int -> thin:int -> stream
 (** Create the chain, run the burn-in, and return the stream. Raises
     like {!Chain.create} (e.g. [Failure] when the conditions cannot be
-    satisfied) and [Invalid_argument] on [burn_in < 0] or [thin < 1]. *)
+    satisfied) and [Invalid_argument] on [burn_in < 0] or [thin < 1].
+
+    [?cancel] (default {!Cancel.none}) makes the burn-in cooperative:
+    the token is polled every 128 steps (chunked {!Chain.advance} —
+    exactly the same step/RNG sequence as one big advance) and at
+    every subsequent {!stream_next}, raising {!Cancelled} once it
+    trips. An unexpired token changes nothing. *)
 
 val stream_next : stream -> f:(Iflow_core.Pseudo_state.t -> 'a) -> 'a
 (** Advance [thin] steps and apply [f] to the new retained state. [f]
-    must not retain or mutate the state. *)
+    must not retain or mutate the state. Raises {!Cancelled} when the
+    stream's token has tripped (checked before advancing, so a
+    cancelled stream never draws again). *)
 
 val stream_chain : stream -> Chain.t
 (** The underlying chain (acceptance-rate inspection etc.). *)

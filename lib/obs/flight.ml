@@ -24,6 +24,8 @@ type record = {
   mutable samples : int;
   mutable rhat : float;
   mutable mcse : float;
+  mutable deadline_ns : int;
+  mutable cancelled : bool;
   mutable ts_ns : int;
 }
 
@@ -46,6 +48,8 @@ let empty_cell () =
     samples = 0;
     rhat = Float.nan;
     mcse = Float.nan;
+    deadline_ns = 0;
+    cancelled = false;
     ts_ns = 0;
   }
 
@@ -112,7 +116,7 @@ let clear () =
 let note ~id ~tenant ~kind ~path ?(fallback = "") ?(error = "") ?(version = -1)
     ?(digest = "") ?(queue_wait_ns = 0) ?(plan_ns = 0) ?(sample_ns = 0)
     ?(serialize_ns = 0) ?(rounds = 0) ?(samples = 0) ?(rhat = Float.nan)
-    ?(mcse = Float.nan) () =
+    ?(mcse = Float.nan) ?(deadline_ns = 0) ?(cancelled = false) () =
   if Atomic.get on then begin
     let sh = shards.((Domain.self () :> int) land (nshards - 1)) in
     let n = Atomic.fetch_and_add seq 1 in
@@ -139,13 +143,56 @@ let note ~id ~tenant ~kind ~path ?(fallback = "") ?(error = "") ?(version = -1)
       c.samples <- samples;
       c.rhat <- rhat;
       c.mcse <- mcse;
+      c.deadline_ns <- deadline_ns;
+      c.cancelled <- cancelled;
       c.ts_ns <- ts
     end;
     Mutex.unlock sh.m
   end
 
+(* ----- load hint -----
+
+   An EWMA (alpha 1/8) of queue-wait and serialize times over the
+   requests that actually ran (queue_wait_ns > 0 — refusals at
+   admission never waited and would drag the estimate to zero). This
+   is the conservative floor deadline-aware admission compares a
+   request's budget against: every admitted request pays at least the
+   queue wait plus serialization, whatever path answers it. Plain
+   atomics with racy read-modify-write — a lost update nudges the
+   EWMA by one sample, which is noise at admission-decision scale. *)
+
+type hint = { h_queue_wait_ns : int; h_serialize_ns : int; h_count : int }
+
+let hint_queue_wait = Atomic.make 0
+let hint_serialize = Atomic.make 0
+let hint_count = Atomic.make 0
+
+let ewma cell x =
+  let old = Atomic.get cell in
+  Atomic.set cell (if old = 0 then x else old + ((x - old) asr 3))
+
+let observe_load ~queue_wait_ns ~serialize_ns =
+  if queue_wait_ns > 0 then begin
+    ewma hint_queue_wait queue_wait_ns;
+    ewma hint_serialize (max 0 serialize_ns);
+    Atomic.incr hint_count
+  end
+
+let load_hint () =
+  {
+    h_queue_wait_ns = Atomic.get hint_queue_wait;
+    h_serialize_ns = Atomic.get hint_serialize;
+    h_count = Atomic.get hint_count;
+  }
+
+let reset_load_hint () =
+  Atomic.set hint_queue_wait 0;
+  Atomic.set hint_serialize 0;
+  Atomic.set hint_count 0
+
 let submit r =
   r.ts_ns <- Clock.now_ns ();
+  observe_load ~queue_wait_ns:r.queue_wait_ns ~serialize_ns:r.serialize_ns;
   if Atomic.get on then begin
     r.seq <- Atomic.fetch_and_add seq 1;
     let sh = shards.((Domain.self () :> int) land (nshards - 1)) in
@@ -170,6 +217,8 @@ let submit r =
       c.samples <- r.samples;
       c.rhat <- r.rhat;
       c.mcse <- r.mcse;
+      c.deadline_ns <- r.deadline_ns;
+      c.cancelled <- r.cancelled;
       c.ts_ns <- r.ts_ns
     end;
     Mutex.unlock sh.m
@@ -258,6 +307,11 @@ let to_json r =
   add_int buf "samples" r.samples;
   add_float buf "rhat" r.rhat;
   add_float buf "mcse" r.mcse;
+  if r.deadline_ns > 0 then add_int buf "deadline_ns" r.deadline_ns;
+  if r.cancelled then begin
+    Buffer.add_string buf "\"cancelled\":true";
+    Buffer.add_char buf ','
+  end;
   add_int buf "ts_ns" r.ts_ns;
   (* drop the trailing comma *)
   Buffer.truncate buf (Buffer.length buf - 1);

@@ -30,6 +30,12 @@ val pop : 'a t -> 'a option
 val pop_opt : 'a t -> 'a option
 (** Non-blocking variant: [None] when currently empty (closed or not). *)
 
+val iter : 'a t -> ('a -> unit) -> unit
+(** Visit every queued item in order, under the queue lock — items are
+    {e not} removed. [f] must be quick and must not touch the queue
+    (deadlock). Shutdown uses this to fire the cancel tokens of work
+    still waiting when {!close} lands. *)
+
 val close : 'a t -> unit
 (** Refuse new pushes; wake every blocked consumer. Idempotent. *)
 

@@ -55,6 +55,7 @@ let reason = function
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
   | c -> Printf.sprintf "Status %d" c
 
 let read_request ?(max_headers = 100) ?(max_body_bytes = 8 lsl 20) r
@@ -66,6 +67,7 @@ let read_request ?(max_headers = 100) ?(max_body_bytes = 8 lsl 20) r
       else
         match Sockio.read_line r with
         | Sockio.Eof -> Error (Malformed "connection closed mid-headers")
+        | Sockio.Timeout -> Error (Malformed "read timed out mid-headers")
         | Sockio.Too_long -> Error (Overflow "header line too long")
         | Sockio.Line "" -> Ok (List.rev acc)
         | Sockio.Line h -> (

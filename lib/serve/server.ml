@@ -8,6 +8,8 @@ module Clock = Iflow_obs.Clock
 module Trace = Iflow_obs.Trace
 module Flight = Iflow_obs.Flight
 module Snapshot = Iflow_stream.Snapshot
+module Cancel = Iflow_mcmc.Cancel
+module Retry = Iflow_fault.Retry
 
 let m_connections =
   Metrics.counter ~help:"Connections accepted" "iflow_serve_connections_total"
@@ -33,6 +35,24 @@ let shed_counter reason =
 let m_shed_capacity = shed_counter "capacity"
 let m_shed_quota = shed_counter "quota"
 let m_shed_connections = shed_counter "connections"
+let m_shed_deadline = shed_counter "deadline"
+
+(* Final outcome of every deadline-carrying request; requests without
+   a deadline never touch this family *)
+let deadline_outcome outcome =
+  Metrics.counter
+    ~labels:[ ("outcome", outcome) ]
+    ~help:"Deadline-carrying requests by final outcome"
+    "iflow_serve_deadline_total"
+
+let m_deadline_ok = deadline_outcome "ok"
+let m_deadline_partial = deadline_outcome "partial"
+let m_deadline_exceeded = deadline_outcome "deadline_exceeded"
+let m_deadline_unmeetable = deadline_outcome "deadline_unmeetable"
+
+let m_reaped =
+  Metrics.counter ~help:"Idle connections closed by the reaper"
+    "iflow_serve_reaped_connections_total"
 
 let m_bad =
   Metrics.counter ~help:"Undecodable or unanswerable requests"
@@ -144,6 +164,9 @@ type config = {
   max_body_bytes : int;
   flight_capacity : int;
   slow_query_ms : int option;
+  default_deadline_ms : int option;
+  max_deadline_ms : int option;
+  read_timeout_ms : int option;
 }
 
 let default_config =
@@ -160,6 +183,9 @@ let default_config =
     max_body_bytes = 8 lsl 20;
     flight_capacity = 1024;
     slow_query_ms = None;
+    default_deadline_ms = None;
+    max_deadline_ms = None;
+    read_timeout_ms = Some 30_000;
   }
 
 type reply =
@@ -201,7 +227,22 @@ type work = {
   tenant : string;
   ph : Engine.phases; (* filled by the engine on the worker thread *)
   mutable queue_wait_ns : int;
+  deadline_budget_ns : int; (* the client's budget; 0 = none *)
+  cancel : Cancel.t; (* armed per-request for deadline'd entries;
+                        deadline-free entries share [Cancel.none] so
+                        the common path allocates nothing *)
   iv : ivar;
+}
+
+(* Per-connection state the reaper inspects. [c_inflight] is true
+   while a request from this connection is queued or running — the
+   reaper never touches a connection with a live request, however
+   long it runs. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_last_progress_ns : int; (* last completed request line *)
+  mutable c_inflight : bool;
+  mutable c_reaped : bool;
 }
 
 type state = Idle | Running | Stopped
@@ -226,9 +267,10 @@ type t = {
   mutable listen_fd : Unix.file_descr option;
   mutable bound_port : int;
   mutable accept_thread : Thread.t option;
+  mutable reaper_thread : Thread.t option;
   mutable workers : Thread.t list;
   mutable conn_threads : Thread.t list;
-  conn_fds : (int, Unix.file_descr) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;
   mutable next_conn : int;
   t_start : int;
   (* stats *)
@@ -238,6 +280,7 @@ type t = {
   s_answered : int Atomic.t;
   s_shed_capacity : int Atomic.t;
   s_shed_quota : int Atomic.t;
+  s_shed_deadline : int Atomic.t;
   s_bad : int Atomic.t;
   s_engine_errors : int Atomic.t;
   s_evidence : int Atomic.t;
@@ -258,8 +301,18 @@ let validate_config c =
   if c.backlog < 1 then bad "backlog must be >= 1 (got %d)" c.backlog;
   if c.flight_capacity < 0 then
     bad "flight_capacity must be >= 0 (got %d)" c.flight_capacity;
-  match c.slow_query_ms with
-  | Some ms when ms < 1 -> bad "slow_query_ms must be >= 1 (got %d)" ms
+  let positive name v =
+    match v with
+    | Some ms when ms < 1 -> bad "%s must be >= 1 (got %d)" name ms
+    | _ -> ()
+  in
+  positive "slow_query_ms" c.slow_query_ms;
+  positive "default_deadline_ms" c.default_deadline_ms;
+  positive "max_deadline_ms" c.max_deadline_ms;
+  positive "read_timeout_ms" c.read_timeout_ms;
+  match (c.default_deadline_ms, c.max_deadline_ms) with
+  | Some d, Some mx when d > mx ->
+    bad "default_deadline_ms %d exceeds max_deadline_ms %d" d mx
   | _ -> ()
 
 let create ?(config = default_config) ?gate ?(initial_version = 0) ~engine () =
@@ -286,9 +339,10 @@ let create ?(config = default_config) ?gate ?(initial_version = 0) ~engine () =
     listen_fd = None;
     bound_port = 0;
     accept_thread = None;
+    reaper_thread = None;
     workers = [];
     conn_threads = [];
-    conn_fds = Hashtbl.create 64;
+    conns = Hashtbl.create 64;
     next_conn = 0;
     t_start = Clock.now_ns ();
     s_connections = Atomic.make 0;
@@ -297,6 +351,7 @@ let create ?(config = default_config) ?gate ?(initial_version = 0) ~engine () =
     s_answered = Atomic.make 0;
     s_shed_capacity = Atomic.make 0;
     s_shed_quota = Atomic.make 0;
+    s_shed_deadline = Atomic.make 0;
     s_bad = Atomic.make 0;
     s_engine_errors = Atomic.make 0;
     s_evidence = Atomic.make 0;
@@ -336,8 +391,36 @@ let note_degraded t ~stage e =
 
 (* ----- ingest bridge ----- *)
 
+(* A full ingest queue is usually transient — the learner runner
+   drains it in batches — so the enqueue rides it out with a few
+   quick re-attempts inside a ~5 ms budget. A persistently full (or
+   closed) queue still answers [over_capacity] instead of blocking
+   the connection thread without bound. *)
+let ingest_policy =
+  {
+    Retry.max_attempts = 4;
+    base_delay = 0.0005;
+    multiplier = 2.0;
+    jitter = 0.0;
+    max_delay = 0.002;
+    budget = Some 0.005;
+  }
+
+exception Ingest_full
+
 let ingest_line t line =
-  let ok = Bqueue.try_push t.ingest line in
+  let push () = if not (Bqueue.try_push t.ingest line) then raise Ingest_full in
+  let ok =
+    match
+      Retry.with_policy ingest_policy
+        ~retryable:(function
+          | Ingest_full -> not (Bqueue.is_closed t.ingest)
+          | _ -> false)
+        push
+    with
+    | () -> true
+    | exception Ingest_full -> false
+  in
   if ok then begin
     Atomic.incr t.s_evidence;
     Metrics.inc m_evidence
@@ -354,13 +437,34 @@ let ns_to_ms_ceil ns = (ns + 999_999) / 1_000_000
 let mint_rid t =
   Printf.sprintf "r%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add t.next_rid 1)
 
+(* The unmeetable predictor needs this many executed requests folded
+   into the load hint before it trusts the floor estimate *)
+let unmeetable_min_samples = 32
+
 (* Returns the reply plus the work entry when the request actually ran
    (carrying its queue-wait and engine phase timings); [None] for
-   refusals at admission, which never waited anywhere. *)
-let process_query t ~tenant ~rid q =
+   refusals at admission, which never waited anywhere. [conn], when
+   given, has its inflight token set for the duration of the wait so
+   the idle reaper leaves the connection alone. *)
+let process_query ?conn t ~tenant ~rid ~deadline_budget_ns q =
   Atomic.incr t.s_requests;
   Metrics.inc m_requests;
   let t0 = Clock.now_ns () in
+  let has_deadline = deadline_budget_ns > 0 in
+  (* every deadline-carrying request settles into exactly one outcome *)
+  let count_outcome reply =
+    if has_deadline then
+      (match reply with
+      | Answer { result; _ } when result.Engine.partial ->
+        Metrics.inc m_deadline_partial
+      | Answer _ -> Metrics.inc m_deadline_ok
+      | Refused { code = Wire.Deadline_exceeded; _ } ->
+        Metrics.inc m_deadline_exceeded
+      | Refused { code = Wire.Deadline_unmeetable; _ } ->
+        Metrics.inc m_deadline_unmeetable
+      | Refused _ -> ());
+    reply
+  in
   let quota_verdict =
     match t.quota with
     | None -> Quota.Granted
@@ -370,53 +474,91 @@ let process_query t ~tenant ~rid q =
   | Quota.Denied { retry_after_ns } ->
     Atomic.incr t.s_shed_quota;
     Metrics.inc m_shed_quota;
-    ( Refused
-        {
-          code = Wire.Quota_exceeded;
-          msg = Printf.sprintf "tenant %S over quota" tenant;
-          retry_after_ms = Some (max 1 (ns_to_ms_ceil retry_after_ns));
-        },
+    ( count_outcome
+        (Refused
+           {
+             code = Wire.Quota_exceeded;
+             msg = Printf.sprintf "tenant %S over quota" tenant;
+             retry_after_ms = Some (max 1 (ns_to_ms_ceil retry_after_ns));
+           }),
       None )
   | Quota.Granted ->
-    let w =
-      {
-        wq = q;
-        enqueue_ns = t0;
-        rid;
-        tenant;
-        ph = Engine.phases ();
-        queue_wait_ns = 0;
-        iv = ivar ();
-      }
-    in
-    if Trace.enabled () then
-      Trace.flow_start "request" ~id:(Trace.flow_id rid)
-        ~args:[ ("rid", Trace.Str rid) ];
-    if Bqueue.try_push t.queue w then begin
-      let reply = ivar_wait w.iv in
-      Metrics.observe m_request_seconds (Clock.now_ns () - t0);
-      (reply, Some w)
+    (* deadline-aware admission: when even the floor recent requests
+       paid (queue wait + serialization EWMA) exceeds the budget,
+       refusing now is cheaper for everyone than queueing work the
+       worker will throw away expired *)
+    let hint = Flight.load_hint () in
+    let floor_ns = hint.Flight.h_queue_wait_ns + hint.Flight.h_serialize_ns in
+    if
+      has_deadline
+      && hint.Flight.h_count >= unmeetable_min_samples
+      && floor_ns > deadline_budget_ns
+    then begin
+      Atomic.incr t.s_shed_deadline;
+      Metrics.inc m_shed_deadline;
+      ( count_outcome
+          (Refused
+             {
+               code = Wire.Deadline_unmeetable;
+               msg =
+                 Printf.sprintf
+                   "deadline of %d ms is below the current overhead floor \
+                    of ~%d ms (recent queue wait + serialization)"
+                   (ns_to_ms_ceil deadline_budget_ns) (ns_to_ms_ceil floor_ns);
+               retry_after_ms = None;
+             }),
+        None )
     end
-    else if Bqueue.is_closed t.queue then
-      ( Refused
-          {
-            code = Wire.Shutting_down;
-            msg = "server is shutting down";
-            retry_after_ms = None;
-          },
-        None )
     else begin
-      Atomic.incr t.s_shed_capacity;
-      Metrics.inc m_shed_capacity;
-      ( Refused
-          {
-            code = Wire.Over_capacity;
-            msg =
-              Printf.sprintf "request queue full (%d waiting)"
-                (Bqueue.length t.queue);
-            retry_after_ms = None;
-          },
-        None )
+      let cancel =
+        if has_deadline then
+          Cancel.create ~deadline_ns:(t0 + deadline_budget_ns) ()
+        else Cancel.none
+      in
+      let w =
+        {
+          wq = q;
+          enqueue_ns = t0;
+          rid;
+          tenant;
+          ph = Engine.phases ();
+          queue_wait_ns = 0;
+          deadline_budget_ns;
+          cancel;
+          iv = ivar ();
+        }
+      in
+      if Trace.enabled () then
+        Trace.flow_start "request" ~id:(Trace.flow_id rid)
+          ~args:[ ("rid", Trace.Str rid) ];
+      if Bqueue.try_push t.queue w then begin
+        (match conn with Some c -> c.c_inflight <- true | None -> ());
+        let reply = ivar_wait w.iv in
+        (match conn with Some c -> c.c_inflight <- false | None -> ());
+        Metrics.observe m_request_seconds (Clock.now_ns () - t0);
+        (count_outcome reply, Some w)
+      end
+      else if Bqueue.is_closed t.queue then
+        ( Refused
+            {
+              code = Wire.Shutting_down;
+              msg = "server is shutting down";
+              retry_after_ms = None;
+            },
+          None )
+      else begin
+        Atomic.incr t.s_shed_capacity;
+        Metrics.inc m_shed_capacity;
+        ( Refused
+            {
+              code = Wire.Over_capacity;
+              msg =
+                Printf.sprintf "request queue full (%d waiting)"
+                  (Bqueue.length t.queue);
+              retry_after_ms = None;
+            },
+          None )
+      end
     end
 
 let worker_loop t =
@@ -425,40 +567,95 @@ let worker_loop t =
     match Bqueue.pop t.queue with
     | None -> ()
     | Some w ->
+      (* snapshot before the gate: an entry popped while the queue was
+         open is "already running" and must finish normally even if
+         [stop] lands during its execution *)
+      let draining = Bqueue.is_closed t.queue in
       (match t.gate with Some g -> g () | None -> ());
       let t_deq = Clock.now_ns () in
       w.queue_wait_ns <- t_deq - w.enqueue_ns;
       Metrics.observe m_queue_wait_seconds w.queue_wait_ns;
       Metrics.set m_queue_depth (float_of_int (Bqueue.length t.queue));
       let reply =
-        match Engine.query ~rid:w.rid ~phases:w.ph t.engine w.wq with
-        | r ->
-          Atomic.incr t.s_answered;
-          Metrics.inc m_answers;
-          (* exact-planned answers have no chains to lose *)
-          let degraded =
-            match r.Engine.plan with
-            | Engine.Plan_exact _ -> false
-            | Engine.Plan_mh _ -> r.Engine.chains_used < chains
-          in
-          if degraded then Metrics.inc m_degraded_answers;
-          Answer { result = r; version = version_of t r.Engine.model_digest; degraded }
-        | exception Engine.Chains_failed _ ->
-          Atomic.incr t.s_engine_errors;
-          Metrics.inc m_engine_errors;
+        if draining then
+          (* popped during the shutdown drain: [stop] closed the queue
+             before this entry could run, so answer typed without
+             sampling — deadline-free entries share [Cancel.none] and
+             cannot be fired individually *)
           Refused
             {
-              code = Wire.Chains_failed;
-              msg =
-                Printf.sprintf "query %s: too many chains failed"
-                  (Query.key w.wq);
+              code = Wire.Shutting_down;
+              msg = "request cancelled: shutdown";
               retry_after_ms = None;
             }
-        | exception (Invalid_argument msg | Failure msg) ->
-          Atomic.incr t.s_bad;
-          Metrics.inc m_bad;
+        else
+        match Cancel.status w.cancel with
+        | Cancel.Expired ->
+          (* the deadline passed while the entry queued: shed it here,
+             before burn-in, so expired requests cost no sampler CPU *)
           Refused
-            { code = Wire.Bad_query; msg; retry_after_ms = None }
+            {
+              code = Wire.Deadline_exceeded;
+              msg =
+                Printf.sprintf "deadline of %d ms expired after %d ms in queue"
+                  (ns_to_ms_ceil w.deadline_budget_ns)
+                  (ns_to_ms_ceil w.queue_wait_ns);
+              retry_after_ms = None;
+            }
+        | Cancel.Fired reason ->
+          let code =
+            if reason = "shutdown" then Wire.Shutting_down
+            else Wire.Deadline_exceeded
+          in
+          Refused
+            { code; msg = "request cancelled: " ^ reason; retry_after_ms = None }
+        | Cancel.Live -> (
+          match
+            Engine.query ~rid:w.rid ~phases:w.ph ~cancel:w.cancel
+              ~on_deadline:`Partial t.engine w.wq
+          with
+          | r ->
+            Atomic.incr t.s_answered;
+            Metrics.inc m_answers;
+            (* exact-planned answers have no chains to lose *)
+            let degraded =
+              match r.Engine.plan with
+              | Engine.Plan_exact _ -> false
+              | Engine.Plan_mh _ -> r.Engine.chains_used < chains
+            in
+            if degraded then Metrics.inc m_degraded_answers;
+            Answer
+              { result = r; version = version_of t r.Engine.model_digest; degraded }
+          | exception Engine.Deadline_exceeded { reason; rounds; _ } ->
+            let code =
+              if reason = "shutdown" then Wire.Shutting_down
+              else Wire.Deadline_exceeded
+            in
+            Refused
+              {
+                code;
+                msg =
+                  Printf.sprintf "query %s: %s after %d round%s" (Query.key w.wq)
+                    reason rounds
+                    (if rounds = 1 then "" else "s");
+                retry_after_ms = None;
+              }
+          | exception Engine.Chains_failed _ ->
+            Atomic.incr t.s_engine_errors;
+            Metrics.inc m_engine_errors;
+            Refused
+              {
+                code = Wire.Chains_failed;
+                msg =
+                  Printf.sprintf "query %s: too many chains failed"
+                    (Query.key w.wq);
+                retry_after_ms = None;
+              }
+          | exception (Invalid_argument msg | Failure msg) ->
+            Atomic.incr t.s_bad;
+            Metrics.inc m_bad;
+            Refused
+              { code = Wire.Bad_query; msg; retry_after_ms = None })
       in
       if Metrics.recording () then begin
         let h = phase_handles w.tenant in
@@ -482,7 +679,8 @@ let reply_line ?id ~rid = function
    measures), submitted to the ring, and reused verbatim for the
    slow-query log line, so the log and /debug/requests can never
    disagree about a request. *)
-let finish_request t ~rid ~tenant ~kind ~reply ~work ~serialize_ns ~total_ns =
+let finish_request t ~rid ~tenant ~kind ~reply ~work ~deadline_budget_ns
+    ~serialize_ns ~total_ns =
   if Metrics.recording () then
     Metrics.observe (phase_handles tenant).ph_serialize serialize_ns;
   if Trace.enabled () then
@@ -499,6 +697,14 @@ let finish_request t ~rid ~tenant ~kind ~reply ~work ~serialize_ns ~total_ns =
         (w.queue_wait_ns, w.ph.Engine.plan_ns, w.ph.Engine.sample_ns,
          w.ph.Engine.rounds)
       | None -> (0, 0, 0, 0)
+    in
+    (* the deadline cut this request short: a partial answer or a
+       typed deadline_exceeded refusal *)
+    let dl_cancelled =
+      match reply with
+      | Answer { result; _ } -> result.Engine.partial
+      | Refused { code = Wire.Deadline_exceeded; _ } -> true
+      | Refused _ -> false
     in
     let r =
       match reply with
@@ -533,6 +739,8 @@ let finish_request t ~rid ~tenant ~kind ~reply ~work ~serialize_ns ~total_ns =
           samples = res.Engine.total_samples;
           rhat = res.Engine.rhat;
           mcse = res.Engine.mcse;
+          deadline_ns = deadline_budget_ns;
+          cancelled = dl_cancelled;
           ts_ns = 0;
         }
       | Refused { code; _ } ->
@@ -554,6 +762,8 @@ let finish_request t ~rid ~tenant ~kind ~reply ~work ~serialize_ns ~total_ns =
           samples = 0;
           rhat = Float.nan;
           mcse = Float.nan;
+          deadline_ns = deadline_budget_ns;
+          cancelled = dl_cancelled;
           ts_ns = 0;
         }
     in
@@ -570,8 +780,11 @@ let finish_request t ~rid ~tenant ~kind ~reply ~work ~serialize_ns ~total_ns =
 (* Decode one request line: the query object itself, plus the serving
    extensions ("id" echoed back, "tenant" for quota accounting,
    "request_id" client-supplied or minted here — [?rid] carries the
-   HTTP dialect's X-Request-Id assignment). *)
-let handle_query_line t ~tenant_default ?rid ~lineno line =
+   HTTP dialect's X-Request-Id assignment, [?deadline_default] its
+   X-Deadline-Ms header, which a per-line "deadline_ms" member
+   overrides). *)
+let handle_query_line t ~tenant_default ?rid ?deadline_default ?conn ~lineno
+    line =
   if String.trim line = "" then None
   else begin
     let t_admit = Clock.now_ns () in
@@ -587,11 +800,11 @@ let handle_query_line t ~tenant_default ?rid ~lineno line =
       | _, Some r -> r
       | _, None -> mint_rid t
     in
-    let finish ~tenant ~kind ~reply ~work build =
+    let finish ~tenant ~kind ~reply ~work ?(deadline_budget_ns = 0) build =
       let t_ser = Clock.now_ns () in
       let resp = build () in
       let t_done = Clock.now_ns () in
-      finish_request t ~rid ~tenant ~kind ~reply ~work
+      finish_request t ~rid ~tenant ~kind ~reply ~work ~deadline_budget_ns
         ~serialize_ns:(t_done - t_ser) ~total_ns:(t_done - t_admit);
       resp
     in
@@ -622,18 +835,54 @@ let handle_query_line t ~tenant_default ?rid ~lineno line =
           | Some (Jsonl.Str s) -> s
           | _ -> tenant_default
         in
-        match Query.of_json json with
-        | Error msg ->
-          let msg = bad (Printf.sprintf "line %d: %s" lineno msg) in
+        let deadline_ms =
+          match Jsonl.member "deadline_ms" json with
+          | Some (Jsonl.Num f)
+            when Float.is_integer f && f >= 1.0 && f <= 4e15 ->
+            Ok (Some (int_of_float f))
+          | Some _ ->
+            Error "deadline_ms must be a positive integer of milliseconds"
+          | None -> Ok None
+        in
+        match deadline_ms with
+        | Error dmsg ->
+          let msg = bad (Printf.sprintf "line %d: %s" lineno dmsg) in
           let reply =
             Refused { code = Wire.Bad_request; msg; retry_after_ms = None }
           in
           finish ~tenant ~kind:"" ~reply ~work:None (fun () ->
               Wire.error_line ?id ~request_id:rid Wire.Bad_request msg)
-        | Ok q ->
-          let reply, work = process_query t ~tenant ~rid q in
-          finish ~tenant ~kind:(Query.key q) ~reply ~work (fun () ->
-              reply_line ?id ~rid reply)))
+        | Ok dl_member -> (
+          match Query.of_json json with
+          | Error msg ->
+            let msg = bad (Printf.sprintf "line %d: %s" lineno msg) in
+            let reply =
+              Refused { code = Wire.Bad_request; msg; retry_after_ms = None }
+            in
+            finish ~tenant ~kind:"" ~reply ~work:None (fun () ->
+                Wire.error_line ?id ~request_id:rid Wire.Bad_request msg)
+          | Ok q ->
+            (* line member > connection header > server default; the
+               server-wide cap clamps whatever won *)
+            let budget_ms =
+              match (dl_member, deadline_default) with
+              | Some v, _ -> Some v
+              | None, Some v -> Some v
+              | None, None -> t.config.default_deadline_ms
+            in
+            let budget_ms =
+              match (budget_ms, t.config.max_deadline_ms) with
+              | Some v, Some mx -> Some (min v mx)
+              | v, _ -> v
+            in
+            let deadline_budget_ns =
+              match budget_ms with Some ms -> ms * 1_000_000 | None -> 0
+            in
+            let reply, work =
+              process_query ?conn t ~tenant ~rid ~deadline_budget_ns q
+            in
+            finish ~tenant ~kind:(Query.key q) ~reply ~work
+              ~deadline_budget_ns (fun () -> reply_line ?id ~rid reply))))
   end
 
 (* ----- health ----- *)
@@ -645,6 +894,7 @@ type stats = {
   answered : int;
   shed_capacity : int;
   shed_quota : int;
+  shed_deadline : int;
   bad_requests : int;
   engine_errors : int;
   evidence_lines : int;
@@ -658,6 +908,7 @@ let stats t =
     answered = Atomic.get t.s_answered;
     shed_capacity = Atomic.get t.s_shed_capacity;
     shed_quota = Atomic.get t.s_shed_quota;
+    shed_deadline = Atomic.get t.s_shed_deadline;
     bad_requests = Atomic.get t.s_bad;
     engine_errors = Atomic.get t.s_engine_errors;
     evidence_lines = Atomic.get t.s_evidence;
@@ -672,22 +923,24 @@ let health_json t =
     "{\"status\":%s,\"version\":%d,\"digest\":%s,\"uptime_s\":%.3f,\
      \"queue_depth\":%d,\"queue_capacity\":%d,\"active_connections\":%d,\
      \"requests\":%d,\"answered\":%d,\"shed_capacity\":%d,\"shed_quota\":%d,\
-     \"bad_requests\":%d,\"engine_errors\":%d,\"evidence_pending\":%d,\
-     \"workers\":%d}"
+     \"shed_deadline\":%d,\"bad_requests\":%d,\"engine_errors\":%d,\
+     \"evidence_pending\":%d,\"workers\":%d}"
     (Wire.escape (if degraded then "degraded" else "ok"))
     (current_version t)
     (Wire.escape (Engine.digest t.engine))
     (Clock.seconds_of_ns (Clock.now_ns () - t.t_start))
     (queue_depth t) t.config.queue_capacity s.active s.requests s.answered
-    s.shed_capacity s.shed_quota s.bad_requests s.engine_errors
-    (ingest_pending t) t.config.workers
+    s.shed_capacity s.shed_quota s.shed_deadline s.bad_requests
+    s.engine_errors (ingest_pending t) t.config.workers
 
 (* ----- connection handling ----- *)
 
-let handle_jsonl t fd r first_line =
+let handle_jsonl t conn fd r first_line =
   let buf = Buffer.create 256 in
   let respond line lineno =
-    match handle_query_line t ~tenant_default:"anonymous" ~lineno line with
+    match
+      handle_query_line t ~tenant_default:"anonymous" ~conn ~lineno line
+    with
     | None -> ()
     | Some resp ->
       Buffer.clear buf;
@@ -699,6 +952,12 @@ let handle_jsonl t fd r first_line =
   let rec go lineno =
     match Sockio.read_line r with
     | Sockio.Eof -> ()
+    | Sockio.Timeout ->
+      Sockio.write_all fd
+        (Wire.error_line Wire.Bad_request
+           (Printf.sprintf "read timed out after %d ms with no complete line"
+              (Option.value t.config.read_timeout_ms ~default:0))
+        ^ "\n")
     | Sockio.Too_long ->
       Sockio.write_all fd
         (Wire.error_line Wire.Bad_request
@@ -706,12 +965,13 @@ let handle_jsonl t fd r first_line =
               t.config.max_line_bytes)
         ^ "\n")
     | Sockio.Line line ->
+      conn.c_last_progress_ns <- Clock.now_ns ();
       respond line lineno;
       go (lineno + 1)
   in
   go 2
 
-let handle_http t fd r first_line =
+let handle_http t conn fd r first_line =
   let send ?headers ?content_type ~status body =
     Sockio.write_all fd (Http.response ?headers ?content_type ~status body)
   in
@@ -749,41 +1009,61 @@ let handle_http t fd r first_line =
           "[" ^ String.concat ",\n " (List.map Flight.to_json recs) ^ "]\n"
       in
       send ~status:200 body
-    | "POST", "/query" ->
+    | "POST", "/query" -> (
       let tenant_default =
         match Http.header req "x-tenant" with
         | Some tn when tn <> "" -> tn
         | _ -> "anonymous"
       in
-      let lines = String.split_on_char '\n' req.Http.body in
-      (* a client-supplied X-Request-Id names a single-line body
-         verbatim; batched lines get a -<lineno> suffix so every
-         answer (and flight record) still has its own id *)
-      let client_rid =
-        match Http.header req "x-request-id" with
-        | Some r when r <> "" -> Some r
-        | _ -> None
+      (* X-Deadline-Ms sets the whole body's deadline; a per-line
+         "deadline_ms" member overrides it line by line *)
+      let deadline_hdr =
+        match Http.header req "x-deadline-ms" with
+        | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some v when v >= 1 -> Ok (Some v)
+          | _ -> Error s)
+        | None -> Ok None
       in
-      let single = List.length lines = 1 in
-      let rid_for i =
-        Option.map
-          (fun base ->
-            if single then base else Printf.sprintf "%s-%d" base (i + 1))
-          client_rid
-      in
-      let replies =
-        List.filter_map
-          (fun (i, line) ->
-            handle_query_line t ~tenant_default ?rid:(rid_for i)
-              ~lineno:(i + 1) line)
-          (List.mapi (fun i line -> (i, line)) lines)
-      in
-      let headers =
-        match client_rid with
-        | Some r -> [ ("X-Request-Id", r) ]
-        | None -> []
-      in
-      send ~headers ~status:200 (String.concat "\n" replies ^ "\n")
+      match deadline_hdr with
+      | Error s ->
+        Atomic.incr t.s_bad;
+        Metrics.inc m_bad;
+        send ~status:400
+          (Wire.error_line Wire.Bad_request
+             (Printf.sprintf
+                "X-Deadline-Ms must be a positive integer, got %S" s)
+          ^ "\n")
+      | Ok deadline_default ->
+        let lines = String.split_on_char '\n' req.Http.body in
+        (* a client-supplied X-Request-Id names a single-line body
+           verbatim; batched lines get a -<lineno> suffix so every
+           answer (and flight record) still has its own id *)
+        let client_rid =
+          match Http.header req "x-request-id" with
+          | Some r when r <> "" -> Some r
+          | _ -> None
+        in
+        let single = List.length lines = 1 in
+        let rid_for i =
+          Option.map
+            (fun base ->
+              if single then base else Printf.sprintf "%s-%d" base (i + 1))
+            client_rid
+        in
+        let replies =
+          List.filter_map
+            (fun (i, line) ->
+              handle_query_line t ~tenant_default ?rid:(rid_for i)
+                ?deadline_default ~conn ~lineno:(i + 1) line)
+            (List.mapi (fun i line -> (i, line)) lines)
+        in
+        let headers =
+          match client_rid with
+          | Some r -> [ ("X-Request-Id", r) ]
+          | None -> []
+        in
+        send ~headers ~status:200 (String.concat "\n" replies ^ "\n"))
     | "POST", "/evidence" ->
       let lines =
         List.filter
@@ -809,11 +1089,14 @@ let handle_http t fd r first_line =
            (Printf.sprintf "no route %s %s" meth path)
         ^ "\n"))
 
-let handle_conn t conn_id fd =
+let handle_conn t conn_id conn =
+  let fd = conn.c_fd in
   Fun.protect
     ~finally:(fun () ->
+      (* out of the table first, under the lock, so the reaper never
+         sees (and pokes) a connection whose fd is being closed *)
+      Mutex.protect t.lock (fun () -> Hashtbl.remove t.conns conn_id);
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Mutex.protect t.lock (fun () -> Hashtbl.remove t.conn_fds conn_id);
       Atomic.decr t.s_active;
       Metrics.set m_active (float_of_int (Atomic.get t.s_active)))
     (fun () ->
@@ -821,12 +1104,18 @@ let handle_conn t conn_id fd =
         let r = Sockio.reader ~max_line_bytes:t.config.max_line_bytes fd in
         match Sockio.read_line r with
         | Sockio.Eof -> ()
+        | Sockio.Timeout ->
+          Sockio.write_all fd
+            (Wire.error_line Wire.Bad_request
+               "read timed out before a complete first line"
+            ^ "\n")
         | Sockio.Too_long ->
           Sockio.write_all fd
             (Wire.error_line Wire.Bad_request "first line too long" ^ "\n")
         | Sockio.Line first ->
-          if Http.is_http_verb first then handle_http t fd r first
-          else handle_jsonl t fd r first
+          conn.c_last_progress_ns <- Clock.now_ns ();
+          if Http.is_http_verb first then handle_http t conn fd r first
+          else handle_jsonl t conn fd r first
       with
       | Unix.Unix_error _ -> (* peer went away; nothing to salvage *) ()
       | Sys_error _ -> ())
@@ -850,14 +1139,33 @@ let accept_loop t listen_fd =
       else begin
         Atomic.incr t.s_active;
         Metrics.set m_active (float_of_int (Atomic.get t.s_active));
+        (* the slow-loris guard: a peer that sends nothing inside one
+           receive window surfaces as [Sockio.Timeout] instead of
+           holding the connection thread forever *)
+        (match t.config.read_timeout_ms with
+        | Some ms ->
+          let s = float_of_int ms /. 1000.0 in
+          (try
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+             Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+           with Unix.Unix_error _ | Invalid_argument _ -> ())
+        | None -> ());
+        let conn =
+          {
+            c_fd = fd;
+            c_last_progress_ns = Clock.now_ns ();
+            c_inflight = false;
+            c_reaped = false;
+          }
+        in
         let conn_id =
           Mutex.protect t.lock (fun () ->
               let id = t.next_conn in
               t.next_conn <- id + 1;
-              Hashtbl.replace t.conn_fds id fd;
+              Hashtbl.replace t.conns id conn;
               id)
         in
-        let th = Thread.create (fun () -> handle_conn t conn_id fd) () in
+        let th = Thread.create (fun () -> handle_conn t conn_id conn) () in
         Mutex.protect t.lock (fun () ->
             t.conn_threads <- th :: t.conn_threads)
       end;
@@ -869,6 +1177,42 @@ let accept_loop t listen_fd =
       Log.err ~component:"serve" "accept: %s" (Unix.error_message e)
   in
   go ()
+
+(* The receive timeout catches a peer that sends nothing inside one
+   read window; the reaper catches the byte-dribbler that keeps each
+   read alive without ever completing a request line. A connection is
+   reaped when it has no request in flight and has not completed a
+   line for ~4 receive windows — a connection waiting on a long
+   engine answer has a live inflight token and is never touched. *)
+let reaper_loop t ~timeout_ns =
+  let idle_ns = 4 * timeout_ns in
+  let tick = Float.min 0.25 (float_of_int timeout_ns *. 1e-9 /. 4.0) in
+  let running () = Mutex.protect t.lock (fun () -> t.state = Running) in
+  while running () do
+    Thread.delay tick;
+    let now = Clock.now_ns () in
+    let reaped =
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.fold
+            (fun _ c acc ->
+              if
+                (not c.c_reaped)
+                && (not c.c_inflight)
+                && now - c.c_last_progress_ns > idle_ns
+              then begin
+                c.c_reaped <- true;
+                (* in the table + under the lock = fd still open *)
+                (try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
+                 with Unix.Unix_error _ -> ());
+                acc + 1
+              end
+              else acc)
+            t.conns 0)
+    in
+    for _ = 1 to reaped do
+      Metrics.inc m_reaped
+    done
+  done
 
 (* ----- lifecycle ----- *)
 
@@ -906,9 +1250,17 @@ let start t =
     List.init t.config.workers (fun _ -> Thread.create worker_loop t)
   in
   let acceptor = Thread.create (fun () -> accept_loop t listen_fd) () in
+  let reaper =
+    Option.map
+      (fun ms ->
+        let timeout_ns = ms * 1_000_000 in
+        Thread.create (fun () -> reaper_loop t ~timeout_ns) ())
+      t.config.read_timeout_ms
+  in
   Mutex.protect t.lock (fun () ->
       t.workers <- workers;
-      t.accept_thread <- Some acceptor);
+      t.accept_thread <- Some acceptor;
+      t.reaper_thread <- reaper);
   Log.info ~component:"serve" "listening on %s:%d (%d workers, queue %d)"
     t.config.host (port t) t.config.workers t.config.queue_capacity
 
@@ -935,13 +1287,17 @@ let stop t =
       (try Unix.close fd with Unix.Unix_error _ -> ())
     | None -> ());
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    (* 2. refuse new work, drain what was admitted *)
+    (* 2. refuse new work: closing the queue bounds the drain —
+       workers answer [shutting_down] for anything they pop after the
+       close, without sampling. The request a worker is already
+       running finishes normally. *)
     Bqueue.close t.queue;
     List.iter Thread.join t.workers;
+    (match t.reaper_thread with Some th -> Thread.join th | None -> ());
     (* 3. unblock connection threads parked in read_line *)
     let fds =
       Mutex.protect t.lock (fun () ->
-          Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conn_fds [])
+          Hashtbl.fold (fun _ c acc -> c.c_fd :: acc) t.conns [])
     in
     List.iter
       (fun fd ->

@@ -56,7 +56,26 @@
     requests over [slow_query_ms] additionally log a structured
     slow-query line carrying the same record. None of this can perturb
     answers: ids and timings never reach the RNG, the cache key, or the
-    result. *)
+    result.
+
+    {b Deadlines and cancellation.} A request may carry a deadline —
+    a ["deadline_ms"] JSON member (JSONL or HTTP body line), an
+    [X-Deadline-Ms] header covering an HTTP body, or the server-wide
+    [default_deadline_ms] — clamped to [max_deadline_ms]. The budget
+    becomes an {!Iflow_mcmc.Cancel} token riding the queue entry:
+    admission refuses [deadline_unmeetable] when the recent overhead
+    floor (queue-wait + serialize EWMA from the flight recorder)
+    already exceeds the budget; workers drop entries that expired
+    while queued with [deadline_exceeded] {e before} any sampling; the
+    engine polls the token at round boundaries and mid-burn-in, and
+    answers with whatever converged rounds it has (flagged
+    ["partial":true], never cached) or a typed [deadline_exceeded].
+    Every deadline-carrying request settles into exactly one outcome
+    counted by [iflow_serve_deadline_total{outcome=
+    ok|partial|deadline_exceeded|deadline_unmeetable}]. Requests
+    without deadlines run exactly as before — the token is never
+    consulted mid-draw on their behalf, and answers stay bit-for-bit
+    identical with the machinery compiled in. *)
 
 type config = {
   host : string;            (** bind address, default 127.0.0.1 *)
@@ -80,12 +99,26 @@ type config = {
       (** log a structured slow-query line (level [warn], full flight
           record attached) for any request whose admission-to-serialized
           wall time reaches this many milliseconds; [None] = off *)
+  default_deadline_ms : int option;
+      (** deadline applied to requests that do not carry their own
+          (["deadline_ms"] member / [X-Deadline-Ms] header);
+          [None] = no implicit deadline *)
+  max_deadline_ms : int option;
+      (** client-supplied deadlines are clamped down to this cap;
+          [None] = unclamped *)
+  read_timeout_ms : int option;
+      (** per-connection [SO_RCVTIMEO]: a peer that sends {e nothing}
+          inside one window gets a typed error and the connection is
+          closed; a byte-dribbler that never completes a request line
+          is reaped after ~4 windows of no progress. [None] disables
+          both guards (and the reaper thread). *)
 }
 
 val default_config : config
 (** 127.0.0.1:0, backlog 128, queue 64, 2 workers, 1024 connections,
     no quota, ingest queue 65536, 1 MiB lines, 8 MiB bodies, flight
-    ring 1024, slow-query logging off. *)
+    ring 1024, slow-query logging off, no deadlines, 30 s read
+    timeout. *)
 
 type t
 
@@ -163,6 +196,7 @@ type stats = {
   answered : int;        (** answered with an estimate *)
   shed_capacity : int;   (** refused: queue full *)
   shed_quota : int;      (** refused: tenant bucket dry *)
+  shed_deadline : int;   (** refused: [deadline_unmeetable] *)
   bad_requests : int;    (** undecodable or unanswerable *)
   engine_errors : int;   (** [Chains_failed] surfaced as 500s *)
   evidence_lines : int;  (** accepted via [POST /evidence] *)

@@ -15,8 +15,12 @@ let reader ?(max_line_bytes = 1 lsl 20) fd =
     eof = false;
   }
 
-type line = Line of string | Eof | Too_long
+type line = Line of string | Eof | Too_long | Timeout
 
+exception Timed_out
+
+(* EAGAIN/EWOULDBLOCK here means the fd carries SO_RCVTIMEO and the
+   peer sent nothing inside it — the slow-loris guard, not an error *)
 let rec refill r =
   match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
   | 0 ->
@@ -26,6 +30,8 @@ let rec refill r =
     Buffer.add_subbytes r.buf r.chunk 0 n;
     true
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    raise Timed_out
 
 (* consume [n] bytes from the front of the buffer *)
 let take r n =
@@ -55,8 +61,9 @@ let read_line r =
           Line (strip_cr (take r (Buffer.length r.buf)))
       else begin
         let scanned = Buffer.length r.buf in
-        ignore (refill r : bool);
-        go scanned
+        match refill r with
+        | (_ : bool) -> go scanned
+        | exception Timed_out -> Timeout
       end
   in
   go 0
@@ -66,8 +73,9 @@ let read_exactly r n =
     if Buffer.length r.buf >= n then Some (take r n)
     else if r.eof then None
     else begin
-      ignore (refill r : bool);
-      go ()
+      match refill r with
+      | (_ : bool) -> go ()
+      | exception Timed_out -> None
     end
   in
   go ()

@@ -17,13 +17,18 @@ type line =
   | Line of string     (** one line, terminator stripped (LF or CRLF) *)
   | Eof                (** clean end of stream *)
   | Too_long           (** line exceeded the cap; connection unusable *)
+  | Timeout            (** the fd's [SO_RCVTIMEO] expired with the line
+                           unfinished — the slow-loris guard; the
+                           connection should be closed *)
 
 val read_line : reader -> line
-(** Raises [Unix.Unix_error] on hard socket errors ([EINTR] retried). *)
+(** Raises [Unix.Unix_error] on hard socket errors ([EINTR] retried;
+    [EAGAIN]/[EWOULDBLOCK] from a receive timeout becomes
+    {!Timeout}). *)
 
 val read_exactly : reader -> int -> string option
 (** [read_exactly r n] returns [n] bytes (for Content-Length bodies) or
-    [None] when the stream ends first. *)
+    [None] when the stream ends — or times out — first. *)
 
 val write_all : Unix.file_descr -> string -> unit
 (** Write the whole string ([EINTR]/short writes retried). Raises

@@ -9,6 +9,8 @@ type error_code =
   | Quota_exceeded
   | Chains_failed
   | Shutting_down
+  | Deadline_exceeded
+  | Deadline_unmeetable
 
 let code_string = function
   | Bad_request -> "bad_request"
@@ -17,6 +19,8 @@ let code_string = function
   | Quota_exceeded -> "quota_exceeded"
   | Chains_failed -> "chains_failed"
   | Shutting_down -> "shutting_down"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Deadline_unmeetable -> "deadline_unmeetable"
 
 let http_status = function
   | Bad_request -> 400
@@ -25,6 +29,8 @@ let http_status = function
   | Quota_exceeded -> 429
   | Chains_failed -> 500
   | Shutting_down -> 503
+  | Deadline_exceeded -> 504
+  | Deadline_unmeetable -> 503
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -74,6 +80,8 @@ let result_line ?id ?request_id ?version ?(degraded = false) (r : Engine.result)
   Buffer.add_string b (Printf.sprintf "\"chains\":%d," r.Engine.chains_used);
   Buffer.add_string b
     (Printf.sprintf "\"cached\":%b," r.Engine.cached);
+  Buffer.add_string b
+    (Printf.sprintf "\"partial\":%b," r.Engine.partial);
   (match r.Engine.plan with
   | Engine.Plan_exact { cone_nodes; validated } ->
     Buffer.add_string b "\"plan\":\"exact\",";
@@ -135,6 +143,12 @@ let parsed_result json =
     let* samples = num "samples" in
     let* chains = num "chains" in
     let* cached = bool_f "cached" in
+    (* absent on lines from pre-deadline peers: default false *)
+    let partial =
+      match Jsonl.member "partial" json with
+      | Some (Jsonl.Bool v) -> v
+      | _ -> false
+    in
     let* digest =
       match Jsonl.member "digest" json with
       | Some (Jsonl.Str d) -> Ok d
@@ -178,6 +192,7 @@ let parsed_result json =
           total_samples = int_of_float samples;
           chains_used = int_of_float chains;
           cached;
+          partial;
           model_digest = digest;
           plan;
         },

@@ -26,12 +26,18 @@ type error_code =
   | Chains_failed    (** engine lost too many chains to vouch for an
                          answer; the server stays up *)
   | Shutting_down
+  | Deadline_exceeded
+      (** the request's deadline passed before an answer converged
+          (and no partial answer was available) *)
+  | Deadline_unmeetable
+      (** rejected at admission: recent queue-wait/serialize stats say
+          the deadline cannot be met — retry with a larger one *)
 
 val code_string : error_code -> string
 (** ["bad_request"], ["over_capacity"], ... — the wire spelling. *)
 
 val http_status : error_code -> int
-(** 400 / 422 / 429 / 429 / 500 / 503 respectively. *)
+(** 400 / 422 / 429 / 429 / 500 / 503 / 504 / 503 respectively. *)
 
 val result_line :
   ?id:string -> ?request_id:string -> ?version:int -> ?degraded:bool ->
@@ -47,7 +53,9 @@ val result_line :
     count (exact-planned answers are never degraded). The answer's
     {!Iflow_engine.Engine.plan} is carried as ["plan":"exact"] with
     ["plan_cone"] / ["plan_validated"], or ["plan":"mh"] with an
-    optional ["plan_fallback"] reason label. *)
+    optional ["plan_fallback"] reason label. Anytime answers cut short
+    by a deadline carry ["partial":true] (absent-as-false for peers
+    predating the field). *)
 
 val error_line :
   ?id:string -> ?request_id:string -> ?retry_after_ms:int ->

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Deadline-storm chaos driver for `infoflow serve`: many concurrent
+clients, every request carrying a tight randomized deadline (1-50 ms by
+default) against a server whose queries take comparable time. Expects a
+server already listening (the CI chaos job backgrounds one). Stdlib
+only. Asserts:
+
+  - every request settles into exactly one TYPED outcome: a full
+    answer, a partial answer ("partial":true), deadline_exceeded, or
+    deadline_unmeetable — never a closed connection, a hang, or an
+    untyped error (quota_exceeded / over_capacity are retried with
+    backoff, as the admission-control client contract requires);
+  - the server's iflow_serve_deadline_total{outcome=...} counters agree
+    exactly with the client-observed outcome counts — every
+    deadline-carrying request is accounted once, under exactly the
+    contention the counters exist to describe;
+  - the whole storm fits a wall-clock budget: tight deadlines must make
+    the system shed faster, not wedge it.
+
+Exits non-zero on any failure."""
+
+import argparse
+import json
+import os
+import random
+import socket
+import sys
+import threading
+import time
+import urllib.request
+
+FAILURES = []
+FAIL_LOCK = threading.Lock()
+
+OUTCOMES = ("ok", "partial", "deadline_exceeded", "deadline_unmeetable")
+RETRYABLE = ("over_capacity", "quota_exceeded")
+MAX_RETRIES = 60
+RETRY_SLEEP = 0.05
+
+
+def fail(msg):
+    with FAIL_LOCK:
+        FAILURES.append(msg)
+
+
+class Recorder:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.counts = {o: 0 for o in OUTCOMES}
+        self.retried_sheds = 0
+
+    def outcome(self, o):
+        with self.lock:
+            self.counts[o] += 1
+
+    def shed(self):
+        with self.lock:
+            self.retried_sheds += 1
+
+
+def storm_client(host, port, requests, timeout, rec):
+    """One raw-TCP JSONL session issuing deadline-carrying requests.
+    Terminal outcomes are counted; retryable sheds back off and retry
+    the same request (retries never double-count: the deadline counters
+    only move on terminal outcomes)."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            f = sock.makefile("rwb")
+            for req in requests:
+                for attempt in range(MAX_RETRIES):
+                    f.write((json.dumps(req) + "\n").encode())
+                    f.flush()
+                    line = f.readline()
+                    if not line:
+                        fail("server closed a storm session mid-stream")
+                        return
+                    reply = json.loads(line)
+                    if "estimate" in reply:
+                        rec.outcome(
+                            "partial" if reply.get("partial") else "ok")
+                        break
+                    err = reply.get("error")
+                    if err in ("deadline_exceeded", "deadline_unmeetable"):
+                        rec.outcome(err)
+                        break
+                    if err in RETRYABLE:
+                        rec.shed()
+                        time.sleep(RETRY_SLEEP * (1 + attempt))
+                        continue
+                    fail(f"untyped storm outcome: {reply}")
+                    break
+                else:
+                    fail(f"request still shed after {MAX_RETRIES} "
+                         f"retries: {req}")
+    except Exception as e:  # noqa: BLE001 - anything here is a failure
+        fail(f"storm client: {e!r}")
+
+
+def scrape_deadline_totals(host, port, timeout):
+    req = urllib.request.Request(f"http://{host}:{port}/metrics")
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        exposition = resp.read().decode()
+    totals = {}
+    for line in exposition.splitlines():
+        if line.startswith("iflow_serve_deadline_total{"):
+            labels, value = line.rsplit(" ", 1)
+            for o in OUTCOMES:
+                if f'outcome="{o}"' in labels:
+                    totals[o] = totals.get(o, 0) + int(float(value))
+    return totals, exposition
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--nodes", type=int, default=40,
+                    help="node count of the served model")
+    ap.add_argument("--clients", type=int, default=64)
+    ap.add_argument("--requests-per-client", type=int, default=25)
+    ap.add_argument("--deadline-ms-min", type=int, default=1)
+    ap.add_argument("--deadline-ms-max", type=int, default=50)
+    ap.add_argument("--request-timeout", type=float, default=30.0,
+                    help="per-socket timeout: no single read may hang")
+    ap.add_argument("--budget", type=float, default=300.0,
+                    help="wall-clock budget for the whole storm")
+    ap.add_argument("--seed", type=int, default=20120402)
+    ap.add_argument("--metrics-out", default=None,
+                    help="save the final /metrics exposition here")
+    args = ap.parse_args()
+    host, port, n = args.host, args.port, args.nodes
+
+    # hard wall-clock backstop: a wedged server must fail the job in
+    # minutes, not at the CI timeout
+    def overdue():
+        print(f"\nFAIL: storm exceeded its {args.budget}s wall-clock "
+              "budget — tight deadlines wedged the server instead of "
+              "shedding load", file=sys.stderr)
+        os._exit(2)
+
+    watchdog = threading.Timer(args.budget, overdue)
+    watchdog.daemon = True
+    watchdog.start()
+    t_start = time.monotonic()
+
+    # baseline: the counters may not be zero if anything deadline-laden
+    # ran before us, so assert on the delta
+    base, _ = scrape_deadline_totals(host, port, args.request_timeout)
+
+    rng = random.Random(args.seed)
+    rec = Recorder()
+    threads = []
+    total_requests = 0
+    for _ in range(args.clients):
+        requests = []
+        for _ in range(args.requests_per_client):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            while dst == src:  # self-flows answer exactly, no deadline risk
+                dst = rng.randrange(n)
+            requests.append({
+                "type": "flow", "src": src, "dst": dst,
+                "deadline_ms": rng.randint(args.deadline_ms_min,
+                                           args.deadline_ms_max),
+            })
+        total_requests += len(requests)
+        threads.append(threading.Thread(
+            target=storm_client,
+            args=(host, port, requests, args.request_timeout, rec)))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.monotonic() - t_start
+    watchdog.cancel()
+
+    settled = sum(rec.counts.values())
+    print(f"storm: {args.clients} clients x {args.requests_per_client} "
+          f"requests, deadlines {args.deadline_ms_min}-"
+          f"{args.deadline_ms_max} ms, {wall:.1f}s wall")
+    print(f"client outcomes: {rec.counts} "
+          f"({rec.retried_sheds} sheds retried)")
+    if settled != total_requests:
+        fail(f"{total_requests} requests sent but only {settled} "
+             "settled into a typed outcome")
+
+    # the server's accounting must match what the clients saw, exactly
+    totals, exposition = scrape_deadline_totals(host, port,
+                                                args.request_timeout)
+    delta = {o: totals.get(o, 0) - base.get(o, 0) for o in OUTCOMES}
+    print(f"server iflow_serve_deadline_total delta: {delta}")
+    for o in OUTCOMES:
+        if delta[o] != rec.counts[o]:
+            fail(f"outcome {o}: server counted {delta[o]}, "
+                 f"clients observed {rec.counts[o]}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as f:
+            f.write(exposition)
+        print(f"wrote {args.metrics_out} ({len(exposition)} bytes)")
+
+    if FAILURES:
+        print("\nFAILURES:", file=sys.stderr)
+        for msg in FAILURES:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("deadline storm: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,11 +26,15 @@ only. Asserts:
 
 Writes client-side latency percentiles to --latency-out and the raw
 /metrics exposition (including the iflow_serve_request_seconds
-histogram) to --metrics-out. Exits non-zero on any failure.
+histogram) to --metrics-out. Every request carries a socket timeout
+(--request-timeout) and the whole run a wall-clock budget (--budget):
+a wedged server fails the job in minutes, never at the CI timeout.
+Exits non-zero on any failure.
 """
 
 import argparse
 import json
+import os
 import socket
 import sys
 import threading
@@ -39,6 +43,9 @@ import urllib.request
 
 FAILURES = []
 FAIL_LOCK = threading.Lock()
+
+# per-request socket timeout; overridden by --request-timeout in main()
+REQUEST_TIMEOUT = 30.0
 
 
 def fail(msg):
@@ -53,7 +60,7 @@ def http(host, port, method, path, body=None, headers=None):
         method=method,
         headers=headers or {},
     )
-    with urllib.request.urlopen(req, timeout=30) as resp:
+    with urllib.request.urlopen(req, timeout=REQUEST_TIMEOUT) as resp:
         return resp.status, resp.read().decode()
 
 
@@ -105,7 +112,8 @@ def jsonl_session(host, port, queries, rec):
     Typed sheds (over_capacity / quota_exceeded) are retried with
     backoff — that is the client contract admission control assumes."""
     try:
-        with socket.create_connection((host, port), timeout=30) as sock:
+        with socket.create_connection((host, port),
+                                      timeout=REQUEST_TIMEOUT) as sock:
             f = sock.makefile("rwb")
             for q in queries:
                 for attempt in range(MAX_RETRIES):
@@ -182,8 +190,26 @@ def main():
     ap.add_argument("--swap-timeout", type=float, default=120.0)
     ap.add_argument("--latency-out", default="serve-latency.json")
     ap.add_argument("--metrics-out", default="serve-metrics.prom")
+    ap.add_argument("--request-timeout", type=float, default=30.0,
+                    help="per-socket timeout: no single read may hang")
+    ap.add_argument("--budget", type=float, default=600.0,
+                    help="wall-clock budget for the whole smoke run")
     args = ap.parse_args()
     host, port, n = args.host, args.port, args.nodes
+
+    global REQUEST_TIMEOUT
+    REQUEST_TIMEOUT = args.request_timeout
+
+    # hard wall-clock backstop: per-request timeouts bound each read,
+    # this bounds the sum (retry loops included)
+    def overdue():
+        print(f"\nFAIL: smoke exceeded its {args.budget}s wall-clock "
+              "budget", file=sys.stderr)
+        os._exit(2)
+
+    watchdog = threading.Timer(args.budget, overdue)
+    watchdog.daemon = True
+    watchdog.start()
 
     v0 = healthz(host, port)
     print(f"healthz before load: {v0}")
@@ -362,6 +388,7 @@ def main():
         }, f, indent=2)
     print(f"wrote {args.latency_out}")
 
+    watchdog.cancel()
     if FAILURES:
         print("\nFAILURES:", file=sys.stderr)
         for msg in FAILURES:

@@ -317,6 +317,144 @@ let test_engine_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "out-of-range query accepted"
 
+(* ---------- Deadlines & cancellation ---------- *)
+
+module Cancel = Iflow_mcmc.Cancel
+
+(* mcse_target is unreachable, so the adaptive loop never converges on
+   its own — only a tripped cancel token (or max_samples, set far out
+   of reach) can stop it. Rounds are tiny so round boundaries come up
+   every fraction of a millisecond. *)
+let never_converge =
+  {
+    test_engine_config with
+    Engine.planner = false;
+    chains = 2;
+    burn_in = 20;
+    thin = 1;
+    round_samples = 20;
+    max_samples = 10_000_000;
+    rhat_target = 1.0;
+    mcse_target = 1e-300;
+  }
+
+let test_engine_armed_token_bit_identity () =
+  (* a live token with ample budget must not perturb the answer: the
+     cancellation checks read the clock but never the RNG *)
+  let icm = five_node_icm 12 in
+  let q = Query.flow ~src:0 ~dst:4 () in
+  let bare =
+    let engine = Engine.create ~config:test_engine_config ~seed:31 icm in
+    Engine.query engine q
+  in
+  let armed =
+    let engine = Engine.create ~config:test_engine_config ~seed:31 icm in
+    let cancel = Cancel.with_budget ~budget_ns:(3_600 * 1_000_000_000) () in
+    Engine.query ~cancel ~on_deadline:`Partial engine q
+  in
+  Alcotest.(check bool) "armed token does not perturb the answer" true
+    (bare.Engine.estimate = armed.Engine.estimate
+    && bare.Engine.rhat = armed.Engine.rhat
+    && bare.Engine.mcse = armed.Engine.mcse
+    && bare.Engine.total_samples = armed.Engine.total_samples);
+  Alcotest.(check bool) "converged answers are not partial" false
+    armed.Engine.partial
+
+let test_engine_pre_expired_sheds_before_sampling () =
+  let icm = five_node_icm 12 in
+  let config = { test_engine_config with Engine.planner = false } in
+  let engine = Engine.create ~config ~seed:31 icm in
+  let q = Query.flow ~src:0 ~dst:4 () in
+  (* deadline 1 ns after the monotonic epoch: expired long ago *)
+  let expired () = Cancel.create ~deadline_ns:1 () in
+  let ph = Engine.phases () in
+  (match Engine.query ~phases:ph ~cancel:(expired ()) engine q with
+  | _ -> Alcotest.fail "expired token still sampled"
+  | exception Engine.Deadline_exceeded { rounds; _ } ->
+    Alcotest.(check int) "no rounds run" 0 rounds);
+  Alcotest.(check int) "no sampling rounds recorded" 0 ph.Engine.rounds;
+  (* `Partial cannot conjure an answer from zero rounds *)
+  (match Engine.query ~cancel:(expired ()) ~on_deadline:`Partial engine q with
+  | _ -> Alcotest.fail "partial answer with no round in hand"
+  | exception Engine.Deadline_exceeded { rounds; _ } ->
+    Alcotest.(check int) "still zero rounds" 0 rounds);
+  (* an explicitly fired token carries its reason out in the exception *)
+  let fired = Cancel.create () in
+  Cancel.fire ~reason:"client gone" fired;
+  match Engine.query ~cancel:fired engine q with
+  | _ -> Alcotest.fail "fired token ignored"
+  | exception Engine.Deadline_exceeded { reason; _ } ->
+    Alcotest.(check string) "fire reason surfaced" "client gone" reason
+
+let test_engine_partial_answer_not_cached () =
+  let icm = five_node_icm 14 in
+  let engine = Engine.create ~config:never_converge ~seed:51 icm in
+  let q = Query.flow ~src:0 ~dst:4 () in
+  let budget_ns = 150_000_000 in
+  let r =
+    Engine.query
+      ~cancel:(Cancel.with_budget ~budget_ns ())
+      ~on_deadline:`Partial engine q
+  in
+  Alcotest.(check bool) "flagged partial" true r.Engine.partial;
+  Alcotest.(check bool) "pooled at least one full round" true
+    (r.Engine.total_samples
+    >= never_converge.Engine.chains * never_converge.Engine.round_samples);
+  (* the default `Fail policy raises instead of answering *)
+  (match Engine.query ~cancel:(Cancel.with_budget ~budget_ns ()) engine q with
+  | _ -> Alcotest.fail "never-converging query finished on its own"
+  | exception Engine.Deadline_exceeded { rounds; _ } ->
+    Alcotest.(check bool) "rounds ran before the deadline" true (rounds >= 1));
+  (* partial answers are never cached: ask again and it samples again *)
+  let r2 =
+    Engine.query
+      ~cancel:(Cancel.with_budget ~budget_ns ())
+      ~on_deadline:`Partial engine q
+  in
+  Alcotest.(check bool) "not served from a cache" false r2.Engine.cached;
+  Alcotest.(check bool) "still partial" true r2.Engine.partial
+
+let test_engine_deadline_6k_uncached () =
+  (* the acceptance bound: a 6000-node uncached MH query under a 20 ms
+     deadline must come back typed — partial or Deadline_exceeded —
+     within 2x the deadline *)
+  let rng = Rng.create 99 in
+  let nodes = 6000 and edges = 24_000 in
+  let g = Gen.gnm rng ~nodes ~edges in
+  let icm =
+    Icm.create g (Array.init edges (fun _ -> 0.05 +. (0.3 *. Rng.uniform rng)))
+  in
+  (* burn-in alone costs tens of seconds at this size: the only way
+     out inside the budget is the mid-burn-in cancellation check *)
+  let config =
+    {
+      never_converge with
+      Engine.cache_capacity = 0;
+      burn_in = 10_000_000;
+      thin = 2;
+      round_samples = 250;
+    }
+  in
+  let engine = Engine.create ~config ~seed:7 icm in
+  let src =
+    let rec first n = if Digraph.out_degree g n > 0 then n else first (n + 1) in
+    first 0
+  in
+  let dst = List.hd (Digraph.out_neighbours g src) in
+  let q = Query.flow ~src ~dst () in
+  let deadline_ms = 20 in
+  let t0 = Unix.gettimeofday () in
+  let cancel = Cancel.with_budget ~budget_ns:(deadline_ms * 1_000_000) () in
+  (match Engine.query ~cancel ~on_deadline:`Partial engine q with
+  | r -> Alcotest.(check bool) "answer is flagged partial" true r.Engine.partial
+  | exception Engine.Deadline_exceeded _ -> ());
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "typed answer within 2x the deadline (took %.1f ms)"
+       elapsed_ms)
+    true
+    (elapsed_ms <= 2.0 *. float_of_int deadline_ms)
+
 let () =
   Alcotest.run "iflow_engine"
     [
@@ -361,5 +499,16 @@ let () =
           Alcotest.test_case "cache disabled" `Slow
             test_engine_cache_disabled_still_dedups;
           Alcotest.test_case "validation" `Quick test_engine_validation;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "armed token bit-identity" `Slow
+            test_engine_armed_token_bit_identity;
+          Alcotest.test_case "pre-expired sheds before sampling" `Quick
+            test_engine_pre_expired_sheds_before_sampling;
+          Alcotest.test_case "partial answer, never cached" `Slow
+            test_engine_partial_answer_not_cached;
+          Alcotest.test_case "6k nodes, 20ms deadline, typed in 2x" `Slow
+            test_engine_deadline_6k_uncached;
         ] );
     ]

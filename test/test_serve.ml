@@ -265,6 +265,7 @@ let test_wire_result_roundtrip () =
       total_samples = 4000;
       chains_used = 4;
       cached = true;
+      partial = false;
       model_digest = "abc\"\\def";
       plan = Engine.Plan_mh { fallback = Some "unsound_join" };
     }
@@ -310,6 +311,7 @@ let test_wire_nonfinite () =
       total_samples = 400;
       chains_used = 2;
       cached = false;
+      partial = false;
       model_digest = "d";
       plan = Engine.Plan_exact { cone_nodes = 3; validated = false };
     }
@@ -379,6 +381,7 @@ let ask r fd line =
   | Sockio.Line l -> l
   | Sockio.Eof -> Alcotest.fail "server closed the session"
   | Sockio.Too_long -> Alcotest.fail "oversized response"
+  | Sockio.Timeout -> Alcotest.fail "client-side read timeout"
 
 let query_json ?id ~src ~dst () =
   let id = match id with
@@ -1112,6 +1115,446 @@ let test_engine_concurrent_queries_and_swaps () =
         { r with Engine.cached = (List.assoc (Query.key q) final_ref).Engine.cached })
     queries
 
+(* ---------- deadlines & cancellation ---------- *)
+
+let error_code line =
+  match Jsonl.parse line with
+  | Error msg -> Alcotest.failf "unparseable response %S: %s" line msg
+  | Ok json -> (
+    match Jsonl.member "error" json with
+    | Some (Jsonl.Str s) -> s
+    | _ -> "<no error member>")
+
+(* mcse_target is unreachable, so only a tripped token can stop the
+   sampler — the serve-side twin of the engine's never_converge *)
+let never_converge =
+  {
+    fast_config with
+    Engine.planner = false;
+    chains = 2;
+    burn_in = 20;
+    thin = 1;
+    round_samples = 20;
+    max_samples = 10_000_000;
+    rhat_target = 1.0;
+    mcse_target = 1e-300;
+  }
+
+let test_wire_partial_and_deadline_codes () =
+  let r =
+    {
+      Engine.estimate = 0.5;
+      rhat = 1.2;
+      ess = 40.0;
+      mcse = 0.04;
+      total_samples = 80;
+      chains_used = 2;
+      cached = false;
+      partial = true;
+      model_digest = "d";
+      plan = Engine.Plan_mh { fallback = None };
+    }
+  in
+  (match Jsonl.parse (Wire.result_line r) with
+  | Error msg -> Alcotest.failf "unparseable: %s" msg
+  | Ok json -> (
+    check_bool "partial on the wire" true
+      (match Jsonl.member "partial" json with
+      | Some (Jsonl.Bool b) -> b
+      | _ -> false);
+    match Wire.parsed_result json with
+    | Ok (r', _) -> check_bool "partial round-trips" true r'.Engine.partial
+    | Error msg -> Alcotest.failf "decode: %s" msg));
+  (* lines from pre-deadline peers carry no "partial": default false *)
+  (match
+     Jsonl.parse
+       {|{"estimate":0.5,"rhat":1.0,"ess":1.0,"mcse":0.1,"samples":1,"chains":1,"cached":false,"digest":"d"}|}
+   with
+  | Error msg -> Alcotest.failf "unparseable: %s" msg
+  | Ok json -> (
+    match Wire.parsed_result json with
+    | Ok (r', _) ->
+      check_bool "absent partial defaults false" false r'.Engine.partial
+    | Error msg -> Alcotest.failf "decode: %s" msg));
+  check_string "exceeded code" "deadline_exceeded"
+    (Wire.code_string Wire.Deadline_exceeded);
+  check_int "exceeded is 504" 504 (Wire.http_status Wire.Deadline_exceeded);
+  check_string "unmeetable code" "deadline_unmeetable"
+    (Wire.code_string Wire.Deadline_unmeetable);
+  check_int "unmeetable is 503" 503 (Wire.http_status Wire.Deadline_unmeetable)
+
+let test_bqueue_iter () =
+  let q = Bqueue.create 4 in
+  List.iter (fun i -> ignore (Bqueue.try_push q i)) [ 1; 2; 3 ];
+  let seen = ref [] in
+  Bqueue.iter q (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "visits in order, without removing" [ 1; 2; 3 ]
+    (List.rev !seen);
+  check_int "items still queued" 3 (Bqueue.length q);
+  (* close leaves admitted items visible to iter, so a draining
+     consumer can still account for queued work *)
+  Bqueue.close q;
+  let n = ref 0 in
+  Bqueue.iter q (fun _ -> incr n);
+  check_int "iter after close" 3 !n
+
+let test_quota_retry_after_honest () =
+  (* the retry hint must be honest in both directions: still denied
+     just before it, granted at exactly the hinted instant *)
+  let q = Quota.create { Quota.rate = 10.0; burst = 1.0 } in
+  let t0 = 5_000_000_000 in
+  let drain tenant =
+    (match Quota.admit q ~now_ns:t0 ~tenant with
+    | Quota.Granted -> ()
+    | Quota.Denied _ -> Alcotest.fail "burst denied");
+    match Quota.admit q ~now_ns:t0 ~tenant with
+    | Quota.Granted -> Alcotest.fail "empty bucket granted"
+    | Quota.Denied { retry_after_ns } ->
+      check_bool "hint positive" true (retry_after_ns > 0);
+      retry_after_ns
+  in
+  let retry_a = drain "a" in
+  (match Quota.admit q ~now_ns:(t0 + retry_a - 1_000_000) ~tenant:"a" with
+  | Quota.Denied _ -> ()
+  | Quota.Granted -> Alcotest.fail "granted before its own retry hint");
+  let retry_b = drain "b" in
+  match Quota.admit q ~now_ns:(t0 + retry_b) ~tenant:"b" with
+  | Quota.Granted -> ()
+  | Quota.Denied _ -> Alcotest.fail "denied at its own retry hint"
+
+let test_sockio_timeout () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float a Unix.SO_RCVTIMEO 0.05;
+      let r = Sockio.reader a in
+      (* a partial line arrives, then silence: the receive window
+         expires and must surface as Timeout, not Eof or a line *)
+      ignore (Unix.write_substring b "no newline" 0 10);
+      match Sockio.read_line r with
+      | Sockio.Timeout -> ()
+      | Sockio.Line l -> Alcotest.failf "line without terminator: %S" l
+      | Sockio.Eof -> Alcotest.fail "reported Eof for a timeout"
+      | Sockio.Too_long -> Alcotest.fail "reported Too_long for a timeout")
+
+let test_serve_deadline_expired_in_queue () =
+  Flight.reset_load_hint ();
+  let gate_m = Mutex.create () in
+  let gate_cv = Condition.create () in
+  let gate_open = ref false in
+  let stalled = ref 0 in
+  let gate () =
+    Mutex.protect gate_m (fun () ->
+        incr stalled;
+        while not !gate_open do
+          Condition.wait gate_cv gate_m
+        done)
+  in
+  let config =
+    { Server.default_config with Server.queue_capacity = 4; workers = 1 }
+  in
+  with_server ~config ~gate (fun server _engine ->
+      let busy_fd = connect (Server.port server) in
+      let dl_fd = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.protect gate_m (fun () ->
+              gate_open := true;
+              Condition.broadcast gate_cv);
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ busy_fd; dl_fd ])
+        (fun () ->
+          (* occupy the lone executor with a deadline-free request… *)
+          Sockio.write_all busy_fd (query_json ~src:0 ~dst:1 () ^ "\n");
+          spin "executor stalled in gate" (fun () ->
+              Mutex.protect gate_m (fun () -> !stalled = 1));
+          (* …queue a 25 ms deadline behind it and let it lapse *)
+          Sockio.write_all dl_fd
+            ({|{"request_id":"dl-q","deadline_ms":25,"type":"flow","src":0,"dst":2}|}
+            ^ "\n");
+          spin "deadline request queued" (fun () ->
+              Server.queue_depth server = 1);
+          Unix.sleepf 0.05;
+          Mutex.protect gate_m (fun () ->
+              gate_open := true;
+              Condition.broadcast gate_cv);
+          (* the occupied request answers normally *)
+          let rb = Sockio.reader busy_fd in
+          (match Sockio.read_line rb with
+          | Sockio.Line l -> ignore (parse_ok l)
+          | _ -> Alcotest.fail "deadline-free request lost");
+          (* the expired one is dropped at dequeue, typed *)
+          let rd = Sockio.reader dl_fd in
+          (match Sockio.read_line rd with
+          | Sockio.Line l ->
+            check_string "typed refusal" "deadline_exceeded" (error_code l)
+          | _ -> Alcotest.fail "deadline request lost");
+          (* shed before sampling: the flight record shows zero samples *)
+          match Flight.find "dl-q" with
+          | Some rc ->
+            check_int "zero samples burned" 0 rc.Flight.samples;
+            check_int "zero rounds" 0 rc.Flight.rounds;
+            check_bool "marked cancelled" true rc.Flight.cancelled;
+            check_bool "budget recorded" true (rc.Flight.deadline_ns > 0);
+            check_string "typed in the record" "deadline_exceeded"
+              rc.Flight.error
+          | None -> Alcotest.fail "no flight record for dl-q"))
+
+let test_serve_deadline_unmeetable () =
+  Fun.protect
+    ~finally:(fun () -> Flight.reset_load_hint ())
+    (fun () ->
+      with_server (fun server _engine ->
+          (* prime the admission floor: recent requests paid ~51 ms of
+             queue wait + serialize, so a 10 ms budget cannot fit *)
+          Flight.reset_load_hint ();
+          let rc =
+            {
+              Flight.seq = -1;
+              id = "prime";
+              tenant = "";
+              kind = "flow 0 1";
+              path = Flight.Mh;
+              fallback = "";
+              error = "";
+              version = 0;
+              digest = "";
+              queue_wait_ns = 50_000_000;
+              plan_ns = 0;
+              sample_ns = 1_000_000;
+              serialize_ns = 1_000_000;
+              rounds = 1;
+              samples = 1;
+              rhat = 1.0;
+              mcse = 0.0;
+              deadline_ns = 0;
+              cancelled = false;
+              ts_ns = 0;
+            }
+          in
+          for _ = 1 to 40 do
+            Flight.submit rc
+          done;
+          let fd = connect (Server.port server) in
+          Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+              let r = Sockio.reader fd in
+              let line =
+                ask r fd {|{"deadline_ms":10,"type":"flow","src":0,"dst":1}|}
+              in
+              check_string "typed refusal" "deadline_unmeetable"
+                (error_code line);
+              check_int "counted in shed_deadline" 1
+                (Server.stats server).Server.shed_deadline;
+              (* an ample budget clears the same floor *)
+              ignore
+                (parse_ok
+                   (ask r fd
+                      {|{"deadline_ms":60000,"type":"flow","src":0,"dst":2}|}));
+              (* and a request with no deadline is never floor-checked *)
+              ignore (parse_ok (ask r fd (query_json ~src:0 ~dst:3 ()))))))
+
+let test_serve_deadline_validation_and_header () =
+  with_server (fun server _engine ->
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let r = Sockio.reader fd in
+          check_string "non-numeric deadline refused" "bad_request"
+            (error_code
+               (ask r fd
+                  {|{"deadline_ms":"soon","type":"flow","src":0,"dst":1}|}));
+          check_string "negative deadline refused" "bad_request"
+            (error_code
+               (ask r fd {|{"deadline_ms":-5,"type":"flow","src":0,"dst":1}|}));
+          check_string "fractional deadline refused" "bad_request"
+            (error_code
+               (ask r fd
+                  {|{"deadline_ms":1.5,"type":"flow","src":0,"dst":1}|})));
+      (* HTTP: a malformed X-Deadline-Ms header 400s the request *)
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let body = query_json ~src:0 ~dst:1 () in
+          Sockio.write_all fd
+            (Printf.sprintf
+               "POST /query HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: never\r\n\
+                Content-Length: %d\r\n\r\n%s"
+               (String.length body) body);
+          let r = Sockio.reader fd in
+          match Sockio.read_line r with
+          | Sockio.Line status ->
+            check_string "400 on a bad header" "400"
+              (String.sub status 9 3)
+          | _ -> Alcotest.fail "no status line");
+      (* HTTP: a valid header deadline rides the body line; with an
+         ample budget the answer is full and bit-identical to a bare
+         Engine.query — the token was armed but never tripped *)
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let body = query_json ~src:0 ~dst:1 () in
+          Sockio.write_all fd
+            (Printf.sprintf
+               "POST /query HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: 60000\r\n\
+                Content-Length: %d\r\n\r\n%s"
+               (String.length body) body);
+          let r = Sockio.reader fd in
+          (match Sockio.read_line r with
+          | Sockio.Line status -> check_string "status" "HTTP/1.1 200 OK" status
+          | _ -> Alcotest.fail "no status line");
+          let rec skip () =
+            match Sockio.read_line r with
+            | Sockio.Line "" -> ()
+            | Sockio.Line _ -> skip ()
+            | _ -> Alcotest.fail "truncated headers"
+          in
+          skip ();
+          match Sockio.read_line r with
+          | Sockio.Line l ->
+            let got, _ = parse_ok l in
+            check_bool "full answer under an ample deadline" false
+              got.Engine.partial;
+            let reference =
+              Engine.create ~config:fast_config ~seed:7 (five_node_icm 3)
+            in
+            let want = Engine.query reference (Query.flow ~src:0 ~dst:1 ()) in
+            same_result "deadline-armed vs bare" want
+              { got with Engine.cached = want.Engine.cached }
+          | _ -> Alcotest.fail "no body line"))
+
+let test_serve_partial_answer_over_the_wire () =
+  Flight.reset_load_hint ();
+  with_server ~engine_config:never_converge (fun server _engine ->
+      let fd = connect (Server.port server) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let r = Sockio.reader fd in
+          let line =
+            ask r fd
+              {|{"request_id":"dl-partial","deadline_ms":150,"type":"flow","src":0,"dst":1}|}
+          in
+          let got, _ = parse_ok line in
+          check_bool "partial over the wire" true got.Engine.partial;
+          check_bool "pooled real rounds" true (got.Engine.total_samples >= 40);
+          (* partial answers are never cached: the repeat samples again *)
+          let got2, _ =
+            parse_ok
+              (ask r fd
+                 {|{"request_id":"dl-partial-2","deadline_ms":150,"type":"flow","src":0,"dst":1}|})
+          in
+          check_bool "repeat not served from cache" false got2.Engine.cached;
+          match Flight.find "dl-partial" with
+          | Some rc ->
+            check_bool "marked cancelled" true rc.Flight.cancelled;
+            check_bool "budget recorded" true (rc.Flight.deadline_ns > 0)
+          | None -> Alcotest.fail "no flight record for dl-partial"))
+
+let test_serve_read_timeout_slow_loris () =
+  let config =
+    { Server.default_config with Server.read_timeout_ms = Some 120 }
+  in
+  with_server ~config (fun server _engine ->
+      let fd = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          (* a partial line, then silence: the classic slow-loris *)
+          Sockio.write_all fd {|{"type":"flow"|};
+          let r = Sockio.reader fd in
+          (match Sockio.read_line r with
+          | Sockio.Line l ->
+            check_string "typed timeout" "bad_request" (error_code l)
+          | Sockio.Eof -> Alcotest.fail "closed without a typed error"
+          | _ -> Alcotest.fail "unexpected read result");
+          check_bool "fired after the window, not instantly" true
+            (Unix.gettimeofday () -. t0 >= 0.05);
+          check_bool "connection closed afterwards" true
+            (Sockio.read_line r = Sockio.Eof)))
+
+let test_serve_reaper_closes_dribbler () =
+  let config = { Server.default_config with Server.read_timeout_ms = Some 50 } in
+  with_server ~config (fun server _engine ->
+      let fd = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* one byte every 25 ms defeats SO_RCVTIMEO — each byte
+             restarts the receive window — but never completes a line;
+             only the reaper's no-progress clock catches it *)
+          let t0 = Unix.gettimeofday () in
+          let closed = ref false in
+          while (not !closed) && Unix.gettimeofday () -. t0 < 5.0 do
+            (try ignore (Unix.write_substring fd "x" 0 1)
+             with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+               closed := true);
+            if not !closed then
+              match Unix.select [ fd ] [] [] 0.025 with
+              | [ _ ], _, _ -> (
+                let buf = Bytes.create 256 in
+                try
+                  if Unix.read fd buf 0 256 = 0 then closed := true
+                with Unix.Unix_error (Unix.ECONNRESET, _, _) -> closed := true)
+              | _ -> ()
+          done;
+          check_bool "reaper closed the dribbling connection" true !closed;
+          check_bool "but not before the no-progress window (4 windows)" true
+            (Unix.gettimeofday () -. t0 >= 0.15)))
+
+let test_serve_shutdown_refuses_queued () =
+  let gate_m = Mutex.create () in
+  let gate_cv = Condition.create () in
+  let gate_open = ref false in
+  let stalled = ref 0 in
+  let gate () =
+    Mutex.protect gate_m (fun () ->
+        incr stalled;
+        while not !gate_open do
+          Condition.wait gate_cv gate_m
+        done)
+  in
+  let config =
+    { Server.default_config with Server.queue_capacity = 4; workers = 1 }
+  in
+  with_server ~config ~gate (fun server _engine ->
+      let busy_fd = connect (Server.port server) in
+      let q_fd = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.protect gate_m (fun () ->
+              gate_open := true;
+              Condition.broadcast gate_cv);
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ busy_fd; q_fd ])
+        (fun () ->
+          Sockio.write_all busy_fd (query_json ~src:0 ~dst:1 () ^ "\n");
+          spin "executor stalled in gate" (fun () ->
+              Mutex.protect gate_m (fun () -> !stalled = 1));
+          (* a deadline-free request waits in the queue when stop lands:
+             the drain must stay bounded — no sampling — and the client
+             gets a typed shutting_down *)
+          Sockio.write_all q_fd (query_json ~src:0 ~dst:2 () ^ "\n");
+          spin "second request queued" (fun () ->
+              Server.queue_depth server = 1);
+          let stopper = Thread.create (fun () -> Server.stop server) () in
+          Unix.sleepf 0.05;
+          Mutex.protect gate_m (fun () ->
+              gate_open := true;
+              Condition.broadcast gate_cv);
+          (* the in-flight request still finishes normally… *)
+          let rb = Sockio.reader busy_fd in
+          (match Sockio.read_line rb with
+          | Sockio.Line l -> ignore (parse_ok l)
+          | _ -> Alcotest.fail "in-flight request lost at shutdown");
+          (* …the queued one is refused without sampling *)
+          let rq = Sockio.reader q_fd in
+          (match Sockio.read_line rq with
+          | Sockio.Line l ->
+            check_string "typed refusal" "shutting_down" (error_code l)
+          | _ -> Alcotest.fail "queued request lost at shutdown");
+          Thread.join stopper))
+
 let () =
   Alcotest.run "serve"
     [
@@ -1173,6 +1616,30 @@ let () =
             test_serve_flight_record_matches_answer;
           Alcotest.test_case "bit-identical with flight + trace on" `Slow
             test_serve_observability_bit_identity;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "partial flag and deadline codes" `Quick
+            test_wire_partial_and_deadline_codes;
+          Alcotest.test_case "bqueue iter" `Quick test_bqueue_iter;
+          Alcotest.test_case "quota retry hint honest" `Quick
+            test_quota_retry_after_honest;
+          Alcotest.test_case "sockio surfaces SO_RCVTIMEO" `Quick
+            test_sockio_timeout;
+          Alcotest.test_case "expired in queue, shed before sampling" `Slow
+            test_serve_deadline_expired_in_queue;
+          Alcotest.test_case "unmeetable budget refused at admission" `Slow
+            test_serve_deadline_unmeetable;
+          Alcotest.test_case "validation + X-Deadline-Ms header" `Slow
+            test_serve_deadline_validation_and_header;
+          Alcotest.test_case "partial answer over the wire" `Slow
+            test_serve_partial_answer_over_the_wire;
+          Alcotest.test_case "slow-loris read timeout" `Slow
+            test_serve_read_timeout_slow_loris;
+          Alcotest.test_case "reaper closes the byte-dribbler" `Slow
+            test_serve_reaper_closes_dribbler;
+          Alcotest.test_case "shutdown refuses queued work" `Slow
+            test_serve_shutdown_refuses_queued;
         ] );
       ( "engine-concurrency",
         [
